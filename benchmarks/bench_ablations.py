@@ -1,0 +1,115 @@
+"""Ablations of LEIME's own design choices (DESIGN.md's ablation list).
+
+* Branch-and-bound vs brute force: identical optima, fewer evaluations
+  (Theorem 2's O(m log m) vs O(m²)) — and actual wall-clock timings.
+* Lyapunov V sweep: the Theorem 3 trade-off (delay falls in V, backlog
+  grows in V).
+* Decentralized balance rule vs exact per-device minimisation: near-equal
+  TCT, cheaper decisions.
+* KKT edge allocation vs proportional/uniform: lower Eq. 26 objective.
+"""
+
+from __future__ import annotations
+
+from repro.core.exit_setting import (
+    branch_and_bound_exit_setting,
+    brute_force_exit_setting,
+)
+from repro.core.offloading import BalanceOffloadingPolicy, DriftPlusPenaltyPolicy
+from repro.core.resource_allocation import (
+    kkt_edge_allocation,
+    mean_processing_time,
+    proportional_allocation,
+    uniform_allocation,
+)
+from repro.experiments.common import TestbedConfig, Scheme, run_scheme, leime_scheme
+from repro.models.multi_exit import MultiExitDNN
+from repro.models.zoo import build_model
+from repro.units import gflops
+
+
+def bench_exit_search_branch_and_bound(benchmark):
+    config = TestbedConfig(model="inception-v3")
+    me_dnn = config.me_dnn()
+    env = config.average_environment()
+    result = benchmark(lambda: branch_and_bound_exit_setting(me_dnn, env))
+    brute = brute_force_exit_setting(me_dnn, env)
+    assert result.selection == brute.selection
+    assert result.evaluations < brute.evaluations
+    benchmark.extra_info["evaluations"] = result.evaluations
+    benchmark.extra_info["brute_force_evaluations"] = brute.evaluations
+
+
+def bench_exit_search_brute_force(benchmark):
+    config = TestbedConfig(model="inception-v3")
+    me_dnn = config.me_dnn()
+    env = config.average_environment()
+    result = benchmark(lambda: brute_force_exit_setting(me_dnn, env))
+    benchmark.extra_info["evaluations"] = result.evaluations
+
+
+def bench_lyapunov_v_tradeoff(benchmark):
+    """Theorem 3: larger V → lower (or equal) delay, larger queues."""
+    config = TestbedConfig(model="inception-v3", num_devices=4, arrival_rate=1.2)
+
+    def sweep():
+        rows = {}
+        for v in (1.0, 50.0, 2000.0):
+            scheme = Scheme(
+                name=f"V={v}",
+                partition=leime_scheme(config).partition,
+                policy=DriftPlusPenaltyPolicy(v=v),
+            )
+            result = run_scheme(config, scheme, num_slots=150, seed=0)
+            rows[v] = (result.mean_tct, result.max_backlog)
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    tcts = [rows[v][0] for v in sorted(rows)]
+    assert tcts[-1] <= tcts[0] * 1.05  # delay does not grow with V
+    benchmark.extra_info["v_to_tct_backlog"] = {
+        str(v): (round(t, 3), round(b, 1)) for v, (t, b) in rows.items()
+    }
+
+
+def bench_balance_vs_exact_policy(benchmark):
+    """The paper's closed balance rule tracks the exact per-slot optimum."""
+    config = TestbedConfig(model="inception-v3", num_devices=4, arrival_rate=1.2)
+    partition = leime_scheme(config).partition
+
+    def run_both():
+        exact = run_scheme(
+            config,
+            Scheme("exact", partition, DriftPlusPenaltyPolicy(v=50.0)),
+            num_slots=150,
+            seed=0,
+        )
+        balance = run_scheme(
+            config,
+            Scheme("balance", partition, BalanceOffloadingPolicy()),
+            num_slots=150,
+            seed=0,
+        )
+        return exact.mean_tct, balance.mean_tct
+
+    exact_tct, balance_tct = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    assert balance_tct <= exact_tct * 1.5
+    benchmark.extra_info["exact_tct"] = round(exact_tct, 3)
+    benchmark.extra_info["balance_tct"] = round(balance_tct, 3)
+
+
+def bench_kkt_allocation(benchmark):
+    """KKT shares beat the naive allocations on a heterogeneous population."""
+    device_flops = [gflops(3.6)] * 3 + [gflops(29.5)] * 2
+    rates = [2.0, 1.0, 3.0, 0.5, 0.2]
+    edge = gflops(60)
+    work = 2e9
+
+    shares = benchmark(lambda: kkt_edge_allocation(device_flops, rates, edge))
+    kkt_obj = mean_processing_time(shares, device_flops, rates, edge, work)
+    for baseline in (proportional_allocation, uniform_allocation):
+        other = mean_processing_time(
+            baseline(device_flops, rates, edge), device_flops, rates, edge, work
+        )
+        assert kkt_obj <= other + 1e-12
+    benchmark.extra_info["kkt_objective"] = round(kkt_obj, 4)

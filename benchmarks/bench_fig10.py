@@ -1,0 +1,39 @@
+"""Fig. 10 — exit-setting and offloading ablations.
+
+Paper outcomes: (a) LEIME's exit setting wins, with bigger gains on the
+large models; (b) the online offloading policy's advantage grows with the
+arrival rate (≈1.1×/1.2×/1.8× at low/mid/high rates).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.fig10 import run_fig10
+
+
+def bench_fig10(benchmark):
+    result = benchmark.pedantic(
+        run_fig10, kwargs={"num_slots": 120, "seed": 0}, rounds=1, iterations=1
+    )
+
+    # (a) LEIME's setting is within 10% of the best strategy everywhere and
+    # clearly beats the worst strategy on the large models.
+    for row in result.exit_ablation:
+        best = min(row.tct.values())
+        assert row.tct["LEIME"] <= best * 1.10, row.model
+    large_gain = min(
+        max(row.speedup(s) for s in ("min_comp", "min_tran", "mean"))
+        for row in result.exit_ablation
+        if row.model in ("inception-v3", "resnet-34")
+    )
+    assert large_gain > 1.2
+
+    # (b) the online policy's edge grows with load.
+    speedups = [row.mean_baseline_speedup() for row in result.offload_ablation]
+    assert speedups[-1] > speedups[0]
+    assert speedups[-1] > 1.3
+
+    benchmark.extra_info["exit_ablation_tct"] = {
+        row.model: {k: round(v, 2) for k, v in row.tct.items()}
+        for row in result.exit_ablation
+    }
+    benchmark.extra_info["offload_speedups"] = [round(s, 2) for s in speedups]

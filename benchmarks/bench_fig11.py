@@ -1,0 +1,40 @@
+"""Fig. 11 — scalability with the number of connected devices.
+
+Paper outcomes: LEIME's TCT grows ~linearly and stays lowest; its exit
+selections move shallower as devices are added; the benchmarks support
+fewer devices.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.fig11 import run_fig11
+
+
+def bench_fig11(benchmark):
+    result = benchmark.pedantic(
+        run_fig11, kwargs={"num_slots": 120, "seed": 0}, rounds=1, iterations=1
+    )
+
+    for series in result.series:
+        leime = series.tct["LEIME"]
+        # LEIME is lowest at every population size.
+        for scheme, tcts in series.tct.items():
+            if scheme == "LEIME":
+                continue
+            assert all(l <= t * 1.05 for l, t in zip(leime, tcts)), scheme
+        # Exit setting adapts: the Second-exit moves shallower as N grows.
+        seconds = [sel[1] for sel in series.leime_selections]
+        assert seconds[-1] < seconds[0]
+        # LEIME supports at least as many devices as any benchmark under a
+        # fixed TCT budget (3× its own small-N TCT).
+        budget = 3 * leime[0]
+        leime_supported = series.max_supported("LEIME", budget)
+        for scheme in series.tct:
+            assert leime_supported >= series.max_supported(scheme, budget)
+
+        benchmark.extra_info[f"{series.model}_tct"] = {
+            k: [round(x, 2) for x in v] for k, v in series.tct.items()
+        }
+        benchmark.extra_info[f"{series.model}_selections"] = list(
+            series.leime_selections
+        )

@@ -1,0 +1,27 @@
+"""Fig. 2 — exit-setting sensitivity to capability, load, and model."""
+
+from __future__ import annotations
+
+from repro.experiments.fig2 import run_fig2
+
+
+def bench_fig2(benchmark):
+    result = benchmark.pedantic(run_fig2, rounds=1, iterations=1)
+
+    pi, nano = result.device_sweeps
+    light, heavy = result.load_sweeps
+    # Paper shapes: faster device → deeper First-exit; heavier edge load →
+    # shallower Second-exit.
+    assert nano.optimal_exit > pi.optimal_exit
+    assert heavy.optimal_exit < light.optimal_exit
+
+    benchmark.extra_info["fig2a_first_exit_pi"] = pi.optimal_exit
+    benchmark.extra_info["fig2a_first_exit_nano"] = nano.optimal_exit
+    benchmark.extra_info["fig2b_second_exit_light"] = light.optimal_exit
+    benchmark.extra_info["fig2b_second_exit_heavy"] = heavy.optimal_exit
+    benchmark.extra_info["fig2c_first_exits"] = {
+        s.label: s.optimal_exit for s in result.model_first_sweeps
+    }
+    benchmark.extra_info["fig2d_second_exits"] = {
+        s.label: s.optimal_exit for s in result.model_second_sweeps
+    }

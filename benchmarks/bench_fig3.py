@@ -1,0 +1,26 @@
+"""Fig. 3 — TCT vs offloading ratio under dynamic factors."""
+
+from __future__ import annotations
+
+from repro.experiments.fig3 import run_fig3
+
+
+def bench_fig3(benchmark):
+    result = benchmark.pedantic(
+        run_fig3, kwargs={"num_slots": 150, "seed": 0}, rounds=1, iterations=1
+    )
+
+    # Paper shapes: every dynamic factor moves the optimal ratio; 8 Mbps
+    # forces full offloading; more bandwidth lowers the optimum.
+    assert result.bandwidth_curves[0].optimal_ratio == 1.0
+    assert (
+        result.bandwidth_curves[-1].optimal_ratio
+        < result.bandwidth_curves[0].optimal_ratio
+    )
+    assert len({c.optimal_ratio for c in result.arrival_curves}) > 1
+    assert len({c.optimal_ratio for c in result.latency_curves}) > 1
+
+    for panel, curves in result.all_panels().items():
+        benchmark.extra_info[f"{panel}_optima"] = {
+            c.label: c.optimal_ratio for c in curves
+        }

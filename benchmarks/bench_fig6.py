@@ -1,0 +1,33 @@
+"""Fig. 6 — ME-DNN accuracy loss across exit combinations.
+
+Paper values: average losses of 1.62% (Inception v3), 0.55% (ResNet-34),
+0.44% (SqueezeNet-1.0), 1.14% (VGG-16); ResNet-34 and SqueezeNet-1.0 show
+many combinations *below zero* (overthinking).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.fig6 import run_fig6
+
+
+def bench_fig6(benchmark):
+    results = benchmark.pedantic(
+        run_fig6,
+        kwargs={"samples": 12000, "epochs": 40, "seed": 0},
+        rounds=1,
+        iterations=1,
+    )
+
+    for name, matrix in results.items():
+        # Shape target: losses stay small (within ±3%), as in the paper.
+        assert abs(matrix.mean_loss) < 0.03, name
+        benchmark.extra_info[f"{name}_mean_loss_pct"] = round(
+            matrix.mean_loss * 100, 2
+        )
+        benchmark.extra_info[f"{name}_negative_fraction"] = round(
+            matrix.negative_fraction, 2
+        )
+    # Overthinking-prone models show negative combinations (the paper's
+    # "most combinations obtain an accuracy increase" for these two).
+    assert results["resnet-34"].negative_fraction > 0.1
+    assert results["squeezenet-1.0"].negative_fraction > 0.3

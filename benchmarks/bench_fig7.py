@@ -1,0 +1,27 @@
+"""Fig. 7 — TCT vs network conditions, LEIME vs the three benchmarks.
+
+Paper values: mean speedups 4.4×/6.5×/18.7× (Neurosurgeon/Edgent/DDNN)
+across the bandwidth sweep and 4.2×/5.7×/14.5× across the latency sweep,
+with the gap widest on poor networks.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.fig7 import run_fig7
+
+
+def bench_fig7(benchmark):
+    result = benchmark.pedantic(
+        run_fig7, kwargs={"num_slots": 150, "seed": 0}, rounds=1, iterations=1
+    )
+
+    for series, label in ((result.bandwidth, "bandwidth"), (result.latency, "latency")):
+        for scheme in ("Neurosurgeon", "Edgent", "DDNN"):
+            speedup = series.mean_speedup(scheme)
+            assert speedup > 1.5, f"{scheme} must lose clearly ({label})"
+            benchmark.extra_info[f"{label}_speedup_{scheme}"] = round(speedup, 1)
+
+    # The gap is widest when the network is poor (2 Mbps vs 128 Mbps).
+    leime = result.bandwidth.tct["LEIME"]
+    ddnn = result.bandwidth.tct["DDNN"]
+    assert ddnn[0] / leime[0] > ddnn[-1] / leime[-1]

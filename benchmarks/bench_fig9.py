@@ -1,0 +1,33 @@
+"""Fig. 9 — stability under dynamic task arrival rates.
+
+Paper outcomes: LEIME has the lowest mean TCT and the flattest timeline on
+both devices; DDNN blows up on the Pi but stays bounded on the Nano.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.fig9 import run_fig9
+
+
+def bench_fig9(benchmark):
+    result = benchmark.pedantic(
+        run_fig9, kwargs={"num_slots": 200, "seed": 0}, rounds=1, iterations=1
+    )
+
+    pi, nano = result.panels
+    for panel in result.panels:
+        leime = panel.by_scheme("LEIME")
+        for timeline in panel.timelines:
+            if timeline.scheme == "LEIME":
+                continue
+            # LEIME is (near-)lowest and flattest: no benchmark may beat it
+            # by more than 15% on mean, and its std is the smallest band.
+            assert leime.mean <= timeline.mean * 1.15, timeline.scheme
+            assert leime.std <= timeline.std * 1.25, timeline.scheme
+        benchmark.extra_info[f"{panel.device}_mean_tct"] = {
+            t.scheme: round(t.mean, 2) for t in panel.timelines
+        }
+
+    # DDNN's burst behaviour: catastrophic on the Pi, bounded on the Nano.
+    assert pi.by_scheme("DDNN").peak > 3 * nano.by_scheme("DDNN").peak / 2
+    assert nano.by_scheme("DDNN").peak < pi.by_scheme("DDNN").peak

@@ -1,0 +1,103 @@
+"""Extension ablation: per-class exit settings on a mixed fleet.
+
+Not a paper figure — DESIGN.md's extension: the paper plans one partition
+against the *average* device, yet its own Fig. 2(a) shows Pi- and
+Nano-optimal First-exits differing by 9+ positions.  This bench quantifies
+what per-class planning recovers on a half-Pi/half-Nano fleet.
+"""
+
+from __future__ import annotations
+
+from repro.core.exit_setting import AverageEnvironment, branch_and_bound_exit_setting
+from repro.core.heterogeneous import heterogeneous_system
+from repro.core.offloading import DeviceConfig, DriftPlusPenaltyPolicy, EdgeSystem
+from repro.hardware import (
+    CLOUD_V100,
+    EDGE_I7_3770,
+    INTERNET_EDGE_CLOUD,
+    JETSON_NANO,
+    RASPBERRY_PI_3B,
+    WIFI_DEVICE_EDGE,
+)
+from repro.models.multi_exit import MultiExitDNN
+from repro.models.zoo import build_model
+from repro.sim.arrivals import PoissonArrivals
+from repro.sim.events import EventSimulator
+
+
+def _fleet():
+    pis = [
+        DeviceConfig.from_platform(
+            RASPBERRY_PI_3B, WIFI_DEVICE_EDGE, 0.2, name=f"pi-{i}"
+        )
+        for i in range(3)
+    ]
+    nanos = [
+        DeviceConfig.from_platform(
+            JETSON_NANO, WIFI_DEVICE_EDGE, 0.6, name=f"nano-{i}"
+        )
+        for i in range(3)
+    ]
+    return tuple(pis + nanos)
+
+
+def bench_per_class_vs_average_partition(benchmark):
+    fleet = _fleet()
+    me_dnn = MultiExitDNN(build_model("inception-v3"))
+    arrivals = [PoissonArrivals(d.mean_arrivals) for d in fleet]
+    policy = DriftPlusPenaltyPolicy(v=50.0)
+
+    def run_both():
+        hetero = heterogeneous_system(
+            me_dnn,
+            fleet,
+            EDGE_I7_3770.flops,
+            CLOUD_V100.flops,
+            INTERNET_EDGE_CLOUD,
+            edge_overhead=EDGE_I7_3770.per_task_overhead,
+            cloud_overhead=CLOUD_V100.per_task_overhead,
+        )
+        mean_flops = sum(d.flops for d in fleet) / len(fleet)
+        avg_plan = branch_and_bound_exit_setting(
+            me_dnn,
+            AverageEnvironment(
+                device_flops=mean_flops,
+                edge_flops=EDGE_I7_3770.flops / len(fleet),
+                cloud_flops=CLOUD_V100.flops,
+                device_edge=WIFI_DEVICE_EDGE,
+                edge_cloud=INTERNET_EDGE_CLOUD,
+            ),
+        )
+        single = EdgeSystem(
+            devices=fleet,
+            edge_flops=EDGE_I7_3770.flops,
+            cloud_flops=CLOUD_V100.flops,
+            edge_cloud=INTERNET_EDGE_CLOUD,
+            partition=avg_plan.partition,
+            edge_overhead=EDGE_I7_3770.per_task_overhead,
+            cloud_overhead=CLOUD_V100.per_task_overhead,
+        )
+        hetero_result = EventSimulator(
+            system=hetero, arrivals=arrivals, seed=3
+        ).run(policy, 150)
+        single_result = EventSimulator(
+            system=single, arrivals=arrivals, seed=3
+        ).run(policy, 150)
+        selections = sorted(
+            {p.selection.as_tuple() for p in hetero.device_partitions}
+        )
+        return (
+            hetero_result.mean_tct,
+            single_result.mean_tct,
+            selections,
+            avg_plan.selection.as_tuple(),
+        )
+
+    hetero_tct, single_tct, class_selections, avg_selection = benchmark.pedantic(
+        run_both, rounds=1, iterations=1
+    )
+    assert hetero_tct <= single_tct * 1.05
+    benchmark.extra_info["per_class_tct"] = round(hetero_tct, 3)
+    benchmark.extra_info["single_partition_tct"] = round(single_tct, 3)
+    benchmark.extra_info["per_class_selections"] = class_selections
+    benchmark.extra_info["average_selection"] = avg_selection

@@ -1,0 +1,28 @@
+"""Extension: the accuracy-latency frontier behind the §III-B2 threshold."""
+
+from __future__ import annotations
+
+from repro.experiments.pareto import run_pareto
+
+
+def bench_pareto(benchmark):
+    result = benchmark.pedantic(
+        run_pareto,
+        kwargs={"samples": 10000, "epochs": 35, "seed": 0},
+        rounds=1,
+        iterations=1,
+    )
+    points = result.points
+    # Looser margins trade accuracy for latency along a monotone frontier.
+    assert result.is_frontier_monotone()
+    assert points[-1].expected_tct < points[0].expected_tct
+    assert points[-1].accuracy_loss > points[0].accuracy_loss
+    benchmark.extra_info["frontier"] = [
+        {
+            "margin": p.margin,
+            "sigma1": round(p.sigma1, 2),
+            "accuracy_loss_pct": round(p.accuracy_loss * 100, 2),
+            "expected_tct_ms": round(p.expected_tct * 1e3),
+        }
+        for p in points
+    ]

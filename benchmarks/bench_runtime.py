@@ -1,0 +1,81 @@
+"""Cross-check: analytic slot model vs event simulation vs live threads.
+
+The same deployment is evaluated three ways; agreement between them is the
+repository's strongest internal-validity evidence (each layer has
+completely different failure modes: algebra, event ordering, real
+concurrency).
+"""
+
+from __future__ import annotations
+
+from repro.core.offloading import DeviceConfig, EdgeSystem, FixedRatioPolicy
+from repro.hardware import (
+    CLOUD_V100,
+    EDGE_I7_3770,
+    INTERNET_EDGE_CLOUD,
+    RASPBERRY_PI_3B,
+    WIFI_DEVICE_EDGE,
+)
+from repro.models.multi_exit import MultiExitDNN
+from repro.models.zoo import build_model
+from repro.runtime import LeimeRuntime
+from repro.sim.arrivals import ConstantArrivals
+from repro.sim.events import EventSimulator
+from repro.sim.simulator import SlotSimulator
+
+
+def _system() -> EdgeSystem:
+    me_dnn = MultiExitDNN(build_model("inception-v3"))
+    partition = me_dnn.partition_at(5, 14)
+    devices = tuple(
+        DeviceConfig.from_platform(
+            RASPBERRY_PI_3B, WIFI_DEVICE_EDGE, 0.5, name=f"pi-{i}"
+        )
+        for i in range(2)
+    )
+    return EdgeSystem(
+        devices=devices,
+        edge_flops=EDGE_I7_3770.flops,
+        cloud_flops=CLOUD_V100.flops,
+        edge_cloud=INTERNET_EDGE_CLOUD,
+        partition=partition,
+        edge_overhead=EDGE_I7_3770.per_task_overhead,
+        cloud_overhead=CLOUD_V100.per_task_overhead,
+    )
+
+
+def bench_three_way_consistency(benchmark):
+    system = _system()
+    arrivals = [ConstantArrivals(0.5)] * 2
+    policy = FixedRatioPolicy(1.0)
+
+    def run_all_three():
+        slot = SlotSimulator(system=system, arrivals=arrivals, seed=4).run(
+            policy, 60
+        )
+        event = EventSimulator(system=system, arrivals=arrivals, seed=4).run(
+            policy, 60
+        )
+        runtime = LeimeRuntime(system, policy, speedup=40.0, seed=4)
+        try:
+            live = runtime.run(arrivals, num_slots=60, drain_timeout=60.0)
+        finally:
+            runtime.shutdown()
+        return slot.mean_tct, event.mean_tct, live.mean_tct
+
+    slot_tct, event_tct, live_tct = benchmark.pedantic(
+        run_all_three, rounds=1, iterations=1
+    )
+    # The three layers agree within loose factors (the slot model includes
+    # conservative intra-slot queueing; threads add scheduling jitter).
+    assert event_tct == pytest_approx(slot_tct, 0.7)
+    assert live_tct == pytest_approx(event_tct, 0.7)
+    benchmark.extra_info["slot_tct"] = round(slot_tct, 3)
+    benchmark.extra_info["event_tct"] = round(event_tct, 3)
+    benchmark.extra_info["live_tct"] = round(live_tct, 3)
+
+
+def pytest_approx(value: float, rel: float):
+    import pytest
+
+    return pytest.approx(value, rel=rel)

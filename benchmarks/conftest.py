@@ -1,0 +1,10 @@
+"""Benchmark-suite configuration.
+
+Each ``bench_*`` file regenerates one of the paper's figures (or the §II
+motivation numbers) and attaches the measured headline values as
+``extra_info`` on the benchmark record, so ``pytest benchmarks/
+--benchmark-only`` both times the harness and reports the reproduced
+numbers next to the paper's.
+"""
+
+from __future__ import annotations

@@ -1,0 +1,84 @@
+"""Drive the live threaded LEIME prototype — tasks on real worker threads.
+
+The other examples use the simulators; this one runs the actual runtime
+(:mod:`repro.runtime`): device/edge/cloud worker threads with real queues,
+scaled wall-clock execution, and a controller that re-runs the offloading
+policy every slot against *live* queue occupancies — a miniature of the
+paper's §IV prototype (Raspberry Pis + Docker-sliced edge + cloud).
+
+Run:  python examples/live_runtime_demo.py   (~20 s wall clock)
+"""
+
+from __future__ import annotations
+
+from repro.core.leime import LeimeController
+from repro.core.offloading import DeviceConfig, FixedRatioPolicy
+from repro.hardware import (
+    CLOUD_V100,
+    EDGE_I7_3770,
+    INTERNET_EDGE_CLOUD,
+    RASPBERRY_PI_3B,
+    WIFI_DEVICE_EDGE,
+)
+from repro.models import MultiExitDNN, build_model
+from repro.runtime import LeimeRuntime
+from repro.sim.arrivals import PoissonArrivals
+from repro.units import to_ms
+
+NUM_SLOTS = 60
+SPEEDUP = 25.0  # 60 virtual seconds in ~2.4 s wall per run
+
+
+def run_policy(controller: LeimeController, label: str, policy) -> None:
+    runtime = LeimeRuntime(
+        controller.system(), policy, speedup=SPEEDUP, seed=7
+    )
+    try:
+        report = runtime.run(
+            [PoissonArrivals(d.mean_arrivals) for d in controller.devices],
+            num_slots=NUM_SLOTS,
+            drain_timeout=60.0,
+        )
+    finally:
+        runtime.shutdown()
+    tier1, tier2, tier3 = report.exit_fractions()
+    print(
+        f"  {label:<22} {len(report.completed):>4} tasks  "
+        f"mean {to_ms(report.mean_tct):6.0f} ms  "
+        f"exits {tier1:.0%}/{tier2:.0%}/{tier3:.0%}  "
+        f"completed {report.completion_rate:.0%}"
+    )
+
+
+def main() -> None:
+    devices = [
+        DeviceConfig.from_platform(
+            RASPBERRY_PI_3B, WIFI_DEVICE_EDGE, 0.5, name=f"pi-{i}"
+        )
+        for i in range(3)
+    ]
+    controller = LeimeController(
+        me_dnn=MultiExitDNN(build_model("inception-v3")),
+        devices=devices,
+        edge_flops=EDGE_I7_3770.flops,
+        cloud_flops=CLOUD_V100.flops,
+        edge_cloud=INTERNET_EDGE_CLOUD,
+    )
+    plan = controller.plan()
+    print(
+        f"live LEIME prototype: 3 Pi worker threads, exits "
+        f"{plan.selection.as_tuple()}, {NUM_SLOTS} slots at {SPEEDUP:.0f}x "
+        f"wall speed\n"
+    )
+    run_policy(controller, "LEIME (online)", controller.policy)
+    run_policy(controller, "device-only (static)", FixedRatioPolicy(0.0))
+    run_policy(controller, "edge-only (static)", FixedRatioPolicy(1.0))
+    print(
+        "\nEach row is a real threaded execution: jobs crossed worker "
+        "queues, links serialised transfers, and the controller replanned "
+        "every virtual second from live backlogs."
+    )
+
+
+if __name__ == "__main__":
+    main()

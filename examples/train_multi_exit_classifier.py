@@ -1,0 +1,105 @@
+"""Model-to-deployment pipeline: train, calibrate, then place exits.
+
+The paper's workflow end to end, on the numpy substrate:
+
+1. **Train** a multi-exit classifier (shared trunk, one exit head per
+   stage) on the synthetic easy/hard mixture — the CIFAR-10 stand-in.
+2. **Calibrate** per-exit confidence thresholds so tasks exit early only
+   when that costs no accuracy (§III-B2), and measure the resulting exit
+   rates σ and the accuracy of a few exit combinations (the Fig. 6
+   quantities, including the "overthinking" effect).
+3. **Deploy**: feed the *measured* exit rates into the exit-setting
+   search as an :class:`EmpiricalExitCurve` and compare the chosen exits
+   against a naive placement.
+
+Run:  python examples/train_multi_exit_classifier.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.exit_setting import (
+    AverageEnvironment,
+    branch_and_bound_exit_setting,
+)
+from repro.data import SyntheticImageDataset, train_val_test_split
+from repro.hardware import (
+    CLOUD_V100,
+    EDGE_I7_3770,
+    INTERNET_EDGE_CLOUD,
+    RASPBERRY_PI_3B,
+    WIFI_DEVICE_EDGE,
+)
+from repro.models import EmpiricalExitCurve, MultiExitDNN, build_model
+from repro.nn import (
+    MultiExitMLP,
+    TrainingConfig,
+    calibrate_thresholds,
+    evaluate_combination,
+    train_multi_exit,
+)
+from repro.nn.training import per_exit_accuracy
+from repro.units import to_ms
+
+
+def main() -> None:
+    # 1. Train.  16 stages to mirror Inception v3's 16 chain units.
+    generator = SyntheticImageDataset(num_chunks=16, chunk_dim=8, seed=0)
+    dataset = generator.sample(12000, seed=1)
+    train, val, test = train_val_test_split(dataset)
+    net = MultiExitMLP(
+        input_dim=generator.dim, num_classes=10, num_stages=16, hidden=64, seed=0
+    )
+    print("training a 16-stage multi-exit classifier (numpy, ~1 min)...")
+    losses = train_multi_exit(
+        net, train, TrainingConfig(epochs=35, learning_rate=0.08)
+    )
+    accuracy = per_exit_accuracy(net, test)
+    print(f"loss {losses[0]:.2f} -> {losses[-1]:.2f}")
+    print("per-exit accuracy:", " ".join(f"{a:.2f}" for a in accuracy))
+
+    # 2. Calibrate thresholds and inspect the exit rates.
+    calibration = calibrate_thresholds(net, val, accuracy_margin=0.02)
+    print("thresholds:", " ".join(f"{t:.2f}" for t in calibration.thresholds))
+    print("exit rates:", " ".join(f"{r:.2f}" for r in calibration.exit_rates))
+    for first, second in ((2, 9), (5, 14), (9, 14)):
+        combo = evaluate_combination(net, test, calibration, first, second)
+        direction = "beats" if combo.accuracy_loss < 0 else "trails"
+        print(
+            f"  exits ({first:>2},{second:>2},16): accuracy "
+            f"{combo.accuracy * 100:.1f}% — {direction} the original by "
+            f"{abs(combo.accuracy_loss) * 100:.2f}pp; "
+            f"σ = {tuple(round(s, 2) for s in combo.sigma)}"
+        )
+
+    # 3. Deploy: the measured rates drive the exit-setting search on the
+    # Inception v3 latency profile (both have m=16 by construction).
+    curve = EmpiricalExitCurve.from_measurements(
+        calibration.deployment_curve_rates()
+    )
+    me_dnn = MultiExitDNN(build_model("inception-v3"), curve)
+    environment = AverageEnvironment.from_platforms(
+        RASPBERRY_PI_3B,
+        EDGE_I7_3770,
+        CLOUD_V100,
+        WIFI_DEVICE_EDGE,
+        INTERNET_EDGE_CLOUD,
+        edge_share=0.25,
+    )
+    result = branch_and_bound_exit_setting(me_dnn, environment)
+    naive = me_dnn.partition_at(1, 2)
+    from repro.core.exit_setting import ExitCostModel
+
+    cost_model = ExitCostModel(me_dnn, environment)
+    naive_cost = cost_model.cost_at(1, 2)
+    print(
+        f"\nexit setting from measured rates: {result.selection.as_tuple()} "
+        f"({to_ms(result.cost):.0f} ms/task expected) vs naive (1,2,16) "
+        f"({to_ms(naive_cost):.0f} ms/task) — "
+        f"{naive_cost / result.cost:.1f}x better"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,85 @@
+"""Train the multi-exit *CNN* substrate and inspect the receptive-field
+mechanism directly.
+
+Where ``train_multi_exit_classifier.py`` uses the chunked MLP, this
+example uses the convolutional substrate — the closest analogue of the
+paper's PyTorch ME-DNNs: easy classes live in a local patch any early exit
+can see, hard classes live in a global template only deep receptive
+fields integrate.  After training, the per-exit accuracy split between
+easy and hard samples makes the mechanism visible, and the calibrated
+thresholds show tasks sorting themselves by depth — the behaviour the
+whole LEIME system is built on.
+
+Run:  python examples/train_multi_exit_cnn.py   (~1-2 min of numpy conv)
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data import SyntheticPatchImageDataset
+from repro.nn import MultiExitCNN, calibrate_thresholds
+from repro.nn.training import SGD
+from repro.report import sparkline
+
+
+def main() -> None:
+    generator = SyntheticPatchImageDataset(
+        size=10,
+        channels=3,
+        num_classes=6,
+        hard_fraction=0.5,
+        noise=0.45,
+        distractor_fraction=0.2,
+    )
+    train = generator.sample(2500, seed=1)
+    val = generator.sample(800, seed=2)
+    test = generator.sample(800, seed=3)
+
+    net = MultiExitCNN(
+        in_channels=3, num_classes=6, num_stages=5, width=12,
+        downsample_at=3, seed=0,
+    )
+    optimiser = SGD(learning_rate=0.05, momentum=0.9)
+    rng = np.random.default_rng(0)
+    print("training a 5-stage multi-exit CNN (numpy im2col)...")
+    for epoch in range(10):
+        order = rng.permutation(len(train))
+        total = 0.0
+        for start in range(0, len(train), 64):
+            idx = order[start : start + 64]
+            total += net.train_batch(train.x[idx], train.y[idx])
+            optimiser.step(net.params(), net.grads())
+        print(f"  epoch {epoch + 1:>2}: loss {total:8.1f}")
+
+    def per_exit_accuracy(dataset):
+        logits = net.forward_all(dataset.x, train=False)
+        return [float((l.argmax(axis=1) == dataset.y).mean()) for l in logits]
+
+    easy = test.subset(np.where(~test.hard)[0])
+    hard = test.subset(np.where(test.hard)[0])
+    acc_all = per_exit_accuracy(test)
+    acc_easy = per_exit_accuracy(easy)
+    acc_hard = per_exit_accuracy(hard)
+    print("\nper-exit accuracy (exit 1 → final):")
+    print(f"  all  {sparkline(acc_all)}  " + " ".join(f"{a:.2f}" for a in acc_all))
+    print(f"  easy {sparkline(acc_easy)}  " + " ".join(f"{a:.2f}" for a in acc_easy))
+    print(f"  hard {sparkline(acc_hard)}  " + " ".join(f"{a:.2f}" for a in acc_hard))
+    print(
+        "  → local-patch (easy) classes are readable early; global-template "
+        "(hard) classes need depth."
+    )
+
+    calibration = calibrate_thresholds(net, val, accuracy_margin=0.02)
+    print("\ncalibrated exit rates σ (cumulative):")
+    rates = calibration.exit_rates
+    print(f"  {sparkline(rates)}  " + " ".join(f"{r:.2f}" for r in rates))
+    print(
+        f"reference accuracy {calibration.reference_accuracy:.2%}; a "
+        f"LEIME deployment would feed these σ into the exit-setting search "
+        f"exactly as in examples/train_multi_exit_classifier.py."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Legacy setup shim: the offline environment lacks the `wheel` package, so
+PEP 660 editable installs fail; `pip install -e . --no-use-pep517` uses this."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,18 @@
+"""LEIME — Low Latency Edge Intelligence based on Multi-exit DNNs.
+
+A complete Python reproduction of Huang, Dong, Shen et al., ICDCS 2021:
+exit setting (branch-and-bound over the Eq. 4 latency model), online
+Lyapunov offloading (drift-plus-penalty over Eqs. 8-19), the Appendix B
+edge allocation, the benchmark systems, and every substrate needed to
+evaluate them — analytical model profiles, a trainable numpy multi-exit
+classifier, slot/event simulators and a live threaded runtime.
+
+Start at :class:`repro.core.LeimeController` (the glued deployment),
+``python -m repro`` (the CLI), or ``examples/quickstart.py``.  DESIGN.md
+documents the substitutions, THEORY.md maps every equation to code, and
+EXPERIMENTS.md records paper-vs-measured results for every figure.
+"""
+
+__version__ = "0.1.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,268 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``models`` — list the model zoo.
+* ``describe MODEL`` — per-layer profile of a zoo model.
+* ``plan`` — run LEIME's exit setting for a configurable testbed.
+* ``simulate`` — run a policy through the slot or event simulator.
+* ``experiment NAME`` — regenerate a paper figure (``fig2``..``fig11``,
+  ``motivation``).
+* ``analyze {complexity,v-sweep}`` — empirical checks of Theorems 2-3.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import sys
+from typing import Sequence
+
+from .core.analysis import measure_search_complexity, measure_v_tradeoff
+from .core.exit_setting import AverageEnvironment, branch_and_bound_exit_setting
+from .core.offloading import (
+    BalanceOffloadingPolicy,
+    CapabilityBasedPolicy,
+    DriftPlusPenaltyPolicy,
+    FixedRatioPolicy,
+)
+from .experiments.common import TestbedConfig, run_scheme, Scheme
+from .hardware import NetworkProfile, PLATFORMS, platform
+from .models.exit_rates import ParametricExitCurve
+from .models.multi_exit import MultiExitDNN
+from .models.zoo import MODEL_BUILDERS, build_model
+from .units import mbps, ms, to_ms
+
+#: Experiment names accepted by the ``experiment`` command.
+EXPERIMENTS = (
+    "fig2",
+    "fig3",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "motivation",
+    "pareto",
+)
+
+#: Offloading policies available to ``simulate``.
+POLICIES = ("leime", "balance", "device-only", "edge-only", "cap-based")
+
+
+def _build_policy(name: str, v: float):
+    if name == "leime":
+        return DriftPlusPenaltyPolicy(v=v)
+    if name == "balance":
+        return BalanceOffloadingPolicy()
+    if name == "device-only":
+        return FixedRatioPolicy(0.0)
+    if name == "edge-only":
+        return FixedRatioPolicy(1.0)
+    if name == "cap-based":
+        return CapabilityBasedPolicy()
+    raise ValueError(f"unknown policy {name!r}")
+
+
+def _add_testbed_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--model", default="inception-v3", choices=sorted(MODEL_BUILDERS)
+    )
+    parser.add_argument(
+        "--device", default="raspberry-pi", choices=sorted(PLATFORMS)
+    )
+    parser.add_argument("--edge", default="edge-i7", choices=sorted(PLATFORMS))
+    parser.add_argument("--cloud", default="cloud-v100", choices=sorted(PLATFORMS))
+    parser.add_argument("--bandwidth-mbps", type=float, default=10.0)
+    parser.add_argument("--latency-ms", type=float, default=20.0)
+    parser.add_argument("--devices", type=int, default=4)
+    parser.add_argument("--arrival-rate", type=float, default=0.4)
+    parser.add_argument(
+        "--complexity",
+        type=float,
+        default=0.5,
+        help="data-complexity knob in [0, 1] for the exit-rate curve",
+    )
+
+
+def _testbed_from_args(args: argparse.Namespace) -> TestbedConfig:
+    return TestbedConfig(
+        model=args.model,
+        device=platform(args.device),
+        edge=platform(args.edge),
+        cloud=platform(args.cloud),
+        num_devices=args.devices,
+        arrival_rate=args.arrival_rate,
+        device_edge=NetworkProfile(mbps(args.bandwidth_mbps), ms(args.latency_ms)),
+        exit_curve=ParametricExitCurve.from_complexity(args.complexity),
+    )
+
+
+def _cmd_models(args: argparse.Namespace) -> int:
+    for name in sorted(MODEL_BUILDERS):
+        profile = build_model(name)
+        print(
+            f"{name:<16} m={profile.num_layers:<3} "
+            f"{profile.total_flops / 1e9:7.2f} GFLOPs  "
+            f"final {profile.layers[-1].output_shape}"
+        )
+    return 0
+
+
+def _cmd_describe(args: argparse.Namespace) -> int:
+    print(build_model(args.model).describe())
+    return 0
+
+
+def _cmd_plan(args: argparse.Namespace) -> int:
+    config = _testbed_from_args(args)
+    me_dnn = config.me_dnn()
+    result = branch_and_bound_exit_setting(me_dnn, config.average_environment())
+    partition = result.partition
+    print(f"model          : {args.model}")
+    print(f"exit selection : {result.selection.as_tuple()}")
+    print(f"expected TCT   : {to_ms(result.cost):.0f} ms/task")
+    print(f"evaluations    : {result.evaluations}")
+    print(
+        "blocks (GFLOPs): "
+        + ", ".join(f"{f / 1e9:.2f}" for f in partition.block_flops)
+    )
+    print(f"transfers (B)  : {partition.transfer_bytes}")
+    print(
+        "exit rates     : "
+        + ", ".join(f"{s:.2f}" for s in partition.sigma)
+    )
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    config = _testbed_from_args(args)
+    me_dnn = config.me_dnn()
+    partition = branch_and_bound_exit_setting(
+        me_dnn, config.average_environment()
+    ).partition
+    scheme = Scheme(
+        name=args.policy,
+        partition=partition,
+        policy=_build_policy(args.policy, args.v),
+    )
+    result = run_scheme(
+        config,
+        scheme,
+        num_slots=args.slots,
+        seed=args.seed,
+        simulator=args.simulator,
+    )
+    print(f"policy    : {args.policy}")
+    print(f"simulator : {args.simulator}")
+    print(f"mean TCT  : {result.mean_tct:.3f} s")
+    if args.simulator == "event":
+        print(f"p95 TCT   : {result.tct_percentile(95):.3f} s")
+        tiers = result.exit_fractions()
+        print(
+            f"exits     : {tiers[0]:.0%} device / {tiers[1]:.0%} edge / "
+            f"{tiers[2]:.0%} cloud"
+        )
+        print(f"offloaded : {result.offloaded_fraction():.0%}")
+        if args.deadline_ms is not None:
+            rate = result.deadline_hit_rate(args.deadline_ms / 1e3)
+            print(f"SLO       : {rate:.1%} within {args.deadline_ms:.0f} ms")
+    else:
+        print(f"p95 TCT   : {result.tct_percentile(95):.3f} s")
+        print(f"backlog   : {result.final_backlog:.1f} tasks")
+        print(f"stable    : {result.is_stable()}")
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    module = importlib.import_module(f"repro.experiments.{args.name}")
+    module.main()
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    if args.what == "complexity":
+        for search in ("branch-and-bound", "brute-force"):
+            fit = measure_search_complexity(search=search)
+            model = "m·ln m" if search == "branch-and-bound" else "m²"
+            print(
+                f"{search:<17} evaluations ~ {fit.coefficient:.2f}·{model} + "
+                f"{fit.intercept:.1f}  (R² = {fit.r_squared:.3f})"
+            )
+            for m, count in zip(fit.chain_lengths, fit.mean_evaluations):
+                print(f"  m={m:<3} mean evaluations {count:8.1f}")
+        return 0
+    # v-sweep
+    config = _testbed_from_args(args)
+    me_dnn = config.me_dnn()
+    partition = branch_and_bound_exit_setting(
+        me_dnn, config.average_environment()
+    ).partition
+    system = config.system(partition)
+    points = measure_v_tradeoff(system, arrival_rate=args.arrival_rate)
+    print(f"{'V':>8}  {'mean TCT (s)':>12}  {'mean backlog':>12}  {'max backlog':>11}")
+    for point in points:
+        print(
+            f"{point.v:>8.1f}  {point.mean_tct:>12.3f}  "
+            f"{point.mean_backlog:>12.1f}  {point.max_backlog:>11.1f}"
+        )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="LEIME reproduction (ICDCS 2021): exit setting + online "
+        "offloading for multi-exit DNNs at the edge.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("models", help="list the model zoo").set_defaults(
+        func=_cmd_models
+    )
+
+    describe = sub.add_parser("describe", help="per-layer profile of a model")
+    describe.add_argument("model", choices=sorted(MODEL_BUILDERS))
+    describe.set_defaults(func=_cmd_describe)
+
+    plan = sub.add_parser("plan", help="run LEIME's exit setting")
+    _add_testbed_arguments(plan)
+    plan.set_defaults(func=_cmd_plan)
+
+    simulate = sub.add_parser("simulate", help="simulate an offloading policy")
+    _add_testbed_arguments(simulate)
+    simulate.add_argument("--policy", default="leime", choices=POLICIES)
+    simulate.add_argument("--simulator", default="slot", choices=("slot", "event"))
+    simulate.add_argument("--slots", type=int, default=200)
+    simulate.add_argument("--seed", type=int, default=0)
+    simulate.add_argument("--v", type=float, default=50.0)
+    simulate.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=None,
+        help="report the SLO hit rate for this deadline (event simulator)",
+    )
+    simulate.set_defaults(func=_cmd_simulate)
+
+    experiment = sub.add_parser("experiment", help="regenerate a paper figure")
+    experiment.add_argument("name", choices=EXPERIMENTS)
+    experiment.set_defaults(func=_cmd_experiment)
+
+    analyze = sub.add_parser("analyze", help="verify Theorems 2-3 empirically")
+    analyze.add_argument("what", choices=("complexity", "v-sweep"))
+    _add_testbed_arguments(analyze)
+    analyze.set_defaults(func=_cmd_analyze)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

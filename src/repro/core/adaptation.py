@@ -1,0 +1,209 @@
+"""Online exit-rate estimation and adaptive re-planning — an extension.
+
+The paper's exit setting consumes exit probabilities σ measured offline
+(§III-B2) and assumes they stay valid; §II-B2's own "varying data
+complexity" experiment shows they do not — when the input distribution
+drifts, the deployed exits are placed for the wrong σ and only the
+offloading ratio can compensate.  The natural completion of "LEIME in the
+wild" is to *watch the exits*:
+
+1. :class:`ExitRateEstimator` maintains EWMA estimates of the deployed
+   exits' cumulative rates from the per-tier exit counts the system
+   observes anyway (every task reports where it stopped);
+2. :class:`ComplexityEstimator` inverts the parametric exit curve
+   (σ = u^a at depth fraction u, the ``b = 1`` Kumaraswamy family of
+   :class:`~repro.models.exit_rates.ParametricExitCurve`) to recover the
+   data-complexity parameter ``a`` implied by those observations;
+3. :class:`AdaptiveExitController` re-runs the branch-and-bound search
+   with the refreshed curve whenever the implied σ at the deployed exits
+   drifts past a threshold — cheap, because the search is O(m log m).
+
+This reuses the paper's machinery end to end; only the σ source changes
+from "historical" to "estimated online".
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from ..models.exit_rates import ParametricExitCurve
+from ..models.multi_exit import MultiExitDNN
+from ..models.profile import DNNProfile
+from .exit_setting import (
+    AverageEnvironment,
+    ExitSettingResult,
+    branch_and_bound_exit_setting,
+)
+
+
+@dataclass
+class ExitRateEstimator:
+    """EWMA estimator of the deployed exits' cumulative rates.
+
+    Attributes:
+        alpha: EWMA weight of a new batch (0 < α ≤ 1); smaller is smoother.
+        sigma1: Current estimate of the First-exit's cumulative rate.
+        sigma2: Current estimate of the Second-exit's cumulative rate.
+        observations: Total tasks folded into the estimates.
+    """
+
+    alpha: float = 0.1
+    sigma1: float | None = None
+    sigma2: float | None = None
+    observations: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.alpha <= 1.0:
+            raise ValueError("alpha must be in (0, 1]")
+
+    def observe(self, exited_first: int, exited_second: int, total: int) -> None:
+        """Fold one batch of outcomes in.
+
+        Args:
+            exited_first: Tasks that stopped at the First-exit.
+            exited_second: Tasks that stopped at the Second-exit.
+            total: All completed tasks in the batch (the remainder reached
+                the cloud).
+        """
+        if total <= 0:
+            raise ValueError("need a positive batch size")
+        if exited_first < 0 or exited_second < 0:
+            raise ValueError("exit counts must be non-negative")
+        if exited_first + exited_second > total:
+            raise ValueError("exit counts exceed the batch size")
+        batch_sigma1 = exited_first / total
+        batch_sigma2 = (exited_first + exited_second) / total
+        if self.sigma1 is None:
+            self.sigma1 = batch_sigma1
+            self.sigma2 = batch_sigma2
+        else:
+            self.sigma1 += self.alpha * (batch_sigma1 - self.sigma1)
+            self.sigma2 += self.alpha * (batch_sigma2 - self.sigma2)
+        self.observations += total
+
+    @property
+    def ready(self) -> bool:
+        return self.sigma1 is not None
+
+
+@dataclass(frozen=True)
+class ComplexityEstimate:
+    """The exit-curve shape implied by observed exit rates."""
+
+    a: float
+    implied_sigma1: float
+    implied_sigma2: float
+
+
+class ComplexityEstimator:
+    """Inverts σ = u^a at the deployed exits' depth fractions.
+
+    With the ``b = 1`` parametric family, a single (depth, σ) observation
+    determines ``a = ln σ / ln u``; the two deployed exits each give an
+    estimate and the geometric mean combines them (estimates of an
+    exponent average in log space).
+    """
+
+    def __init__(self, profile: DNNProfile, first_exit: int, second_exit: int):
+        m = profile.num_layers
+        if not 1 <= first_exit < second_exit < m:
+            raise ValueError("invalid deployed exits")
+        self._u1 = first_exit / m
+        self._u2 = second_exit / m
+
+    @staticmethod
+    def _invert(u: float, sigma: float) -> float | None:
+        """``a`` solving σ = u^a, or None when σ is pinned at 0/1."""
+        clamped = min(max(sigma, 1e-6), 1.0 - 1e-6)
+        return math.log(clamped) / math.log(u)
+
+    def estimate(self, sigma1: float, sigma2: float) -> ComplexityEstimate:
+        """The curve implied by the estimated cumulative rates."""
+        a1 = self._invert(self._u1, sigma1)
+        a2 = self._invert(self._u2, sigma2)
+        estimates = [a for a in (a1, a2) if a is not None and a > 0]
+        if not estimates:
+            a = 1.0
+        else:
+            log_mean = sum(math.log(a) for a in estimates) / len(estimates)
+            a = math.exp(log_mean)
+        return ComplexityEstimate(
+            a=a,
+            implied_sigma1=self._u1**a,
+            implied_sigma2=self._u2**a,
+        )
+
+
+@dataclass
+class AdaptiveExitController:
+    """Replans the exit setting when the observed exit rates drift.
+
+    Attributes:
+        profile: The deployed backbone profile.
+        environment: The average environment the planner uses.
+        drift_threshold: Replan when the deployed partition's σ₁ differs
+            from the implied σ₁ by more than this.
+        estimator_alpha: EWMA weight for the rate estimator.
+        min_observations: Do not replan before this many observed tasks.
+    """
+
+    profile: DNNProfile
+    environment: AverageEnvironment
+    drift_threshold: float = 0.1
+    estimator_alpha: float = 0.1
+    min_observations: int = 50
+    replan_count: int = field(default=0, init=False)
+
+    def __post_init__(self) -> None:
+        if self.drift_threshold <= 0:
+            raise ValueError("drift threshold must be positive")
+        initial_curve = ParametricExitCurve(a=1.0)
+        self._me_dnn = MultiExitDNN(self.profile, initial_curve)
+        self._plan = branch_and_bound_exit_setting(self._me_dnn, self.environment)
+        self._estimator = ExitRateEstimator(alpha=self.estimator_alpha)
+
+    @property
+    def plan(self) -> ExitSettingResult:
+        """The currently deployed exit setting."""
+        return self._plan
+
+    @property
+    def estimated_sigma(self) -> tuple[float | None, float | None]:
+        return (self._estimator.sigma1, self._estimator.sigma2)
+
+    def observe(self, exited_first: int, exited_second: int, total: int) -> None:
+        """Report one batch of completed tasks' exit tiers."""
+        self._estimator.observe(exited_first, exited_second, total)
+
+    def drift(self) -> float:
+        """|deployed σ₁ − estimated σ₁| at the current First-exit."""
+        if not self._estimator.ready:
+            return 0.0
+        return abs(self._plan.partition.sigma1 - float(self._estimator.sigma1))
+
+    def maybe_replan(self) -> ExitSettingResult | None:
+        """Replan if enough evidence of drift has accumulated.
+
+        Returns:
+            The new plan when a replan happened, else ``None``.
+        """
+        if (
+            not self._estimator.ready
+            or self._estimator.observations < self.min_observations
+            or self.drift() <= self.drift_threshold
+        ):
+            return None
+        selection = self._plan.selection
+        complexity = ComplexityEstimator(
+            self.profile, selection.first, selection.second
+        ).estimate(
+            float(self._estimator.sigma1), float(self._estimator.sigma2)
+        )
+        curve = ParametricExitCurve(a=complexity.a)
+        self._me_dnn = MultiExitDNN(self.profile, curve)
+        self._plan = branch_and_bound_exit_setting(self._me_dnn, self.environment)
+        self.replan_count += 1
+        # Fresh deployment: prior observations described the old exits.
+        self._estimator = ExitRateEstimator(alpha=self.estimator_alpha)
+        return self._plan

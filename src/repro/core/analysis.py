@@ -1,0 +1,199 @@
+"""Empirical verification of the paper's analytical claims.
+
+The paper proves three things it never measures directly; this module
+measures them:
+
+* **Theorem 2** — the branch-and-bound search costs ``O(m·ln m)``
+  comparisons on average: :func:`measure_search_complexity` counts cost
+  evaluations over random instances across chain lengths and fits
+  ``a·m·ln m + b`` (and, for contrast, ``a·m² + b`` for the brute force).
+* **Theorem 3** — the drift-plus-penalty policy is within ``B/V`` of the
+  long-term optimum with ``O(V)`` queues: :func:`measure_v_tradeoff` sweeps
+  ``V`` and reports the delay and backlog curves, whose monotone directions
+  are the theorem's observable content.
+* **Lemma 1 / Eqs. 10-11** — the drift bound's building block: the queue
+  recursion's quadratic Lyapunov function is bounded under the policy
+  (:func:`measure_queue_stability`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..hardware import NetworkProfile
+from ..models.exit_rates import EmpiricalExitCurve
+from ..models.multi_exit import MultiExitDNN
+from ..models.profile import DNNProfile, LayerProfile
+from ..sim.arrivals import PoissonArrivals
+from ..sim.simulator import SlotSimulator
+from ..units import gflops, mbps, ms
+from .exit_setting import (
+    AverageEnvironment,
+    branch_and_bound_exit_setting,
+    brute_force_exit_setting,
+)
+from .offloading import DriftPlusPenaltyPolicy, EdgeSystem
+
+
+def _random_me_dnn(m: int, rng: np.random.Generator) -> MultiExitDNN:
+    """A random monotone-σ chain of length ``m`` (Theorem 1's setting)."""
+    layers = tuple(
+        LayerProfile(
+            name=f"l{i}",
+            flops=float(rng.uniform(1e8, 5e9)),
+            output_shape=(
+                int(rng.integers(8, 256)),
+                int(rng.integers(2, 32)),
+                int(rng.integers(2, 32)),
+            ),
+        )
+        for i in range(m)
+    )
+    profile = DNNProfile(name=f"random-{m}", input_bytes=3072, layers=layers)
+    sigma = np.sort(rng.uniform(0.0, 1.0, size=m))
+    sigma[-1] = 1.0
+    return MultiExitDNN(profile, EmpiricalExitCurve.from_measurements(sigma))
+
+
+def _random_environment(rng: np.random.Generator) -> AverageEnvironment:
+    return AverageEnvironment(
+        device_flops=float(rng.uniform(gflops(1), gflops(30))),
+        edge_flops=float(rng.uniform(gflops(5), gflops(100))),
+        cloud_flops=float(rng.uniform(gflops(100), gflops(1000))),
+        device_edge=NetworkProfile(
+            float(rng.uniform(mbps(1), mbps(50))), float(rng.uniform(0, 0.2))
+        ),
+        edge_cloud=NetworkProfile(
+            float(rng.uniform(mbps(5), mbps(100))), float(rng.uniform(0, 0.2))
+        ),
+    )
+
+
+@dataclass(frozen=True)
+class ComplexityFit:
+    """Least-squares fit of evaluation counts against a complexity model.
+
+    Attributes:
+        chain_lengths: The ``m`` grid measured.
+        mean_evaluations: Mean evaluation count at each ``m``.
+        coefficient: Fitted ``a`` in ``a·g(m) + b``.
+        intercept: Fitted ``b``.
+        r_squared: Goodness of fit in the model ``g``.
+    """
+
+    chain_lengths: tuple[int, ...]
+    mean_evaluations: tuple[float, ...]
+    coefficient: float
+    intercept: float
+    r_squared: float
+
+
+def _fit(counts: Sequence[float], basis: np.ndarray) -> tuple[float, float, float]:
+    design = np.stack([basis, np.ones_like(basis)], axis=1)
+    (a, b), *_ = np.linalg.lstsq(design, np.asarray(counts), rcond=None)
+    predicted = design @ np.array([a, b])
+    residual = np.asarray(counts) - predicted
+    total = np.asarray(counts) - np.mean(counts)
+    r2 = 1.0 - float(residual @ residual) / float(total @ total)
+    return float(a), float(b), r2
+
+
+def measure_search_complexity(
+    chain_lengths: Sequence[int] = (6, 10, 16, 24, 36, 48, 64),
+    instances_per_length: int = 30,
+    seed: int = 0,
+    search: str = "branch-and-bound",
+) -> ComplexityFit:
+    """Count cost evaluations over random instances and fit the claimed
+    complexity model (``m·ln m`` for the B&B, ``m²`` for brute force)."""
+    if search not in ("branch-and-bound", "brute-force"):
+        raise ValueError("search must be 'branch-and-bound' or 'brute-force'")
+    rng = np.random.default_rng(seed)
+    means = []
+    for m in chain_lengths:
+        counts = []
+        for _ in range(instances_per_length):
+            me_dnn = _random_me_dnn(m, rng)
+            env = _random_environment(rng)
+            if search == "branch-and-bound":
+                result = branch_and_bound_exit_setting(me_dnn, env)
+            else:
+                result = brute_force_exit_setting(me_dnn, env)
+            counts.append(result.evaluations)
+        means.append(float(np.mean(counts)))
+    ms_arr = np.array(chain_lengths, dtype=float)
+    basis = ms_arr * np.log(ms_arr) if search == "branch-and-bound" else ms_arr**2
+    a, b, r2 = _fit(means, basis)
+    return ComplexityFit(
+        chain_lengths=tuple(chain_lengths),
+        mean_evaluations=tuple(means),
+        coefficient=a,
+        intercept=b,
+        r_squared=r2,
+    )
+
+
+@dataclass(frozen=True)
+class VTradeoffPoint:
+    """One point of the Theorem 3 sweep."""
+
+    v: float
+    mean_tct: float
+    mean_backlog: float
+    max_backlog: float
+
+
+def measure_v_tradeoff(
+    system: EdgeSystem,
+    v_values: Sequence[float] = (0.1, 1.0, 10.0, 100.0, 1000.0),
+    num_slots: int = 300,
+    arrival_rate: float = 1.0,
+    seed: int = 0,
+) -> list[VTradeoffPoint]:
+    """Sweep V: Theorem 3 predicts delay falling like ``O(1/V)`` toward the
+    optimum while queue backlog grows like ``O(V)``."""
+    points = []
+    for v in v_values:
+        simulator = SlotSimulator(
+            system=system,
+            arrivals=[PoissonArrivals(arrival_rate)] * system.num_devices,
+            seed=seed,
+        )
+        result = simulator.run(DriftPlusPenaltyPolicy(v=v), num_slots)
+        backlogs = result.backlog_timeline()
+        points.append(
+            VTradeoffPoint(
+                v=v,
+                mean_tct=result.mean_tct,
+                mean_backlog=float(np.mean(backlogs)),
+                max_backlog=float(np.max(backlogs)),
+            )
+        )
+    return points
+
+
+def measure_queue_stability(
+    system: EdgeSystem,
+    v: float = 50.0,
+    num_slots: int = 400,
+    arrival_rate: float = 1.0,
+    seed: int = 0,
+) -> dict[str, float]:
+    """Mean-rate-stability proxy for constraints C3/C4: the final backlog
+    divided by the horizon must vanish for a stabilising policy."""
+    simulator = SlotSimulator(
+        system=system,
+        arrivals=[PoissonArrivals(arrival_rate)] * system.num_devices,
+        seed=seed,
+    )
+    result = simulator.run(DriftPlusPenaltyPolicy(v=v), num_slots)
+    backlogs = result.backlog_timeline()
+    return {
+        "final_backlog": float(backlogs[-1]),
+        "backlog_per_slot": float(backlogs[-1]) / num_slots,
+        "max_backlog": float(np.max(backlogs)),
+        "mean_tct": result.mean_tct,
+    }

@@ -1,0 +1,129 @@
+"""The paper's comparison systems and exit-setting ablation strategies.
+
+Benchmarks of §IV-A (all use a fixed offloading ratio of 0 in the paper):
+
+* **DDNN** [22] — "exits are set at the layers with a smaller amount of
+  intermediate data and a higher exit probability": we score each candidate
+  by ``σ_i / d_i`` and pick greedily.
+* **Neurosurgeon** [23] — no early exits; the *partition positions* match
+  LEIME's, but every task runs the full depth (σ₁ = σ₂ = 0) and no exit
+  heads are executed.
+* **Edgent** [24] — "exits are intuitively set at the position where
+  intermediate data size is the smallest".
+
+Exit-setting ablations of Test Case 4 / Fig. 10(a):
+
+* **min_comp** — minimise computation ahead of each cut (shallowest exits).
+* **min_tran** — minimise transmitted intermediate data (same objective as
+  Edgent, kept separate because Fig. 10 treats it as its own strategy).
+* **mean** — split the backbone FLOPs into three equal thirds.
+"""
+
+from __future__ import annotations
+
+from ..models.multi_exit import ExitSelection, MultiExitDNN, PartitionedModel
+
+
+def _first_exit_candidates(me_dnn: MultiExitDNN) -> range:
+    """Valid First-exit indices: ``1 .. m−2`` (must leave room for two more)."""
+    return range(1, me_dnn.num_exits - 1)
+
+
+def _second_exit_candidates(me_dnn: MultiExitDNN, first: int) -> range:
+    """Valid Second-exit indices given the First-exit: ``e₁+1 .. m−1``."""
+    return range(first + 1, me_dnn.num_exits)
+
+
+def ddnn_exit_setting(me_dnn: MultiExitDNN) -> ExitSelection:
+    """DDNN: the device holds only a minimal NN section (the DDNN prototype
+    runs a single conv block per end device before aggregating at the
+    edge), so the First-exit sits at ``exit_1``; the aggregation
+    (Second) exit follows the paper's characterisation — "a smaller amount
+    of intermediate data and a higher exit probability" — scored as
+    ``σ_i / d_i``."""
+    profile = me_dnn.profile
+
+    def score(index: int) -> float:
+        return me_dnn.exit_rate(index) / profile.intermediate_bytes(index)
+
+    first = 1
+    second = max(_second_exit_candidates(me_dnn, first), key=score)
+    return me_dnn.selection(first, second)
+
+
+def edgent_exit_setting(me_dnn: MultiExitDNN) -> ExitSelection:
+    """Edgent: cut where the transmitted intermediate tensor is smallest."""
+    profile = me_dnn.profile
+
+    def data_size(index: int) -> float:
+        return float(profile.intermediate_bytes(index))
+
+    first = min(_first_exit_candidates(me_dnn), key=data_size)
+    second = min(_second_exit_candidates(me_dnn, first), key=data_size)
+    return me_dnn.selection(first, second)
+
+
+def min_comp_exit_setting(me_dnn: MultiExitDNN) -> ExitSelection:
+    """min_comp ablation: the shallowest possible exits — the device and the
+    edge each execute as little of the backbone as possible."""
+    return me_dnn.selection(1, 2)
+
+
+def min_tran_exit_setting(me_dnn: MultiExitDNN) -> ExitSelection:
+    """min_tran ablation: minimise transmission volume (Edgent's rule)."""
+    return edgent_exit_setting(me_dnn)
+
+
+def mean_exit_setting(me_dnn: MultiExitDNN) -> ExitSelection:
+    """mean ablation: cut the backbone into three equal-FLOPs thirds."""
+    profile = me_dnn.profile
+    total = profile.total_flops
+    cumulative = profile.cumulative_flops
+
+    def nearest_to(target: float, candidates: range) -> int:
+        return min(candidates, key=lambda i: abs(cumulative[i] - target))
+
+    first = nearest_to(total / 3.0, _first_exit_candidates(me_dnn))
+    second = nearest_to(2.0 * total / 3.0, _second_exit_candidates(me_dnn, first))
+    return me_dnn.selection(first, second)
+
+
+def neurosurgeon_partition(
+    me_dnn: MultiExitDNN, leime_selection: ExitSelection
+) -> PartitionedModel:
+    """Neurosurgeon's deployment: LEIME's cut points, no early exits.
+
+    Every task traverses the full depth (σ₁ = σ₂ = 0) and no exit heads are
+    computed on the device or edge — only the original classifier at the
+    end, whose FLOPs equal the final exit head's.
+    """
+    profile = me_dnn.profile
+    e1, e2, e3 = leime_selection.as_tuple()
+    block1 = profile.layer_range_flops(0, e1)
+    block2 = profile.layer_range_flops(e1, e2)
+    block3 = profile.layer_range_flops(e2, e3) + profile.exit(e3).flops
+    return PartitionedModel(
+        name=f"{profile.name} (neurosurgeon)",
+        selection=leime_selection,
+        block_flops=(block1, block2, block3),
+        transfer_bytes=(
+            profile.input_bytes,
+            profile.intermediate_bytes(e1),
+            profile.intermediate_bytes(e2),
+        ),
+        sigma=(0.0, 0.0, 1.0),
+    )
+
+
+#: The exit-setting ablation strategies of Fig. 10(a), by paper name.
+EXIT_STRATEGIES = {
+    "min_comp": min_comp_exit_setting,
+    "min_tran": min_tran_exit_setting,
+    "mean": mean_exit_setting,
+}
+
+#: The benchmark systems' exit-setting rules, by paper name.
+BENCHMARK_EXIT_SETTINGS = {
+    "ddnn": ddnn_exit_setting,
+    "edgent": edgent_exit_setting,
+}

@@ -1,0 +1,275 @@
+"""Exit setting: the cost model P0 and its searches (§III-C).
+
+Given a multi-exit DNN and the *average* system conditions (device/edge/
+cloud throughput, hop bandwidths and latencies — the "historical statistics"
+of Table I), pick the exit triple ``E = (e_1, e_2, exit_m)`` minimising the
+expected per-task latency
+
+    T(E) = σ₃·(t^d + t^e + t^c) − (σ₁·t^e + σ₂·t^c)           (Eq. 4)
+
+with the tier times of Eqs. 1-3.  Since σ₃ = 1, this is equivalently
+
+    T(E) = t^d + (1−σ₁)·t^e + (1−σ₂)·t^c,
+
+the expected latency when a σ₁ fraction of tasks stops at the device and a
+σ₂ fraction stops at or before the edge.
+
+Two solvers are provided:
+
+* :func:`brute_force_exit_setting` — exhaustive O(m²) reference.
+* :func:`branch_and_bound_exit_setting` — the paper's search.  Theorem 1
+  shows that if ``exit_{i₁}`` is shallower than ``exit_{i₂}`` and beats it
+  in the *two-exit* relaxation ``T({exit_i, exit_m})``, it also beats it in
+  every three-exit combination sharing the same Second-exit; so each round
+  only explores Second-exits for the current two-exit argmin and then
+  shrinks the First-exit upper bound below it.  Average complexity is
+  O(m·ln m) (Theorem 2).
+
+Both count their cost-model evaluations so the complexity claim can be
+benchmarked (``benchmarks/bench_ablations.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..hardware import NetworkProfile, Platform
+from ..models.multi_exit import ExitSelection, MultiExitDNN, PartitionedModel
+
+
+@dataclass(frozen=True)
+class AverageEnvironment:
+    """Average (historical) system conditions used for exit setting.
+
+    This is the Table I row ``F_av^d, F_av^e, F^c, B_av^e, L_av^e,
+    B_av^c, L_av^c``: exit setting is done offline against averages, and the
+    online offloading policy then absorbs the transient mismatch (§III-A).
+
+    Attributes:
+        device_flops: ``F_av^d`` — average available end-device FLOPS.
+        edge_flops: ``F_av^e`` — average available edge FLOPS *per device
+            share* (i.e. already multiplied by the share ``p_i`` when
+            modelling a loaded, multi-tenant edge).
+        cloud_flops: ``F^c`` — cloud FLOPS.
+        device_edge: ``(B_av^e, L_av^e)`` hop.
+        edge_cloud: ``(B_av^c, L_av^c)`` hop.
+        device_overhead: Per-task framework overhead on the device, seconds
+            (see :class:`repro.hardware.Platform.per_task_overhead`).
+        edge_overhead: Per-task framework overhead on the edge.
+        cloud_overhead: Per-task framework overhead on the cloud.
+    """
+
+    device_flops: float
+    edge_flops: float
+    cloud_flops: float
+    device_edge: NetworkProfile
+    edge_cloud: NetworkProfile
+    device_overhead: float = 0.0
+    edge_overhead: float = 0.0
+    cloud_overhead: float = 0.0
+
+    def __post_init__(self) -> None:
+        for label, flops in (
+            ("device", self.device_flops),
+            ("edge", self.edge_flops),
+            ("cloud", self.cloud_flops),
+        ):
+            if flops <= 0:
+                raise ValueError(f"{label} FLOPS must be positive")
+        for label, overhead in (
+            ("device", self.device_overhead),
+            ("edge", self.edge_overhead),
+            ("cloud", self.cloud_overhead),
+        ):
+            if overhead < 0:
+                raise ValueError(f"{label} overhead must be non-negative")
+
+    @classmethod
+    def from_platforms(
+        cls,
+        device: Platform,
+        edge: Platform,
+        cloud: Platform,
+        device_edge: NetworkProfile,
+        edge_cloud: NetworkProfile,
+        edge_share: float = 1.0,
+    ) -> "AverageEnvironment":
+        """Build from catalog platforms; ``edge_share`` scales the edge
+        FLOPS to this device's slice of a shared server."""
+        if not 0 < edge_share <= 1:
+            raise ValueError("edge share must be in (0, 1]")
+        return cls(
+            device_flops=device.flops,
+            edge_flops=edge.flops * edge_share,
+            cloud_flops=cloud.flops,
+            device_edge=device_edge,
+            edge_cloud=edge_cloud,
+            device_overhead=device.per_task_overhead,
+            edge_overhead=edge.per_task_overhead,
+            cloud_overhead=cloud.per_task_overhead,
+        )
+
+
+class ExitCostModel:
+    """Evaluates ``T(E)`` (Eq. 4) for exit triples of one multi-exit DNN.
+
+    The model caches the per-exit quantities so a search costs O(1) per
+    evaluated combination after O(m) setup, and counts evaluations so the
+    search-complexity ablation can report comparison counts.
+    """
+
+    def __init__(self, me_dnn: MultiExitDNN, env: AverageEnvironment):
+        self.me_dnn = me_dnn
+        self.env = env
+        self.evaluations = 0
+        profile = me_dnn.profile
+        self._cum_flops = profile.cumulative_flops
+        self._exit_flops = tuple(e.flops for e in profile.exits)
+        self._sigma = me_dnn.sigma
+        self._d = tuple(
+            profile.intermediate_bytes(i) for i in range(profile.num_layers + 1)
+        )
+        self._m = profile.num_layers
+
+    # -- tier times (Eqs. 1-3) -------------------------------------------------
+
+    def device_time(self, e1: int) -> float:
+        """``t^d``: layers ``1..e1`` plus the First-exit head, on the device."""
+        work = self._cum_flops[e1] + self._exit_flops[e1 - 1]
+        return work / self.env.device_flops + self.env.device_overhead
+
+    def edge_time(self, e1: int, e2: int) -> float:
+        """``t^e``: transfer of ``d_{e1}`` to the edge plus layers
+        ``e1+1..e2`` and the Second-exit head."""
+        work = (self._cum_flops[e2] - self._cum_flops[e1]) + self._exit_flops[e2 - 1]
+        return (
+            work / self.env.edge_flops
+            + self.env.edge_overhead
+            + self.env.device_edge.transfer_time(self._d[e1])
+        )
+
+    def cloud_time(self, e2: int) -> float:
+        """``t^c``: transfer of ``d_{e2}`` to the cloud plus the remaining
+        layers and the final exit head."""
+        work = (self._cum_flops[self._m] - self._cum_flops[e2]) + self._exit_flops[-1]
+        return (
+            work / self.env.cloud_flops
+            + self.env.cloud_overhead
+            + self.env.edge_cloud.transfer_time(self._d[e2])
+        )
+
+    # -- combination costs -----------------------------------------------------
+
+    def cost(self, selection: ExitSelection) -> float:
+        """``T(E)`` of a full three-exit combination (Eq. 4)."""
+        e1, e2, e3 = selection.as_tuple()
+        if e3 != self._m:
+            raise ValueError("Third-exit is fixed at exit_m")
+        if e2 >= self._m or e1 >= e2:
+            raise ValueError(f"invalid combination {selection}")
+        self.evaluations += 1
+        t_d = self.device_time(e1)
+        t_e = self.edge_time(e1, e2)
+        t_c = self.cloud_time(e2)
+        sigma1 = self._sigma[e1 - 1]
+        sigma2 = self._sigma[e2 - 1]
+        return t_d + (1.0 - sigma1) * t_e + (1.0 - sigma2) * t_c
+
+    def cost_at(self, first: int, second: int) -> float:
+        """``T(E)`` with the Third-exit fixed at ``exit_m``."""
+        return self.cost(ExitSelection(first, second, self._m))
+
+    def two_exit_cost(self, e1: int) -> float:
+        """``T({exit_{e1}, exit_m, -})`` — the device/edge relaxation of
+        Theorem 1 (Eq. 5): everything after ``e1`` runs on the edge."""
+        self.evaluations += 1
+        t_d = self.device_time(e1)
+        work = (self._cum_flops[self._m] - self._cum_flops[e1]) + self._exit_flops[-1]
+        t_e = (
+            work / self.env.edge_flops
+            + self.env.edge_overhead
+            + self.env.device_edge.transfer_time(self._d[e1])
+        )
+        return t_d + (1.0 - self._sigma[e1 - 1]) * t_e
+
+
+@dataclass(frozen=True)
+class ExitSettingResult:
+    """Outcome of an exit-setting search.
+
+    Attributes:
+        selection: The optimal exit triple.
+        cost: ``T(E)`` of the optimum, in seconds.
+        evaluations: Number of cost-model evaluations the search used — the
+            comparison count of Theorem 2.
+        partition: The resulting device/edge/cloud partition.
+    """
+
+    selection: ExitSelection
+    cost: float
+    evaluations: int
+    partition: PartitionedModel
+
+
+def brute_force_exit_setting(
+    me_dnn: MultiExitDNN, env: AverageEnvironment
+) -> ExitSettingResult:
+    """Exhaustive O(m²) search over every ``(e_1, e_2)`` pair — the
+    reference the branch-and-bound must match exactly."""
+    model = ExitCostModel(me_dnn, env)
+    m = me_dnn.num_exits
+    best_selection: ExitSelection | None = None
+    best_cost = float("inf")
+    for e1 in range(1, m - 1):
+        for e2 in range(e1 + 1, m):
+            cost = model.cost_at(e1, e2)
+            if cost < best_cost:
+                best_cost = cost
+                best_selection = ExitSelection(e1, e2, m)
+    assert best_selection is not None  # m >= 3 guarantees one candidate
+    return ExitSettingResult(
+        selection=best_selection,
+        cost=best_cost,
+        evaluations=model.evaluations,
+        partition=me_dnn.partition(best_selection),
+    )
+
+
+def branch_and_bound_exit_setting(
+    me_dnn: MultiExitDNN, env: AverageEnvironment
+) -> ExitSettingResult:
+    """The paper's branch-and-bound search (§III-C, Theorems 1-2).
+
+    Each round takes the two-exit argmin ``exit_{i_k}`` below the current
+    upper bound, explores only its Second-exit completions ``R_{i_k}``, and
+    then lowers the First-exit upper bound to ``i_k − 1``: by Theorem 1, any
+    shallower First-exit that *loses* the two-exit relaxation to ``i_k``
+    also loses every completed combination, so only two-exit *winners* need
+    their Second-exit explored.
+    """
+    model = ExitCostModel(me_dnn, env)
+    m = me_dnn.num_exits
+    two_exit_cost = [model.two_exit_cost(e1) for e1 in range(1, m - 1)]
+
+    best_selection: ExitSelection | None = None
+    best_cost = float("inf")
+    upbound = m - 2
+    while upbound >= 1:
+        # Current round's First-exit: the two-exit argmin within the bound.
+        candidates = range(1, upbound + 1)
+        i_k = min(candidates, key=lambda e1: two_exit_cost[e1 - 1])
+        # Explore R_{i_k}: all Second-exit completions of exit_{i_k}.
+        for e2 in range(i_k + 1, m):
+            cost = model.cost_at(i_k, e2)
+            if cost < best_cost:
+                best_cost = cost
+                best_selection = ExitSelection(i_k, e2, m)
+        upbound = i_k - 1
+
+    assert best_selection is not None
+    return ExitSettingResult(
+        selection=best_selection,
+        cost=best_cost,
+        evaluations=model.evaluations,
+        partition=me_dnn.partition(best_selection),
+    )

@@ -1,0 +1,153 @@
+"""Per-class exit settings for heterogeneous fleets — an extension.
+
+The paper deploys **one** ME-DNN partition for the whole system, planned
+against the average device (§III-C uses ``F_av^d``).  But §II-A's own
+motivation is that devices connected to the same edge differ by 8×, and
+Fig. 2(a) shows the optimal First-exit swinging from exit-1 (Raspberry Pi)
+to exit-10 (Jetson Nano) — so a single average partition must short-change
+someone.
+
+This module implements the natural extension: group the fleet by device
+class (FLOPS, overhead, link), run the branch-and-bound exit setting *per
+class* against that class's own averages, and deploy per-device partitions
+(carried by :attr:`repro.core.offloading.EdgeSystem.device_partitions` and
+honoured by the policies and both simulators).
+
+The extension preserves the paper's machinery: each class's partition is
+still a triple of blocks of the same backbone, the edge shares still come
+from Appendix B, and the per-slot offloading problem still separates
+across devices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..hardware import NetworkProfile
+from ..models.multi_exit import MultiExitDNN, PartitionedModel
+from .exit_setting import (
+    AverageEnvironment,
+    ExitSettingResult,
+    branch_and_bound_exit_setting,
+)
+from .offloading import DeviceConfig, EdgeSystem
+from .resource_allocation import floored_edge_allocation
+
+
+@dataclass(frozen=True)
+class DeviceClass:
+    """A group of identical devices sharing one exit setting.
+
+    Attributes:
+        key: The grouping key (flops, overhead, bandwidth, latency).
+        indices: Positions of the class's devices in the fleet.
+        plan: The class's exit-setting result.
+    """
+
+    key: tuple[float, float, float, float]
+    indices: tuple[int, ...]
+    plan: ExitSettingResult
+
+
+def group_devices(
+    devices: Sequence[DeviceConfig],
+) -> dict[tuple[float, float, float, float], list[int]]:
+    """Group fleet positions by (FLOPS, overhead, bandwidth, latency)."""
+    groups: dict[tuple[float, float, float, float], list[int]] = {}
+    for index, device in enumerate(devices):
+        key = (
+            device.flops,
+            device.overhead,
+            device.link.bandwidth,
+            device.link.latency,
+        )
+        groups.setdefault(key, []).append(index)
+    return groups
+
+
+def plan_per_class(
+    me_dnn: MultiExitDNN,
+    devices: Sequence[DeviceConfig],
+    edge_flops: float,
+    cloud_flops: float,
+    edge_cloud: NetworkProfile,
+    edge_overhead: float = 0.0,
+    cloud_overhead: float = 0.0,
+) -> list[DeviceClass]:
+    """Run the exit setting once per device class.
+
+    Each class plans against its own average environment: its devices'
+    FLOPS/link, and the edge slice its members actually receive under the
+    Appendix B allocation (summed over the class, averaged per member).
+    """
+    if not devices:
+        raise ValueError("need at least one device")
+    shares = floored_edge_allocation(
+        [d.flops for d in devices],
+        [d.mean_arrivals for d in devices],
+        edge_flops,
+    )
+    classes = []
+    for key, indices in group_devices(devices).items():
+        member = devices[indices[0]]
+        mean_share = sum(shares[i] for i in indices) / len(indices)
+        environment = AverageEnvironment(
+            device_flops=member.flops,
+            edge_flops=max(mean_share, 1e-6) * edge_flops,
+            cloud_flops=cloud_flops,
+            device_edge=member.link,
+            edge_cloud=edge_cloud,
+            device_overhead=member.overhead,
+            edge_overhead=edge_overhead,
+            cloud_overhead=cloud_overhead,
+        )
+        plan = branch_and_bound_exit_setting(me_dnn, environment)
+        classes.append(
+            DeviceClass(key=key, indices=tuple(indices), plan=plan)
+        )
+    return classes
+
+
+def heterogeneous_system(
+    me_dnn: MultiExitDNN,
+    devices: Sequence[DeviceConfig],
+    edge_flops: float,
+    cloud_flops: float,
+    edge_cloud: NetworkProfile,
+    slot_length: float = 1.0,
+    edge_overhead: float = 0.0,
+    cloud_overhead: float = 0.0,
+) -> EdgeSystem:
+    """An :class:`EdgeSystem` with per-class partitions deployed.
+
+    The system's ``partition`` field carries the largest class's plan (for
+    single-partition consumers); ``device_partitions`` carries the real
+    per-device deployment.
+    """
+    classes = plan_per_class(
+        me_dnn,
+        devices,
+        edge_flops,
+        cloud_flops,
+        edge_cloud,
+        edge_overhead=edge_overhead,
+        cloud_overhead=cloud_overhead,
+    )
+    per_device: list[PartitionedModel | None] = [None] * len(devices)
+    for device_class in classes:
+        for index in device_class.indices:
+            per_device[index] = device_class.plan.partition
+    assert all(p is not None for p in per_device)
+    majority = max(classes, key=lambda c: len(c.indices))
+    return EdgeSystem(
+        devices=tuple(devices),
+        edge_flops=edge_flops,
+        cloud_flops=cloud_flops,
+        edge_cloud=edge_cloud,
+        partition=majority.plan.partition,
+        slot_length=slot_length,
+        edge_overhead=edge_overhead,
+        cloud_overhead=cloud_overhead,
+        device_partitions=tuple(per_device),  # type: ignore[arg-type]
+    )

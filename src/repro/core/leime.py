@@ -1,0 +1,140 @@
+"""The end-to-end LEIME controller (Fig. 4).
+
+Glues the two contributions together for a deployment:
+
+1. **Exit setting** (offline, against average conditions): run the
+   branch-and-bound search to pick the exit triple, partition the ME-DNN
+   into device/edge/cloud blocks.
+2. **Resource allocation** (offline, Appendix B): compute the per-device
+   edge shares ``p_i`` from the expected arrival rates.
+3. **Online offloading** (per slot): the drift-plus-penalty policy picks
+   ``x_i(t)`` from the live queue state.
+
+The controller is what the examples and the simulator drive; the pieces
+remain individually usable for the ablation experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..hardware import NetworkProfile
+from ..models.multi_exit import MultiExitDNN, PartitionedModel
+from .exit_setting import (
+    AverageEnvironment,
+    ExitSettingResult,
+    branch_and_bound_exit_setting,
+)
+from .offloading import (
+    DeviceConfig,
+    DriftPlusPenaltyPolicy,
+    EdgeSystem,
+    LyapunovState,
+    OffloadingPolicy,
+)
+from .resource_allocation import floored_edge_allocation
+
+
+@dataclass
+class LeimeController:
+    """A configured LEIME deployment for one application.
+
+    Args:
+        me_dnn: The multi-exit DNN to deploy.
+        devices: Connected end devices with their links and arrival rates.
+        edge_flops: Total edge server throughput ``F^e``.
+        cloud_flops: Cloud throughput ``F^c``.
+        edge_cloud: The edge↔cloud hop.
+        slot_length: Slot length τ in seconds.
+        v: Lyapunov trade-off parameter for the online policy.
+    """
+
+    me_dnn: MultiExitDNN
+    devices: Sequence[DeviceConfig]
+    edge_flops: float
+    cloud_flops: float
+    edge_cloud: NetworkProfile
+    slot_length: float = 1.0
+    v: float = 50.0
+    policy: OffloadingPolicy = field(default=None)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if not self.devices:
+            raise ValueError("need at least one device")
+        self.devices = tuple(self.devices)
+        if self.policy is None:
+            self.policy = DriftPlusPenaltyPolicy(v=self.v)
+        self._exit_result: ExitSettingResult | None = None
+        self._system: EdgeSystem | None = None
+
+    # -- offline phase ---------------------------------------------------------
+
+    def average_environment(self) -> AverageEnvironment:
+        """Historical averages the exit setting plans against: mean device
+        FLOPS, the KKT per-device edge slice, and mean link conditions."""
+        shares = self.edge_shares()
+        mean_device = sum(d.flops for d in self.devices) / len(self.devices)
+        mean_share = sum(shares) / len(shares)
+        mean_bandwidth = sum(d.link.bandwidth for d in self.devices) / len(
+            self.devices
+        )
+        mean_latency = sum(d.link.latency for d in self.devices) / len(self.devices)
+        return AverageEnvironment(
+            device_flops=mean_device,
+            edge_flops=self.edge_flops * mean_share,
+            cloud_flops=self.cloud_flops,
+            device_edge=NetworkProfile(mean_bandwidth, mean_latency),
+            edge_cloud=self.edge_cloud,
+        )
+
+    def edge_shares(self) -> list[float]:
+        """Appendix B's KKT allocation (with the deployment floor — see
+        :func:`repro.core.resource_allocation.floored_edge_allocation`)."""
+        return floored_edge_allocation(
+            [d.flops for d in self.devices],
+            [d.mean_arrivals for d in self.devices],
+            self.edge_flops,
+        )
+
+    def plan(self) -> ExitSettingResult:
+        """Run the exit-setting search once and cache the deployment."""
+        if self._exit_result is None:
+            self._exit_result = branch_and_bound_exit_setting(
+                self.me_dnn, self.average_environment()
+            )
+        return self._exit_result
+
+    @property
+    def partition(self) -> PartitionedModel:
+        """The deployed partition (runs :meth:`plan` on first use)."""
+        return self.plan().partition
+
+    def system(self) -> EdgeSystem:
+        """The runtime system description used by policies and simulators."""
+        if self._system is None:
+            self._system = EdgeSystem(
+                devices=tuple(self.devices),
+                edge_flops=self.edge_flops,
+                cloud_flops=self.cloud_flops,
+                edge_cloud=self.edge_cloud,
+                partition=self.partition,
+                slot_length=self.slot_length,
+                shares=tuple(self.edge_shares()),
+            )
+        return self._system
+
+    # -- online phase ----------------------------------------------------------
+
+    def new_state(self) -> LyapunovState:
+        """Fresh (empty) queue state for a run."""
+        return LyapunovState.zeros(len(self.devices))
+
+    def decide(
+        self,
+        state: LyapunovState,
+        arrivals: Sequence[float],
+        devices: Sequence[DeviceConfig] | None = None,
+    ) -> list[float]:
+        """Per-slot offloading ratios from the configured online policy."""
+        return self.policy.decide(self.system(), state, arrivals, devices)

@@ -1,0 +1,12 @@
+"""Synthetic dataset substrate (the CIFAR-10 substitute)."""
+
+from .synthetic import Dataset, SyntheticImageDataset, train_val_test_split
+from .synthetic_images import ImageDataset, SyntheticPatchImageDataset
+
+__all__ = [
+    "Dataset",
+    "SyntheticImageDataset",
+    "train_val_test_split",
+    "ImageDataset",
+    "SyntheticPatchImageDataset",
+]

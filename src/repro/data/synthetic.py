@@ -1,0 +1,225 @@
+"""Synthetic classification data with an explicit easy/hard mixture.
+
+The CIFAR-10 substitute (DESIGN.md).  What the multi-exit experiments need
+from the dataset is not pixel statistics but a *complexity structure* that
+grades with network depth, the premise of the whole multi-exit design:
+
+* the feature vector is divided into ``num_chunks`` chunks, and the paired
+  :class:`~repro.nn.multi_exit_net.MultiExitMLP` reveals chunk ``k`` to
+  trunk stage ``k`` — the MLP analogue of a CNN's receptive field growing
+  with depth;
+* **easy samples** concentrate their class signal in the first
+  ``easy_support`` chunks, so a shallow exit already sees all of it and
+  classifies confidently — these are the tasks that exit early in §II-B;
+* **hard samples** spread the same total signal energy uniformly across all
+  chunks at low per-chunk amplitude, so the signal-to-noise ratio available
+  to exit ``k`` grows with ``k`` and only deep exits are confident;
+* a fraction of easy samples additionally carries a **distractor** — a
+  weaker wrong-class prototype in the *late* chunks, the analogue of a
+  misleading background object.  Shallow exits never see it; the full
+  network integrates it and is occasionally talked out of the right
+  answer.  This is precisely the "overthinking" mechanism of Kaya et al.
+  that Fig. 6 observes as *negative* accuracy loss;
+* a small fraction of **noisy-label samples** adds irreducible error so
+  calibrated thresholds stay realistic.
+
+The mixture ratio is the data-complexity knob the paper sweeps in
+Fig. 3(b).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def chunk_boundaries(dim: int, num_chunks: int) -> list[tuple[int, int]]:
+    """Near-equal ``(start, stop)`` column spans splitting ``dim`` features
+    into ``num_chunks`` chunks (the same split the network uses)."""
+    if num_chunks <= 0:
+        raise ValueError("need a positive chunk count")
+    if dim < num_chunks:
+        raise ValueError("need at least one feature per chunk")
+    edges = np.linspace(0, dim, num_chunks + 1, dtype=int)
+    return [(int(edges[i]), int(edges[i + 1])) for i in range(num_chunks)]
+
+
+@dataclass(frozen=True)
+class Dataset:
+    """A plain (features, labels) pair with shape checks.
+
+    Attributes:
+        x: ``(n, dim)`` float32 features.
+        y: ``(n,)`` int64 labels in ``[0, num_classes)``.
+        hard: ``(n,)`` bool mask — True for structurally hard samples.
+    """
+
+    x: np.ndarray
+    y: np.ndarray
+    hard: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.x.ndim != 2:
+            raise ValueError("x must be (n, dim)")
+        if self.y.shape != (self.x.shape[0],):
+            raise ValueError("y must be (n,)")
+        if self.hard.shape != (self.x.shape[0],):
+            raise ValueError("hard must be (n,)")
+
+    def __len__(self) -> int:
+        return self.x.shape[0]
+
+    @property
+    def dim(self) -> int:
+        return self.x.shape[1]
+
+    @property
+    def num_classes(self) -> int:
+        return int(self.y.max()) + 1 if len(self) else 0
+
+    def subset(self, indices: np.ndarray) -> "Dataset":
+        return Dataset(x=self.x[indices], y=self.y[indices], hard=self.hard[indices])
+
+
+@dataclass(frozen=True)
+class SyntheticImageDataset:
+    """Generator for the chunked easy/hard mixture.
+
+    Attributes:
+        num_classes: Number of classes (10, like CIFAR-10).
+        num_chunks: Number of feature chunks — match the paired network's
+            ``num_stages``.
+        chunk_dim: Features per chunk (total dim = ``num_chunks·chunk_dim``).
+        hard_fraction: Fraction of samples drawn from the hard generator —
+            the data-complexity knob.
+        easy_support: How many leading chunks carry an easy sample's signal.
+        signal_norm: Total L2 signal energy per sample (easy and hard alike;
+            only its *distribution over chunks* differs).
+        noise: Per-feature Gaussian noise scale.
+        label_noise: Fraction of samples whose label is resampled uniformly
+            (irreducible error).
+        distractor_fraction: Fraction of *easy* samples that also carry a
+            wrong-class distractor in the late chunks (the overthinking
+            mechanism).
+        distractor_strength: Distractor energy as a fraction of
+            ``signal_norm``.
+        seed: Seed for the class structure (prototypes); sampling uses the
+            per-call seed.
+    """
+
+    num_classes: int = 10
+    num_chunks: int = 8
+    chunk_dim: int = 8
+    hard_fraction: float = 0.5
+    easy_support: int = 2
+    signal_norm: float = 3.0
+    noise: float = 0.8
+    label_noise: float = 0.02
+    distractor_fraction: float = 0.3
+    distractor_strength: float = 1.2
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_classes < 2:
+            raise ValueError("need at least two classes")
+        if self.num_chunks < 2 or self.chunk_dim < 1:
+            raise ValueError("need at least two chunks of at least one feature")
+        if not 1 <= self.easy_support <= self.num_chunks:
+            raise ValueError("easy_support must be in [1, num_chunks]")
+        if not 0.0 <= self.hard_fraction <= 1.0:
+            raise ValueError("hard_fraction must be in [0, 1]")
+        if not 0.0 <= self.label_noise < 1.0:
+            raise ValueError("label_noise must be in [0, 1)")
+        if self.noise < 0 or self.signal_norm <= 0:
+            raise ValueError("noise must be >= 0 and signal_norm > 0")
+        if not 0.0 <= self.distractor_fraction <= 1.0:
+            raise ValueError("distractor_fraction must be in [0, 1]")
+        if self.distractor_strength < 0:
+            raise ValueError("distractor_strength must be non-negative")
+        if self.easy_support >= self.num_chunks and self.distractor_fraction > 0:
+            raise ValueError(
+                "distractors need at least one chunk beyond the easy support"
+            )
+
+    @property
+    def dim(self) -> int:
+        return self.num_chunks * self.chunk_dim
+
+    def _prototypes(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Per-class easy, hard, and distractor prototypes.
+
+        Easy prototypes have support only on the first ``easy_support``
+        chunks; hard prototypes have support everywhere.  Distractor
+        prototypes are the hard prototypes restricted to the *late* chunks
+        and rescaled — genuine wrong-class evidence along directions the
+        trained network must use (to classify hard samples), which is what
+        makes them actually misleading.  All are scaled to ``signal_norm``
+        (distractors to ``distractor_strength`` of it).
+        """
+        rng = np.random.default_rng(self.seed)
+        easy_dims = self.easy_support * self.chunk_dim
+        easy = np.zeros((self.num_classes, self.dim))
+        head = rng.normal(size=(self.num_classes, easy_dims))
+        head /= np.linalg.norm(head, axis=1, keepdims=True)
+        easy[:, :easy_dims] = head * self.signal_norm
+        hard = rng.normal(size=(self.num_classes, self.dim))
+        hard /= np.linalg.norm(hard, axis=1, keepdims=True)
+        hard *= self.signal_norm
+        distract = hard.copy()
+        distract[:, :easy_dims] = 0.0
+        norms = np.linalg.norm(distract, axis=1, keepdims=True)
+        norms[norms == 0] = 1.0
+        distract = distract / norms * (self.signal_norm * self.distractor_strength)
+        return easy, hard, distract
+
+    def sample(self, n: int, seed: int = 1) -> Dataset:
+        """Draw ``n`` labelled samples from the mixture."""
+        if n <= 0:
+            raise ValueError("need a positive sample count")
+        easy_proto, hard_proto, distract_proto = self._prototypes()
+        rng = np.random.default_rng(seed)
+        labels = rng.integers(0, self.num_classes, size=n)
+        hard = rng.random(n) < self.hard_fraction
+        x = rng.normal(scale=self.noise, size=(n, self.dim))
+        easy_idx = np.where(~hard)[0]
+        hard_idx = np.where(hard)[0]
+        if easy_idx.size:
+            x[easy_idx] += easy_proto[labels[easy_idx]]
+            if self.distractor_fraction > 0:
+                chosen = easy_idx[
+                    rng.random(easy_idx.size) < self.distractor_fraction
+                ]
+                if chosen.size:
+                    shift = rng.integers(1, self.num_classes, size=chosen.size)
+                    wrong = (labels[chosen] + shift) % self.num_classes
+                    x[chosen] += distract_proto[wrong]
+        if hard_idx.size:
+            x[hard_idx] += hard_proto[labels[hard_idx]]
+        if self.label_noise > 0:
+            flip = rng.random(n) < self.label_noise
+            labels[flip] = rng.integers(0, self.num_classes, size=int(flip.sum()))
+        return Dataset(
+            x=x.astype(np.float32), y=labels.astype(np.int64), hard=hard
+        )
+
+
+def train_val_test_split(
+    dataset: Dataset, val_fraction: float = 0.2, test_fraction: float = 0.2, seed: int = 7
+) -> tuple[Dataset, Dataset, Dataset]:
+    """Shuffle and split into train/validation/test subsets."""
+    if val_fraction < 0 or test_fraction < 0 or val_fraction + test_fraction >= 1:
+        raise ValueError("fractions must be non-negative and sum below 1")
+    n = len(dataset)
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(n)
+    n_val = int(n * val_fraction)
+    n_test = int(n * test_fraction)
+    val_idx = order[:n_val]
+    test_idx = order[n_val : n_val + n_test]
+    train_idx = order[n_val + n_test :]
+    return (
+        dataset.subset(train_idx),
+        dataset.subset(val_idx),
+        dataset.subset(test_idx),
+    )

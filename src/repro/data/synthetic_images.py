@@ -1,0 +1,162 @@
+"""Synthetic *image* data with receptive-field-graded difficulty.
+
+The image counterpart of :mod:`repro.data.synthetic`, built for the CNN
+substrate (:class:`repro.nn.multi_exit_cnn.MultiExitCNN`).  Difficulty is
+graded by **spatial extent** instead of chunk index:
+
+* **easy samples** carry a class-specific local patch (a small stamp at a
+  fixed location): any exit whose receptive field covers a patch can read
+  it, so even shallow exits are confident;
+* **hard samples** carry a class-specific *global* template at low
+  amplitude: no local window is informative, so only deep exits — whose
+  receptive fields span the whole image — separate them;
+* a fraction of easy samples additionally carries a wrong-class global
+  template at low amplitude (a misleading "background"): shallow exits
+  never integrate it, the full network does — the spatial version of the
+  overthinking distractor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .synthetic import Dataset
+
+
+@dataclass(frozen=True)
+class ImageDataset:
+    """Images ``(n, c, h, w)`` with labels and the hard mask."""
+
+    x: np.ndarray
+    y: np.ndarray
+    hard: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.x.ndim != 4:
+            raise ValueError("x must be (n, c, h, w)")
+        if self.y.shape != (self.x.shape[0],):
+            raise ValueError("y must be (n,)")
+        if self.hard.shape != (self.x.shape[0],):
+            raise ValueError("hard must be (n,)")
+
+    def __len__(self) -> int:
+        return self.x.shape[0]
+
+    def subset(self, indices: np.ndarray) -> "ImageDataset":
+        return ImageDataset(
+            x=self.x[indices], y=self.y[indices], hard=self.hard[indices]
+        )
+
+    def flatten(self) -> Dataset:
+        """View as the flat-vector :class:`~repro.data.synthetic.Dataset`."""
+        n = len(self)
+        return Dataset(
+            x=self.x.reshape(n, -1).astype(np.float32),
+            y=self.y,
+            hard=self.hard,
+        )
+
+
+@dataclass(frozen=True)
+class SyntheticPatchImageDataset:
+    """Generator for the patch-vs-template image mixture.
+
+    Attributes:
+        num_classes: Number of classes.
+        channels: Image channels.
+        size: Image height = width.
+        patch_size: Side of the easy samples' class patch.
+        hard_fraction: Fraction of hard (global-template) samples.
+        patch_amplitude: Easy patch signal strength.
+        template_amplitude: Hard template signal strength (per pixel — the
+            total energy is spread over the whole image).
+        noise: Per-pixel Gaussian noise.
+        distractor_fraction: Fraction of easy samples carrying a wrong-class
+            template.
+        distractor_amplitude: Strength of that distractor template.
+        label_noise: Fraction of labels resampled uniformly.
+        seed: Class-structure seed.
+    """
+
+    num_classes: int = 10
+    channels: int = 3
+    size: int = 12
+    patch_size: int = 3
+    hard_fraction: float = 0.5
+    patch_amplitude: float = 2.0
+    template_amplitude: float = 0.35
+    noise: float = 0.5
+    distractor_fraction: float = 0.3
+    distractor_amplitude: float = 0.25
+    label_noise: float = 0.01
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_classes < 2:
+            raise ValueError("need at least two classes")
+        if not 1 <= self.patch_size <= self.size:
+            raise ValueError("patch must fit in the image")
+        if not 0.0 <= self.hard_fraction <= 1.0:
+            raise ValueError("hard_fraction must be in [0, 1]")
+        if min(
+            self.patch_amplitude,
+            self.template_amplitude,
+            self.noise,
+            self.distractor_amplitude,
+        ) < 0:
+            raise ValueError("amplitudes must be non-negative")
+        if not 0.0 <= self.label_noise < 1.0:
+            raise ValueError("label_noise must be in [0, 1)")
+
+    def _structure(self) -> tuple[np.ndarray, np.ndarray]:
+        """Per-class patches ``(k, c, p, p)`` and templates ``(k, c, s, s)``."""
+        rng = np.random.default_rng(self.seed)
+        patches = rng.normal(
+            size=(self.num_classes, self.channels, self.patch_size, self.patch_size)
+        )
+        patches /= np.abs(patches).mean(axis=(1, 2, 3), keepdims=True)
+        templates = rng.normal(
+            size=(self.num_classes, self.channels, self.size, self.size)
+        )
+        templates /= np.abs(templates).mean(axis=(1, 2, 3), keepdims=True)
+        return patches * self.patch_amplitude, templates * self.template_amplitude
+
+    def sample(self, n: int, seed: int = 1) -> ImageDataset:
+        """Draw ``n`` labelled images."""
+        if n <= 0:
+            raise ValueError("need a positive sample count")
+        patches, templates = self._structure()
+        rng = np.random.default_rng(seed)
+        labels = rng.integers(0, self.num_classes, size=n)
+        hard = rng.random(n) < self.hard_fraction
+        x = rng.normal(
+            scale=self.noise, size=(n, self.channels, self.size, self.size)
+        )
+        # The easy patch sits at a fixed location (top-left corner), inside
+        # even a shallow receptive field.
+        p = self.patch_size
+        easy_idx = np.where(~hard)[0]
+        if easy_idx.size:
+            x[easy_idx, :, :p, :p] += patches[labels[easy_idx]]
+            if self.distractor_fraction > 0:
+                chosen = easy_idx[
+                    rng.random(easy_idx.size) < self.distractor_fraction
+                ]
+                if chosen.size:
+                    shift = rng.integers(1, self.num_classes, size=chosen.size)
+                    wrong = (labels[chosen] + shift) % self.num_classes
+                    scale = self.distractor_amplitude / max(
+                        self.template_amplitude, 1e-9
+                    )
+                    x[chosen] += templates[wrong] * scale
+        hard_idx = np.where(hard)[0]
+        if hard_idx.size:
+            x[hard_idx] += templates[labels[hard_idx]]
+        if self.label_noise > 0:
+            flip = rng.random(n) < self.label_noise
+            labels[flip] = rng.integers(0, self.num_classes, size=int(flip.sum()))
+        return ImageDataset(
+            x=x.astype(np.float64), y=labels.astype(np.int64), hard=hard
+        )

@@ -1,0 +1,13 @@
+"""Experiment harnesses — one module per figure of the paper's evaluation.
+
+Each module exposes a ``run_*`` function that regenerates the corresponding
+figure's rows/series (the numbers behind the plot) and returns a typed
+result the tests and benchmarks assert on, plus a ``main()`` that prints
+the table (``python -m repro.experiments.figN``).  See DESIGN.md's
+experiment index for the figure-to-module map and EXPERIMENTS.md for
+paper-vs-measured records.
+
+Submodules are imported lazily (``import repro.experiments.fig7``) rather
+than re-exported here: each harness pulls in its own chunk of the library
+and eager imports would make ``import repro`` needlessly heavy.
+"""

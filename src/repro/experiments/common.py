@@ -1,0 +1,335 @@
+"""Shared configuration and helpers for the experiment harnesses.
+
+Centralises the reproduction of the paper's §IV-A testbed: the platform
+set (Raspberry Pi 3B+ / Jetson Nano devices, i7-3770 edge, V100 cloud),
+default link conditions, the default exit-rate curve, and the scheme
+builders (LEIME and the three benchmark systems) every figure shares.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from ..core.baselines import (
+    ddnn_exit_setting,
+    edgent_exit_setting,
+    neurosurgeon_partition,
+)
+from ..core.exit_setting import AverageEnvironment, branch_and_bound_exit_setting
+from ..core.offloading import (
+    DeviceConfig,
+    DriftPlusPenaltyPolicy,
+    EdgeSystem,
+    FixedRatioPolicy,
+    OffloadingPolicy,
+)
+from ..hardware import (
+    CLOUD_V100,
+    EDGE_I7_3770,
+    INTERNET_EDGE_CLOUD,
+    JETSON_NANO,
+    NetworkProfile,
+    Platform,
+    RASPBERRY_PI_3B,
+    WIFI_DEVICE_EDGE,
+)
+from ..models.exit_rates import EmpiricalExitCurve, ExitCurve, ParametricExitCurve
+from ..models.multi_exit import MultiExitDNN, PartitionedModel
+from ..models.profile import DNNProfile
+from ..models.zoo import build_model
+from ..sim.arrivals import ArrivalProcess, PoissonArrivals
+from ..sim.events import EventSimResult, EventSimulator
+from ..sim.metrics import SimulationResult
+from ..sim.simulator import SlotSimulator
+
+#: Default Lyapunov trade-off for LEIME's online policy.
+DEFAULT_V = 50.0
+
+#: Default number of simulated slots for steady-state TCT measurements.
+DEFAULT_SLOTS = 300
+
+#: The four evaluation networks, in the paper's usual order.
+MODEL_NAMES = ("squeezenet-1.0", "vgg-16", "inception-v3", "resnet-34")
+
+
+def default_exit_curve() -> ExitCurve:
+    """Mid-complexity parametric curve used when a figure does not sweep
+    data complexity itself."""
+    return ParametricExitCurve.from_complexity(0.5)
+
+
+def pinned_first_exit_curve(profile: DNNProfile, sigma1: float) -> ExitCurve:
+    """A monotone curve with the First-exit's σ pinned (Fig. 3(b)'s knob):
+    ``σ_i = σ₁ + (1 − σ₁)·(i − 1)/(m − 1)``."""
+    if not 0.0 <= sigma1 <= 1.0:
+        raise ValueError("sigma1 must be in [0, 1]")
+    m = profile.num_layers
+    rates = [sigma1 + (1.0 - sigma1) * (i - 1) / (m - 1) for i in range(1, m + 1)]
+    return EmpiricalExitCurve.from_measurements(rates)
+
+
+@dataclass(frozen=True)
+class TestbedConfig:
+    """One concrete instantiation of the paper's testbed.
+
+    (``__test__`` only tells pytest this is not a test class.)
+
+    Attributes:
+        model: Zoo model name.
+        device: End-device platform.
+        num_devices: Homogeneous device count (the prototype has 4 Pis or
+            2 Nanos; figures vary this).
+        arrival_rate: Expected tasks per slot per device.
+        device_edge: Device↔edge link.
+        edge_cloud: Edge↔cloud link.
+        edge: Edge platform.
+        cloud: Cloud platform.
+        exit_curve: Exit-rate source (default mid-complexity).
+        slot_length: τ in seconds.
+        v: Lyapunov parameter for LEIME.
+    """
+
+    __test__ = False
+
+    model: str = "inception-v3"
+    device: Platform = RASPBERRY_PI_3B
+    num_devices: int = 4
+    arrival_rate: float = 0.5
+    device_edge: NetworkProfile = WIFI_DEVICE_EDGE
+    edge_cloud: NetworkProfile = INTERNET_EDGE_CLOUD
+    edge: Platform = EDGE_I7_3770
+    cloud: Platform = CLOUD_V100
+    exit_curve: ExitCurve | None = None
+    slot_length: float = 1.0
+    v: float = DEFAULT_V
+
+    def me_dnn(self) -> MultiExitDNN:
+        curve = self.exit_curve if self.exit_curve is not None else default_exit_curve()
+        return MultiExitDNN(build_model(self.model), curve)
+
+    def devices(self) -> tuple[DeviceConfig, ...]:
+        return tuple(
+            DeviceConfig(
+                name=f"{self.device.name}-{i}",
+                flops=self.device.flops,
+                link=self.device_edge,
+                mean_arrivals=self.arrival_rate,
+                overhead=self.device.per_task_overhead,
+            )
+            for i in range(self.num_devices)
+        )
+
+    def average_environment(self) -> AverageEnvironment:
+        """Averages for exit setting: each device's fair edge slice."""
+        return AverageEnvironment(
+            device_flops=self.device.flops,
+            edge_flops=self.edge.flops / self.num_devices,
+            cloud_flops=self.cloud.flops,
+            device_edge=self.device_edge,
+            edge_cloud=self.edge_cloud,
+            device_overhead=self.device.per_task_overhead,
+            edge_overhead=self.edge.per_task_overhead,
+            cloud_overhead=self.cloud.per_task_overhead,
+        )
+
+    def system(self, partition: PartitionedModel) -> EdgeSystem:
+        return EdgeSystem(
+            devices=self.devices(),
+            edge_flops=self.edge.flops,
+            cloud_flops=self.cloud.flops,
+            edge_cloud=self.edge_cloud,
+            partition=partition,
+            slot_length=self.slot_length,
+            edge_overhead=self.edge.per_task_overhead,
+            cloud_overhead=self.cloud.per_task_overhead,
+        )
+
+    def arrival_processes(self) -> list[ArrivalProcess]:
+        return [PoissonArrivals(self.arrival_rate) for _ in range(self.num_devices)]
+
+
+@dataclass(frozen=True)
+class Scheme:
+    """A named (partition, offloading policy) pair to evaluate."""
+
+    name: str
+    partition: PartitionedModel
+    policy: OffloadingPolicy
+
+
+def leime_scheme(config: TestbedConfig) -> Scheme:
+    """LEIME: branch-and-bound exit setting + drift-plus-penalty offloading."""
+    me_dnn = config.me_dnn()
+    result = branch_and_bound_exit_setting(me_dnn, config.average_environment())
+    return Scheme(
+        name="LEIME",
+        partition=result.partition,
+        policy=DriftPlusPenaltyPolicy(v=config.v),
+    )
+
+
+def neurosurgeon_scheme(config: TestbedConfig) -> Scheme:
+    """Neurosurgeon: LEIME's cut points, no early exits, fixed ratio 0."""
+    me_dnn = config.me_dnn()
+    result = branch_and_bound_exit_setting(me_dnn, config.average_environment())
+    return Scheme(
+        name="Neurosurgeon",
+        partition=neurosurgeon_partition(me_dnn, result.selection),
+        policy=FixedRatioPolicy(0.0, respect_constraint=False),
+    )
+
+
+def edgent_scheme(config: TestbedConfig) -> Scheme:
+    """Edgent: smallest-intermediate-data exits, fixed ratio 0."""
+    me_dnn = config.me_dnn()
+    return Scheme(
+        name="Edgent",
+        partition=me_dnn.partition(edgent_exit_setting(me_dnn)),
+        policy=FixedRatioPolicy(0.0, respect_constraint=False),
+    )
+
+
+def ddnn_scheme(config: TestbedConfig) -> Scheme:
+    """DDNN: high-σ/small-data exits, fixed ratio 0."""
+    me_dnn = config.me_dnn()
+    return Scheme(
+        name="DDNN",
+        partition=me_dnn.partition(ddnn_exit_setting(me_dnn)),
+        policy=FixedRatioPolicy(0.0, respect_constraint=False),
+    )
+
+
+#: Builders for the paper's four compared systems, in reporting order.
+SCHEME_BUILDERS: dict[str, Callable[[TestbedConfig], Scheme]] = {
+    "LEIME": leime_scheme,
+    "Neurosurgeon": neurosurgeon_scheme,
+    "Edgent": edgent_scheme,
+    "DDNN": ddnn_scheme,
+}
+
+
+def run_scheme(
+    config: TestbedConfig,
+    scheme: Scheme,
+    num_slots: int = DEFAULT_SLOTS,
+    seed: int = 0,
+    simulator: str = "slot",
+) -> SimulationResult | EventSimResult:
+    """Simulate one scheme on the configured testbed.
+
+    ``simulator="slot"`` advances the paper's analytic queue model;
+    ``simulator="event"`` runs the task-level event simulation (FIFO
+    compute and *link* queues — needed wherever a scheme saturates its
+    uplink, which the slot model cannot express).
+    """
+    system = config.system(scheme.partition)
+    arrivals = config.arrival_processes()
+    if simulator == "slot":
+        return SlotSimulator(system=system, arrivals=arrivals, seed=seed).run(
+            scheme.policy, num_slots
+        )
+    if simulator == "event":
+        return EventSimulator(system=system, arrivals=arrivals, seed=seed).run(
+            scheme.policy, num_slots, drain_limit_factor=100.0
+        )
+    raise ValueError(f"unknown simulator {simulator!r}")
+
+
+def compare_schemes(
+    config: TestbedConfig,
+    scheme_names: Sequence[str] = tuple(SCHEME_BUILDERS),
+    num_slots: int = DEFAULT_SLOTS,
+    seed: int = 0,
+    simulator: str = "slot",
+) -> dict[str, SimulationResult | EventSimResult]:
+    """Run the named schemes under common random numbers."""
+    results: dict[str, SimulationResult | EventSimResult] = {}
+    for name in scheme_names:
+        scheme = SCHEME_BUILDERS[name](config)
+        results[name] = run_scheme(
+            config, scheme, num_slots=num_slots, seed=seed, simulator=simulator
+        )
+    return results
+
+
+def speedup_over(
+    results: dict[str, SimulationResult | EventSimResult], reference: str = "LEIME"
+) -> dict[str, float]:
+    """Each scheme's mean TCT divided by the reference's — the paper's
+    "N× speedup" numbers (>1 means the reference is faster)."""
+    base = results[reference].mean_tct
+    if base <= 0:
+        raise ValueError("reference scheme has non-positive mean TCT")
+    return {name: result.mean_tct / base for name, result in results.items()}
+
+
+@dataclass(frozen=True)
+class ReplicatedResult:
+    """Mean TCT of one scheme across independent seeds.
+
+    Single-seed figures reproduce the paper's protocol; replication adds
+    the error bars the paper omits.
+    """
+
+    scheme: str
+    values: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if not self.values:
+            raise ValueError("need at least one replication")
+
+    @property
+    def mean(self) -> float:
+        return sum(self.values) / len(self.values)
+
+    @property
+    def std(self) -> float:
+        mean = self.mean
+        return (
+            sum((v - mean) ** 2 for v in self.values) / len(self.values)
+        ) ** 0.5
+
+    def ci95_halfwidth(self) -> float:
+        """Normal-approximation 95% half-width of the mean."""
+        n = len(self.values)
+        if n < 2:
+            return 0.0
+        return 1.96 * self.std / (n - 1) ** 0.5
+
+
+def replicate_scheme(
+    config: TestbedConfig,
+    scheme_name: str,
+    seeds: Sequence[int] = (0, 1, 2, 3, 4),
+    num_slots: int = DEFAULT_SLOTS,
+    simulator: str = "slot",
+) -> ReplicatedResult:
+    """Run one scheme across several seeds and aggregate its mean TCT."""
+    scheme = SCHEME_BUILDERS[scheme_name](config)
+    values = [
+        run_scheme(
+            config, scheme, num_slots=num_slots, seed=seed, simulator=simulator
+        ).mean_tct
+        for seed in seeds
+    ]
+    return ReplicatedResult(scheme=scheme_name, values=tuple(values))
+
+
+def format_rows(
+    header: Sequence[str], rows: Sequence[Sequence[object]]
+) -> str:
+    """Fixed-width table used by every harness's __main__ output."""
+    widths = [
+        max(len(str(header[c])), *(len(str(row[c])) for row in rows))
+        for c in range(len(header))
+    ]
+    lines = [
+        "  ".join(str(header[c]).ljust(widths[c]) for c in range(len(header)))
+    ]
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append(
+            "  ".join(str(row[c]).ljust(widths[c]) for c in range(len(header)))
+        )
+    return "\n".join(lines)

@@ -1,0 +1,122 @@
+"""Fig. 11 — scalability with the number of connected devices (Test Case 5).
+
+Large-scale simulation "based on the genuine parameter of Inception v3 and
+ResNet-34": homogeneous devices, fixed edge/cloud capacity, device count
+swept.  LEIME re-runs its exit setting for every population size (its
+average environment sees a 1/N edge slice), which is the paper's stated
+reason it scales: "the optimal exit combinations will change to relieve
+the edge server load as the number of end devices increases".
+
+Paper outcomes being reproduced: LEIME's average TCT grows ~linearly with
+N and stays lowest; the benchmarks' TCT grows faster and they support
+fewer devices before blowing up.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .common import (
+    SCHEME_BUILDERS,
+    TestbedConfig,
+    compare_schemes,
+    format_rows,
+)
+
+#: Device-count grid.
+DEVICE_COUNTS = (2, 4, 8, 16, 24, 32)
+
+
+@dataclass(frozen=True)
+class ScalingSeries:
+    """Mean TCT vs device count for every scheme on one model."""
+
+    model: str
+    device_counts: tuple[int, ...]
+    tct: dict[str, tuple[float, ...]]
+    leime_selections: tuple[tuple[int, int, int], ...]
+
+    def growth_ratio(self, scheme: str) -> float:
+        """TCT at the largest N over TCT at the smallest N."""
+        series = self.tct[scheme]
+        return series[-1] / series[0]
+
+    def max_supported(self, scheme: str, tct_limit: float) -> int:
+        """Largest device count whose TCT stays below ``tct_limit``."""
+        supported = 0
+        for count, value in zip(self.device_counts, self.tct[scheme]):
+            if value <= tct_limit:
+                supported = count
+        return supported
+
+
+@dataclass(frozen=True)
+class Fig11Result:
+    series: tuple[ScalingSeries, ...]
+
+
+def _series(
+    model: str, arrival_rate: float, num_slots: int, seed: int
+) -> ScalingSeries:
+    tct: dict[str, list[float]] = {name: [] for name in SCHEME_BUILDERS}
+    selections = []
+    for count in DEVICE_COUNTS:
+        config = TestbedConfig(
+            model=model, num_devices=count, arrival_rate=arrival_rate
+        )
+        results = compare_schemes(
+            config, tuple(SCHEME_BUILDERS), num_slots=num_slots, seed=seed
+        )
+        for name in SCHEME_BUILDERS:
+            tct[name].append(results[name].mean_tct)
+        scheme = SCHEME_BUILDERS["LEIME"](config)
+        selections.append(scheme.partition.selection.as_tuple())
+    return ScalingSeries(
+        model=model,
+        device_counts=DEVICE_COUNTS,
+        tct={k: tuple(v) for k, v in tct.items()},
+        leime_selections=tuple(selections),
+    )
+
+
+def run_fig11(
+    num_slots: int = 150, seed: int = 0, arrival_rate: float = 0.1
+) -> Fig11Result:
+    """Regenerate Fig. 11 for Inception v3 and ResNet-34."""
+    return Fig11Result(
+        series=(
+            _series("inception-v3", arrival_rate, num_slots, seed),
+            _series("resnet-34", arrival_rate, num_slots, seed),
+        )
+    )
+
+
+def main() -> None:
+    result = run_fig11()
+    for series in result.series:
+        print(f"Fig. 11 — TCT vs number of devices ({series.model})")
+        header = ("scheme",) + tuple(str(c) for c in series.device_counts) + (
+            "growth",
+        )
+        rows = []
+        for name, values in series.tct.items():
+            rows.append(
+                (name,)
+                + tuple(f"{v:.2f}" for v in values)
+                + (f"{series.growth_ratio(name):.1f}x",)
+            )
+        print(format_rows(header, rows))
+        print(
+            "LEIME exit selections by N:",
+            ", ".join(
+                f"N={n}:{sel}"
+                for n, sel in zip(series.device_counts, series.leime_selections)
+            ),
+        )
+        print()
+
+
+if __name__ == "__main__":
+    main()

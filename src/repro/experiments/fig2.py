@@ -1,0 +1,170 @@
+"""Fig. 2 — how system capability and DNN type move the optimal exits.
+
+The paper's motivation experiments (§II-B1):
+
+* **(a)** the optimal First-exit is shallow on a weak device (Raspberry Pi
+  → exit-1) and deep on a strong one (Jetson Nano → exit-10);
+* **(b)** the optimal Second-exit is deep when the edge is lightly loaded
+  and shallow when it is heavily loaded;
+* **(c, d)** optimal First/Second exits differ across the four DNNs.
+
+Protocol, following the paper: sweep one exit while holding the other
+fixed, evaluating the expected latency ``T(E)`` (Eq. 4) and normalising the
+curve by its minimum (the figures plot normalised latency with an arrow at
+the optimum).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.exit_setting import AverageEnvironment, ExitCostModel
+from ..hardware import (
+    CLOUD_V100,
+    EDGE_I7_3770,
+    INTERNET_EDGE_CLOUD,
+    JETSON_NANO,
+    Platform,
+    RASPBERRY_PI_3B,
+    WIFI_DEVICE_EDGE,
+)
+from ..models.multi_exit import MultiExitDNN
+from ..models.zoo import build_model
+from .common import MODEL_NAMES, default_exit_curve, format_rows
+
+
+@dataclass(frozen=True)
+class ExitSweep:
+    """One sweep curve: normalised latency over a candidate-exit grid.
+
+    Attributes:
+        label: Curve label (device / load / model).
+        exits: Candidate exit indices swept.
+        normalized_latency: ``T(E)`` over the sweep divided by its minimum.
+        optimal_exit: The arg-min exit index.
+    """
+
+    label: str
+    exits: tuple[int, ...]
+    normalized_latency: tuple[float, ...]
+    optimal_exit: int
+
+
+def _environment(
+    device: Platform, edge_share: float = 0.25
+) -> AverageEnvironment:
+    """The Fig. 2 testbed: one device class, a shared i7 edge, a V100 cloud."""
+    return AverageEnvironment(
+        device_flops=device.flops,
+        edge_flops=EDGE_I7_3770.flops * edge_share,
+        cloud_flops=CLOUD_V100.flops,
+        device_edge=WIFI_DEVICE_EDGE,
+        edge_cloud=INTERNET_EDGE_CLOUD,
+    )
+
+
+def _first_exit_sweep(
+    me_dnn: MultiExitDNN, env: AverageEnvironment, label: str
+) -> ExitSweep:
+    """Sweep the First-exit with the Second-exit held at its per-point best
+    (the paper fixes "the other" exit; using the per-point best Second-exit
+    keeps the curve meaningful across very different First-exit depths)."""
+    model = ExitCostModel(me_dnn, env)
+    m = me_dnn.num_exits
+    exits = tuple(range(1, m - 1))
+    costs = [
+        min(model.cost_at(e1, e2) for e2 in range(e1 + 1, m)) for e1 in exits
+    ]
+    best = min(costs)
+    return ExitSweep(
+        label=label,
+        exits=exits,
+        normalized_latency=tuple(c / best for c in costs),
+        optimal_exit=exits[costs.index(best)],
+    )
+
+
+def _second_exit_sweep(
+    me_dnn: MultiExitDNN, env: AverageEnvironment, label: str, first_exit: int
+) -> ExitSweep:
+    """Sweep the Second-exit with the First-exit fixed."""
+    model = ExitCostModel(me_dnn, env)
+    m = me_dnn.num_exits
+    exits = tuple(range(first_exit + 1, m))
+    costs = [model.cost_at(first_exit, e2) for e2 in exits]
+    best = min(costs)
+    return ExitSweep(
+        label=label,
+        exits=exits,
+        normalized_latency=tuple(c / best for c in costs),
+        optimal_exit=exits[costs.index(best)],
+    )
+
+
+@dataclass(frozen=True)
+class Fig2Result:
+    """All four panels of Fig. 2."""
+
+    device_sweeps: tuple[ExitSweep, ...]  # (a) RPi vs Nano First-exit
+    load_sweeps: tuple[ExitSweep, ...]  # (b) light vs heavy edge Second-exit
+    model_first_sweeps: tuple[ExitSweep, ...]  # (c) First-exit per DNN
+    model_second_sweeps: tuple[ExitSweep, ...]  # (d) Second-exit per DNN
+
+
+def run_fig2(model: str = "inception-v3") -> Fig2Result:
+    """Regenerate all Fig. 2 panels."""
+    me_dnn = MultiExitDNN(build_model(model), default_exit_curve())
+
+    device_sweeps = tuple(
+        _first_exit_sweep(me_dnn, _environment(device), label)
+        for device, label in (
+            (RASPBERRY_PI_3B, "raspberry-pi"),
+            (JETSON_NANO, "jetson-nano"),
+        )
+    )
+
+    load_sweeps = tuple(
+        _second_exit_sweep(me_dnn, _environment(RASPBERRY_PI_3B, share), label, 1)
+        for share, label in ((0.8, "light-load"), (0.05, "heavy-load"))
+    )
+
+    model_first_sweeps = []
+    model_second_sweeps = []
+    for name in MODEL_NAMES:
+        other = MultiExitDNN(build_model(name), default_exit_curve())
+        env = _environment(RASPBERRY_PI_3B)
+        model_first_sweeps.append(_first_exit_sweep(other, env, name))
+        model_second_sweeps.append(_second_exit_sweep(other, env, name, 1))
+
+    return Fig2Result(
+        device_sweeps=device_sweeps,
+        load_sweeps=load_sweeps,
+        model_first_sweeps=tuple(model_first_sweeps),
+        model_second_sweeps=tuple(model_second_sweeps),
+    )
+
+
+def main() -> None:
+    result = run_fig2()
+    print("Fig. 2(a) — optimal First-exit by device capability")
+    rows = [
+        (s.label, s.optimal_exit, f"{max(s.normalized_latency):.2f}x")
+        for s in result.device_sweeps
+    ]
+    print(format_rows(("device", "optimal First-exit", "worst/best"), rows))
+    print("\nFig. 2(b) — optimal Second-exit by edge load")
+    rows = [
+        (s.label, s.optimal_exit, f"{max(s.normalized_latency):.2f}x")
+        for s in result.load_sweeps
+    ]
+    print(format_rows(("edge load", "optimal Second-exit", "worst/best"), rows))
+    print("\nFig. 2(c) — optimal First-exit by DNN")
+    rows = [(s.label, s.optimal_exit) for s in result.model_first_sweeps]
+    print(format_rows(("model", "optimal First-exit"), rows))
+    print("\nFig. 2(d) — optimal Second-exit by DNN")
+    rows = [(s.label, s.optimal_exit) for s in result.model_second_sweeps]
+    print(format_rows(("model", "optimal Second-exit"), rows))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+"""§I / §II headline degradation factors.
+
+The introduction quantifies the two problems LEIME solves:
+
+* "An improper exit setting leads to **4.47× on average** performance
+  degradation" (§II-B1) — measured here as the mean, over the Fig. 2
+  scenario grid, of worst-case T(E) over best-case T(E).
+* "An improper task offloading strategy causes **2.85× on average**
+  performance degradation" (§II-B2) — measured as the mean, over the
+  Fig. 3 sweep points, of the worst fixed ratio's TCT over the best's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.exit_setting import ExitCostModel
+from ..hardware import JETSON_NANO, RASPBERRY_PI_3B
+from ..models.multi_exit import MultiExitDNN
+from ..models.zoo import build_model
+from .common import MODEL_NAMES, default_exit_curve
+from .fig2 import _environment
+from .fig3 import run_fig3
+
+
+@dataclass(frozen=True)
+class DegradationReport:
+    """Worst/best ratios backing a headline claim."""
+
+    label: str
+    ratios: tuple[float, ...]
+
+    @property
+    def average(self) -> float:
+        return sum(self.ratios) / len(self.ratios)
+
+
+def exit_setting_degradation() -> DegradationReport:
+    """Worst/best exit-combination cost over the Fig. 2 scenario grid
+    (device classes × edge loads × the four DNNs)."""
+    ratios = []
+    for model in MODEL_NAMES:
+        me_dnn = MultiExitDNN(build_model(model), default_exit_curve())
+        for device in (RASPBERRY_PI_3B, JETSON_NANO):
+            for share in (0.8, 0.25, 0.05):
+                cost_model = ExitCostModel(me_dnn, _environment(device, share))
+                costs = [
+                    cost_model.cost_at(e1, e2)
+                    for e1 in range(1, me_dnn.num_exits - 1)
+                    for e2 in range(e1 + 1, me_dnn.num_exits)
+                ]
+                ratios.append(max(costs) / min(costs))
+    return DegradationReport(label="exit setting", ratios=tuple(ratios))
+
+
+def offloading_degradation(num_slots: int = 150, seed: int = 0) -> DegradationReport:
+    """Worst/best fixed offloading ratio over the Fig. 3 sweep points."""
+    result = run_fig3(num_slots=num_slots, seed=seed)
+    ratios = []
+    for curves in result.all_panels().values():
+        for curve in curves:
+            ratios.append(max(curve.mean_tct) / min(curve.mean_tct))
+    return DegradationReport(label="offloading", ratios=tuple(ratios))
+
+
+def main() -> None:
+    exit_report = exit_setting_degradation()
+    print(
+        f"Improper exit setting degradation: {exit_report.average:.2f}x on "
+        f"average (paper: 4.47x); range "
+        f"{min(exit_report.ratios):.2f}-{max(exit_report.ratios):.2f}x"
+    )
+    offload_report = offloading_degradation()
+    print(
+        f"Improper offloading degradation: {offload_report.average:.2f}x on "
+        f"average (paper: 2.85x); range "
+        f"{min(offload_report.ratios):.2f}-{max(offload_report.ratios):.2f}x"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,174 @@
+"""Regenerate every figure and write a results bundle.
+
+``python -m repro.experiments.run_all [output_dir]`` runs all the
+experiment harnesses (Figs. 2-11, motivation, Pareto), prints their
+tables, renders text line charts of the headline series, and exports each
+result as JSON under ``output_dir`` (default ``results/``) — the one-shot
+"reproduce the paper" driver.
+
+Expect ~5-10 minutes end to end (Fig. 6 trains four networks).
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from pathlib import Path
+
+from ..report import export_json, line_chart
+from . import fig2, fig3, fig6, fig7, fig8, fig9, fig10, fig11, motivation, pareto
+
+
+def _banner(title: str) -> None:
+    print()
+    print("=" * 72)
+    print(title)
+    print("=" * 72)
+
+
+def run_all(output_dir: str | Path = "results") -> dict[str, Path]:
+    """Run every harness; returns the exported-file map."""
+    output_dir = Path(output_dir)
+    exported: dict[str, Path] = {}
+
+    _banner("Fig. 2 — exit-setting sensitivity")
+    start = time.time()
+    fig2_result = fig2.run_fig2()
+    exported["fig2"] = export_json(fig2_result, output_dir / "fig2.json")
+    sweeps = {s.label: list(s.normalized_latency) for s in fig2_result.device_sweeps}
+    lengths = {len(v) for v in sweeps.values()}
+    if len(lengths) == 1:
+        print(line_chart(sweeps, title="Fig. 2(a): normalised T(E) vs First-exit"))
+    print(f"[{time.time() - start:.0f}s]")
+
+    _banner("Fig. 3 — TCT vs offloading ratio")
+    start = time.time()
+    fig3_result = fig3.run_fig3()
+    exported["fig3"] = export_json(fig3_result, output_dir / "fig3.json")
+    print(
+        line_chart(
+            {c.label: list(c.mean_tct) for c in fig3_result.bandwidth_curves},
+            x_labels=["x=0", "x=1"],
+            title="Fig. 3(c): TCT vs ratio by bandwidth",
+        )
+    )
+    print(f"[{time.time() - start:.0f}s]")
+
+    _banner("Fig. 6 — ME-DNN accuracy loss")
+    start = time.time()
+    fig6_results = fig6.run_fig6()
+    exported["fig6"] = export_json(
+        {
+            name: {
+                "mean_loss": matrix.mean_loss,
+                "negative_fraction": matrix.negative_fraction,
+                "reference_accuracy": matrix.reference_accuracy,
+                "loss_matrix": matrix.loss,
+            }
+            for name, matrix in fig6_results.items()
+        },
+        output_dir / "fig6.json",
+    )
+    for name, matrix in fig6_results.items():
+        print(
+            f"  {name:<16} mean loss {matrix.mean_loss * 100:+.2f}%  "
+            f"negative combos {matrix.negative_fraction:.0%}"
+        )
+    print(f"[{time.time() - start:.0f}s]")
+
+    _banner("Fig. 7 — TCT vs network conditions")
+    start = time.time()
+    fig7_result = fig7.run_fig7()
+    exported["fig7"] = export_json(fig7_result, output_dir / "fig7.json")
+    print(
+        line_chart(
+            {k: list(v) for k, v in fig7_result.bandwidth.tct.items()},
+            x_labels=["2 Mbps", "128 Mbps"],
+            title="Fig. 7: TCT vs bandwidth",
+        )
+    )
+    print(f"[{time.time() - start:.0f}s]")
+
+    _banner("Fig. 8 — models × devices")
+    start = time.time()
+    fig8_result = fig8.run_fig8()
+    exported["fig8"] = export_json(fig8_result, output_dir / "fig8.json")
+    for grid in fig8_result.grids:
+        low, high = grid.speedup_range()
+        print(f"  {grid.device}: LEIME speedup {low:.1f}x – {high:.1f}x")
+    print(f"[{time.time() - start:.0f}s]")
+
+    _banner("Fig. 9 — stability under dynamic arrivals")
+    start = time.time()
+    fig9_result = fig9.run_fig9()
+    exported["fig9"] = export_json(fig9_result, output_dir / "fig9.json")
+    pi_panel = fig9_result.panels[0]
+    print(
+        line_chart(
+            {t.scheme: list(t.tct) for t in pi_panel.timelines},
+            x_labels=["slot 0", f"slot {len(pi_panel.timelines[0].tct)}"],
+            title=f"Fig. 9 (upper): per-slot TCT on {pi_panel.device}",
+        )
+    )
+    print(f"[{time.time() - start:.0f}s]")
+
+    _banner("Fig. 10 — ablations")
+    start = time.time()
+    fig10_result = fig10.run_fig10()
+    exported["fig10"] = export_json(fig10_result, output_dir / "fig10.json")
+    for row in fig10_result.offload_ablation:
+        print(
+            f"  rate {row.arrival_rate}: mean baseline speedup "
+            f"{row.mean_baseline_speedup():.2f}x"
+        )
+    print(f"[{time.time() - start:.0f}s]")
+
+    _banner("Fig. 11 — scalability")
+    start = time.time()
+    fig11_result = fig11.run_fig11()
+    exported["fig11"] = export_json(fig11_result, output_dir / "fig11.json")
+    series = fig11_result.series[0]
+    print(
+        line_chart(
+            {k: list(v) for k, v in series.tct.items()},
+            x_labels=[f"N={series.device_counts[0]}", f"N={series.device_counts[-1]}"],
+            title=f"Fig. 11: TCT vs device count ({series.model})",
+        )
+    )
+    print(f"[{time.time() - start:.0f}s]")
+
+    _banner("Motivation factors")
+    start = time.time()
+    exit_report = motivation.exit_setting_degradation()
+    offload_report = motivation.offloading_degradation()
+    exported["motivation"] = export_json(
+        {"exit_setting": exit_report, "offloading": offload_report},
+        output_dir / "motivation.json",
+    )
+    print(f"  exit setting: {exit_report.average:.2f}x (paper 4.47x)")
+    print(f"  offloading  : {offload_report.average:.2f}x (paper 2.85x)")
+    print(f"[{time.time() - start:.0f}s]")
+
+    _banner("Extension — accuracy-latency Pareto frontier")
+    start = time.time()
+    pareto_result = pareto.run_pareto()
+    exported["pareto"] = export_json(pareto_result, output_dir / "pareto.json")
+    for point in pareto_result.points:
+        print(
+            f"  margin {point.margin:.2f}: loss "
+            f"{point.accuracy_loss * 100:+.2f}%, "
+            f"TCT {point.expected_tct * 1e3:.0f} ms"
+        )
+    print(f"[{time.time() - start:.0f}s]")
+
+    print(f"\nresults exported to {output_dir}/")
+    return exported
+
+
+def main() -> None:
+    output = sys.argv[1] if len(sys.argv) > 1 else "results"
+    run_all(output)
+
+
+if __name__ == "__main__":
+    main()

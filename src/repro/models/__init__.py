@@ -1,0 +1,48 @@
+"""Analytical DNN model substrate.
+
+The paper models a DNN as a chain of convolutional units (§III-B2): each unit
+``l_i`` has a FLOP count ``μ_{l_i}`` and an intermediate activation size
+``d_{l_i}``; a candidate exit classifier (pool + 2 FC + softmax) sits after
+every unit with FLOP count ``μ_{exit_i}``.  This package computes those
+quantities from the published architecture math of the four evaluation
+networks (VGG-16, ResNet-34, Inception v3, SqueezeNet-1.0) instead of
+profiling PyTorch models, which is the substitution documented in DESIGN.md.
+"""
+
+from .profile import DNNProfile, ExitProfile, LayerProfile
+from .multi_exit import ExitSelection, MultiExitDNN, PartitionedModel
+from .exit_rates import (
+    EmpiricalExitCurve,
+    ExitCurve,
+    ParametricExitCurve,
+    UniformExitCurve,
+)
+from .zoo import (
+    MODEL_BUILDERS,
+    build_model,
+    inception_v3,
+    mobilenet_v1,
+    resnet34,
+    squeezenet1_0,
+    vgg16,
+)
+
+__all__ = [
+    "DNNProfile",
+    "ExitProfile",
+    "LayerProfile",
+    "MultiExitDNN",
+    "ExitSelection",
+    "PartitionedModel",
+    "ExitCurve",
+    "ParametricExitCurve",
+    "EmpiricalExitCurve",
+    "UniformExitCurve",
+    "MODEL_BUILDERS",
+    "build_model",
+    "vgg16",
+    "resnet34",
+    "inception_v3",
+    "mobilenet_v1",
+    "squeezenet1_0",
+]

@@ -1,0 +1,179 @@
+"""Exit-rate (exit-probability) models for candidate exits.
+
+§III-B2: thresholds on softmax confidence at every exit yield a cumulative
+exit probability ``σ_{exit_i}`` — the fraction of tasks that have exited at
+or before ``exit_i`` — with ``σ_{exit_m} = 100%``.  Theorem 1 additionally
+assumes the "general situation" that σ is non-decreasing in depth.
+
+Two sources are provided:
+
+* :class:`ParametricExitCurve` — a smooth, monotone curve over the fraction
+  of backbone compute performed, with a data-complexity knob.  Used by the
+  latency experiments, where only the *shape* of σ matters (Fig. 3(b)
+  sweeps the First-exit rate directly).
+* :class:`EmpiricalExitCurve` — measured per-exit rates, e.g. produced by
+  threshold calibration of the numpy multi-exit network
+  (:mod:`repro.nn.calibration`), with an optional isotonic projection to
+  enforce monotonicity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol, Sequence
+
+from .profile import DNNProfile
+
+
+class ExitCurve(Protocol):
+    """Maps a candidate exit of a profile to its cumulative exit rate."""
+
+    def rates(self, profile: DNNProfile) -> tuple[float, ...]:
+        """Cumulative exit rates ``(σ_1, ..., σ_m)`` with ``σ_m == 1``."""
+        ...
+
+
+def _validate_rates(rates: Sequence[float]) -> tuple[float, ...]:
+    """Check the σ invariants shared by every curve implementation."""
+    if not rates:
+        raise ValueError("need at least one exit rate")
+    for i, rate in enumerate(rates, start=1):
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"σ_{i}={rate} out of [0, 1]")
+    if abs(rates[-1] - 1.0) > 1e-9:
+        raise ValueError(f"σ_m must be 1 (the final exit takes everything), got {rates[-1]}")
+    return tuple(float(r) for r in rates)
+
+
+@dataclass(frozen=True)
+class ParametricExitCurve:
+    """Kumaraswamy-CDF exit curve over network depth.
+
+    With ``u_i`` the fraction of depth reached by candidate ``exit_i``, the
+    cumulative exit rate is ``σ_i = 1 - (1 - u_i^a)^b``.  The CDF is
+    monotone in depth and reaches exactly 1 at the final exit, satisfying
+    the paper's assumptions by construction.
+
+    ``a < 1`` front-loads exits (easy data: most tasks exit very early);
+    ``a > 1`` defers them (hard data).  ``b`` controls the sharpness.
+
+    Attributes:
+        a: Shape parameter (> 0) controlling where mass concentrates.
+        b: Shape parameter (> 0) controlling tail sharpness.
+        basis: What "depth" means — ``"index"`` (default) uses the layer
+            index fraction ``i/m``, matching the empirical observation that
+            exit accuracy (hence exit rate at a fixed accuracy threshold)
+            grows with *depth*, not raw FLOPs [Kaya et al., ICML 2019];
+            ``"flops"`` uses the cumulative-compute fraction, which
+            penalises the early exits of compute-back-loaded networks.
+    """
+
+    a: float = 1.0
+    b: float = 1.0
+    basis: str = "index"
+
+    def __post_init__(self) -> None:
+        if self.a <= 0 or self.b <= 0:
+            raise ValueError("Kumaraswamy parameters must be positive")
+        if self.basis not in ("index", "flops"):
+            raise ValueError(f"basis must be 'index' or 'flops', got {self.basis!r}")
+
+    @classmethod
+    def from_complexity(cls, complexity: float) -> "ParametricExitCurve":
+        """Build a curve from a data-complexity knob in ``[0, 1]``.
+
+        ``complexity = 0`` means trivially easy inputs (almost everything
+        exits at the first exit); ``complexity = 1`` means hard inputs
+        (almost nothing exits before the final exit).  The mapping is a
+        smooth interpolation used by the Fig. 3(b) "varying data complexity"
+        sweep.
+        """
+        if not 0.0 <= complexity <= 1.0:
+            raise ValueError("complexity must be in [0, 1]")
+        # easy → a≈0.25 (mass at the front); hard → a≈4 (mass at the back)
+        a = 0.25 * (16.0**complexity)
+        return cls(a=a, b=1.0)
+
+    def rate_at(self, depth_fraction: float) -> float:
+        """σ at a given fraction of network depth."""
+        if not 0.0 <= depth_fraction <= 1.0:
+            raise ValueError("depth fraction must be in [0, 1]")
+        return 1.0 - (1.0 - depth_fraction**self.a) ** self.b
+
+    def rates(self, profile: DNNProfile) -> tuple[float, ...]:
+        m = profile.num_layers
+        if self.basis == "index":
+            fractions = [i / m for i in range(1, m + 1)]
+        else:
+            total = profile.total_flops
+            cumulative = profile.cumulative_flops
+            fractions = [cumulative[i] / total for i in range(1, m + 1)]
+        raw = [self.rate_at(u) for u in fractions]
+        raw[-1] = 1.0  # exact, not just up to float error
+        return _validate_rates(raw)
+
+
+@dataclass(frozen=True)
+class UniformExitCurve:
+    """σ_i = i / m — a structure-agnostic straw-man curve for tests."""
+
+    def rates(self, profile: DNNProfile) -> tuple[float, ...]:
+        m = profile.num_layers
+        return _validate_rates([i / m for i in range(1, m + 1)])
+
+
+def isotonic_projection(values: Sequence[float]) -> list[float]:
+    """Project a sequence onto non-decreasing sequences (L2-optimal).
+
+    Pool-adjacent-violators: repeatedly merge adjacent blocks whose means
+    violate monotonicity.  Used to clean measured exit rates before feeding
+    them to the branch-and-bound search, whose pruning rule (Theorem 1)
+    assumes monotone σ.
+    """
+    blocks: list[tuple[float, int]] = []  # (sum, count)
+    for value in values:
+        blocks.append((float(value), 1))
+        while len(blocks) > 1:
+            s2, n2 = blocks[-1]
+            s1, n1 = blocks[-2]
+            if s1 / n1 <= s2 / n2:
+                break
+            blocks[-2:] = [(s1 + s2, n1 + n2)]
+    projected: list[float] = []
+    for block_sum, count in blocks:
+        projected.extend([block_sum / count] * count)
+    return projected
+
+
+@dataclass(frozen=True)
+class EmpiricalExitCurve:
+    """Measured cumulative exit rates for a specific profile.
+
+    Attributes:
+        sigma: Per-exit cumulative exit rates ``(σ_1, ..., σ_m)``.
+        monotone: If true (default), apply an isotonic projection so the
+            curve satisfies Theorem 1's monotonicity assumption; calibration
+            noise can otherwise produce tiny violations.
+    """
+
+    sigma: tuple[float, ...]
+    monotone: bool = True
+
+    @classmethod
+    def from_measurements(
+        cls, sigma: Sequence[float], monotone: bool = True
+    ) -> "EmpiricalExitCurve":
+        """Build from raw measurements, clamping and renormalising σ_m to 1."""
+        cleaned = [min(max(float(s), 0.0), 1.0) for s in sigma]
+        if monotone:
+            cleaned = isotonic_projection(cleaned)
+        cleaned[-1] = 1.0
+        return cls(sigma=tuple(cleaned), monotone=monotone)
+
+    def rates(self, profile: DNNProfile) -> tuple[float, ...]:
+        if len(self.sigma) != profile.num_layers:
+            raise ValueError(
+                f"curve has {len(self.sigma)} rates but {profile.name} has "
+                f"{profile.num_layers} candidate exits"
+            )
+        return _validate_rates(self.sigma)

@@ -1,0 +1,279 @@
+"""Shape-propagating FLOP math for the layers used by the model zoo.
+
+Conventions:
+
+* A multiply-accumulate counts as 2 FLOPs (the usual convention, and the one
+  that makes our totals line up with published GFLOPs numbers for the four
+  evaluation networks).
+* Activation shapes are ``(channels, height, width)``.
+* Composite blocks (residual, fire, inception) report the *sum* of their
+  internal conv FLOPs and the concatenated output shape, because the paper
+  treats them as single chain units (§III-B2 models the DNN as a chain).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .profile import DNNProfile, LayerProfile
+
+Shape = tuple[int, int, int]
+
+
+def conv_out_hw(size: int, kernel: int, stride: int, padding: int) -> int:
+    """Output spatial size of a conv/pool along one dimension."""
+    out = (size + 2 * padding - kernel) // stride + 1
+    if out <= 0:
+        raise ValueError(
+            f"conv collapses spatial dim: size={size} kernel={kernel} "
+            f"stride={stride} padding={padding}"
+        )
+    return out
+
+
+def conv2d_flops(
+    in_shape: Shape,
+    out_channels: int,
+    kernel: int | tuple[int, int],
+    stride: int = 1,
+    padding: int | tuple[int, int] = 0,
+) -> tuple[float, Shape]:
+    """FLOPs and output shape of a 2-D convolution.
+
+    Returns:
+        ``(flops, (out_channels, out_h, out_w))``.
+    """
+    in_c, in_h, in_w = in_shape
+    k_h, k_w = (kernel, kernel) if isinstance(kernel, int) else kernel
+    p_h, p_w = (padding, padding) if isinstance(padding, int) else padding
+    out_h = conv_out_hw(in_h, k_h, stride, p_h)
+    out_w = conv_out_hw(in_w, k_w, stride, p_w)
+    flops = 2.0 * in_c * k_h * k_w * out_channels * out_h * out_w
+    return flops, (out_channels, out_h, out_w)
+
+
+def pool2d_flops(
+    in_shape: Shape, kernel: int, stride: int, padding: int = 0
+) -> tuple[float, Shape]:
+    """FLOPs and output shape of a max/avg pooling layer (1 FLOP per input
+    element in the window, a conventional approximation)."""
+    in_c, in_h, in_w = in_shape
+    out_h = conv_out_hw(in_h, kernel, stride, padding)
+    out_w = conv_out_hw(in_w, kernel, stride, padding)
+    flops = float(kernel * kernel * in_c * out_h * out_w)
+    return flops, (in_c, out_h, out_w)
+
+
+@dataclass
+class ChainBuilder:
+    """Accumulates chain units while propagating the activation shape.
+
+    Composite blocks call :meth:`_conv` repeatedly to accumulate FLOPs into
+    the *current* unit, then :meth:`_commit` once with the concatenated
+    output shape, so each paper-level unit appears as one
+    :class:`LayerProfile`.
+    """
+
+    input_shape: Shape
+    _shape: Shape = field(init=False)
+    _layers: list[LayerProfile] = field(init=False, default_factory=list)
+    _pending_flops: float = field(init=False, default=0.0)
+
+    def __post_init__(self) -> None:
+        if any(d <= 0 for d in self.input_shape):
+            raise ValueError("input shape must be positive")
+        self._shape = self.input_shape
+
+    @property
+    def shape(self) -> Shape:
+        """Activation shape at the current end of the chain."""
+        return self._shape
+
+    # -- primitive steps ----------------------------------------------------
+
+    def _conv(
+        self,
+        out_channels: int,
+        kernel: int | tuple[int, int],
+        stride: int = 1,
+        padding: int | tuple[int, int] = 0,
+        in_shape: Shape | None = None,
+    ) -> Shape:
+        """Accumulate one conv into the pending unit; returns its output
+        shape without committing it as the chain shape."""
+        flops, out_shape = conv2d_flops(
+            in_shape if in_shape is not None else self._shape,
+            out_channels,
+            kernel,
+            stride,
+            padding,
+        )
+        self._pending_flops += flops
+        return out_shape
+
+    def _pool(
+        self, kernel: int, stride: int, padding: int = 0, in_shape: Shape | None = None
+    ) -> Shape:
+        flops, out_shape = pool2d_flops(
+            in_shape if in_shape is not None else self._shape, kernel, stride, padding
+        )
+        self._pending_flops += flops
+        return out_shape
+
+    def _commit(self, name: str, out_shape: Shape) -> None:
+        """Close the pending unit as one chain layer."""
+        self._layers.append(
+            LayerProfile(name=name, flops=self._pending_flops, output_shape=out_shape)
+        )
+        self._pending_flops = 0.0
+        self._shape = out_shape
+
+    # -- simple units --------------------------------------------------------
+
+    def conv(
+        self,
+        name: str,
+        out_channels: int,
+        kernel: int | tuple[int, int],
+        stride: int = 1,
+        padding: int | tuple[int, int] = 0,
+        pool: tuple[int, int] | None = None,
+        pool_padding: int = 0,
+    ) -> None:
+        """Append a conv unit; ``pool=(kernel, stride)`` fuses a trailing
+        pooling layer into the same unit (pooling is cheap and the paper
+        only cuts at conv boundaries)."""
+        out_shape = self._conv(out_channels, kernel, stride, padding)
+        if pool is not None:
+            out_shape = self._pool(
+                pool[0], pool[1], padding=pool_padding, in_shape=out_shape
+            )
+        self._commit(name, out_shape)
+
+    def basic_residual_block(
+        self, name: str, out_channels: int, stride: int = 1
+    ) -> None:
+        """A ResNet *BasicBlock*: two 3×3 convs plus a 1×1 projection when the
+        shape changes."""
+        in_shape = self._shape
+        mid = self._conv(out_channels, 3, stride=stride, padding=1)
+        out_shape = self._conv(out_channels, 3, stride=1, padding=1, in_shape=mid)
+        if stride != 1 or in_shape[0] != out_channels:
+            self._conv(out_channels, 1, stride=stride, in_shape=in_shape)
+        self._commit(name, out_shape)
+
+    def depthwise_separable(
+        self, name: str, out_channels: int, stride: int = 1
+    ) -> None:
+        """A MobileNet unit: 3×3 depthwise conv (one filter per channel,
+        FLOPs = 2·9·C·out_h·out_w) followed by a 1×1 pointwise conv."""
+        in_c, in_h, in_w = self._shape
+        out_h = conv_out_hw(in_h, 3, stride, 1)
+        out_w = conv_out_hw(in_w, 3, stride, 1)
+        self._pending_flops += 2.0 * 9 * in_c * out_h * out_w  # depthwise
+        out_shape = self._conv(
+            out_channels, 1, in_shape=(in_c, out_h, out_w)
+        )  # pointwise
+        self._commit(name, out_shape)
+
+    def fire(
+        self,
+        name: str,
+        squeeze: int,
+        expand1x1: int,
+        expand3x3: int,
+        pool: tuple[int, int] | None = None,
+    ) -> None:
+        """A SqueezeNet *fire* module: 1×1 squeeze, then parallel 1×1 and 3×3
+        expands concatenated on channels."""
+        squeezed = self._conv(squeeze, 1)
+        e1 = self._conv(expand1x1, 1, in_shape=squeezed)
+        e3 = self._conv(expand3x3, 3, padding=1, in_shape=squeezed)
+        out_shape = (e1[0] + e3[0], e1[1], e1[2])
+        if pool is not None:
+            out_shape = self._pool(pool[0], pool[1], in_shape=out_shape)
+        self._commit(name, out_shape)
+
+    # -- Inception v3 modules (torchvision structure) -------------------------
+
+    def inception_a(self, name: str, pool_features: int) -> None:
+        """Mixed_5x: 1×1, 5×5, double-3×3 and pooled-1×1 branches (35×35)."""
+        in_shape = self._shape
+        b1 = self._conv(64, 1)
+        b5 = self._conv(48, 1)
+        b5 = self._conv(64, 5, padding=2, in_shape=b5)
+        b3 = self._conv(64, 1)
+        b3 = self._conv(96, 3, padding=1, in_shape=b3)
+        b3 = self._conv(96, 3, padding=1, in_shape=b3)
+        self._pool(3, 1, padding=1, in_shape=in_shape)
+        bp = self._conv(pool_features, 1)
+        out_channels = b1[0] + b5[0] + b3[0] + bp[0]
+        self._commit(name, (out_channels, b1[1], b1[2]))
+
+    def inception_b(self, name: str) -> None:
+        """Mixed_6a: grid reduction 35×35 → 17×17."""
+        in_shape = self._shape
+        b3 = self._conv(384, 3, stride=2)
+        bd = self._conv(64, 1)
+        bd = self._conv(96, 3, padding=1, in_shape=bd)
+        bd = self._conv(96, 3, stride=2, in_shape=bd)
+        pooled = self._pool(3, 2, in_shape=in_shape)
+        out_channels = b3[0] + bd[0] + pooled[0]
+        self._commit(name, (out_channels, b3[1], b3[2]))
+
+    def inception_c(self, name: str, channels_7x7: int) -> None:
+        """Mixed_6b..6e: factorised 7×7 branches (17×17)."""
+        in_shape = self._shape
+        c7 = channels_7x7
+        b1 = self._conv(192, 1)
+        b7 = self._conv(c7, 1)
+        b7 = self._conv(c7, (1, 7), padding=(0, 3), in_shape=b7)
+        b7 = self._conv(192, (7, 1), padding=(3, 0), in_shape=b7)
+        bd = self._conv(c7, 1)
+        bd = self._conv(c7, (7, 1), padding=(3, 0), in_shape=bd)
+        bd = self._conv(c7, (1, 7), padding=(0, 3), in_shape=bd)
+        bd = self._conv(c7, (7, 1), padding=(3, 0), in_shape=bd)
+        bd = self._conv(192, (1, 7), padding=(0, 3), in_shape=bd)
+        self._pool(3, 1, padding=1, in_shape=in_shape)
+        bp = self._conv(192, 1)
+        out_channels = b1[0] + b7[0] + bd[0] + bp[0]
+        self._commit(name, (out_channels, b1[1], b1[2]))
+
+    def inception_d(self, name: str) -> None:
+        """Mixed_7a: grid reduction 17×17 → 8×8."""
+        in_shape = self._shape
+        b3 = self._conv(192, 1)
+        b3 = self._conv(320, 3, stride=2, in_shape=b3)
+        b7 = self._conv(192, 1)
+        b7 = self._conv(192, (1, 7), padding=(0, 3), in_shape=b7)
+        b7 = self._conv(192, (7, 1), padding=(3, 0), in_shape=b7)
+        b7 = self._conv(192, 3, stride=2, in_shape=b7)
+        pooled = self._pool(3, 2, in_shape=in_shape)
+        out_channels = b3[0] + b7[0] + pooled[0]
+        self._commit(name, (out_channels, b3[1], b3[2]))
+
+    def inception_e(self, name: str) -> None:
+        """Mixed_7b/7c: expanded filter-bank modules (8×8)."""
+        in_shape = self._shape
+        b1 = self._conv(320, 1)
+        b3 = self._conv(384, 1)
+        b3a = self._conv(384, (1, 3), padding=(0, 1), in_shape=b3)
+        self._conv(384, (3, 1), padding=(1, 0), in_shape=b3)
+        bd = self._conv(448, 1)
+        bd = self._conv(384, 3, padding=1, in_shape=bd)
+        self._conv(384, (1, 3), padding=(0, 1), in_shape=bd)
+        self._conv(384, (3, 1), padding=(1, 0), in_shape=bd)
+        self._pool(3, 1, padding=1, in_shape=in_shape)
+        bp = self._conv(192, 1)
+        out_channels = b1[0] + 2 * 384 + 2 * 384 + bp[0]
+        self._commit(name, (out_channels, b3a[1], b3a[2]))
+
+    # -- finish ---------------------------------------------------------------
+
+    def build(self, name: str, input_bytes: int) -> DNNProfile:
+        """Assemble the accumulated units into a :class:`DNNProfile`."""
+        if self._pending_flops:
+            raise RuntimeError("uncommitted FLOPs pending; missing _commit call")
+        return DNNProfile(
+            name=name, input_bytes=input_bytes, layers=tuple(self._layers)
+        )

@@ -1,0 +1,197 @@
+"""Multi-exit DNNs: a profile plus an exit-rate curve, and exit selections.
+
+A :class:`MultiExitDNN` is the object the LEIME algorithms operate on.
+Selecting a ``(First, Second, Third)`` exit triple partitions the chain into
+the three blocks of Fig. 4 and yields a :class:`PartitionedModel` carrying
+exactly the Table I quantities the offloading model consumes:
+``(μ_1, μ_2, μ_3)``, ``(d_0, d_1, d_2)``, and ``(σ_1, σ_2, σ_3)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+
+from .exit_rates import ExitCurve, ParametricExitCurve
+from .profile import DNNProfile
+
+
+@dataclass(frozen=True)
+class ExitSelection:
+    """A ``(First, Second, Third)`` exit triple (1-based exit indices).
+
+    The paper fixes the Third-exit at the original model exit ``exit_m``
+    (§III-C) and requires ``e_1 < e_2 < e_3``.
+    """
+
+    first: int
+    second: int
+    third: int
+
+    def __post_init__(self) -> None:
+        if not self.first < self.second < self.third:
+            raise ValueError(
+                f"exits must be strictly increasing, got "
+                f"({self.first}, {self.second}, {self.third})"
+            )
+        if self.first < 1:
+            raise ValueError("exit indices are 1-based")
+
+    def as_tuple(self) -> tuple[int, int, int]:
+        return (self.first, self.second, self.third)
+
+
+@dataclass(frozen=True)
+class PartitionedModel:
+    """A multi-exit DNN cut into device / edge / cloud blocks (Fig. 4).
+
+    Attributes:
+        name: Source model name.
+        selection: The exit triple that produced this partition.
+        block_flops: ``(μ_1, μ_2, μ_3)`` — backbone FLOPs of each block,
+            *including* that block's exit-classifier FLOPs, matching how
+            Eqs. 1-3 fold ``μ_{e_k}`` into each tier's compute time.
+        transfer_bytes: ``(d_0, d_1, d_2)`` — the raw input size, the
+            First-exit intermediate size, and the Second-exit intermediate
+            size.
+        sigma: ``(σ_1, σ_2, σ_3)`` — cumulative exit rates of the three
+            exits; ``σ_3 == 1``.
+    """
+
+    name: str
+    selection: ExitSelection
+    block_flops: tuple[float, float, float]
+    transfer_bytes: tuple[int, int, int]
+    sigma: tuple[float, float, float]
+
+    def __post_init__(self) -> None:
+        if any(f < 0 for f in self.block_flops):
+            raise ValueError("block FLOPs must be non-negative")
+        if any(d < 0 for d in self.transfer_bytes):
+            raise ValueError("transfer sizes must be non-negative")
+        s1, s2, s3 = self.sigma
+        if not (0.0 <= s1 <= s2 <= s3):
+            raise ValueError(f"exit rates must be non-decreasing, got {self.sigma}")
+        if abs(s3 - 1.0) > 1e-9:
+            raise ValueError("σ_3 must be 1")
+
+    # Short aliases matching the paper's notation, used heavily by the
+    # offloading model.
+    @property
+    def mu1(self) -> float:
+        return self.block_flops[0]
+
+    @property
+    def mu2(self) -> float:
+        return self.block_flops[1]
+
+    @property
+    def mu3(self) -> float:
+        return self.block_flops[2]
+
+    @property
+    def d0(self) -> int:
+        return self.transfer_bytes[0]
+
+    @property
+    def d1(self) -> int:
+        return self.transfer_bytes[1]
+
+    @property
+    def d2(self) -> int:
+        return self.transfer_bytes[2]
+
+    @property
+    def sigma1(self) -> float:
+        return self.sigma[0]
+
+    @property
+    def sigma2(self) -> float:
+        return self.sigma[1]
+
+    @property
+    def expected_flops_per_task(self) -> float:
+        """Expected FLOPs per task given early exits:
+        ``μ_1 + (1-σ_1) μ_2 + (1-σ_2) μ_3``."""
+        s1, s2, _ = self.sigma
+        return self.mu1 + (1.0 - s1) * self.mu2 + (1.0 - s2) * self.mu3
+
+
+class MultiExitDNN:
+    """A DNN profile with candidate exits and their exit rates.
+
+    Args:
+        profile: The chain profile (see :mod:`repro.models.zoo`).
+        exit_curve: Source of cumulative exit rates; defaults to a mid-
+            complexity parametric curve.
+    """
+
+    def __init__(self, profile: DNNProfile, exit_curve: ExitCurve | None = None):
+        self.profile = profile
+        self.exit_curve = (
+            exit_curve
+            if exit_curve is not None
+            else ParametricExitCurve.from_complexity(0.5)
+        )
+
+    @cached_property
+    def sigma(self) -> tuple[float, ...]:
+        """Cumulative exit rates ``(σ_1, ..., σ_m)``."""
+        return self.exit_curve.rates(self.profile)
+
+    @property
+    def num_exits(self) -> int:
+        """Number of candidate exits, ``m``."""
+        return self.profile.num_layers
+
+    def exit_rate(self, index: int) -> float:
+        """Cumulative exit rate σ of 1-based candidate ``exit_index``."""
+        if not 1 <= index <= self.num_exits:
+            raise ValueError(f"exit index {index} out of range 1..{self.num_exits}")
+        return self.sigma[index - 1]
+
+    def selection(self, first: int, second: int) -> ExitSelection:
+        """Build the exit triple with the Third-exit fixed at ``exit_m``."""
+        return ExitSelection(first=first, second=second, third=self.num_exits)
+
+    def partition(self, selection: ExitSelection) -> PartitionedModel:
+        """Cut the chain at the selected exits into the three blocks.
+
+        Block 1 is layers ``1..e_1`` plus exit head ``e_1``; block 2 is
+        layers ``e_1+1..e_2`` plus exit head ``e_2``; block 3 is layers
+        ``e_2+1..e_3`` plus exit head ``e_3`` (Eqs. 1-3).
+        """
+        profile = self.profile
+        e1, e2, e3 = selection.as_tuple()
+        if e3 != profile.num_layers:
+            raise ValueError(
+                f"the Third-exit is fixed at exit_m={profile.num_layers} (§III-C), "
+                f"got {e3}"
+            )
+        block1 = profile.layer_range_flops(0, e1) + profile.exit(e1).flops
+        block2 = profile.layer_range_flops(e1, e2) + profile.exit(e2).flops
+        block3 = profile.layer_range_flops(e2, e3) + profile.exit(e3).flops
+        return PartitionedModel(
+            name=profile.name,
+            selection=selection,
+            block_flops=(block1, block2, block3),
+            transfer_bytes=(
+                profile.input_bytes,
+                profile.intermediate_bytes(e1),
+                profile.intermediate_bytes(e2),
+            ),
+            sigma=(self.exit_rate(e1), self.exit_rate(e2), 1.0),
+        )
+
+    def partition_at(self, first: int, second: int) -> PartitionedModel:
+        """Convenience: :meth:`selection` followed by :meth:`partition`."""
+        return self.partition(self.selection(first, second))
+
+    def candidate_selections(self) -> list[ExitSelection]:
+        """All valid ``(e_1, e_2, exit_m)`` triples — the P0 search space."""
+        m = self.num_exits
+        return [
+            ExitSelection(first=e1, second=e2, third=m)
+            for e1 in range(1, m - 1)
+            for e2 in range(e1 + 1, m)
+        ]

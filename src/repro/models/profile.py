@@ -1,0 +1,199 @@
+"""Profile dataclasses: layers, exits, and whole DNN chains.
+
+These are the analytical stand-ins for the paper's profiled PyTorch models.
+A :class:`DNNProfile` carries exactly the per-layer quantities the paper's
+latency model consumes — FLOPs ``μ_{l_i}``, activation sizes ``d_{l_i}``, and
+per-candidate-exit classifier FLOPs ``μ_{exit_i}`` (§III-B2, Table I).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+
+from ..units import BYTES_PER_FLOAT32
+
+#: Number of classes in the CIFAR-10 workload used throughout the paper.
+NUM_CLASSES = 10
+
+#: Hidden width of the exit classifier's first fully-connected layer.  The
+#: paper specifies "a pooling layer, two fully connected layers, and a
+#: softmax layer" but not the width; 128 matches BranchyNet-style heads.
+EXIT_HIDDEN_UNITS = 128
+
+
+@dataclass(frozen=True)
+class LayerProfile:
+    """One atomic unit of the DNN chain (``l_i`` in the paper).
+
+    The paper treats convolutional layers as atomic because they dominate
+    FLOPs; composite blocks (residual blocks, inception modules, fire
+    modules) are likewise treated as single chain units, matching how the
+    paper counts "exit-10 of Inception v3" etc.
+
+    Attributes:
+        name: Human-readable layer/block name, e.g. ``"conv3_2"``.
+        flops: FLOPs to execute the unit on one input (``μ_{l_i}``).
+        output_shape: Activation shape ``(channels, height, width)`` produced
+            by the unit — the tensor that would be transmitted if the model
+            is partitioned after this unit.
+    """
+
+    name: str
+    flops: float
+    output_shape: tuple[int, int, int]
+
+    def __post_init__(self) -> None:
+        if self.flops < 0:
+            raise ValueError(f"layer {self.name!r} has negative FLOPs")
+        if len(self.output_shape) != 3 or any(d <= 0 for d in self.output_shape):
+            raise ValueError(
+                f"layer {self.name!r} output shape must be a positive (C, H, W),"
+                f" got {self.output_shape}"
+            )
+
+    @property
+    def output_elements(self) -> int:
+        """Number of scalar activations in the output tensor."""
+        channels, height, width = self.output_shape
+        return channels * height * width
+
+    @property
+    def output_bytes(self) -> int:
+        """Intermediate data size ``d_{l_i}`` in bytes (float32 activations)."""
+        return self.output_elements * BYTES_PER_FLOAT32
+
+
+@dataclass(frozen=True)
+class ExitProfile:
+    """A candidate exit classifier after chain unit ``index`` (``exit_i``).
+
+    Attributes:
+        index: 1-based position — the exit sits after layer ``index``.
+        flops: Classifier FLOPs ``μ_{exit_i}`` (pool + 2 FC + softmax).
+    """
+
+    index: int
+    flops: float
+
+    def __post_init__(self) -> None:
+        if self.index < 1:
+            raise ValueError("exit index is 1-based")
+        if self.flops < 0:
+            raise ValueError("exit FLOPs must be non-negative")
+
+
+def exit_classifier_flops(
+    input_shape: tuple[int, int, int],
+    num_classes: int = NUM_CLASSES,
+    hidden_units: int = EXIT_HIDDEN_UNITS,
+) -> float:
+    """FLOPs of the paper's exit head on an activation of ``input_shape``.
+
+    The head is: global average pool over ``(C, H, W)`` → FC ``C→hidden`` →
+    FC ``hidden→classes`` → softmax (§III-B2).  Multiply-accumulates are
+    counted as 2 FLOPs, matching the convolution math in
+    :mod:`repro.models.layers`.
+    """
+    channels, height, width = input_shape
+    pool = channels * height * width
+    fc1 = 2 * channels * hidden_units
+    fc2 = 2 * hidden_units * num_classes
+    softmax = 5 * num_classes  # exp + sum + divide, a small constant
+    return float(pool + fc1 + fc2 + softmax)
+
+
+@dataclass(frozen=True)
+class DNNProfile:
+    """A full DNN chain with candidate exits after every unit.
+
+    Attributes:
+        name: Model name, e.g. ``"inception-v3"``.
+        input_bytes: Size of the raw task input ``d_0`` in bytes.  For the
+            CIFAR-10 workload this is the 32×32×3 uint8 image (3072 bytes)
+            regardless of the resolution the network upsamples to internally,
+            because that is what a device transmits when offloading a task.
+        layers: The chain units, shallowest first.
+    """
+
+    name: str
+    input_bytes: int
+    layers: tuple[LayerProfile, ...]
+
+    def __post_init__(self) -> None:
+        if self.input_bytes <= 0:
+            raise ValueError("input size must be positive")
+        if len(self.layers) < 3:
+            raise ValueError(
+                "a usable chain needs at least 3 units (First < Second < Third exit)"
+            )
+
+    @property
+    def num_layers(self) -> int:
+        """Chain length ``m`` — also the number of candidate exits."""
+        return len(self.layers)
+
+    @cached_property
+    def total_flops(self) -> float:
+        """FLOPs of the full backbone (all chain units, no exit heads)."""
+        return float(sum(layer.flops for layer in self.layers))
+
+    @cached_property
+    def cumulative_flops(self) -> tuple[float, ...]:
+        """``cumulative_flops[i]`` = FLOPs of layers ``1..i`` (index 0 is 0)."""
+        totals = [0.0]
+        for layer in self.layers:
+            totals.append(totals[-1] + layer.flops)
+        return tuple(totals)
+
+    def layer_range_flops(self, start: int, stop: int) -> float:
+        """Sum of ``μ_{l_j}`` for ``j`` in ``(start, stop]`` (1-based, as in
+        Eqs. 1-3, e.g. ``layer_range_flops(r1, r2)`` is the second block)."""
+        if not 0 <= start <= stop <= self.num_layers:
+            raise ValueError(
+                f"invalid layer range ({start}, {stop}] for m={self.num_layers}"
+            )
+        return self.cumulative_flops[stop] - self.cumulative_flops[start]
+
+    @cached_property
+    def exits(self) -> tuple[ExitProfile, ...]:
+        """Candidate exits ``exit_1 .. exit_m``, one after every unit."""
+        return tuple(
+            ExitProfile(index=i + 1, flops=exit_classifier_flops(layer.output_shape))
+            for i, layer in enumerate(self.layers)
+        )
+
+    def layer(self, index: int) -> LayerProfile:
+        """The 1-based chain unit ``l_index``."""
+        if not 1 <= index <= self.num_layers:
+            raise ValueError(f"layer index {index} out of range 1..{self.num_layers}")
+        return self.layers[index - 1]
+
+    def exit(self, index: int) -> ExitProfile:
+        """The 1-based candidate ``exit_index``."""
+        if not 1 <= index <= self.num_layers:
+            raise ValueError(f"exit index {index} out of range 1..{self.num_layers}")
+        return self.exits[index - 1]
+
+    def intermediate_bytes(self, index: int) -> int:
+        """Data transmitted when the model is cut after layer ``index``
+        (``d_{l_index}``); ``index == 0`` means the raw input ``d_0``."""
+        if index == 0:
+            return self.input_bytes
+        return self.layer(index).output_bytes
+
+    def describe(self) -> str:
+        """A short multi-line summary used by examples and the CLI."""
+        lines = [
+            f"{self.name}: m={self.num_layers} chain units, "
+            f"{self.total_flops / 1e9:.2f} GFLOPs total, "
+            f"input {self.input_bytes} B"
+        ]
+        for i, layer in enumerate(self.layers, start=1):
+            exit_head = self.exits[i - 1]
+            lines.append(
+                f"  l_{i:<2} {layer.name:<16} {layer.flops / 1e6:9.1f} MFLOPs"
+                f"  out {layer.output_shape}  d={layer.output_bytes:>9} B"
+                f"  μ_exit={exit_head.flops / 1e3:8.1f} kFLOPs"
+            )
+        return "\n".join(lines)

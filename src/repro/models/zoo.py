@@ -1,0 +1,147 @@
+"""The four evaluation networks as analytical chain profiles.
+
+The paper (§IV-A) evaluates on VGG-16, Inception v3, ResNet-34, and
+SqueezeNet-1.0 trained on CIFAR-10 with PyTorch.  We reproduce each as a
+chain of units with exact conv/pool FLOP math (see :mod:`.layers`):
+
+* **VGG-16** and **SqueezeNet-1.0** use CIFAR-native 32×32 inputs (the
+  standard CIFAR adaptations) — these are the paper's "small models"
+  (Fig. 10 discussion).
+* **ResNet-34** (224×224) and **Inception v3** (299×299) use the torchvision
+  input resolutions with upscaled CIFAR images, the common practice when
+  fine-tuning pretrained torchvision models — these are the paper's "large
+  models".
+
+For all models the *offloaded raw input* ``d_0`` is the CIFAR image itself
+(32×32×3 uint8 = 3072 bytes); any upscaling happens at the node that runs the
+first block, so it never crosses the network.
+
+The Inception v3 chain has 16 units, which matches the paper's exit indices
+(Fig. 2 finds optima at exit-1/exit-10; §II-B2 fixes exits at 1, 14, 16).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from .layers import ChainBuilder
+from .profile import DNNProfile
+
+#: Raw CIFAR-10 image: 32×32 RGB, one byte per channel.
+CIFAR_INPUT_BYTES = 32 * 32 * 3
+
+
+def vgg16() -> DNNProfile:
+    """VGG-16 (CIFAR variant): 13 conv units, 5 fused max-pools, m=13."""
+    chain = ChainBuilder(input_shape=(3, 32, 32))
+    chain.conv("conv1_1", 64, 3, padding=1)
+    chain.conv("conv1_2", 64, 3, padding=1, pool=(2, 2))
+    chain.conv("conv2_1", 128, 3, padding=1)
+    chain.conv("conv2_2", 128, 3, padding=1, pool=(2, 2))
+    chain.conv("conv3_1", 256, 3, padding=1)
+    chain.conv("conv3_2", 256, 3, padding=1)
+    chain.conv("conv3_3", 256, 3, padding=1, pool=(2, 2))
+    chain.conv("conv4_1", 512, 3, padding=1)
+    chain.conv("conv4_2", 512, 3, padding=1)
+    chain.conv("conv4_3", 512, 3, padding=1, pool=(2, 2))
+    chain.conv("conv5_1", 512, 3, padding=1)
+    chain.conv("conv5_2", 512, 3, padding=1)
+    chain.conv("conv5_3", 512, 3, padding=1, pool=(2, 2))
+    return chain.build("vgg-16", CIFAR_INPUT_BYTES)
+
+
+def resnet34() -> DNNProfile:
+    """ResNet-34 at 224×224: stem conv + 16 basic blocks, m=17."""
+    chain = ChainBuilder(input_shape=(3, 224, 224))
+    chain.conv("conv1", 64, 7, stride=2, padding=3, pool=(3, 2), pool_padding=1)
+    for i in range(3):
+        chain.basic_residual_block(f"layer1_{i}", 64)
+    for i in range(4):
+        chain.basic_residual_block(f"layer2_{i}", 128, stride=2 if i == 0 else 1)
+    for i in range(6):
+        chain.basic_residual_block(f"layer3_{i}", 256, stride=2 if i == 0 else 1)
+    for i in range(3):
+        chain.basic_residual_block(f"layer4_{i}", 512, stride=2 if i == 0 else 1)
+    return chain.build("resnet-34", CIFAR_INPUT_BYTES)
+
+
+def inception_v3() -> DNNProfile:
+    """Inception v3 at 299×299: 5 stem convs + 11 inception modules, m=16."""
+    chain = ChainBuilder(input_shape=(3, 299, 299))
+    chain.conv("conv1a", 32, 3, stride=2)
+    chain.conv("conv2a", 32, 3)
+    chain.conv("conv2b", 64, 3, padding=1, pool=(3, 2))
+    chain.conv("conv3b", 80, 1)
+    chain.conv("conv4a", 192, 3, pool=(3, 2))
+    chain.inception_a("mixed5b", pool_features=32)
+    chain.inception_a("mixed5c", pool_features=64)
+    chain.inception_a("mixed5d", pool_features=64)
+    chain.inception_b("mixed6a")
+    chain.inception_c("mixed6b", channels_7x7=128)
+    chain.inception_c("mixed6c", channels_7x7=160)
+    chain.inception_c("mixed6d", channels_7x7=160)
+    chain.inception_c("mixed6e", channels_7x7=192)
+    chain.inception_d("mixed7a")
+    chain.inception_e("mixed7b")
+    chain.inception_e("mixed7c")
+    return chain.build("inception-v3", CIFAR_INPUT_BYTES)
+
+
+def squeezenet1_0() -> DNNProfile:
+    """SqueezeNet-1.0 (CIFAR variant): conv stem + 8 fire modules, m=9."""
+    chain = ChainBuilder(input_shape=(3, 32, 32))
+    chain.conv("conv1", 96, 3, padding=1, pool=(2, 2))
+    chain.fire("fire2", 16, 64, 64)
+    chain.fire("fire3", 16, 64, 64)
+    chain.fire("fire4", 32, 128, 128, pool=(2, 2))
+    chain.fire("fire5", 32, 128, 128)
+    chain.fire("fire6", 48, 192, 192)
+    chain.fire("fire7", 48, 192, 192)
+    chain.fire("fire8", 64, 256, 256, pool=(2, 2))
+    chain.fire("fire9", 64, 256, 256)
+    return chain.build("squeezenet-1.0", CIFAR_INPUT_BYTES)
+
+
+def mobilenet_v1() -> DNNProfile:
+    """MobileNet v1 at 224×224: stem conv + 13 depthwise-separable units,
+    m=14.
+
+    Not one of the paper's four evaluation models — included because
+    edge-inference deployments overwhelmingly use it, and its evenly
+    spread, transfer-light structure stresses the exit-setting search
+    differently from the paper's back-loaded backbones.
+    """
+    chain = ChainBuilder(input_shape=(3, 224, 224))
+    chain.conv("conv1", 32, 3, stride=2, padding=1)
+    plan = [
+        (64, 1), (128, 2), (128, 1), (256, 2), (256, 1), (512, 2),
+        (512, 1), (512, 1), (512, 1), (512, 1), (512, 1), (1024, 2),
+        (1024, 1),
+    ]
+    for index, (channels, stride) in enumerate(plan, start=1):
+        chain.depthwise_separable(f"dw{index}", channels, stride=stride)
+    return chain.build("mobilenet-v1", CIFAR_INPUT_BYTES)
+
+
+#: Builders keyed by the names used throughout the experiments.
+MODEL_BUILDERS: dict[str, Callable[[], DNNProfile]] = {
+    "vgg-16": vgg16,
+    "resnet-34": resnet34,
+    "inception-v3": inception_v3,
+    "squeezenet-1.0": squeezenet1_0,
+    "mobilenet-v1": mobilenet_v1,
+}
+
+
+def build_model(name: str) -> DNNProfile:
+    """Build a zoo model by name.
+
+    Raises:
+        KeyError: listing the known model names, if ``name`` is unknown.
+    """
+    try:
+        builder = MODEL_BUILDERS[name]
+    except KeyError:
+        known = ", ".join(sorted(MODEL_BUILDERS))
+        raise KeyError(f"unknown model {name!r}; known: {known}") from None
+    return builder()

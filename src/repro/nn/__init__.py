@@ -1,0 +1,47 @@
+"""Pure-numpy trainable neural networks with multiple exits.
+
+The PyTorch substitute (DESIGN.md): a manual-backprop MLP backbone with an
+exit head (the paper's pool + 2 FC + softmax classifier, §III-B2) after
+every trunk layer, trained with the joint weighted loss of BranchyNet, plus
+the confidence-threshold calibration that produces the exit rates σ and the
+ME-DNN accuracy-loss measurements of Fig. 6.
+"""
+
+from .functional import accuracy, cross_entropy, one_hot, relu, softmax
+from .modules import Linear, ReLU, Sequential
+from .multi_exit_net import MultiExitMLP
+from .multi_exit_cnn import MultiExitCNN
+from .conv import Conv2d, GlobalAvgPool
+from .training import TrainingConfig, train_multi_exit
+from .persistence import load_model, save_model
+from .calibration import (
+    CalibrationResult,
+    calibrate_standalone,
+    calibrate_thresholds,
+    evaluate_combination,
+    exit_statistics,
+)
+
+__all__ = [
+    "relu",
+    "softmax",
+    "cross_entropy",
+    "one_hot",
+    "accuracy",
+    "Linear",
+    "ReLU",
+    "Sequential",
+    "MultiExitMLP",
+    "MultiExitCNN",
+    "Conv2d",
+    "GlobalAvgPool",
+    "TrainingConfig",
+    "train_multi_exit",
+    "CalibrationResult",
+    "calibrate_thresholds",
+    "calibrate_standalone",
+    "evaluate_combination",
+    "exit_statistics",
+    "save_model",
+    "load_model",
+]

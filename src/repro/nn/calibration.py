@@ -1,0 +1,284 @@
+"""Confidence-threshold calibration and multi-exit accuracy evaluation.
+
+§III-B2: "a confidence threshold is set at each exit.  Only the confidence
+of tasks higher than the threshold, the tasks can exit inference early.
+…we strictly set the threshold of each exit to make the task can exit early
+efficiently while guaranteeing inference accuracy."
+
+We implement that sequentially, exit by exit, tracking which samples are
+still in flight: exit ``k`` gets the *smallest* threshold such that the
+samples it would release (still in flight, confidence ≥ threshold) are
+classified by head ``k`` at least as accurately as the **final head
+classifies those same samples** — smallest, because a lower threshold
+releases more tasks early (efficiency), while the same-samples comparison
+is the guarantee: a sample only leaves early if finishing the network
+would not (statistically) have helped it.  Comparing against the final
+head on the *same* released set is what neutralises the selection effect
+(early exits naturally release the easy, confident samples, so comparing
+against the final head's global accuracy would be far too lenient).
+
+With thresholds fixed, a ``(First, Second, Third)`` combination is
+evaluated sequentially per sample (exit at the first head that clears its
+threshold) yielding:
+
+* the cumulative exit rates ``σ`` the latency model consumes, and
+* the ME-DNN accuracy, whose difference from the original (final-exit)
+  accuracy is exactly the quantity Fig. 6 plots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..data.synthetic import Dataset
+from .functional import confidence, softmax
+from .multi_exit_net import MultiExitMLP
+
+#: Candidate thresholds scanned during calibration.
+_THRESHOLD_GRID = np.linspace(0.0, 0.99, 100)
+
+
+@dataclass(frozen=True)
+class CalibrationResult:
+    """Thresholds and measured statistics of a calibrated multi-exit net.
+
+    Attributes:
+        thresholds: Per-exit confidence thresholds (final exit is 0 — it
+            takes everything that reaches it).
+        exit_rates: Cumulative exit rates σ under *sequential* inference
+            with every exit active.
+        release_rates: Standalone release rates ``P(conf_i ≥ t_i)`` per
+            exit — the fraction exit ``i`` would release if it were the
+            *first* active exit.  This is the right σ source when only a
+            few exits are deployed (the LEIME setting): a deployed
+            First-exit at position ``i`` sees every task, so its σ₁ is the
+            standalone rate, not the all-exits-active cumulative rate.
+        standalone_accuracy: Each exit head's accuracy on the whole set.
+        reference_accuracy: The original model's accuracy (final head on
+            every sample) — the Fig. 6 baseline.
+    """
+
+    thresholds: tuple[float, ...]
+    exit_rates: tuple[float, ...]
+    release_rates: tuple[float, ...]
+    standalone_accuracy: tuple[float, ...]
+    reference_accuracy: float
+
+    def deployment_curve_rates(self) -> tuple[float, ...]:
+        """Monotone per-exit σ estimates for a sparse deployment, built
+        from the standalone release rates (isotonic-projected, final = 1).
+        Feed these to :class:`repro.models.exit_rates.EmpiricalExitCurve`."""
+        from ..models.exit_rates import isotonic_projection
+
+        projected = isotonic_projection(self.release_rates)
+        projected[-1] = 1.0
+        return tuple(projected)
+
+
+def _head_confidence_and_correct(
+    net: MultiExitMLP, data: Dataset
+) -> tuple[np.ndarray, np.ndarray]:
+    """``(m, n)`` confidence matrix and ``(m, n)`` correctness matrix."""
+    logits = net.forward_all(data.x, train=False)
+    conf = np.stack([confidence(l) for l in logits])
+    correct = np.stack([(l.argmax(axis=-1) == data.y) for l in logits])
+    return conf, correct
+
+
+def calibrate_thresholds(
+    net: MultiExitMLP,
+    validation: Dataset,
+    accuracy_margin: float = 0.0,
+    min_release_fraction: float = 0.02,
+) -> CalibrationResult:
+    """Pick per-exit thresholds on a validation set.
+
+    Args:
+        net: Trained multi-exit network.
+        validation: Held-out data for calibration.
+        accuracy_margin: Released samples must be classified by their exit
+            with accuracy ≥ (final head's accuracy on the same samples)
+            − margin.  0 is the paper's strict guarantee.
+        min_release_fraction: Ignore thresholds releasing fewer than this
+            fraction of samples (accuracy estimates on a handful of samples
+            are noise).
+
+    Returns:
+        The calibration, including the σ the latency model needs.
+    """
+    if len(validation) == 0:
+        raise ValueError("empty validation set")
+    conf, correct = _head_confidence_and_correct(net, validation)
+    m, n = conf.shape
+    reference = float(correct[-1].mean())
+
+    thresholds: list[float] = []
+    still_in = np.ones(n, dtype=bool)
+    for k in range(m - 1):
+        chosen = 1.0  # releases nothing if no threshold qualifies
+        for threshold in _THRESHOLD_GRID:
+            released = still_in & (conf[k] >= threshold)
+            count = int(released.sum())
+            if count < max(1, int(min_release_fraction * n)):
+                continue
+            acc_here = float(correct[k][released].mean())
+            acc_final_same = float(correct[-1][released].mean())
+            if acc_here >= acc_final_same - accuracy_margin:
+                chosen = float(threshold)
+                break
+        thresholds.append(chosen)
+        still_in &= ~(conf[k] >= chosen)
+    thresholds.append(0.0)  # the final exit takes everything
+
+    exit_rates = _sequential_exit_rates(conf, thresholds)
+    release_rates = tuple(
+        float((conf[k] >= thresholds[k]).mean()) for k in range(m)
+    )
+    standalone = tuple(float(c.mean()) for c in correct)
+    return CalibrationResult(
+        thresholds=tuple(thresholds),
+        exit_rates=exit_rates,
+        release_rates=release_rates,
+        standalone_accuracy=standalone,
+        reference_accuracy=reference,
+    )
+
+
+def calibrate_standalone(
+    net: MultiExitMLP,
+    validation: Dataset,
+    accuracy_margin: float = 0.0,
+    min_release_fraction: float = 0.02,
+) -> CalibrationResult:
+    """Per-exit thresholds calibrated on the *full* population.
+
+    :func:`calibrate_thresholds` calibrates sequentially — exit ``k``'s
+    threshold is tuned for the population that exits ``1..k-1`` did not
+    release, which is right when every exit is active.  A LEIME deployment
+    activates only two early exits, so the First-exit faces the full
+    population; this variant tunes every exit as if it were deployed
+    first, which is the consistent source of deployment σ curves (the
+    Second-exit's threshold is then an approximation, as its population is
+    drained by the First — the same approximation the paper's fixed
+    thresholds make).
+    """
+    if len(validation) == 0:
+        raise ValueError("empty validation set")
+    conf, correct = _head_confidence_and_correct(net, validation)
+    m, n = conf.shape
+    reference = float(correct[-1].mean())
+
+    thresholds: list[float] = []
+    for k in range(m - 1):
+        chosen = 1.0
+        for threshold in _THRESHOLD_GRID:
+            released = conf[k] >= threshold
+            count = int(released.sum())
+            if count < max(1, int(min_release_fraction * n)):
+                continue
+            acc_here = float(correct[k][released].mean())
+            acc_final_same = float(correct[-1][released].mean())
+            if acc_here >= acc_final_same - accuracy_margin:
+                chosen = float(threshold)
+                break
+        thresholds.append(chosen)
+    thresholds.append(0.0)
+
+    exit_rates = _sequential_exit_rates(conf, thresholds)
+    release_rates = tuple(
+        float((conf[k] >= thresholds[k]).mean()) for k in range(m)
+    )
+    return CalibrationResult(
+        thresholds=tuple(thresholds),
+        exit_rates=exit_rates,
+        release_rates=release_rates,
+        standalone_accuracy=tuple(float(c.mean()) for c in correct),
+        reference_accuracy=reference,
+    )
+
+
+def _sequential_exit_rates(
+    conf: np.ndarray, thresholds: list[float] | tuple[float, ...]
+) -> tuple[float, ...]:
+    """Cumulative σ when every exit is active: a sample exits at the first
+    head whose confidence clears its threshold."""
+    m, n = conf.shape
+    still_in = np.ones(n, dtype=bool)
+    cumulative = []
+    exited = 0
+    for k in range(m):
+        release = still_in & (conf[k] >= thresholds[k])
+        exited += int(release.sum())
+        still_in &= ~release
+        cumulative.append(exited / n)
+    cumulative[-1] = 1.0  # final exit takes the remainder by definition
+    return tuple(cumulative)
+
+
+@dataclass(frozen=True)
+class CombinationEvaluation:
+    """Accuracy and exit rates of one (First, Second, Third) combination."""
+
+    first: int
+    second: int
+    accuracy: float
+    accuracy_loss: float
+    sigma: tuple[float, float, float]
+
+
+def evaluate_combination(
+    net: MultiExitMLP,
+    data: Dataset,
+    calibration: CalibrationResult,
+    first: int,
+    second: int,
+) -> CombinationEvaluation:
+    """Evaluate a specific exit pair (1-based indices; Third is the last).
+
+    A sample is classified by the First-exit if its confidence clears that
+    exit's threshold; otherwise by the Second-exit under the same rule;
+    otherwise by the final head.  Returns accuracy, the Fig. 6 accuracy
+    loss (reference − accuracy, so negative means the ME-DNN *beats* the
+    original — overthinking), and the (σ₁, σ₂, 1) rates.
+    """
+    m = net.num_stages
+    if not 1 <= first < second < m:
+        raise ValueError(f"need 1 <= first < second < {m}")
+    conf, correct = _head_confidence_and_correct(net, data)
+    n = conf.shape[1]
+    t_first = calibration.thresholds[first - 1]
+    t_second = calibration.thresholds[second - 1]
+
+    at_first = conf[first - 1] >= t_first
+    at_second = ~at_first & (conf[second - 1] >= t_second)
+    at_third = ~at_first & ~at_second
+
+    hits = (
+        correct[first - 1][at_first].sum()
+        + correct[second - 1][at_second].sum()
+        + correct[m - 1][at_third].sum()
+    )
+    acc = float(hits / n)
+    sigma1 = float(at_first.mean())
+    sigma2 = float(sigma1 + at_second.mean())
+    return CombinationEvaluation(
+        first=first,
+        second=second,
+        accuracy=acc,
+        accuracy_loss=calibration.reference_accuracy - acc,
+        sigma=(sigma1, sigma2, 1.0),
+    )
+
+
+def exit_statistics(
+    net: MultiExitMLP, data: Dataset, calibration: CalibrationResult
+) -> dict[str, tuple[float, ...]]:
+    """Summary used by examples: per-exit σ and standalone accuracy."""
+    conf, correct = _head_confidence_and_correct(net, data)
+    rates = _sequential_exit_rates(conf, list(calibration.thresholds))
+    return {
+        "exit_rates": rates,
+        "standalone_accuracy": tuple(float(c.mean()) for c in correct),
+    }

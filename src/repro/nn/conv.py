@@ -1,0 +1,183 @@
+"""Convolutional modules (numpy, im2col) for the CNN multi-exit substrate.
+
+The MLP substrate grades sample difficulty through a *chunked* input; real
+multi-exit CNNs (BranchyNet, the paper's ME-DNNs) grade it through the
+**receptive field**: early exits see local features only, deep exits see
+global context.  These modules make that mechanism available without
+PyTorch: a :class:`Conv2d` (im2col forward, col2im backward) and a
+:class:`GlobalAvgPool` head reducer, composing with the existing
+:class:`~repro.nn.modules.Linear`/:class:`~repro.nn.modules.ReLU` and the
+same manual-backprop protocol.
+
+Tensors are ``(batch, channels, height, width)`` float64.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def im2col(
+    x: np.ndarray, kernel: int, stride: int, padding: int
+) -> tuple[np.ndarray, int, int]:
+    """Unfold sliding windows into columns.
+
+    Returns:
+        ``(cols, out_h, out_w)`` where ``cols`` has shape
+        ``(batch·out_h·out_w, channels·kernel²)``.
+    """
+    batch, channels, height, width = x.shape
+    out_h = (height + 2 * padding - kernel) // stride + 1
+    out_w = (width + 2 * padding - kernel) // stride + 1
+    if out_h <= 0 or out_w <= 0:
+        raise ValueError("kernel/stride/padding collapse the spatial dims")
+    padded = np.pad(
+        x, ((0, 0), (0, 0), (padding, padding), (padding, padding))
+    )
+    cols = np.empty(
+        (batch, channels, kernel, kernel, out_h, out_w), dtype=x.dtype
+    )
+    for i in range(kernel):
+        i_end = i + stride * out_h
+        for j in range(kernel):
+            j_end = j + stride * out_w
+            cols[:, :, i, j, :, :] = padded[:, :, i:i_end:stride, j:j_end:stride]
+    cols = cols.transpose(0, 4, 5, 1, 2, 3).reshape(
+        batch * out_h * out_w, channels * kernel * kernel
+    )
+    return cols, out_h, out_w
+
+
+def col2im(
+    cols: np.ndarray,
+    x_shape: tuple[int, int, int, int],
+    kernel: int,
+    stride: int,
+    padding: int,
+    out_h: int,
+    out_w: int,
+) -> np.ndarray:
+    """Fold column gradients back onto the (padded, then cropped) input."""
+    batch, channels, height, width = x_shape
+    cols = cols.reshape(
+        batch, out_h, out_w, channels, kernel, kernel
+    ).transpose(0, 3, 4, 5, 1, 2)
+    padded = np.zeros(
+        (batch, channels, height + 2 * padding, width + 2 * padding),
+        dtype=cols.dtype,
+    )
+    for i in range(kernel):
+        i_end = i + stride * out_h
+        for j in range(kernel):
+            j_end = j + stride * out_w
+            padded[:, :, i:i_end:stride, j:j_end:stride] += cols[:, :, i, j, :, :]
+    if padding == 0:
+        return padded
+    return padded[:, :, padding:-padding, padding:-padding]
+
+
+class Conv2d:
+    """2-D convolution with He-uniform init and manual backprop."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel: int,
+        rng: np.random.Generator,
+        stride: int = 1,
+        padding: int = 0,
+    ):
+        if in_channels <= 0 or out_channels <= 0 or kernel <= 0:
+            raise ValueError("channels and kernel must be positive")
+        if stride <= 0 or padding < 0:
+            raise ValueError("stride must be positive, padding non-negative")
+        fan_in = in_channels * kernel * kernel
+        bound = np.sqrt(6.0 / fan_in)
+        self.weight = rng.uniform(
+            -bound, bound, size=(out_channels, in_channels, kernel, kernel)
+        ).astype(np.float64)
+        self.bias = np.zeros(out_channels, dtype=np.float64)
+        self.grad_weight = np.zeros_like(self.weight)
+        self.grad_bias = np.zeros_like(self.bias)
+        self.kernel = kernel
+        self.stride = stride
+        self.padding = padding
+        self._cache: tuple | None = None
+
+    def forward(self, x: np.ndarray, train: bool = True) -> np.ndarray:
+        if x.ndim != 4:
+            raise ValueError("expected (batch, channels, height, width)")
+        cols, out_h, out_w = im2col(x, self.kernel, self.stride, self.padding)
+        out_channels = self.weight.shape[0]
+        flat_weight = self.weight.reshape(out_channels, -1)
+        out = cols @ flat_weight.T + self.bias
+        batch = x.shape[0]
+        out = out.reshape(batch, out_h, out_w, out_channels).transpose(
+            0, 3, 1, 2
+        )
+        if train:
+            self._cache = (x.shape, cols, out_h, out_w)
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward before forward(train=True)")
+        x_shape, cols, out_h, out_w = self._cache
+        out_channels = self.weight.shape[0]
+        grad_flat = grad_out.transpose(0, 2, 3, 1).reshape(-1, out_channels)
+        self.grad_weight += (grad_flat.T @ cols).reshape(self.weight.shape)
+        self.grad_bias += grad_flat.sum(axis=0)
+        grad_cols = grad_flat @ self.weight.reshape(out_channels, -1)
+        return col2im(
+            grad_cols,
+            x_shape,
+            self.kernel,
+            self.stride,
+            self.padding,
+            out_h,
+            out_w,
+        )
+
+    def params(self) -> list[np.ndarray]:
+        return [self.weight, self.bias]
+
+    def grads(self) -> list[np.ndarray]:
+        return [self.grad_weight, self.grad_bias]
+
+    def zero_grad(self) -> None:
+        self.grad_weight[:] = 0.0
+        self.grad_bias[:] = 0.0
+
+
+class GlobalAvgPool:
+    """Mean over the spatial dims: ``(n, c, h, w) → (n, c)`` — the exit
+    head's pooling layer (§III-B2)."""
+
+    def __init__(self) -> None:
+        self._shape: tuple[int, int, int, int] | None = None
+
+    def forward(self, x: np.ndarray, train: bool = True) -> np.ndarray:
+        if x.ndim != 4:
+            raise ValueError("expected (batch, channels, height, width)")
+        if train:
+            self._shape = x.shape
+        return x.mean(axis=(2, 3))
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._shape is None:
+            raise RuntimeError("backward before forward(train=True)")
+        batch, channels, height, width = self._shape
+        scale = 1.0 / (height * width)
+        return np.broadcast_to(
+            grad_out[:, :, None, None] * scale, self._shape
+        ).copy()
+
+    def params(self) -> list[np.ndarray]:
+        return []
+
+    def grads(self) -> list[np.ndarray]:
+        return []
+
+    def zero_grad(self) -> None:
+        pass

@@ -1,0 +1,63 @@
+"""Stateless tensor functions and their gradients (numpy)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def relu(x: np.ndarray) -> np.ndarray:
+    """Elementwise rectifier."""
+    return np.maximum(x, 0.0)
+
+
+def relu_grad(x: np.ndarray, grad_out: np.ndarray) -> np.ndarray:
+    """Gradient of ReLU w.r.t. its input, given upstream ``grad_out``."""
+    return grad_out * (x > 0.0)
+
+
+def softmax(logits: np.ndarray) -> np.ndarray:
+    """Row-wise softmax, numerically stabilised."""
+    shifted = logits - logits.max(axis=-1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=-1, keepdims=True)
+
+
+def one_hot(labels: np.ndarray, num_classes: int) -> np.ndarray:
+    """``(n,)`` int labels → ``(n, num_classes)`` float32 one-hot."""
+    if labels.ndim != 1:
+        raise ValueError("labels must be 1-D")
+    if labels.size and (labels.min() < 0 or labels.max() >= num_classes):
+        raise ValueError("labels out of range")
+    encoded = np.zeros((labels.shape[0], num_classes), dtype=np.float32)
+    encoded[np.arange(labels.shape[0]), labels] = 1.0
+    return encoded
+
+
+def cross_entropy(logits: np.ndarray, labels: np.ndarray) -> float:
+    """Mean cross-entropy of logits against integer labels."""
+    probs = softmax(logits)
+    n = labels.shape[0]
+    picked = probs[np.arange(n), labels]
+    return float(-np.log(np.clip(picked, 1e-12, None)).mean())
+
+
+def cross_entropy_grad(logits: np.ndarray, labels: np.ndarray) -> np.ndarray:
+    """Gradient of mean cross-entropy w.r.t. the logits:
+    ``(softmax − one_hot) / n`` — the fused softmax-CE backward."""
+    probs = softmax(logits)
+    n = labels.shape[0]
+    grad = probs.copy()
+    grad[np.arange(n), labels] -= 1.0
+    return grad / n
+
+
+def accuracy(logits: np.ndarray, labels: np.ndarray) -> float:
+    """Top-1 accuracy of logits against integer labels."""
+    if labels.size == 0:
+        return 0.0
+    return float((logits.argmax(axis=-1) == labels).mean())
+
+
+def confidence(logits: np.ndarray) -> np.ndarray:
+    """The paper's exit criterion: the max softmax probability per row."""
+    return softmax(logits).max(axis=-1)

@@ -1,0 +1,106 @@
+"""Minimal layer modules with manual backprop.
+
+Each module caches what its backward pass needs during ``forward`` and
+accumulates parameter gradients into ``.grads`` during ``backward``; an
+optimiser then reads ``params()``/``grads()`` pairs.  This is deliberately
+the smallest abstraction that supports a multi-exit network with a shared
+trunk — no autograd tape, just explicit chain rule.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .functional import relu, relu_grad
+
+
+class Linear:
+    """Fully-connected layer ``y = x·W + b`` with He-uniform init."""
+
+    def __init__(self, in_features: int, out_features: int, rng: np.random.Generator):
+        if in_features <= 0 or out_features <= 0:
+            raise ValueError("feature dimensions must be positive")
+        bound = np.sqrt(6.0 / in_features)
+        self.weight = rng.uniform(
+            -bound, bound, size=(in_features, out_features)
+        ).astype(np.float64)
+        self.bias = np.zeros(out_features, dtype=np.float64)
+        self.grad_weight = np.zeros_like(self.weight)
+        self.grad_bias = np.zeros_like(self.bias)
+        self._input: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, train: bool = True) -> np.ndarray:
+        if train:
+            self._input = x
+        return x @ self.weight + self.bias
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        """Accumulate parameter grads; return grad w.r.t. the input."""
+        if self._input is None:
+            raise RuntimeError("backward before forward(train=True)")
+        self.grad_weight += self._input.T @ grad_out
+        self.grad_bias += grad_out.sum(axis=0)
+        return grad_out @ self.weight.T
+
+    def params(self) -> list[np.ndarray]:
+        return [self.weight, self.bias]
+
+    def grads(self) -> list[np.ndarray]:
+        return [self.grad_weight, self.grad_bias]
+
+    def zero_grad(self) -> None:
+        self.grad_weight[:] = 0.0
+        self.grad_bias[:] = 0.0
+
+
+class ReLU:
+    """Rectifier with cached pre-activation."""
+
+    def __init__(self) -> None:
+        self._input: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, train: bool = True) -> np.ndarray:
+        if train:
+            self._input = x
+        return relu(x)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._input is None:
+            raise RuntimeError("backward before forward(train=True)")
+        return relu_grad(self._input, grad_out)
+
+    def params(self) -> list[np.ndarray]:
+        return []
+
+    def grads(self) -> list[np.ndarray]:
+        return []
+
+    def zero_grad(self) -> None:
+        pass
+
+
+class Sequential:
+    """A chain of modules applied in order."""
+
+    def __init__(self, *modules) -> None:
+        self.modules = list(modules)
+
+    def forward(self, x: np.ndarray, train: bool = True) -> np.ndarray:
+        for module in self.modules:
+            x = module.forward(x, train=train)
+        return x
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        for module in reversed(self.modules):
+            grad_out = module.backward(grad_out)
+        return grad_out
+
+    def params(self) -> list[np.ndarray]:
+        return [p for module in self.modules for p in module.params()]
+
+    def grads(self) -> list[np.ndarray]:
+        return [g for module in self.modules for g in module.grads()]
+
+    def zero_grad(self) -> None:
+        for module in self.modules:
+            module.zero_grad()

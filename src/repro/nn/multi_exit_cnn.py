@@ -1,0 +1,158 @@
+"""A trainable multi-exit CNN — the closest offline analogue of the
+paper's PyTorch ME-DNNs.
+
+Structure (Fig. 4 / §III-B2):
+
+    image → conv₁ → conv₂ → … → conv_m
+              ↓        ↓            ↓
+            exit₁    exit₂   …   exit_m
+
+Each trunk stage is Conv2d→ReLU (3×3, stride 1, same padding; a stride-2
+stage mid-network halves the grid, mimicking the pooling schedule of real
+backbones).  Each exit head is exactly the paper's classifier: a global
+average pool followed by fully-connected layers and softmax.
+
+Early exits are confident on *local* evidence only (their receptive field
+is a few pixels); the paired image dataset
+(:mod:`repro.data.synthetic_images`) puts easy classes in a local patch
+and hard classes in a global template, so accuracy grows with depth for
+the same architectural reason it does in real ME-DNNs.
+
+Training, calibration (:func:`repro.nn.calibration.calibrate_thresholds`)
+and combination evaluation all work unchanged: the CNN exposes the same
+``forward_all``/``train_batch``/``params``/``grads`` protocol as
+:class:`~repro.nn.multi_exit_net.MultiExitMLP`, and the calibration code
+only consumes logits.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from .conv import Conv2d, GlobalAvgPool
+from .functional import cross_entropy, cross_entropy_grad
+from .modules import Linear, ReLU, Sequential
+
+
+class _ExitHead:
+    """Global-average-pool → Linear classifier (the §III-B2 head)."""
+
+    def __init__(self, channels: int, num_classes: int, rng: np.random.Generator):
+        self.pool = GlobalAvgPool()
+        self.classifier = Sequential(Linear(channels, num_classes, rng))
+
+    def forward(self, x: np.ndarray, train: bool = True) -> np.ndarray:
+        return self.classifier.forward(self.pool.forward(x, train), train)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        return self.pool.backward(self.classifier.backward(grad_out))
+
+    def params(self) -> list[np.ndarray]:
+        return self.classifier.params()
+
+    def grads(self) -> list[np.ndarray]:
+        return self.classifier.grads()
+
+    def zero_grad(self) -> None:
+        self.classifier.zero_grad()
+
+
+class MultiExitCNN:
+    """Multi-exit CNN with ``num_stages`` conv stages and exits.
+
+    Args:
+        in_channels: Input image channels.
+        num_classes: Output classes.
+        num_stages: Trunk depth = candidate exits ``m`` (≥ 3).
+        width: Conv channels per stage.
+        downsample_at: 1-based stage index whose conv uses stride 2 (one
+            grid halving keeps tiny images informative; pass 0 for none).
+        seed: Initialisation seed.
+        loss_weights: Per-exit loss weights (uniform by default).
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        num_classes: int,
+        num_stages: int,
+        width: int = 16,
+        downsample_at: int = 3,
+        seed: int = 0,
+        loss_weights: Sequence[float] | None = None,
+    ):
+        if num_stages < 3:
+            raise ValueError("need at least 3 stages")
+        if width <= 0:
+            raise ValueError("width must be positive")
+        rng = np.random.default_rng(seed)
+        self.num_stages = num_stages
+        self.num_classes = num_classes
+        self.stages: list[list] = []
+        self.exits: list[_ExitHead] = []
+        channels = in_channels
+        for k in range(num_stages):
+            stride = 2 if (k + 1) == downsample_at else 1
+            conv = Conv2d(channels, width, kernel=3, rng=rng, stride=stride, padding=1)
+            self.stages.append([conv, ReLU()])
+            self.exits.append(_ExitHead(width, num_classes, rng))
+            channels = width
+        if loss_weights is None:
+            loss_weights = [1.0] * num_stages
+        if len(loss_weights) != num_stages or any(w < 0 for w in loss_weights):
+            raise ValueError("need one non-negative loss weight per stage")
+        self.loss_weights = tuple(float(w) for w in loss_weights)
+
+    # -- inference ---------------------------------------------------------
+
+    def forward_all(self, x: np.ndarray, train: bool = False) -> list[np.ndarray]:
+        """Logits of every exit head for an image batch ``(n, c, h, w)``."""
+        if x.ndim != 4:
+            raise ValueError("expected (batch, channels, height, width)")
+        logits = []
+        h = x
+        for stage, head in zip(self.stages, self.exits):
+            for module in stage:
+                h = module.forward(h, train=train)
+            logits.append(head.forward(h, train=train))
+        return logits
+
+    # -- training ----------------------------------------------------------
+
+    def _modules(self):
+        for stage in self.stages:
+            yield from stage
+        yield from self.exits
+
+    def zero_grad(self) -> None:
+        for module in self._modules():
+            module.zero_grad()
+
+    def params(self) -> list[np.ndarray]:
+        return [p for module in self._modules() for p in module.params()]
+
+    def grads(self) -> list[np.ndarray]:
+        return [g for module in self._modules() for g in module.grads()]
+
+    def train_batch(self, x: np.ndarray, y: np.ndarray) -> float:
+        """One joint-loss forward/backward; returns the weighted loss."""
+        self.zero_grad()
+        logits = self.forward_all(x, train=True)
+        total_loss = 0.0
+        head_grads = []
+        for k, head_logits in enumerate(logits):
+            weight = self.loss_weights[k]
+            total_loss += weight * cross_entropy(head_logits, y)
+            head_grads.append(weight * cross_entropy_grad(head_logits, y))
+        grad_trunk: np.ndarray | None = None
+        for k in reversed(range(self.num_stages)):
+            grad_from_head = self.exits[k].backward(head_grads[k])
+            combined = (
+                grad_from_head if grad_trunk is None else grad_trunk + grad_from_head
+            )
+            for module in reversed(self.stages[k]):
+                combined = module.backward(combined)
+            grad_trunk = combined
+        return total_loss

@@ -1,0 +1,157 @@
+"""The trainable multi-exit network: shared trunk, one exit head per stage.
+
+Structure (BranchyNet-style, matching the paper's §III-B2 description):
+
+    chunk₁ → stage₁ → stage₂ → … → stage_m
+             ↑ ↓      ↑ ↓           ↑ ↓
+          chunk₂…   chunk_k      exit_m (the original classifier)
+               ↓         ↓
+             exit₁     exit₂ …
+
+Trunk stage ``k`` consumes the previous hidden state concatenated with
+input chunk ``k`` — a *progressive receptive field*: exit ``k`` can only
+use the first ``k`` chunks of the input, the MLP analogue of a CNN exit
+only seeing features of limited depth/receptive field.  Paired with the
+chunked synthetic dataset (:mod:`repro.data.synthetic`), this is what makes
+early exits accurate on easy samples and deep exits necessary for hard
+ones — the behaviour the paper's trained PyTorch ME-DNNs exhibit.
+
+Each exit head is a linear classifier by default (see the ``exit_hidden``
+note below).  Training minimises the weighted sum of every exit's
+cross-entropy; gradients from all heads accumulate through the shared
+trunk — exactly the joint training BranchyNet uses.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..data.synthetic import chunk_boundaries
+from .functional import cross_entropy, cross_entropy_grad
+from .modules import Linear, ReLU, Sequential
+
+
+class MultiExitMLP:
+    """A multi-exit MLP with ``num_stages`` trunk stages and exits.
+
+    Args:
+        input_dim: Feature dimensionality (split into ``num_stages`` chunks).
+        num_classes: Output classes.
+        num_stages: Trunk depth = number of candidate exits ``m``.
+        hidden: Trunk width.
+        exit_hidden: Width of each exit head's hidden layer, or ``None``
+            (default) for a single linear head.  Linear heads keep the
+            depth grading sharp: a head with its own hidden layer is a
+            universal approximator that can partially compensate for a
+            shallow trunk, blurring the exit-accuracy progression.
+        seed: Initialisation seed.
+        loss_weights: Per-exit loss weights; defaults to uniform.  BranchyNet
+            weights earlier exits slightly higher; uniform keeps the final
+            exit competitive, which Fig. 6 needs (it is the accuracy
+            reference).
+    """
+
+    def __init__(
+        self,
+        input_dim: int,
+        num_classes: int,
+        num_stages: int,
+        hidden: int = 64,
+        exit_hidden: int | None = None,
+        seed: int = 0,
+        loss_weights: Sequence[float] | None = None,
+    ):
+        if num_stages < 3:
+            raise ValueError("need at least 3 stages for a First/Second/Third split")
+        rng = np.random.default_rng(seed)
+        self.num_stages = num_stages
+        self.num_classes = num_classes
+        self.hidden = hidden
+        self.chunks = chunk_boundaries(input_dim, num_stages)
+        self.stages: list[Sequential] = []
+        self.exits: list[Sequential] = []
+        for k, (start, stop) in enumerate(self.chunks):
+            chunk_width = stop - start
+            stage_in = chunk_width if k == 0 else hidden + chunk_width
+            self.stages.append(Sequential(Linear(stage_in, hidden, rng), ReLU()))
+            if exit_hidden is None:
+                head = Sequential(Linear(hidden, num_classes, rng))
+            else:
+                head = Sequential(
+                    Linear(hidden, exit_hidden, rng),
+                    ReLU(),
+                    Linear(exit_hidden, num_classes, rng),
+                )
+            self.exits.append(head)
+        if loss_weights is None:
+            loss_weights = [1.0] * num_stages
+        if len(loss_weights) != num_stages:
+            raise ValueError("need one loss weight per stage")
+        if any(w < 0 for w in loss_weights):
+            raise ValueError("loss weights must be non-negative")
+        self.loss_weights = tuple(float(w) for w in loss_weights)
+
+    # -- inference ---------------------------------------------------------
+
+    def forward_all(self, x: np.ndarray, train: bool = False) -> list[np.ndarray]:
+        """Logits of every exit head for a batch of full feature vectors."""
+        if x.shape[1] != self.chunks[-1][1]:
+            raise ValueError(
+                f"expected {self.chunks[-1][1]} features, got {x.shape[1]}"
+            )
+        logits: list[np.ndarray] = []
+        h: np.ndarray | None = None
+        for k, (start, stop) in enumerate(self.chunks):
+            chunk = x[:, start:stop]
+            stage_in = chunk if h is None else np.concatenate([h, chunk], axis=1)
+            h = self.stages[k].forward(stage_in, train=train)
+            logits.append(self.exits[k].forward(h, train=train))
+        return logits
+
+    # -- training ----------------------------------------------------------
+
+    def zero_grad(self) -> None:
+        for module in (*self.stages, *self.exits):
+            module.zero_grad()
+
+    def params(self) -> list[np.ndarray]:
+        return [
+            p for module in (*self.stages, *self.exits) for p in module.params()
+        ]
+
+    def grads(self) -> list[np.ndarray]:
+        return [
+            g for module in (*self.stages, *self.exits) for g in module.grads()
+        ]
+
+    def train_batch(self, x: np.ndarray, y: np.ndarray) -> float:
+        """One forward/backward over a batch; returns the weighted loss.
+
+        The trunk gradient at stage ``k`` is the sum of the upstream trunk
+        gradient from stage ``k+1`` (the hidden-state slice of that stage's
+        input gradient; the chunk slice belongs to the raw input) and the
+        gradient flowing out of exit head ``k`` — deep supervision through
+        the shared trunk.
+        """
+        self.zero_grad()
+        logits = self.forward_all(x, train=True)
+        total_loss = 0.0
+        head_grads: list[np.ndarray] = []
+        for k, head_logits in enumerate(logits):
+            weight = self.loss_weights[k]
+            total_loss += weight * cross_entropy(head_logits, y)
+            head_grads.append(weight * cross_entropy_grad(head_logits, y))
+
+        grad_hidden: np.ndarray | None = None
+        for k in reversed(range(self.num_stages)):
+            grad_from_head = self.exits[k].backward(head_grads[k])
+            combined = (
+                grad_from_head if grad_hidden is None else grad_hidden + grad_from_head
+            )
+            grad_stage_in = self.stages[k].backward(combined)
+            # Split the stage-input gradient: the leading `hidden` columns
+            # flow to the previous hidden state, the rest to the raw chunk.
+            grad_hidden = grad_stage_in[:, : self.hidden] if k > 0 else None
+        return total_loss

@@ -1,0 +1,115 @@
+"""Save/load trained multi-exit networks (.npz, no pickling).
+
+A deployment trains the ME-DNN once, calibrates thresholds, and then ships
+the weights to devices — so the library needs a portable, audit-friendly
+format.  Weights go into a compressed ``.npz`` with integer-indexed keys;
+the architecture and optional calibration ride along as a JSON string, so
+a file round-trips into a fully working
+:class:`~repro.nn.multi_exit_net.MultiExitMLP` (plus its thresholds)
+without executing any stored code.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from .calibration import CalibrationResult
+from .multi_exit_net import MultiExitMLP
+
+#: Format marker for forward compatibility.
+_FORMAT_VERSION = 1
+
+
+def save_model(
+    net: MultiExitMLP,
+    path: str | Path,
+    calibration: CalibrationResult | None = None,
+) -> Path:
+    """Write the network (and optionally its calibration) to ``path``.
+
+    The parameter list order is the constructor's (all trunk stages, then
+    all exit heads), which :func:`load_model` reproduces by rebuilding the
+    same architecture before assignment.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    meta = {
+        "format_version": _FORMAT_VERSION,
+        "input_dim": net.chunks[-1][1],
+        "num_classes": net.num_classes,
+        "num_stages": net.num_stages,
+        "hidden": net.hidden,
+        "exit_hidden": _exit_hidden_of(net),
+        "loss_weights": list(net.loss_weights),
+    }
+    if calibration is not None:
+        meta["calibration"] = {
+            "thresholds": list(calibration.thresholds),
+            "exit_rates": list(calibration.exit_rates),
+            "release_rates": list(calibration.release_rates),
+            "standalone_accuracy": list(calibration.standalone_accuracy),
+            "reference_accuracy": calibration.reference_accuracy,
+        }
+    arrays = {
+        f"param_{i}": param for i, param in enumerate(net.params())
+    }
+    np.savez_compressed(path, meta=json.dumps(meta), **arrays)
+    return path
+
+
+def _exit_hidden_of(net: MultiExitMLP) -> int | None:
+    """Recover the exit-head width from the built modules."""
+    head = net.exits[0]
+    return None if len(head.modules) == 1 else head.modules[0].weight.shape[1]
+
+
+def load_model(
+    path: str | Path,
+) -> tuple[MultiExitMLP, CalibrationResult | None]:
+    """Rebuild a saved network; returns ``(net, calibration-or-None)``.
+
+    Raises:
+        ValueError: on unknown format versions or mismatched weights.
+    """
+    with np.load(Path(path), allow_pickle=False) as archive:
+        meta = json.loads(str(archive["meta"]))
+        if meta.get("format_version") != _FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported model format {meta.get('format_version')!r}"
+            )
+        net = MultiExitMLP(
+            input_dim=meta["input_dim"],
+            num_classes=meta["num_classes"],
+            num_stages=meta["num_stages"],
+            hidden=meta["hidden"],
+            exit_hidden=meta["exit_hidden"],
+            loss_weights=meta["loss_weights"],
+        )
+        params = net.params()
+        stored = [key for key in archive.files if key.startswith("param_")]
+        if len(stored) != len(params):
+            raise ValueError(
+                f"weight count mismatch: file has {len(stored)}, "
+                f"architecture needs {len(params)}"
+            )
+        for i, param in enumerate(params):
+            loaded = archive[f"param_{i}"]
+            if loaded.shape != param.shape:
+                raise ValueError(
+                    f"param_{i} shape {loaded.shape} != expected {param.shape}"
+                )
+            param[...] = loaded
+    calibration = None
+    if "calibration" in meta:
+        stored_cal = meta["calibration"]
+        calibration = CalibrationResult(
+            thresholds=tuple(stored_cal["thresholds"]),
+            exit_rates=tuple(stored_cal["exit_rates"]),
+            release_rates=tuple(stored_cal["release_rates"]),
+            standalone_accuracy=tuple(stored_cal["standalone_accuracy"]),
+            reference_accuracy=stored_cal["reference_accuracy"],
+        )
+    return net, calibration

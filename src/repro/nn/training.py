@@ -1,0 +1,89 @@
+"""SGD training loop for multi-exit networks."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..data.synthetic import Dataset
+from .functional import accuracy
+from .multi_exit_net import MultiExitMLP
+
+
+@dataclass
+class SGD:
+    """SGD with momentum and global-norm gradient clipping.
+
+    Clipping keeps the deep (16-17 stage) trunks stable: the multi-exit
+    loss sums gradients from every head into the early stages, which can
+    spike early in training.
+    """
+
+    learning_rate: float = 0.1
+    momentum: float = 0.9
+    clip_norm: float = 5.0
+    _velocity: list[np.ndarray] = field(default_factory=list)
+
+    def step(self, params: list[np.ndarray], grads: list[np.ndarray]) -> None:
+        if not self._velocity:
+            self._velocity = [np.zeros_like(p) for p in params]
+        if len(params) != len(self._velocity):
+            raise ValueError("parameter set changed between steps")
+        if self.clip_norm > 0:
+            total = np.sqrt(sum(float((g * g).sum()) for g in grads))
+            if total > self.clip_norm:
+                scale = self.clip_norm / total
+                grads = [g * scale for g in grads]
+        for p, g, v in zip(params, grads, self._velocity):
+            v *= self.momentum
+            v -= self.learning_rate * g
+            p += v
+
+
+@dataclass(frozen=True)
+class TrainingConfig:
+    """Hyper-parameters for :func:`train_multi_exit`.
+
+    The defaults train a depth-16 trunk on the synthetic mixture to
+    ~90% final-exit accuracy in a few seconds of numpy.
+    """
+
+    epochs: int = 30
+    batch_size: int = 128
+    learning_rate: float = 0.05
+    momentum: float = 0.9
+    lr_decay: float = 0.95
+    seed: int = 0
+
+
+def train_multi_exit(
+    net: MultiExitMLP, train: Dataset, config: TrainingConfig = TrainingConfig()
+) -> list[float]:
+    """Train in place; returns the per-epoch weighted-loss trace."""
+    if len(train) == 0:
+        raise ValueError("empty training set")
+    rng = np.random.default_rng(config.seed)
+    optimiser = SGD(learning_rate=config.learning_rate, momentum=config.momentum)
+    losses: list[float] = []
+    lr = config.learning_rate
+    for _ in range(config.epochs):
+        order = rng.permutation(len(train))
+        epoch_loss = 0.0
+        batches = 0
+        for start in range(0, len(train), config.batch_size):
+            idx = order[start : start + config.batch_size]
+            loss = net.train_batch(train.x[idx], train.y[idx])
+            optimiser.learning_rate = lr
+            optimiser.step(net.params(), net.grads())
+            epoch_loss += loss
+            batches += 1
+        losses.append(epoch_loss / max(batches, 1))
+        lr *= config.lr_decay
+    return losses
+
+
+def per_exit_accuracy(net: MultiExitMLP, data: Dataset) -> list[float]:
+    """Standalone top-1 accuracy of every exit head."""
+    logits = net.forward_all(data.x, train=False)
+    return [accuracy(l, data.y) for l in logits]

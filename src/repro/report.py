@@ -1,0 +1,151 @@
+"""Plain-text reporting: tables, line charts, and result export.
+
+The experiment harnesses print the numbers behind each paper figure; this
+module renders them as terminal line charts (the closest offline analogue
+of the paper's plots) and exports structured results as JSON so they can
+be re-plotted elsewhere.
+
+No plotting dependencies: charts are Unicode text, suitable for CI logs
+and the examples' output.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import asdict, is_dataclass
+from pathlib import Path
+from typing import Mapping, Sequence
+
+#: Glyphs for sparklines, lowest to highest.
+_SPARK_LEVELS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """A one-line trend glyph string, e.g. ``▁▂▅█▃``.
+
+    NaNs render as spaces; a constant series renders at the lowest level.
+    """
+    if not values:
+        return ""
+    finite = [v for v in values if not math.isnan(v)]
+    if not finite:
+        return " " * len(values)
+    low, high = min(finite), max(finite)
+    span = high - low
+    chars = []
+    for value in values:
+        if math.isnan(value):
+            chars.append(" ")
+            continue
+        if span == 0:
+            chars.append(_SPARK_LEVELS[0])
+            continue
+        index = int((value - low) / span * (len(_SPARK_LEVELS) - 1))
+        chars.append(_SPARK_LEVELS[index])
+    return "".join(chars)
+
+
+def line_chart(
+    series: Mapping[str, Sequence[float]],
+    x_labels: Sequence[object] | None = None,
+    height: int = 12,
+    width: int = 64,
+    title: str | None = None,
+    y_format: str = "{:.2f}",
+) -> str:
+    """Render one or more aligned series as a text line chart.
+
+    Args:
+        series: Name → values; all series must share a length.
+        x_labels: Optional labels for the first/last x positions.
+        height: Chart rows.
+        width: Chart columns (series are resampled to fit).
+        title: Optional heading.
+        y_format: Format for the axis extremes.
+
+    Returns:
+        A multi-line string; each series gets a distinct marker, listed in
+        the legend below the chart.
+    """
+    if not series:
+        raise ValueError("need at least one series")
+    lengths = {len(v) for v in series.values()}
+    if len(lengths) != 1:
+        raise ValueError("all series must have the same length")
+    (length,) = lengths
+    if length == 0:
+        raise ValueError("series are empty")
+    if height < 2 or width < 8:
+        raise ValueError("chart too small")
+
+    markers = "*o+x#@%&"
+    all_values = [
+        v for values in series.values() for v in values if not math.isnan(v)
+    ]
+    low, high = min(all_values), max(all_values)
+    if high == low:
+        high = low + 1.0
+
+    def resample(values: Sequence[float]) -> list[float]:
+        if length <= width:
+            return list(values)
+        return [
+            values[int(i * (length - 1) / (width - 1))] for i in range(width)
+        ]
+
+    columns = min(length, width)
+    grid = [[" "] * columns for _ in range(height)]
+    for (name, values), marker in zip(series.items(), markers):
+        for x, value in enumerate(resample(values)):
+            if math.isnan(value):
+                continue
+            row = height - 1 - int((value - low) / (high - low) * (height - 1))
+            grid[row][x] = marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    top_label = y_format.format(high)
+    bottom_label = y_format.format(low)
+    label_width = max(len(top_label), len(bottom_label))
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            prefix = top_label.rjust(label_width)
+        elif row_index == height - 1:
+            prefix = bottom_label.rjust(label_width)
+        else:
+            prefix = " " * label_width
+        lines.append(f"{prefix} |{''.join(row)}|")
+    if x_labels is not None and len(x_labels) >= 2:
+        gap = max(columns - len(str(x_labels[0])) - len(str(x_labels[-1])), 1)
+        lines.append(
+            " " * (label_width + 2)
+            + f"{x_labels[0]}{' ' * gap}{x_labels[-1]}"
+        )
+    legend = "   ".join(
+        f"{marker} {name}" for (name, _), marker in zip(series.items(), markers)
+    )
+    lines.append(" " * (label_width + 2) + legend)
+    return "\n".join(lines)
+
+
+def _jsonable(value):
+    """Recursively convert dataclasses/tuples/numpy scalars for JSON."""
+    if is_dataclass(value) and not isinstance(value, type):
+        return {k: _jsonable(v) for k, v in asdict(value).items()}
+    if isinstance(value, Mapping):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if hasattr(value, "tolist"):  # numpy arrays and scalars
+        return value.tolist()
+    return value
+
+
+def export_json(result: object, path: str | Path) -> Path:
+    """Write an experiment result (dataclass/dict tree) as pretty JSON."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(_jsonable(result), indent=2, sort_keys=True))
+    return path

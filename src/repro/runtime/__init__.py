@@ -1,0 +1,25 @@
+"""A live, threaded LEIME prototype — the §IV "prototype system" analogue.
+
+The event simulator computes what *would* happen; this package actually
+runs it: worker threads stand in for the Raspberry Pis, the Docker-sliced
+edge server and the cloud, jobs move between them through real queues, a
+controller thread re-runs the offloading policy every slot, and execution
+takes (scaled) wall-clock time on a virtual clock.
+
+It exists for two reasons: it demonstrates LEIME as a *system* rather than
+a formula (the examples drive it live), and it cross-checks the simulators
+— the same deployment produces compatible latency distributions whether
+computed analytically, simulated event-by-event, or executed by threads.
+"""
+
+from .clock import VirtualClock
+from .node import RuntimeLink, RuntimeNode
+from .system import LeimeRuntime, RuntimeReport
+
+__all__ = [
+    "VirtualClock",
+    "RuntimeNode",
+    "RuntimeLink",
+    "LeimeRuntime",
+    "RuntimeReport",
+]

@@ -1,0 +1,111 @@
+"""Worker threads: compute nodes and links for the live runtime.
+
+Each :class:`RuntimeNode` is one FIFO worker thread — a device CPU, an
+edge container slice, or the cloud — consuming jobs from a real
+``queue.Queue`` and "executing" them by sleeping the scaled service time.
+A :class:`RuntimeLink` is the same pattern with bandwidth semantics, plus
+a detached propagation delay (a timer thread) so the link is free to
+serialise the next transfer while the previous one propagates — matching
+:class:`repro.sim.network.Link` exactly.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from typing import Callable
+
+from ..hardware import NetworkProfile
+from .clock import VirtualClock
+
+
+class RuntimeNode:
+    """A FIFO compute worker.
+
+    Args:
+        name: Worker name (thread name).
+        flops: Throughput; job demands are FLOPs.
+        clock: The shared virtual clock.
+        overhead: Per-job fixed virtual seconds.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        flops: float,
+        clock: VirtualClock,
+        overhead: float = 0.0,
+    ):
+        if flops <= 0:
+            raise ValueError(f"node {name!r} needs positive FLOPS")
+        if overhead < 0:
+            raise ValueError("overhead must be non-negative")
+        self.name = name
+        self.flops = flops
+        self.overhead = overhead
+        self._clock = clock
+        self._queue: queue.Queue = queue.Queue()
+        self._thread = threading.Thread(target=self._run, name=name, daemon=True)
+        self._stop = threading.Event()
+        self.jobs_done = 0
+        self._thread.start()
+
+    @property
+    def backlog(self) -> int:
+        """Jobs waiting in the queue (approximate, by nature)."""
+        return self._queue.qsize()
+
+    def submit(self, demand: float, on_done: Callable[[float], None]) -> None:
+        """Enqueue a job; ``on_done(finish_virtual_time)`` runs on the
+        worker thread when it completes."""
+        if demand < 0:
+            raise ValueError("demand must be non-negative")
+        self._queue.put((demand, on_done))
+
+    def _service_time(self, demand: float) -> float:
+        return demand / self.flops + self.overhead
+
+    def _run(self) -> None:
+        while not self._stop.is_set():
+            try:
+                demand, on_done = self._queue.get(timeout=0.05)
+            except queue.Empty:
+                continue
+            self._clock.sleep(self._service_time(demand))
+            self.jobs_done += 1
+            on_done(self._clock.now())
+
+    def shutdown(self) -> None:
+        """Stop the worker once its queue drains (jobs already queued are
+        finished first)."""
+        while not self._queue.empty():
+            self._clock.sleep(0.05)
+        self._stop.set()
+        self._thread.join(timeout=5.0)
+
+
+class RuntimeLink(RuntimeNode):
+    """A serialising link with detached propagation.
+
+    Job demands are bytes; service time is ``bytes / bandwidth``; after
+    serialisation a timer thread delivers the payload ``latency`` virtual
+    seconds later without blocking the link.
+    """
+
+    def __init__(self, name: str, profile: NetworkProfile, clock: VirtualClock):
+        super().__init__(name, flops=profile.bandwidth, clock=clock)
+        self.latency = profile.latency
+
+    def transmit(self, num_bytes: float, on_delivered: Callable[[float], None]) -> None:
+        def serialised(time_done: float) -> None:
+            if self.latency <= 0:
+                on_delivered(time_done)
+                return
+            wall_delay = self.latency / self._clock.speedup
+            timer = threading.Timer(
+                wall_delay, lambda: on_delivered(self._clock.now())
+            )
+            timer.daemon = True
+            timer.start()
+
+        self.submit(num_bytes, serialised)

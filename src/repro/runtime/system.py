@@ -1,0 +1,252 @@
+"""The live LEIME runtime: devices, edge slices, cloud, and a controller.
+
+Mirrors the event simulator's topology (Fig. 1/4) with actual threads:
+
+* one :class:`RuntimeNode` per device CPU and per edge container slice,
+  one for the cloud;
+* one :class:`RuntimeLink` per device uplink and one edge→cloud link;
+* a controller loop that, every slot τ, reads live queue occupancies and
+  re-runs the configured offloading policy — exactly the online phase of
+  §III-D, but against real queues instead of modelled ones.
+
+Tasks carry the same :class:`~repro.sim.tasks.TaskRecord` lifecycle as the
+event simulator, so results are directly comparable.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.offloading import EdgeSystem, LyapunovState, OffloadingPolicy
+from ..sim.arrivals import ArrivalProcess
+from ..sim.tasks import TaskRecord
+from .clock import VirtualClock
+from .node import RuntimeLink, RuntimeNode
+
+
+@dataclass(frozen=True)
+class RuntimeReport:
+    """Outcome of a live run."""
+
+    tasks: tuple[TaskRecord, ...]
+    virtual_duration: float
+
+    @property
+    def completed(self) -> tuple[TaskRecord, ...]:
+        return tuple(t for t in self.tasks if t.done)
+
+    @property
+    def completion_rate(self) -> float:
+        if not self.tasks:
+            return 1.0
+        return len(self.completed) / len(self.tasks)
+
+    @property
+    def mean_tct(self) -> float:
+        done = self.completed
+        if not done:
+            return 0.0
+        return sum(t.tct for t in done) / len(done)
+
+    def exit_fractions(self) -> tuple[float, float, float]:
+        done = self.completed
+        if not done:
+            return (0.0, 0.0, 0.0)
+        counts = [0, 0, 0]
+        for task in done:
+            counts[task.exit_tier - 1] += 1
+        total = len(done)
+        return (counts[0] / total, counts[1] / total, counts[2] / total)
+
+
+class LeimeRuntime:
+    """Run a deployed :class:`EdgeSystem` on live threads.
+
+    Args:
+        system: The deployment (devices, shares, partition(s), τ).
+        policy: The per-slot offloading policy.
+        speedup: Virtual seconds per wall second.
+        seed: RNG seed for arrivals, offload draws and exit draws.
+    """
+
+    def __init__(
+        self,
+        system: EdgeSystem,
+        policy: OffloadingPolicy,
+        speedup: float = 200.0,
+        seed: int = 0,
+    ):
+        self.system = system
+        self.policy = policy
+        self.clock = VirtualClock(speedup)
+        self._rng = np.random.default_rng(seed)
+        self._rng_lock = threading.Lock()
+        n = system.num_devices
+        self.devices = [
+            RuntimeNode(
+                f"device-{i}",
+                system.devices[i].flops,
+                self.clock,
+                overhead=system.devices[i].overhead,
+            )
+            for i in range(n)
+        ]
+        self.uplinks = [
+            RuntimeLink(f"uplink-{i}", system.devices[i].link, self.clock)
+            for i in range(n)
+        ]
+        self.edge_slices = [
+            RuntimeNode(
+                f"edge-slice-{i}",
+                max(system.shares[i], 1e-9) * system.edge_flops,
+                self.clock,
+                overhead=system.edge_overhead,
+            )
+            for i in range(n)
+        ]
+        self.cloud_link = RuntimeLink("edge-cloud", system.edge_cloud, self.clock)
+        self.cloud = RuntimeNode(
+            "cloud", system.cloud_flops, self.clock, overhead=system.cloud_overhead
+        )
+        self._tasks: list[TaskRecord] = []
+        self._tasks_lock = threading.Lock()
+        self._done = threading.Event()
+        self._outstanding = 0
+
+    # -- randomness (threads share one generator) ---------------------------
+
+    def _random(self) -> float:
+        with self._rng_lock:
+            return float(self._rng.random())
+
+    # -- task pipeline --------------------------------------------------------
+
+    def _task_finished(self, task: TaskRecord, time: float, tier: int) -> None:
+        task.completed = time
+        task.exit_tier = tier
+        with self._tasks_lock:
+            self._outstanding -= 1
+            if self._outstanding == 0:
+                self._done.set()
+
+    def _to_cloud(self, task: TaskRecord) -> None:
+        part = self.system.partition_for(task.device)
+        self.cloud_link.transmit(
+            part.d2,
+            lambda t: self.cloud.submit(
+                part.mu3, lambda t2: self._task_finished(task, t2, 3)
+            ),
+        )
+
+    def _second_block(self, task: TaskRecord) -> None:
+        part = self.system.partition_for(task.device)
+        sigma1, sigma2 = part.sigma1, part.sigma2
+        exit2_given = (sigma2 - sigma1) / (1.0 - sigma1) if sigma1 < 1.0 else 1.0
+
+        def done(t: float) -> None:
+            if self._random() < exit2_given:
+                self._task_finished(task, t, 2)
+            else:
+                self._to_cloud(task)
+
+        self.edge_slices[task.device].submit(part.mu2, done)
+
+    def _first_block_on_edge(self, task: TaskRecord) -> None:
+        part = self.system.partition_for(task.device)
+
+        def done(t: float) -> None:
+            if self._random() < part.sigma1:
+                self._task_finished(task, t, 1)
+            else:
+                self._second_block(task)
+
+        self.edge_slices[task.device].submit(part.mu1, done)
+
+    def _launch(self, task: TaskRecord) -> None:
+        part = self.system.partition_for(task.device)
+        if task.offloaded:
+            self.uplinks[task.device].transmit(
+                part.d0, lambda t: self._first_block_on_edge(task)
+            )
+            return
+
+        def local_done(t: float) -> None:
+            if self._random() < part.sigma1:
+                self._task_finished(task, t, 1)
+                return
+            self.uplinks[task.device].transmit(
+                part.d1, lambda t2: self._second_block(task)
+            )
+
+        self.devices[task.device].submit(part.mu1, local_done)
+
+    # -- the controller loop ---------------------------------------------------
+
+    def run(
+        self,
+        arrivals: list[ArrivalProcess],
+        num_slots: int,
+        drain_timeout: float = 30.0,
+    ) -> RuntimeReport:
+        """Generate ``num_slots`` slots of live tasks and wait for drain.
+
+        Args:
+            arrivals: One process per device.
+            num_slots: Slots to generate.
+            drain_timeout: Wall-clock seconds to wait for completion after
+                generation ends before giving up (unfinished tasks then
+                show as incomplete in the report).
+        """
+        if len(arrivals) != self.system.num_devices:
+            raise ValueError("need one arrival process per device")
+        n = self.system.num_devices
+        state = LyapunovState.zeros(n)
+        tau = self.system.slot_length
+        fractional = [0.0] * n
+        for slot in range(num_slots):
+            # Live queue occupancy drives the policy, as on a real edge.
+            for i in range(n):
+                state.queue_local[i] = self.devices[i].backlog
+                state.queue_edge[i] = self.edge_slices[i].backlog
+            expected = [proc.mean(slot) for proc in arrivals]
+            ratios = self.policy.decide(self.system, state, expected)
+            for i, proc in enumerate(arrivals):
+                with self._rng_lock:
+                    drawn = float(proc.sample(slot, self._rng))
+                fractional[i] += drawn
+                count = int(fractional[i])
+                fractional[i] -= count
+                for _ in range(count):
+                    task = TaskRecord(
+                        task_id=len(self._tasks),
+                        device=i,
+                        created=self.clock.now(),
+                        offloaded=self._random() < ratios[i],
+                    )
+                    with self._tasks_lock:
+                        self._tasks.append(task)
+                        self._outstanding += 1
+                        self._done.clear()
+                    self._launch(task)
+            self.clock.sleep(tau)
+        with self._tasks_lock:
+            nothing_pending = self._outstanding == 0
+        if not nothing_pending:
+            self._done.wait(timeout=drain_timeout)
+        return RuntimeReport(
+            tasks=tuple(self._tasks), virtual_duration=self.clock.now()
+        )
+
+    def shutdown(self) -> None:
+        """Stop every worker thread."""
+        for worker in (
+            *self.devices,
+            *self.uplinks,
+            *self.edge_slices,
+            self.cloud_link,
+            self.cloud,
+        ):
+            worker.shutdown()

@@ -1,0 +1,176 @@
+"""Task arrival processes (§III-B1's ``M_i(t)``).
+
+The paper assumes i.i.d. per-slot arrival counts bounded by ``M_{i,max}``
+with expectation ``k_i``; the evaluation additionally sweeps and *varies*
+arrival rates over time (Fig. 3(a), Fig. 9, Fig. 10(b)).  Every process
+exposes the current expectation so policies can plan against ``k_i(t)``
+while the simulator draws the realised counts.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Protocol, Sequence
+
+import numpy as np
+
+
+class ArrivalProcess(Protocol):
+    """Per-slot arrival counts for one device."""
+
+    def mean(self, slot: int) -> float:
+        """Expected arrivals ``k_i`` in slot ``slot`` (what policies see)."""
+        ...
+
+    def sample(self, slot: int, rng: np.random.Generator) -> float:
+        """Realised arrivals ``M_i(t)`` in slot ``slot``."""
+        ...
+
+
+@dataclass(frozen=True)
+class ConstantArrivals:
+    """Deterministic ``k`` tasks every slot — the workhorse for figures that
+    sweep other variables and want zero arrival noise."""
+
+    rate: float
+
+    def __post_init__(self) -> None:
+        if self.rate < 0:
+            raise ValueError("rate must be non-negative")
+
+    def mean(self, slot: int) -> float:
+        return self.rate
+
+    def sample(self, slot: int, rng: np.random.Generator) -> float:
+        return self.rate
+
+
+@dataclass(frozen=True)
+class PoissonArrivals:
+    """Poisson arrivals with mean ``rate``, optionally truncated at
+    ``maximum`` (the paper's ``M_{i,max}`` boundedness assumption)."""
+
+    rate: float
+    maximum: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.rate < 0:
+            raise ValueError("rate must be non-negative")
+        if self.maximum is not None and self.maximum < self.rate:
+            raise ValueError("maximum must be at least the mean rate")
+
+    def mean(self, slot: int) -> float:
+        return self.rate
+
+    def sample(self, slot: int, rng: np.random.Generator) -> float:
+        count = float(rng.poisson(self.rate))
+        if self.maximum is not None:
+            count = min(count, self.maximum)
+        return count
+
+
+@dataclass(frozen=True)
+class UniformArrivals:
+    """Uniform integer arrivals on ``[low, high]`` — the paper's bounded
+    i.i.d. model in its simplest concrete form."""
+
+    low: float
+    high: float
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.low <= self.high:
+            raise ValueError("need 0 <= low <= high")
+
+    def mean(self, slot: int) -> float:
+        return 0.5 * (self.low + self.high)
+
+    def sample(self, slot: int, rng: np.random.Generator) -> float:
+        return float(rng.integers(int(self.low), int(self.high) + 1))
+
+
+@dataclass(frozen=True)
+class TraceArrivals:
+    """Replay a recorded arrival trace; repeats cyclically past the end."""
+
+    trace: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if not self.trace:
+            raise ValueError("trace must be non-empty")
+        if any(v < 0 for v in self.trace):
+            raise ValueError("trace values must be non-negative")
+
+    def mean(self, slot: int) -> float:
+        return self.trace[slot % len(self.trace)]
+
+    def sample(self, slot: int, rng: np.random.Generator) -> float:
+        return self.trace[slot % len(self.trace)]
+
+
+@dataclass(frozen=True)
+class PiecewiseRateArrivals:
+    """Poisson arrivals whose rate steps through phases — the Fig. 9
+    "dynamic task arrival rate" workload.
+
+    Attributes:
+        phases: ``(duration_slots, rate)`` pairs, cycled.
+    """
+
+    phases: tuple[tuple[int, float], ...]
+
+    def __post_init__(self) -> None:
+        if not self.phases:
+            raise ValueError("need at least one phase")
+        for duration, rate in self.phases:
+            if duration <= 0:
+                raise ValueError("phase durations must be positive")
+            if rate < 0:
+                raise ValueError("phase rates must be non-negative")
+
+    @property
+    def _cycle(self) -> int:
+        return sum(duration for duration, _ in self.phases)
+
+    def _rate_at(self, slot: int) -> float:
+        position = slot % self._cycle
+        for duration, rate in self.phases:
+            if position < duration:
+                return rate
+            position -= duration
+        raise AssertionError("unreachable: position within cycle")
+
+    def mean(self, slot: int) -> float:
+        return self._rate_at(slot)
+
+    def sample(self, slot: int, rng: np.random.Generator) -> float:
+        return float(rng.poisson(self._rate_at(slot)))
+
+
+@dataclass(frozen=True)
+class SinusoidalRateArrivals:
+    """Poisson arrivals with a sinusoidally-varying rate — a smooth dynamic
+    workload for stability stress tests.
+
+    ``rate(t) = base + amplitude·sin(2π·t / period)`` clamped at 0.
+    """
+
+    base: float
+    amplitude: float
+    period: int
+
+    def __post_init__(self) -> None:
+        if self.base < 0 or self.amplitude < 0:
+            raise ValueError("base and amplitude must be non-negative")
+        if self.period <= 0:
+            raise ValueError("period must be positive")
+
+    def _rate_at(self, slot: int) -> float:
+        rate = self.base + self.amplitude * math.sin(2.0 * math.pi * slot / self.period)
+        return max(rate, 0.0)
+
+    def mean(self, slot: int) -> float:
+        return self._rate_at(slot)
+
+    def sample(self, slot: int, rng: np.random.Generator) -> float:
+        return float(rng.poisson(self._rate_at(slot)))

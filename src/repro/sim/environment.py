@@ -1,0 +1,112 @@
+"""Dynamic network environments (the "wild edge" of §II-A).
+
+The testbed shaped links with COMCAST; we substitute per-slot overrides of
+each device's :class:`~repro.hardware.NetworkProfile`.  Environments return
+the device configs to use *this slot*; policies and the cost model then see
+the live bandwidth/latency while exit setting planned against the averages —
+exactly the transient mismatch LEIME's online phase is designed to absorb.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Protocol, Sequence
+
+import numpy as np
+
+from ..core.offloading import DeviceConfig
+from ..hardware import NetworkProfile
+
+
+class DynamicEnvironment(Protocol):
+    """Per-slot view of the device population's live conditions."""
+
+    def devices_at(
+        self, slot: int, base: Sequence[DeviceConfig], rng: np.random.Generator
+    ) -> tuple[DeviceConfig, ...]:
+        """The device configs in effect during ``slot``."""
+        ...
+
+
+@dataclass(frozen=True)
+class StaticEnvironment:
+    """No dynamics: every slot sees the configured conditions."""
+
+    def devices_at(
+        self, slot: int, base: Sequence[DeviceConfig], rng: np.random.Generator
+    ) -> tuple[DeviceConfig, ...]:
+        return tuple(base)
+
+
+@dataclass(frozen=True)
+class TraceEnvironment:
+    """Replay per-slot network profiles, cycled past the trace end.
+
+    Attributes:
+        trace: One network profile per slot, applied to *every* device (the
+            paper's COMCAST shaping was likewise applied to the shared WiFi
+            hop).
+    """
+
+    trace: tuple[NetworkProfile, ...]
+
+    def __post_init__(self) -> None:
+        if not self.trace:
+            raise ValueError("trace must be non-empty")
+
+    def devices_at(
+        self, slot: int, base: Sequence[DeviceConfig], rng: np.random.Generator
+    ) -> tuple[DeviceConfig, ...]:
+        profile = self.trace[slot % len(self.trace)]
+        return tuple(replace(device, link=profile) for device in base)
+
+
+@dataclass
+class RandomWalkEnvironment:
+    """Log-space random walk on each device's bandwidth, clamped to the wild
+    range of §II-A (1-30 Mbps by default), with fixed latency.
+
+    The walk is stateful: each call advances every device's multiplicative
+    factor by one log-normal step, so conditions drift slowly rather than
+    jumping independently each slot — the "changing dramatically and
+    unpredictably" regime the paper's §II-B2 conclusion describes.
+
+    Attributes:
+        sigma: Per-slot standard deviation of the log-bandwidth step.
+        min_bandwidth: Clamp floor (bytes/s).
+        max_bandwidth: Clamp ceiling (bytes/s).
+    """
+
+    sigma: float = 0.1
+    min_bandwidth: float = 1e6 / 8
+    max_bandwidth: float = 30e6 / 8
+
+    def __post_init__(self) -> None:
+        if self.sigma < 0:
+            raise ValueError("sigma must be non-negative")
+        if not 0 < self.min_bandwidth <= self.max_bandwidth:
+            raise ValueError("need 0 < min_bandwidth <= max_bandwidth")
+        self._factors: list[float] = []
+
+    def devices_at(
+        self, slot: int, base: Sequence[DeviceConfig], rng: np.random.Generator
+    ) -> tuple[DeviceConfig, ...]:
+        if len(self._factors) != len(base):
+            self._factors = [1.0] * len(base)
+        adjusted = []
+        for i, device in enumerate(base):
+            self._factors[i] *= float(np.exp(rng.normal(0.0, self.sigma)))
+            bandwidth = min(
+                max(device.link.bandwidth * self._factors[i], self.min_bandwidth),
+                self.max_bandwidth,
+            )
+            # Keep the walk inside the clamp so it cannot drift arbitrarily
+            # far beyond the representable range.
+            self._factors[i] = bandwidth / device.link.bandwidth
+            adjusted.append(
+                replace(
+                    device,
+                    link=NetworkProfile(bandwidth, device.link.latency),
+                )
+            )
+        return tuple(adjusted)

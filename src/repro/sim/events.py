@@ -1,0 +1,394 @@
+"""Event-driven task-level simulator — the physical-testbed substitute.
+
+Where the slot simulator advances the paper's *analytic* cost model, this
+engine tracks every task individually through FIFO compute servers
+(:mod:`repro.sim.nodes`) and serialising links (:mod:`repro.sim.network`),
+yielding per-task completion times, exit tiers, deadline hit rates, and
+queue-wait breakdowns.  It is the source of truth for percentile latency
+and for validating the slot model's expectations.
+
+Topology (Fig. 1 / Fig. 4):
+
+* one FIFO compute server per device (``F_i^d``);
+* one FIFO uplink per device (bandwidth ``B_i^e`` serialisation + latency
+  ``L_i^e`` propagation; propagation does not occupy the link);
+* one FIFO compute slice per device on the edge (``p_i·F^e``) that serves
+  both first-block jobs of offloaded tasks and second-block jobs — a
+  container pinned to a CPU share, which is how the paper's Docker-based
+  edge isolates devices.  (The slot model splits the slice analytically via
+  Eq. 9; a real FIFO container achieves the same time-average split because
+  the job mix determines the share each class consumes.)
+* one shared FIFO edge→cloud link (``B_av^c``, ``L_av^c``);
+* one FIFO cloud server (``F^c``).
+
+Early exits are sampled per task from its partition's cumulative exit
+rates ``(σ₁, σ₂, 1)``; offloading decisions are Bernoulli draws with the
+policy's per-slot ratio ``x_i(t)``, the standard de-randomisation of the
+fluid control variable.  Per-device partitions (the heterogeneous
+extension, :mod:`repro.core.heterogeneous`) are honoured throughout.
+
+Dynamic environments update link rates at slot boundaries; transmissions
+already in service finish at their old rate (rate changes apply to
+subsequently started transfers), which matches how traffic shaping tools
+like the paper's COMCAST behave on short transfers.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..core.offloading import EdgeSystem, LyapunovState, OffloadingPolicy
+from .arrivals import ArrivalProcess
+from .environment import DynamicEnvironment, StaticEnvironment
+from .network import Link
+from .nodes import FifoServer
+from .tasks import TaskRecord
+
+
+class _Engine:
+    """Minimal event loop: a heap of ``(time, seq, callback)``."""
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[float, int, Callable[[float], None]]] = []
+        self._seq = itertools.count()
+        self.now = 0.0
+
+    def schedule(self, time: float, callback: Callable[[float], None]) -> None:
+        if time < self.now - 1e-12:
+            raise ValueError(f"cannot schedule in the past: {time} < {self.now}")
+        heapq.heappush(self._heap, (time, next(self._seq), callback))
+
+    def run_until(self, horizon: float) -> None:
+        while self._heap and self._heap[0][0] <= horizon:
+            time, _, callback = heapq.heappop(self._heap)
+            self.now = time
+            callback(time)
+        self.now = max(self.now, horizon)
+
+    def run_to_exhaustion(self, hard_limit: float) -> None:
+        while self._heap:
+            time, _, callback = heapq.heappop(self._heap)
+            if time > hard_limit:
+                raise RuntimeError(
+                    f"event simulation exceeded hard time limit {hard_limit}s — "
+                    "the system is unstable and will not drain"
+                )
+            self.now = time
+            callback(time)
+
+
+@dataclass(frozen=True)
+class EventSimResult:
+    """Per-task outcomes of an event-driven run."""
+
+    tasks: tuple[TaskRecord, ...]
+    horizon: float
+
+    @property
+    def completed(self) -> tuple[TaskRecord, ...]:
+        return tuple(t for t in self.tasks if t.done)
+
+    @property
+    def mean_tct(self) -> float:
+        done = self.completed
+        if not done:
+            return 0.0
+        return sum(t.tct for t in done) / len(done)
+
+    def tct_percentile(self, q: float) -> float:
+        done = self.completed
+        if not done:
+            return 0.0
+        return float(np.percentile([t.tct for t in done], q))
+
+    @property
+    def completion_rate(self) -> float:
+        if not self.tasks:
+            return 1.0
+        return len(self.completed) / len(self.tasks)
+
+    def exit_fractions(self) -> tuple[float, float, float]:
+        """Fraction of completed tasks exiting at tiers 1, 2, 3."""
+        done = self.completed
+        if not done:
+            return (0.0, 0.0, 0.0)
+        counts = [0, 0, 0]
+        for task in done:
+            counts[task.exit_tier - 1] += 1
+        total = len(done)
+        return (counts[0] / total, counts[1] / total, counts[2] / total)
+
+    def offloaded_fraction(self) -> float:
+        done = self.completed
+        if not done:
+            return 0.0
+        return sum(1 for t in done if t.offloaded) / len(done)
+
+    def deadline_hit_rate(self, deadline: float) -> float:
+        """Fraction of *all generated* tasks completed within ``deadline``
+        seconds of creation — the §II-A "deadline requirements" metric.
+        In-flight tasks count as misses, so an unstable scheme cannot look
+        good by abandoning its worst tasks."""
+        if deadline <= 0:
+            raise ValueError("deadline must be positive")
+        if not self.tasks:
+            return 1.0
+        hits = sum(1 for t in self.tasks if t.done and t.tct <= deadline)
+        return hits / len(self.tasks)
+
+    def per_device_mean_tct(self, num_devices: int) -> list[float]:
+        """Mean TCT by generating device (0.0 for devices with no tasks)."""
+        totals = [0.0] * num_devices
+        counts = [0] * num_devices
+        for task in self.completed:
+            totals[task.device] += task.tct
+            counts[task.device] += 1
+        return [
+            totals[i] / counts[i] if counts[i] else 0.0
+            for i in range(num_devices)
+        ]
+
+    def tct_by_creation_slot(
+        self, slot_length: float, num_slots: int
+    ) -> np.ndarray:
+        """Mean TCT of tasks *created* in each slot (NaN-free: slots with
+        no tasks get 0) — the per-slot timeline the Fig. 9 stability plots
+        need.  Tasks that never completed are charged their age at the end
+        of the simulation, so an unstable scheme's timeline rises instead
+        of silently dropping its worst tasks."""
+        totals = np.zeros(num_slots)
+        counts = np.zeros(num_slots)
+        for task in self.tasks:
+            slot = min(int(task.created / slot_length), num_slots - 1)
+            latency = (
+                task.tct if task.done else self.horizon - task.created
+            )
+            totals[slot] += latency
+            counts[slot] += 1
+        with np.errstate(invalid="ignore", divide="ignore"):
+            timeline = np.where(counts > 0, totals / np.maximum(counts, 1), 0.0)
+        return timeline
+
+
+@dataclass
+class EventSimulator:
+    """Task-level simulation of an :class:`EdgeSystem` under a policy.
+
+    Attributes:
+        system: The deployed system (partition(s), shares, τ).
+        arrivals: One arrival process per device.
+        environment: Per-slot link dynamics.
+        seed: RNG seed — shared across schemes for common random numbers.
+        spread_arrivals: If true, a slot's tasks arrive uniformly through
+            the slot; if false they arrive at the slot start (the paper's
+            §III-D2 simplifying assumption).
+        shared_uplink: Model the device↔edge hop as one shared WiFi medium
+            (all devices' transfers serialise through a single FIFO at the
+            first device's bandwidth) instead of independent per-device
+            links.  Real 802.11 airtime is shared, so per-device links —
+            the paper's `B_i^e` model — are optimistic under simultaneous
+            uploads; this switch quantifies that optimism.
+    """
+
+    system: EdgeSystem
+    arrivals: Sequence[ArrivalProcess]
+    environment: DynamicEnvironment = field(default_factory=StaticEnvironment)
+    seed: int = 0
+    spread_arrivals: bool = True
+    shared_uplink: bool = False
+
+    def __post_init__(self) -> None:
+        if len(self.arrivals) != self.system.num_devices:
+            raise ValueError("need one arrival process per device")
+
+    def run(
+        self,
+        policy: OffloadingPolicy,
+        num_slots: int,
+        drain: bool = True,
+        drain_limit_factor: float = 50.0,
+    ) -> EventSimResult:
+        """Generate ``num_slots`` slots of tasks and simulate to completion.
+
+        Args:
+            policy: Offloading policy consulted at each slot boundary.
+            num_slots: Number of generation slots.
+            drain: After generation stops, keep simulating until every task
+                completes (bounded by ``drain_limit_factor`` × the
+                generation horizon; exceeding it raises, which is the
+                unstable-system signal tests rely on).
+            drain_limit_factor: Safety bound for the drain phase.
+        """
+        if num_slots <= 0:
+            raise ValueError("need a positive number of slots")
+        rng = np.random.default_rng(self.seed)
+        engine = _Engine()
+        system = self.system
+        tau = system.slot_length
+        n = system.num_devices
+
+        device_cpu = [
+            FifoServer(
+                f"device-{i}",
+                system.devices[i].flops,
+                overhead=system.devices[i].overhead,
+            )
+            for i in range(n)
+        ]
+        if self.shared_uplink:
+            medium = Link("shared-wifi", system.devices[0].link)
+            uplink = [medium] * n
+        else:
+            uplink = [
+                Link(f"uplink-{i}", system.devices[i].link) for i in range(n)
+            ]
+        edge_slice = [
+            FifoServer(
+                f"edge-slice-{i}",
+                max(system.shares[i], 1e-9) * system.edge_flops,
+                overhead=system.edge_overhead,
+            )
+            for i in range(n)
+        ]
+        cloud_link = Link("edge-cloud", system.edge_cloud)
+        cloud_cpu = FifoServer(
+            "cloud", system.cloud_flops, overhead=system.cloud_overhead
+        )
+
+        tasks: list[TaskRecord] = []
+        ratios = [0.0] * n
+        fractional = [0.0] * n
+        state = LyapunovState.zeros(n)
+
+        def finish(task: TaskRecord, time: float, tier: int) -> None:
+            task.completed = time
+            task.exit_tier = tier
+
+        def to_cloud(task: TaskRecord, time: float) -> None:
+            part = system.partition_for(task.device)
+
+            def sent(t: float, service: float) -> None:
+                task.transfer_time += t - time
+
+                def computed(t2: float, service2: float) -> None:
+                    task.compute_time += service2
+                    task.queue_time += (t2 - t) - service2
+                    finish(task, t2, 3)
+
+                cloud_cpu.submit(engine, t, part.mu3, computed)
+
+            cloud_link.transmit(engine, time, part.d2, sent)
+
+        def second_block(task: TaskRecord, time: float) -> None:
+            """Run block 2 on the task's edge slice, then exit or go deeper."""
+            part = system.partition_for(task.device)
+            sigma1, sigma2 = part.sigma1, part.sigma2
+            exit2_given_past1 = (
+                (sigma2 - sigma1) / (1.0 - sigma1) if sigma1 < 1.0 else 1.0
+            )
+
+            def computed(t: float, service: float) -> None:
+                task.compute_time += service
+                task.queue_time += (t - time) - service
+                if rng.random() < exit2_given_past1:
+                    finish(task, t, 2)
+                else:
+                    to_cloud(task, t)
+
+            edge_slice[task.device].submit(engine, time, part.mu2, computed)
+
+        def first_block_on_edge(task: TaskRecord, time: float) -> None:
+            part = system.partition_for(task.device)
+
+            def computed(t: float, service: float) -> None:
+                task.compute_time += service
+                task.queue_time += (t - time) - service
+                if rng.random() < part.sigma1:
+                    finish(task, t, 1)
+                else:
+                    second_block(task, t)
+
+            edge_slice[task.device].submit(engine, time, part.mu1, computed)
+
+        def launch(task: TaskRecord, time: float) -> None:
+            part = system.partition_for(task.device)
+            if task.offloaded:
+                # Raw input travels to the edge first (d0 on the uplink).
+                def sent(t: float, service: float) -> None:
+                    task.transfer_time += t - time
+                    first_block_on_edge(task, t)
+
+                uplink[task.device].transmit(engine, time, part.d0, sent)
+                return
+
+            # Local first block on the device CPU.
+            def computed(t: float, service: float) -> None:
+                task.compute_time += service
+                task.queue_time += (t - time) - service
+                if rng.random() < part.sigma1:
+                    finish(task, t, 1)
+                    return
+
+                # Non-exited: intermediate d1 to the edge for block 2.
+                def sent(t2: float, service2: float) -> None:
+                    task.transfer_time += t2 - t
+                    second_block(task, t2)
+
+                uplink[task.device].transmit(engine, t, part.d1, sent)
+
+            device_cpu[task.device].submit(engine, time, part.mu1, computed)
+
+        def slot_boundary(slot: int) -> Callable[[float], None]:
+            def handler(time: float) -> None:
+                live = self.environment.devices_at(slot, system.devices, rng)
+                if self.shared_uplink:
+                    uplink[0].reconfigure(live[0].link)
+                else:
+                    for i, device in enumerate(live):
+                        uplink[i].reconfigure(device.link)
+                # Mirror true queue occupancy into the Lyapunov state the
+                # policies read.
+                for i in range(n):
+                    state.queue_local[i] = device_cpu[i].occupancy
+                    state.queue_edge[i] = edge_slice[i].occupancy
+                expected = [proc.mean(slot) for proc in self.arrivals]
+                ratios[:] = policy.decide(system, state, expected, live)
+                for i, proc in enumerate(self.arrivals):
+                    # Tasks are integral here; fractional draws (the fluid
+                    # model's constant rates) accumulate until they yield a
+                    # whole task, so long-run rates are preserved exactly.
+                    fractional[i] += float(proc.sample(slot, rng))
+                    count = int(fractional[i])
+                    fractional[i] -= count
+                    for _ in range(count):
+                        offset = (
+                            float(rng.uniform(0.0, tau))
+                            if self.spread_arrivals
+                            else 0.0
+                        )
+                        task = TaskRecord(
+                            task_id=len(tasks),
+                            device=i,
+                            created=time + offset,
+                            offloaded=bool(rng.random() < ratios[i]),
+                        )
+                        tasks.append(task)
+                        engine.schedule(
+                            task.created, lambda t, _task=task: launch(_task, t)
+                        )
+
+            return handler
+
+        for slot in range(num_slots):
+            engine.schedule(slot * tau, slot_boundary(slot))
+
+        horizon = num_slots * tau
+        engine.run_until(horizon)
+        if drain:
+            engine.run_to_exhaustion(horizon * drain_limit_factor)
+        return EventSimResult(tasks=tuple(tasks), horizon=engine.now)

@@ -1,0 +1,123 @@
+"""Metrics containers shared by both simulators."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class SlotRecord:
+    """Aggregated outcome of one slot across all devices.
+
+    Attributes:
+        slot: Slot index.
+        arrivals: Total tasks arriving this slot.
+        total_time: Summed latency of those tasks (``Σ_i Y_i + tail_i``).
+        ratios: Per-device offloading ratios chosen for the slot.
+        queue_local: Post-update ``Q_i`` per device.
+        queue_edge: Post-update ``H_i`` per device.
+    """
+
+    slot: int
+    arrivals: float
+    total_time: float
+    ratios: tuple[float, ...]
+    queue_local: tuple[float, ...]
+    queue_edge: tuple[float, ...]
+
+    @property
+    def mean_tct(self) -> float:
+        """Mean TCT of this slot's arrivals (0 if no arrivals)."""
+        if self.arrivals <= 0:
+            return 0.0
+        return self.total_time / self.arrivals
+
+    @property
+    def backlog(self) -> float:
+        return sum(self.queue_local) + sum(self.queue_edge)
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """Outcome of a slot-simulation run.
+
+    The headline number is :attr:`mean_tct` — the long-run average task
+    completion time the paper's P1 objective targets.
+    """
+
+    records: tuple[SlotRecord, ...]
+
+    def __post_init__(self) -> None:
+        if not self.records:
+            raise ValueError("a simulation must produce at least one slot")
+
+    @property
+    def num_slots(self) -> int:
+        return len(self.records)
+
+    @property
+    def total_arrivals(self) -> float:
+        return sum(r.arrivals for r in self.records)
+
+    @property
+    def mean_tct(self) -> float:
+        """Arrival-weighted mean TCT across the whole run."""
+        arrivals = self.total_arrivals
+        if arrivals <= 0:
+            return 0.0
+        return sum(r.total_time for r in self.records) / arrivals
+
+    @property
+    def final_backlog(self) -> float:
+        return self.records[-1].backlog
+
+    @property
+    def max_backlog(self) -> float:
+        return max(r.backlog for r in self.records)
+
+    def tct_timeline(self) -> np.ndarray:
+        """Per-slot mean TCT — the Fig. 9 stability curves."""
+        return np.array([r.mean_tct for r in self.records])
+
+    def backlog_timeline(self) -> np.ndarray:
+        return np.array([r.backlog for r in self.records])
+
+    def ratio_timeline(self, device: int = 0) -> np.ndarray:
+        return np.array([r.ratios[device] for r in self.records])
+
+    def tct_percentile(self, q: float) -> float:
+        """Percentile of per-slot mean TCT over slots with arrivals."""
+        values = [r.mean_tct for r in self.records if r.arrivals > 0]
+        if not values:
+            return 0.0
+        return float(np.percentile(values, q))
+
+    def is_stable(self, tolerance_per_slot: float = 0.05) -> bool:
+        """Mean-rate-stability proxy for C3/C4: the backlog grows by less
+        than ``tolerance_per_slot`` tasks per slot over the second half of
+        the run."""
+        half = self.num_slots // 2
+        if half == 0:
+            return True
+        first, last = self.records[half].backlog, self.records[-1].backlog
+        span = self.num_slots - half
+        return (last - first) / span <= tolerance_per_slot
+
+
+def summarize(results: Sequence[tuple[str, SimulationResult]]) -> str:
+    """Human-readable comparison table used by examples and benchmarks."""
+    lines = [
+        f"{'scheme':<16} {'mean TCT (s)':>12} {'p95 (s)':>10} "
+        f"{'final backlog':>14} {'stable':>7}"
+    ]
+    for name, result in results:
+        lines.append(
+            f"{name:<16} {result.mean_tct:>12.4f} "
+            f"{result.tct_percentile(95):>10.4f} "
+            f"{result.final_backlog:>14.1f} "
+            f"{str(result.is_stable()):>7}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,45 @@
+"""Task lifecycle records for the event-driven simulator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class TaskRecord:
+    """One inference task's journey through the system.
+
+    Attributes:
+        task_id: Unique id in generation order.
+        device: Index of the generating device.
+        created: Generation time (seconds).
+        offloaded: Whether the first block ran on the edge.
+        exit_tier: 1 if the task exited at the First-exit, 2 at the Second,
+            3 at the Third (cloud); 0 while still in flight.
+        completed: Completion time, or ``None`` while in flight.
+        compute_time: Total seconds spent executing on compute servers.
+        transfer_time: Total seconds spent on links (serialisation +
+            propagation).
+        queue_time: Total seconds spent waiting in FIFO queues.
+    """
+
+    task_id: int
+    device: int
+    created: float
+    offloaded: bool = False
+    exit_tier: int = 0
+    completed: float | None = None
+    compute_time: float = 0.0
+    transfer_time: float = 0.0
+    queue_time: float = 0.0
+
+    @property
+    def tct(self) -> float:
+        """Task completion time; raises if the task is still in flight."""
+        if self.completed is None:
+            raise ValueError(f"task {self.task_id} has not completed")
+        return self.completed - self.created
+
+    @property
+    def done(self) -> bool:
+        return self.completed is not None

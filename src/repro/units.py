@@ -1,0 +1,97 @@
+"""Unit helpers for the LEIME reproduction.
+
+Everything inside the library uses SI base units:
+
+* time in **seconds**,
+* data sizes in **bytes**,
+* bandwidth in **bytes per second**,
+* compute in **FLOPs** (floating-point operations) and **FLOPS**
+  (floating-point operations per second).
+
+The paper quotes bandwidth in Mbps, latency in milliseconds, and compute in
+GFLOPS; these helpers make configuration code read like the paper while the
+internals stay consistent.
+"""
+
+from __future__ import annotations
+
+#: Bytes per float32 element.  Intermediate tensors are assumed to be
+#: transferred as raw float32 activations, as in the paper's PyTorch setup.
+BYTES_PER_FLOAT32 = 4
+
+#: Bits per byte, used for bandwidth conversions.
+BITS_PER_BYTE = 8
+
+
+def mbps(value: float) -> float:
+    """Convert megabits per second to bytes per second."""
+    return value * 1e6 / BITS_PER_BYTE
+
+
+def to_mbps(bytes_per_second: float) -> float:
+    """Convert bytes per second to megabits per second."""
+    return bytes_per_second * BITS_PER_BYTE / 1e6
+
+
+def kbps(value: float) -> float:
+    """Convert kilobits per second to bytes per second."""
+    return value * 1e3 / BITS_PER_BYTE
+
+
+def ms(value: float) -> float:
+    """Convert milliseconds to seconds."""
+    return value / 1e3
+
+
+def to_ms(seconds: float) -> float:
+    """Convert seconds to milliseconds."""
+    return seconds * 1e3
+
+
+def gflops(value: float) -> float:
+    """Convert GFLOPS (or GFLOPs) to FLOPS (or FLOPs)."""
+    return value * 1e9
+
+
+def to_gflops(flops: float) -> float:
+    """Convert FLOPS (or FLOPs) to GFLOPS (or GFLOPs)."""
+    return flops / 1e9
+
+
+def mflops(value: float) -> float:
+    """Convert MFLOPS (or MFLOPs) to FLOPS (or FLOPs)."""
+    return value * 1e6
+
+
+def kb(value: float) -> float:
+    """Convert kilobytes to bytes."""
+    return value * 1e3
+
+
+def mb(value: float) -> float:
+    """Convert megabytes to bytes."""
+    return value * 1e6
+
+
+def to_kb(num_bytes: float) -> float:
+    """Convert bytes to kilobytes."""
+    return num_bytes / 1e3
+
+
+def to_mb(num_bytes: float) -> float:
+    """Convert bytes to megabytes."""
+    return num_bytes / 1e6
+
+
+def tensor_bytes(*shape: int, bytes_per_element: int = BYTES_PER_FLOAT32) -> int:
+    """Size in bytes of a dense tensor with the given shape.
+
+    >>> tensor_bytes(3, 32, 32)
+    12288
+    """
+    size = bytes_per_element
+    for dim in shape:
+        if dim <= 0:
+            raise ValueError(f"tensor dimensions must be positive, got {shape}")
+        size *= dim
+    return size

@@ -1,0 +1,74 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.offloading import DeviceConfig, EdgeSystem
+from repro.hardware import (
+    CLOUD_V100,
+    EDGE_I7_3770,
+    INTERNET_EDGE_CLOUD,
+    RASPBERRY_PI_3B,
+    WIFI_DEVICE_EDGE,
+)
+from repro.core.exit_setting import AverageEnvironment
+from repro.models.exit_rates import ParametricExitCurve
+from repro.models.multi_exit import MultiExitDNN
+from repro.models.zoo import build_model
+
+
+@pytest.fixture(scope="session")
+def inception_profile():
+    return build_model("inception-v3")
+
+
+@pytest.fixture(scope="session")
+def vgg_profile():
+    return build_model("vgg-16")
+
+
+@pytest.fixture(scope="session")
+def all_profiles():
+    return {
+        name: build_model(name)
+        for name in ("vgg-16", "resnet-34", "inception-v3", "squeezenet-1.0")
+    }
+
+
+@pytest.fixture
+def inception_me(inception_profile):
+    return MultiExitDNN(inception_profile, ParametricExitCurve.from_complexity(0.5))
+
+
+@pytest.fixture
+def rpi_environment():
+    return AverageEnvironment.from_platforms(
+        RASPBERRY_PI_3B,
+        EDGE_I7_3770,
+        CLOUD_V100,
+        WIFI_DEVICE_EDGE,
+        INTERNET_EDGE_CLOUD,
+        edge_share=0.25,
+    )
+
+
+@pytest.fixture
+def small_system(inception_me, rpi_environment):
+    """A 2-device RPi system with a mid-depth partition, for policy tests."""
+    partition = inception_me.partition_at(5, 14)
+    devices = tuple(
+        DeviceConfig.from_platform(
+            RASPBERRY_PI_3B, WIFI_DEVICE_EDGE, mean_arrivals=0.5, name=f"pi-{i}"
+        )
+        for i in range(2)
+    )
+    return EdgeSystem(
+        devices=devices,
+        edge_flops=EDGE_I7_3770.flops,
+        cloud_flops=CLOUD_V100.flops,
+        edge_cloud=INTERNET_EDGE_CLOUD,
+        partition=partition,
+        edge_overhead=EDGE_I7_3770.per_task_overhead,
+        cloud_overhead=CLOUD_V100.per_task_overhead,
+    )

@@ -1,0 +1,230 @@
+"""Online exit-rate estimation and adaptive re-planning."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.adaptation import (
+    AdaptiveExitController,
+    ComplexityEstimator,
+    ExitRateEstimator,
+)
+from repro.core.exit_setting import (
+    AverageEnvironment,
+    branch_and_bound_exit_setting,
+)
+from repro.hardware import (
+    CLOUD_V100,
+    EDGE_I7_3770,
+    INTERNET_EDGE_CLOUD,
+    RASPBERRY_PI_3B,
+    WIFI_DEVICE_EDGE,
+)
+from repro.models.exit_rates import ParametricExitCurve
+from repro.models.multi_exit import MultiExitDNN
+from repro.models.zoo import build_model
+
+
+@pytest.fixture(scope="module")
+def profile():
+    return build_model("inception-v3")
+
+
+@pytest.fixture(scope="module")
+def environment():
+    return AverageEnvironment.from_platforms(
+        RASPBERRY_PI_3B,
+        EDGE_I7_3770,
+        CLOUD_V100,
+        WIFI_DEVICE_EDGE,
+        INTERNET_EDGE_CLOUD,
+        edge_share=0.25,
+    )
+
+
+# -- estimator ----------------------------------------------------------------
+
+
+def test_estimator_first_batch_sets_estimates():
+    estimator = ExitRateEstimator(alpha=0.2)
+    estimator.observe(30, 20, 100)
+    assert estimator.sigma1 == pytest.approx(0.3)
+    assert estimator.sigma2 == pytest.approx(0.5)
+    assert estimator.observations == 100
+
+
+def test_estimator_ewma_converges():
+    estimator = ExitRateEstimator(alpha=0.3)
+    estimator.observe(10, 10, 100)  # start far away
+    for _ in range(50):
+        estimator.observe(60, 20, 100)
+    assert estimator.sigma1 == pytest.approx(0.6, abs=0.01)
+    assert estimator.sigma2 == pytest.approx(0.8, abs=0.01)
+
+
+def test_estimator_validation():
+    estimator = ExitRateEstimator()
+    with pytest.raises(ValueError):
+        ExitRateEstimator(alpha=0.0)
+    with pytest.raises(ValueError):
+        estimator.observe(1, 1, 0)
+    with pytest.raises(ValueError):
+        estimator.observe(-1, 0, 10)
+    with pytest.raises(ValueError):
+        estimator.observe(6, 5, 10)
+
+
+# -- complexity inversion -------------------------------------------------------
+
+
+def test_complexity_estimator_recovers_a(profile):
+    """Feeding exact σ = u^a observations recovers the generating a."""
+    m = profile.num_layers
+    for true_a in (0.4, 1.0, 2.5):
+        curve = ParametricExitCurve(a=true_a)
+        rates = curve.rates(profile)
+        estimator = ComplexityEstimator(profile, 5, 14)
+        estimate = estimator.estimate(rates[4], rates[13])
+        assert estimate.a == pytest.approx(true_a, rel=0.02)
+        assert estimate.implied_sigma1 == pytest.approx(rates[4], abs=0.02)
+
+
+def test_complexity_estimator_degenerate_rates(profile):
+    estimator = ComplexityEstimator(profile, 5, 14)
+    estimate = estimator.estimate(0.0, 1.0)
+    assert estimate.a > 0  # falls back to something sane
+
+
+def test_complexity_estimator_validation(profile):
+    with pytest.raises(ValueError):
+        ComplexityEstimator(profile, 14, 5)
+    with pytest.raises(ValueError):
+        ComplexityEstimator(profile, 0, 5)
+
+
+# -- adaptive controller ---------------------------------------------------------
+
+
+def _simulate_outcomes(
+    me_dnn: MultiExitDNN, selection, n: int, rng: np.random.Generator
+) -> tuple[int, int, int]:
+    """Sample per-tier exit outcomes from a 'true' exit curve."""
+    sigma1 = me_dnn.exit_rate(selection.first)
+    sigma2 = me_dnn.exit_rate(selection.second)
+    draws = rng.random(n)
+    first = int((draws < sigma1).sum())
+    second = int(((draws >= sigma1) & (draws < sigma2)).sum())
+    return first, second, n
+
+
+def test_no_replan_without_drift(profile, environment):
+    controller = AdaptiveExitController(profile, environment)
+    truth = MultiExitDNN(profile, ParametricExitCurve(a=1.0))  # matches prior
+    rng = np.random.default_rng(0)
+    for _ in range(10):
+        first, second, total = _simulate_outcomes(
+            truth, controller.plan.selection, 100, rng
+        )
+        controller.observe(first, second, total)
+        assert controller.maybe_replan() is None
+    assert controller.replan_count == 0
+
+
+def test_replan_on_complexity_drift(profile, environment):
+    """When the data turns much easier than planned for, the controller
+    must replan toward the easy-data optimum."""
+    controller = AdaptiveExitController(
+        profile, environment, drift_threshold=0.08
+    )
+    initial_selection = controller.plan.selection
+    true_a = 0.3  # much easier data than the a=1 prior
+    truth = MultiExitDNN(profile, ParametricExitCurve(a=true_a))
+    rng = np.random.default_rng(1)
+    replanned = None
+    for _ in range(30):
+        first, second, total = _simulate_outcomes(
+            truth, controller.plan.selection, 200, rng
+        )
+        controller.observe(first, second, total)
+        replanned = controller.maybe_replan() or replanned
+        if replanned is not None:
+            break
+    assert replanned is not None
+    assert controller.replan_count == 1
+    # The new plan approximates planning with the true curve directly.
+    oracle = branch_and_bound_exit_setting(truth, environment)
+    assert abs(replanned.cost - oracle.cost) / oracle.cost < 0.15
+    assert replanned.selection != initial_selection or (
+        replanned.partition.sigma1 != controller.plan.partition.sigma1
+    )
+
+
+def test_controller_validation(profile, environment):
+    with pytest.raises(ValueError):
+        AdaptiveExitController(profile, environment, drift_threshold=0.0)
+
+
+def test_min_observations_gate(profile, environment):
+    controller = AdaptiveExitController(
+        profile, environment, min_observations=1000, drift_threshold=0.01
+    )
+    truth = MultiExitDNN(profile, ParametricExitCurve(a=0.3))
+    rng = np.random.default_rng(2)
+    first, second, total = _simulate_outcomes(
+        truth, controller.plan.selection, 100, rng
+    )
+    controller.observe(first, second, total)
+    assert controller.maybe_replan() is None  # not enough evidence yet
+
+
+def test_adaptive_controller_closes_loop_with_event_simulator(
+    profile, environment
+):
+    """End-to-end: the event simulator produces real exit outcomes, the
+    controller consumes them — drift is detected from *simulated* data,
+    not hand-crafted draws."""
+    from repro.core.offloading import DeviceConfig, EdgeSystem, FixedRatioPolicy
+    from repro.hardware import (
+        CLOUD_V100,
+        EDGE_I7_3770,
+        INTERNET_EDGE_CLOUD,
+        RASPBERRY_PI_3B,
+        WIFI_DEVICE_EDGE,
+    )
+    from repro.sim.arrivals import ConstantArrivals
+    from repro.sim.events import EventSimulator
+
+    controller = AdaptiveExitController(
+        profile, environment, drift_threshold=0.08, min_observations=50
+    )
+    # Deploy the controller's plan, but the *world* serves much easier
+    # data (a = 0.25) than the a = 1.0 planning prior.
+    world = MultiExitDNN(profile, ParametricExitCurve(a=0.25))
+    selection = controller.plan.selection
+    deployed = world.partition(
+        world.selection(selection.first, selection.second)
+    )
+    system = EdgeSystem(
+        devices=(
+            DeviceConfig.from_platform(
+                RASPBERRY_PI_3B, WIFI_DEVICE_EDGE, 1.0, name="pi"
+            ),
+        ),
+        edge_flops=EDGE_I7_3770.flops,
+        cloud_flops=CLOUD_V100.flops,
+        edge_cloud=INTERNET_EDGE_CLOUD,
+        partition=deployed,
+        shares=(1.0,),
+    )
+    result = EventSimulator(
+        system=system, arrivals=[ConstantArrivals(2.0)], seed=4
+    ).run(FixedRatioPolicy(0.5), 120)
+    tier1, tier2, _ = result.exit_fractions()
+    total = len(result.completed)
+    controller.observe(round(tier1 * total), round(tier2 * total), total)
+    replanned = controller.maybe_replan()
+    assert replanned is not None, "easier-than-planned data must trigger a replan"
+    # The refreshed curve acknowledges the easier data: higher σ₁ at the
+    # (possibly new) First-exit than the stale plan assumed.
+    assert replanned.partition.sigma1 > 0.3

@@ -1,0 +1,90 @@
+"""Arrival processes."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sim.arrivals import (
+    ConstantArrivals,
+    PiecewiseRateArrivals,
+    PoissonArrivals,
+    SinusoidalRateArrivals,
+    TraceArrivals,
+    UniformArrivals,
+)
+
+
+def test_constant_arrivals():
+    process = ConstantArrivals(2.5)
+    rng = np.random.default_rng(0)
+    assert process.mean(0) == 2.5
+    assert process.sample(7, rng) == 2.5
+    with pytest.raises(ValueError):
+        ConstantArrivals(-1.0)
+
+
+def test_poisson_mean_converges():
+    process = PoissonArrivals(3.0)
+    rng = np.random.default_rng(1)
+    samples = [process.sample(t, rng) for t in range(5000)]
+    assert np.mean(samples) == pytest.approx(3.0, rel=0.05)
+
+
+def test_poisson_truncation():
+    process = PoissonArrivals(3.0, maximum=4.0)
+    rng = np.random.default_rng(2)
+    assert max(process.sample(t, rng) for t in range(2000)) <= 4.0
+    with pytest.raises(ValueError):
+        PoissonArrivals(5.0, maximum=1.0)
+
+
+def test_uniform_arrivals_bounds():
+    process = UniformArrivals(1, 4)
+    rng = np.random.default_rng(3)
+    samples = [process.sample(t, rng) for t in range(500)]
+    assert min(samples) >= 1 and max(samples) <= 4
+    assert process.mean(0) == 2.5
+    with pytest.raises(ValueError):
+        UniformArrivals(4, 1)
+
+
+def test_trace_arrivals_cycles():
+    process = TraceArrivals((1.0, 2.0, 3.0))
+    rng = np.random.default_rng(4)
+    assert process.sample(0, rng) == 1.0
+    assert process.sample(4, rng) == 2.0
+    assert process.mean(5) == 3.0
+    with pytest.raises(ValueError):
+        TraceArrivals(())
+
+
+def test_piecewise_phases():
+    process = PiecewiseRateArrivals(((10, 1.0), (5, 6.0)))
+    assert process.mean(0) == 1.0
+    assert process.mean(9) == 1.0
+    assert process.mean(10) == 6.0
+    assert process.mean(14) == 6.0
+    assert process.mean(15) == 1.0  # cycles
+    with pytest.raises(ValueError):
+        PiecewiseRateArrivals(((0, 1.0),))
+    with pytest.raises(ValueError):
+        PiecewiseRateArrivals(())
+
+
+def test_piecewise_samples_follow_phase_rate():
+    process = PiecewiseRateArrivals(((50, 0.0), (50, 8.0)))
+    rng = np.random.default_rng(5)
+    calm = [process.sample(t, rng) for t in range(50)]
+    busy = [process.sample(t, rng) for t in range(50, 100)]
+    assert max(calm) == 0.0
+    assert np.mean(busy) == pytest.approx(8.0, rel=0.2)
+
+
+def test_sinusoidal_clamps_at_zero():
+    process = SinusoidalRateArrivals(base=1.0, amplitude=3.0, period=20)
+    rates = [process.mean(t) for t in range(40)]
+    assert min(rates) == 0.0
+    assert max(rates) == pytest.approx(4.0, abs=0.1)
+    with pytest.raises(ValueError):
+        SinusoidalRateArrivals(base=1.0, amplitude=1.0, period=0)

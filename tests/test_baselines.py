@@ -1,0 +1,86 @@
+"""Benchmark exit settings and ablation strategies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.baselines import (
+    BENCHMARK_EXIT_SETTINGS,
+    EXIT_STRATEGIES,
+    ddnn_exit_setting,
+    edgent_exit_setting,
+    mean_exit_setting,
+    min_comp_exit_setting,
+    min_tran_exit_setting,
+    neurosurgeon_partition,
+)
+from repro.models.multi_exit import MultiExitDNN
+from repro.models.zoo import MODEL_BUILDERS, build_model
+
+
+@pytest.fixture(scope="module", params=sorted(MODEL_BUILDERS))
+def me_dnn(request):
+    return MultiExitDNN(build_model(request.param))
+
+
+def test_all_strategies_return_valid_selections(me_dnn):
+    strategies = list(EXIT_STRATEGIES.values()) + list(
+        BENCHMARK_EXIT_SETTINGS.values()
+    )
+    for strategy in strategies:
+        selection = strategy(me_dnn)
+        assert 1 <= selection.first < selection.second < selection.third
+        assert selection.third == me_dnn.num_exits
+
+
+def test_ddnn_puts_first_exit_on_device_edge(me_dnn):
+    assert ddnn_exit_setting(me_dnn).first == 1
+
+
+def test_edgent_picks_globally_smallest_data(me_dnn):
+    selection = edgent_exit_setting(me_dnn)
+    profile = me_dnn.profile
+    sizes = {
+        i: profile.intermediate_bytes(i)
+        for i in range(1, me_dnn.num_exits - 1)
+    }
+    assert profile.intermediate_bytes(selection.first) == min(sizes.values())
+
+
+def test_min_comp_is_shallowest(me_dnn):
+    assert min_comp_exit_setting(me_dnn).as_tuple()[:2] == (1, 2)
+
+
+def test_min_tran_equals_edgent(me_dnn):
+    assert min_tran_exit_setting(me_dnn) == edgent_exit_setting(me_dnn)
+
+
+def test_mean_splits_flops_in_thirds(me_dnn):
+    selection = mean_exit_setting(me_dnn)
+    profile = me_dnn.profile
+    cumulative = profile.cumulative_flops
+    total = profile.total_flops
+    # Each cut must be the closest candidate to its target third.
+    first_err = abs(cumulative[selection.first] - total / 3)
+    for candidate in range(1, me_dnn.num_exits - 1):
+        assert first_err <= abs(cumulative[candidate] - total / 3) + 1e-6
+
+
+def test_neurosurgeon_partition_has_no_early_exits(me_dnn):
+    selection = me_dnn.selection(2, me_dnn.num_exits - 1)
+    partition = neurosurgeon_partition(me_dnn, selection)
+    assert partition.sigma == (0.0, 0.0, 1.0)
+    # No exit-head FLOPs on device/edge blocks: strictly less work than the
+    # LEIME partition at the same cuts.
+    leime = me_dnn.partition(selection)
+    assert partition.mu1 < leime.mu1
+    assert partition.mu2 < leime.mu2
+    assert partition.mu3 == pytest.approx(leime.mu3)
+
+
+def test_neurosurgeon_expected_flops_is_full_depth(me_dnn):
+    selection = me_dnn.selection(2, me_dnn.num_exits - 1)
+    partition = neurosurgeon_partition(me_dnn, selection)
+    assert partition.expected_flops_per_task == pytest.approx(
+        sum(partition.block_flops)
+    )

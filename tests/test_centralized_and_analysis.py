@@ -1,0 +1,124 @@
+"""Centralized P1' solver and the analysis (theorem-verification) module."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.analysis import (
+    measure_queue_stability,
+    measure_search_complexity,
+    measure_v_tradeoff,
+)
+from repro.core.centralized import CentralizedDriftPlusPenaltyPolicy
+from repro.core.offloading import (
+    DriftPlusPenaltyPolicy,
+    LyapunovState,
+    drift_plus_penalty,
+    slot_cost,
+)
+
+
+def _objective(system, state, arrivals, ratios, v=50.0):
+    total = 0.0
+    for i in range(system.num_devices):
+        cost = slot_cost(
+            system.devices[i],
+            system,
+            ratios[i],
+            arrivals[i],
+            state.queue_local[i],
+            state.queue_edge[i],
+            system.shares[i],
+            include_tail=False,
+        )
+        total += drift_plus_penalty(
+            cost, state.queue_local[i], state.queue_edge[i], v
+        )
+    return total
+
+
+def test_centralized_matches_decentralized(small_system):
+    """P1' separates across devices once the shares are fixed, so the
+    centralized scipy solve and the per-device exact policy agree."""
+    state = LyapunovState(queue_local=[2.0, 0.5], queue_edge=[1.0, 0.0])
+    arrivals = [1.2, 0.8]
+    central = CentralizedDriftPlusPenaltyPolicy(v=50.0).decide(
+        small_system, state, arrivals
+    )
+    decentral = DriftPlusPenaltyPolicy(v=50.0).decide(
+        small_system, state, arrivals
+    )
+    value_central = _objective(small_system, state, arrivals, central)
+    value_decentral = _objective(small_system, state, arrivals, decentral)
+    assert value_decentral <= value_central + 1e-6 * (1 + abs(value_central))
+
+
+def test_centralized_respects_bounds(small_system):
+    state = LyapunovState.zeros(2)
+    ratios = CentralizedDriftPlusPenaltyPolicy(v=50.0).decide(
+        small_system, state, [0.5, 0.5]
+    )
+    assert all(0.0 <= x <= 1.0 for x in ratios)
+
+
+def test_centralized_validation():
+    with pytest.raises(ValueError):
+        CentralizedDriftPlusPenaltyPolicy(v=-1.0)
+    with pytest.raises(ValueError):
+        CentralizedDriftPlusPenaltyPolicy(restarts=-1)
+
+
+def test_search_complexity_bb_fits_mlogm():
+    fit = measure_search_complexity(
+        chain_lengths=(6, 10, 16, 24, 36),
+        instances_per_length=15,
+        search="branch-and-bound",
+    )
+    # Theorem 2: the m·ln m model explains the counts well.
+    assert fit.r_squared > 0.9
+    assert fit.coefficient > 0
+
+
+def test_search_complexity_brute_force_is_quadratic():
+    fit = measure_search_complexity(
+        chain_lengths=(6, 10, 16, 24, 36),
+        instances_per_length=5,
+        search="brute-force",
+    )
+    assert fit.r_squared > 0.999  # deterministic (m-1)(m-2)/2 + (m-2)
+    assert fit.coefficient == pytest.approx(0.5, rel=0.1)
+
+
+def test_search_complexity_bb_beats_brute_force():
+    bb = measure_search_complexity(
+        chain_lengths=(36, 48), instances_per_length=10, search="branch-and-bound"
+    )
+    brute = measure_search_complexity(
+        chain_lengths=(36, 48), instances_per_length=2, search="brute-force"
+    )
+    assert bb.mean_evaluations[-1] < brute.mean_evaluations[-1] / 2
+
+
+def test_search_complexity_validation():
+    with pytest.raises(ValueError):
+        measure_search_complexity(search="genetic")
+
+
+def test_v_tradeoff_directions(small_system):
+    """Theorem 3: delay non-increasing and backlog non-decreasing in V
+    (up to simulation noise at the extremes)."""
+    points = measure_v_tradeoff(
+        small_system, v_values=(0.1, 10.0, 1000.0), num_slots=200,
+        arrival_rate=0.8,
+    )
+    assert points[-1].mean_tct <= points[0].mean_tct * 1.05
+    assert points[-1].max_backlog >= points[0].max_backlog * 0.95
+
+
+def test_queue_stability_under_policy(small_system):
+    report = measure_queue_stability(
+        small_system, num_slots=300, arrival_rate=0.8
+    )
+    # C3/C4: backlog growth per slot vanishes for a stabilising policy.
+    assert report["backlog_per_slot"] < 0.1
+    assert report["mean_tct"] > 0

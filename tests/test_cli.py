@@ -1,0 +1,121 @@
+"""The command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+
+
+def test_models_lists_zoo(capsys):
+    assert main(["models"]) == 0
+    out = capsys.readouterr().out
+    for name in ("vgg-16", "resnet-34", "inception-v3", "squeezenet-1.0"):
+        assert name in out
+
+
+def test_describe(capsys):
+    assert main(["describe", "squeezenet-1.0"]) == 0
+    out = capsys.readouterr().out
+    assert "fire2" in out and "GFLOPs" in out
+
+
+def test_describe_rejects_unknown_model():
+    with pytest.raises(SystemExit):
+        main(["describe", "alexnet"])
+
+
+def test_plan_prints_selection(capsys):
+    assert main(["plan", "--model", "squeezenet-1.0"]) == 0
+    out = capsys.readouterr().out
+    assert "exit selection" in out
+    assert "expected TCT" in out
+
+
+def test_plan_device_changes_selection(capsys):
+    main(["plan", "--model", "inception-v3", "--device", "raspberry-pi"])
+    pi_out = capsys.readouterr().out
+    main(["plan", "--model", "inception-v3", "--device", "jetson-nano"])
+    nano_out = capsys.readouterr().out
+    assert pi_out != nano_out
+
+
+def test_simulate_slot(capsys):
+    assert (
+        main(
+            [
+                "simulate",
+                "--model",
+                "squeezenet-1.0",
+                "--policy",
+                "leime",
+                "--slots",
+                "30",
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "mean TCT" in out and "stable" in out
+
+
+def test_simulate_event(capsys):
+    assert (
+        main(
+            [
+                "simulate",
+                "--model",
+                "squeezenet-1.0",
+                "--policy",
+                "edge-only",
+                "--simulator",
+                "event",
+                "--slots",
+                "30",
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "offloaded" in out and "exits" in out
+
+
+def test_simulate_rejects_unknown_policy():
+    with pytest.raises(SystemExit):
+        main(["simulate", "--policy", "magic"])
+
+
+def test_experiment_dispatch(capsys):
+    assert main(["experiment", "fig2"]) == 0
+    out = capsys.readouterr().out
+    assert "Fig. 2(a)" in out
+
+
+def test_experiment_rejects_unknown():
+    with pytest.raises(SystemExit):
+        main(["experiment", "fig99"])
+
+
+def test_requires_command():
+    with pytest.raises(SystemExit):
+        main([])
+
+
+def test_analyze_vsweep(capsys):
+    assert (
+        main(
+            [
+                "analyze",
+                "v-sweep",
+                "--model",
+                "squeezenet-1.0",
+                "--devices",
+                "2",
+                "--arrival-rate",
+                "0.5",
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "mean TCT" in out and "backlog" in out

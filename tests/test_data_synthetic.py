@@ -1,0 +1,126 @@
+"""The synthetic dataset generator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import (
+    Dataset,
+    SyntheticImageDataset,
+    chunk_boundaries,
+    train_val_test_split,
+)
+
+
+def test_chunk_boundaries_cover_dim():
+    bounds = chunk_boundaries(64, 8)
+    assert bounds[0][0] == 0
+    assert bounds[-1][1] == 64
+    assert all(b[1] == n[0] for b, n in zip(bounds, bounds[1:]))
+
+
+def test_chunk_boundaries_uneven():
+    bounds = chunk_boundaries(10, 3)
+    assert sum(stop - start for start, stop in bounds) == 10
+    with pytest.raises(ValueError):
+        chunk_boundaries(2, 3)
+    with pytest.raises(ValueError):
+        chunk_boundaries(10, 0)
+
+
+def test_dataset_validation():
+    with pytest.raises(ValueError):
+        Dataset(
+            x=np.zeros((3, 4)), y=np.zeros(2, dtype=int), hard=np.zeros(3, bool)
+        )
+    with pytest.raises(ValueError):
+        Dataset(x=np.zeros(4), y=np.zeros(4, dtype=int), hard=np.zeros(4, bool))
+
+
+def test_sample_shapes_and_reproducibility():
+    gen = SyntheticImageDataset()
+    a = gen.sample(100, seed=5)
+    b = gen.sample(100, seed=5)
+    assert len(a) == 100
+    assert a.dim == gen.dim
+    assert np.array_equal(a.x, b.x)
+    assert np.array_equal(a.y, b.y)
+
+
+def test_different_seeds_differ():
+    gen = SyntheticImageDataset()
+    a = gen.sample(100, seed=1)
+    b = gen.sample(100, seed=2)
+    assert not np.array_equal(a.x, b.x)
+
+
+def test_hard_fraction_controls_mixture():
+    gen = SyntheticImageDataset(hard_fraction=0.8)
+    data = gen.sample(4000, seed=0)
+    assert data.hard.mean() == pytest.approx(0.8, abs=0.03)
+    all_easy = SyntheticImageDataset(hard_fraction=0.0).sample(100, seed=0)
+    assert not all_easy.hard.any()
+
+
+def test_easy_signal_confined_to_support_chunks():
+    gen = SyntheticImageDataset(
+        hard_fraction=0.0, noise=0.0, label_noise=0.0, distractor_fraction=0.0
+    )
+    data = gen.sample(200, seed=0)
+    easy_dims = gen.easy_support * gen.chunk_dim
+    tail = data.x[:, easy_dims:]
+    assert np.abs(tail).max() == pytest.approx(0.0, abs=1e-12)
+
+
+def test_hard_signal_spreads_everywhere():
+    gen = SyntheticImageDataset(hard_fraction=1.0, noise=0.0, label_noise=0.0)
+    data = gen.sample(200, seed=0)
+    tail_energy = np.abs(data.x[:, gen.easy_support * gen.chunk_dim :]).sum()
+    assert tail_energy > 0
+
+
+def test_distractors_add_late_chunk_energy():
+    base = dict(hard_fraction=0.0, noise=0.0, label_noise=0.0)
+    clean = SyntheticImageDataset(distractor_fraction=0.0, **base).sample(500, seed=3)
+    dirty = SyntheticImageDataset(distractor_fraction=1.0, **base).sample(500, seed=3)
+    gen = SyntheticImageDataset(**base)
+    easy_dims = gen.easy_support * gen.chunk_dim
+    assert np.abs(dirty.x[:, easy_dims:]).sum() > np.abs(clean.x[:, easy_dims:]).sum()
+
+
+def test_validation_errors():
+    with pytest.raises(ValueError):
+        SyntheticImageDataset(num_classes=1)
+    with pytest.raises(ValueError):
+        SyntheticImageDataset(hard_fraction=1.5)
+    with pytest.raises(ValueError):
+        SyntheticImageDataset(easy_support=0)
+    with pytest.raises(ValueError):
+        SyntheticImageDataset(label_noise=1.0)
+    with pytest.raises(ValueError):
+        SyntheticImageDataset(distractor_strength=-1.0)
+    with pytest.raises(ValueError):
+        SyntheticImageDataset(
+            easy_support=8, num_chunks=8, distractor_fraction=0.5
+        )
+    gen = SyntheticImageDataset()
+    with pytest.raises(ValueError):
+        gen.sample(0)
+
+
+def test_split_partitions_disjointly():
+    data = SyntheticImageDataset().sample(1000, seed=0)
+    train, val, test = train_val_test_split(data, 0.2, 0.1, seed=1)
+    assert len(train) + len(val) + len(test) == 1000
+    assert len(val) == 200
+    assert len(test) == 100
+    with pytest.raises(ValueError):
+        train_val_test_split(data, 0.6, 0.5)
+
+
+def test_split_is_seeded():
+    data = SyntheticImageDataset().sample(500, seed=0)
+    a = train_val_test_split(data, seed=3)[0]
+    b = train_val_test_split(data, seed=3)[0]
+    assert np.array_equal(a.x, b.x)

@@ -1,0 +1,95 @@
+"""Property-based tests of the event simulator's invariants."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.offloading import (
+    DeviceConfig,
+    EdgeSystem,
+    FixedRatioPolicy,
+)
+from repro.hardware import (
+    CLOUD_V100,
+    EDGE_I7_3770,
+    INTERNET_EDGE_CLOUD,
+    NetworkProfile,
+    RASPBERRY_PI_3B,
+)
+from repro.models.multi_exit import MultiExitDNN
+from repro.models.exit_rates import ParametricExitCurve
+from repro.models.zoo import build_model
+from repro.sim.arrivals import PoissonArrivals
+from repro.sim.events import EventSimulator
+from repro.units import mbps
+
+
+def _system(first, second, complexity, num_devices, bandwidth):
+    me_dnn = MultiExitDNN(
+        build_model("squeezenet-1.0"),
+        ParametricExitCurve.from_complexity(complexity),
+    )
+    partition = me_dnn.partition_at(first, second)
+    devices = tuple(
+        DeviceConfig(
+            name=f"d{i}",
+            flops=RASPBERRY_PI_3B.flops,
+            link=NetworkProfile(mbps(bandwidth), 0.02),
+            mean_arrivals=0.5,
+            overhead=RASPBERRY_PI_3B.per_task_overhead,
+        )
+        for i in range(num_devices)
+    )
+    return EdgeSystem(
+        devices=devices,
+        edge_flops=EDGE_I7_3770.flops,
+        cloud_flops=CLOUD_V100.flops,
+        edge_cloud=INTERNET_EDGE_CLOUD,
+        partition=partition,
+    )
+
+
+@settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    exits=st.sets(st.integers(min_value=1, max_value=8), min_size=2, max_size=2),
+    complexity=st.floats(min_value=0.1, max_value=0.9),
+    num_devices=st.integers(min_value=1, max_value=3),
+    bandwidth=st.floats(min_value=5.0, max_value=50.0),
+    ratio=st.floats(min_value=0.0, max_value=1.0),
+    seed=st.integers(min_value=0, max_value=100),
+)
+def test_event_sim_invariants_random_configs(
+    exits, complexity, num_devices, bandwidth, ratio, seed
+):
+    """For any valid configuration:
+
+    * every generated task completes after drain (conservation);
+    * latency decompositions sum exactly;
+    * exit tiers are valid and respect the partition's support;
+    * per-device attribution covers every task.
+    """
+    first, second = sorted(exits)
+    system = _system(first, second, complexity, num_devices, bandwidth)
+    simulator = EventSimulator(
+        system=system,
+        arrivals=[PoissonArrivals(0.5)] * num_devices,
+        seed=seed,
+    )
+    result = simulator.run(FixedRatioPolicy(ratio), 25)
+    assert result.completion_rate == 1.0
+    for task in result.tasks:
+        assert 1 <= task.exit_tier <= 3
+        assert task.tct > 0
+        parts = task.compute_time + task.transfer_time + task.queue_time
+        assert parts == pytest.approx(task.tct, rel=1e-6, abs=1e-9)
+        assert 0 <= task.device < num_devices
+    tier1, tier2, tier3 = result.exit_fractions()
+    assert tier1 + tier2 + tier3 == pytest.approx(1.0)
+    # Tier-3 tasks exist only if the partition lets tasks through (σ₂ < 1).
+    if system.partition.sigma2 >= 1.0 - 1e-9:
+        assert tier3 == 0.0

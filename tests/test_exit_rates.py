@@ -1,0 +1,112 @@
+"""Exit-rate curves: monotonicity, pinning, isotonic projection."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.models.exit_rates import (
+    EmpiricalExitCurve,
+    ParametricExitCurve,
+    UniformExitCurve,
+    isotonic_projection,
+)
+from repro.models.zoo import build_model
+
+
+@pytest.fixture(scope="module")
+def profile():
+    return build_model("inception-v3")
+
+
+def test_parametric_rates_monotone_and_terminal(profile):
+    for a in (0.25, 1.0, 4.0):
+        curve = ParametricExitCurve(a=a)
+        rates = curve.rates(profile)
+        assert len(rates) == profile.num_layers
+        assert all(b >= a for a, b in zip(rates, rates[1:]))
+        assert rates[-1] == 1.0
+
+
+def test_parametric_complexity_ordering(profile):
+    """Easier data exits earlier at every depth."""
+    easy = ParametricExitCurve.from_complexity(0.1).rates(profile)
+    hard = ParametricExitCurve.from_complexity(0.9).rates(profile)
+    assert all(e >= h for e, h in zip(easy[:-1], hard[:-1]))
+    assert easy[0] > hard[0]
+
+
+def test_parametric_flops_basis_differs_from_index(profile):
+    by_index = ParametricExitCurve(basis="index").rates(profile)
+    by_flops = ParametricExitCurve(basis="flops").rates(profile)
+    assert by_index != by_flops
+    # Inception's compute is back-loaded, so the flops basis must give the
+    # early exits lower rates.
+    assert by_flops[0] < by_index[0]
+
+
+def test_parametric_validation():
+    with pytest.raises(ValueError):
+        ParametricExitCurve(a=0.0)
+    with pytest.raises(ValueError):
+        ParametricExitCurve(basis="depthness")
+    with pytest.raises(ValueError):
+        ParametricExitCurve.from_complexity(1.5)
+    with pytest.raises(ValueError):
+        ParametricExitCurve().rate_at(1.2)
+
+
+def test_uniform_curve(profile):
+    rates = UniformExitCurve().rates(profile)
+    m = profile.num_layers
+    assert rates[0] == pytest.approx(1 / m)
+    assert rates[-1] == 1.0
+
+
+def test_empirical_curve_length_check(profile):
+    curve = EmpiricalExitCurve.from_measurements([0.5, 1.0])
+    with pytest.raises(ValueError):
+        curve.rates(profile)
+
+
+def test_empirical_curve_monotone_projection(profile):
+    noisy = [0.3, 0.2, 0.5, 0.45] + [0.6] * (profile.num_layers - 5) + [1.0]
+    curve = EmpiricalExitCurve.from_measurements(noisy)
+    rates = curve.rates(profile)
+    assert all(b >= a - 1e-12 for a, b in zip(rates, rates[1:]))
+    assert rates[-1] == 1.0
+
+
+def test_isotonic_projection_known_case():
+    assert isotonic_projection([1.0, 3.0, 2.0]) == [1.0, 2.5, 2.5]
+
+
+def test_isotonic_projection_already_monotone():
+    values = [0.1, 0.2, 0.3]
+    assert isotonic_projection(values) == values
+
+
+@given(
+    st.lists(
+        st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+        min_size=1,
+        max_size=30,
+    )
+)
+def test_isotonic_projection_properties(values):
+    projected = isotonic_projection(values)
+    assert len(projected) == len(values)
+    assert all(b >= a - 1e-12 for a, b in zip(projected, projected[1:]))
+    # Projection preserves the mean (block means replace block values).
+    assert sum(projected) == pytest.approx(sum(values), abs=1e-9)
+
+
+@given(st.floats(min_value=0.05, max_value=0.95))
+def test_pinned_first_exit_curve_hits_target(sigma1):
+    from repro.experiments.common import pinned_first_exit_curve
+
+    profile = build_model("squeezenet-1.0")
+    rates = pinned_first_exit_curve(profile, sigma1).rates(profile)
+    assert rates[0] == pytest.approx(sigma1, abs=1e-9)
+    assert rates[-1] == 1.0
+    assert all(b >= a - 1e-12 for a, b in zip(rates, rates[1:]))

@@ -1,0 +1,222 @@
+"""Exit setting: the T(E) cost model, brute force, and branch-and-bound."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.exit_setting import (
+    AverageEnvironment,
+    ExitCostModel,
+    branch_and_bound_exit_setting,
+    brute_force_exit_setting,
+)
+from repro.hardware import (
+    CLOUD_V100,
+    EDGE_I7_3770,
+    INTERNET_EDGE_CLOUD,
+    JETSON_NANO,
+    NetworkProfile,
+    RASPBERRY_PI_3B,
+    WIFI_DEVICE_EDGE,
+)
+from repro.models.exit_rates import EmpiricalExitCurve, ParametricExitCurve
+from repro.models.multi_exit import ExitSelection, MultiExitDNN
+from repro.models.profile import DNNProfile, LayerProfile
+from repro.models.zoo import MODEL_BUILDERS, build_model
+from repro.units import gflops, mbps, ms
+
+
+def _env(**overrides) -> AverageEnvironment:
+    defaults = dict(
+        device_flops=RASPBERRY_PI_3B.flops,
+        edge_flops=EDGE_I7_3770.flops * 0.25,
+        cloud_flops=CLOUD_V100.flops,
+        device_edge=WIFI_DEVICE_EDGE,
+        edge_cloud=INTERNET_EDGE_CLOUD,
+    )
+    defaults.update(overrides)
+    return AverageEnvironment(**defaults)
+
+
+def test_environment_validation():
+    with pytest.raises(ValueError):
+        _env(device_flops=0.0)
+    with pytest.raises(ValueError):
+        _env(device_overhead=-1.0)
+
+
+def test_environment_from_platforms_share():
+    env = AverageEnvironment.from_platforms(
+        RASPBERRY_PI_3B,
+        EDGE_I7_3770,
+        CLOUD_V100,
+        WIFI_DEVICE_EDGE,
+        INTERNET_EDGE_CLOUD,
+        edge_share=0.5,
+    )
+    assert env.edge_flops == pytest.approx(EDGE_I7_3770.flops * 0.5)
+    assert env.device_overhead == RASPBERRY_PI_3B.per_task_overhead
+    with pytest.raises(ValueError):
+        AverageEnvironment.from_platforms(
+            RASPBERRY_PI_3B,
+            EDGE_I7_3770,
+            CLOUD_V100,
+            WIFI_DEVICE_EDGE,
+            INTERNET_EDGE_CLOUD,
+            edge_share=0.0,
+        )
+
+
+def test_cost_decomposition_matches_eq4():
+    """T(E) must equal t^d + (1-σ₁)t^e + (1-σ₂)t^c."""
+    me_dnn = MultiExitDNN(build_model("inception-v3"))
+    model = ExitCostModel(me_dnn, _env())
+    e1, e2 = 5, 14
+    expected = (
+        model.device_time(e1)
+        + (1.0 - me_dnn.exit_rate(e1)) * model.edge_time(e1, e2)
+        + (1.0 - me_dnn.exit_rate(e2)) * model.cloud_time(e2)
+    )
+    assert model.cost_at(e1, e2) == pytest.approx(expected)
+
+
+def test_cost_rejects_bad_combinations():
+    me_dnn = MultiExitDNN(build_model("inception-v3"))
+    model = ExitCostModel(me_dnn, _env())
+    with pytest.raises(ValueError):
+        model.cost(ExitSelection(1, 2, 15))
+    with pytest.raises(ValueError):
+        model.cost_at(14, 16)
+
+
+def test_faster_device_never_increases_cost():
+    me_dnn = MultiExitDNN(build_model("vgg-16"))
+    slow = ExitCostModel(me_dnn, _env(device_flops=gflops(1.0)))
+    fast = ExitCostModel(me_dnn, _env(device_flops=gflops(10.0)))
+    for e1 in range(1, me_dnn.num_exits - 1):
+        for e2 in range(e1 + 1, me_dnn.num_exits):
+            assert fast.cost_at(e1, e2) <= slow.cost_at(e1, e2) + 1e-12
+
+
+def test_better_bandwidth_never_increases_cost():
+    me_dnn = MultiExitDNN(build_model("vgg-16"))
+    slow = ExitCostModel(me_dnn, _env(device_edge=NetworkProfile(mbps(2), ms(20))))
+    fast = ExitCostModel(me_dnn, _env(device_edge=NetworkProfile(mbps(50), ms(20))))
+    for e1 in range(1, me_dnn.num_exits - 1):
+        for e2 in range(e1 + 1, me_dnn.num_exits):
+            assert fast.cost_at(e1, e2) <= slow.cost_at(e1, e2) + 1e-12
+
+
+def test_brute_force_matches_manual_minimum():
+    me_dnn = MultiExitDNN(build_model("squeezenet-1.0"))
+    env = _env()
+    model = ExitCostModel(me_dnn, env)
+    manual = min(
+        (model.cost_at(e1, e2), e1, e2)
+        for e1 in range(1, me_dnn.num_exits - 1)
+        for e2 in range(e1 + 1, me_dnn.num_exits)
+    )
+    result = brute_force_exit_setting(me_dnn, env)
+    assert result.cost == pytest.approx(manual[0])
+    assert result.selection.as_tuple() == (manual[1], manual[2], me_dnn.num_exits)
+
+
+@pytest.mark.parametrize("model_name", sorted(MODEL_BUILDERS))
+@pytest.mark.parametrize("complexity", [0.1, 0.5, 0.9])
+def test_branch_and_bound_matches_brute_force_on_zoo(model_name, complexity):
+    me_dnn = MultiExitDNN(
+        build_model(model_name), ParametricExitCurve.from_complexity(complexity)
+    )
+    env = _env()
+    brute = brute_force_exit_setting(me_dnn, env)
+    fast = branch_and_bound_exit_setting(me_dnn, env)
+    assert fast.cost == pytest.approx(brute.cost)
+    assert fast.selection == brute.selection
+
+
+def test_branch_and_bound_uses_fewer_evaluations():
+    me_dnn = MultiExitDNN(build_model("inception-v3"))
+    env = _env()
+    brute = brute_force_exit_setting(me_dnn, env)
+    fast = branch_and_bound_exit_setting(me_dnn, env)
+    assert fast.evaluations < brute.evaluations
+
+
+def test_device_capability_moves_first_exit_deeper():
+    """Fig. 2(a): a faster device prefers a deeper First-exit."""
+    me_dnn = MultiExitDNN(build_model("inception-v3"))
+    slow = brute_force_exit_setting(me_dnn, _env(device_flops=RASPBERRY_PI_3B.flops))
+    fast = brute_force_exit_setting(me_dnn, _env(device_flops=JETSON_NANO.flops))
+    assert fast.selection.first > slow.selection.first
+
+
+def test_edge_load_moves_second_exit_shallower():
+    """Fig. 2(b): a loaded edge prefers a shallower Second-exit."""
+    me_dnn = MultiExitDNN(build_model("inception-v3"))
+    light = brute_force_exit_setting(
+        me_dnn, _env(edge_flops=EDGE_I7_3770.flops * 0.8)
+    )
+    heavy = brute_force_exit_setting(
+        me_dnn, _env(edge_flops=EDGE_I7_3770.flops * 0.05)
+    )
+    assert heavy.selection.second <= light.selection.second
+
+
+# -- property-based: B&B equals brute force on random profiles --------------
+
+
+@st.composite
+def random_me_dnn(draw):
+    """Random chains satisfying Theorem 1's assumptions: monotone σ and
+    layer FLOPs that dominate exit-head FLOPs (see DESIGN.md)."""
+    m = draw(st.integers(min_value=3, max_value=12))
+    layers = []
+    for i in range(m):
+        flops = draw(st.floats(min_value=1e8, max_value=5e9))
+        channels = draw(st.integers(min_value=4, max_value=256))
+        side = draw(st.integers(min_value=1, max_value=32))
+        layers.append(
+            LayerProfile(name=f"l{i}", flops=flops, output_shape=(channels, side, side))
+        )
+    profile = DNNProfile(name="random", input_bytes=3072, layers=tuple(layers))
+    raw = sorted(
+        draw(
+            st.lists(
+                st.floats(min_value=0.0, max_value=1.0),
+                min_size=m,
+                max_size=m,
+            )
+        )
+    )
+    raw[-1] = 1.0
+    curve = EmpiricalExitCurve.from_measurements(raw)
+    return MultiExitDNN(profile, curve)
+
+
+@st.composite
+def random_environment(draw):
+    return AverageEnvironment(
+        device_flops=draw(st.floats(min_value=gflops(0.5), max_value=gflops(50))),
+        edge_flops=draw(st.floats(min_value=gflops(2), max_value=gflops(200))),
+        cloud_flops=draw(st.floats(min_value=gflops(50), max_value=gflops(2000))),
+        device_edge=NetworkProfile(
+            draw(st.floats(min_value=mbps(1), max_value=mbps(100))),
+            draw(st.floats(min_value=0.0, max_value=0.3)),
+        ),
+        edge_cloud=NetworkProfile(
+            draw(st.floats(min_value=mbps(5), max_value=mbps(200))),
+            draw(st.floats(min_value=0.0, max_value=0.3)),
+        ),
+        device_overhead=draw(st.floats(min_value=0.0, max_value=0.1)),
+        edge_overhead=draw(st.floats(min_value=0.0, max_value=0.05)),
+        cloud_overhead=draw(st.floats(min_value=0.0, max_value=0.02)),
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(me_dnn=random_me_dnn(), env=random_environment())
+def test_branch_and_bound_optimal_on_random_instances(me_dnn, env):
+    brute = brute_force_exit_setting(me_dnn, env)
+    fast = branch_and_bound_exit_setting(me_dnn, env)
+    assert fast.cost == pytest.approx(brute.cost, rel=1e-9)

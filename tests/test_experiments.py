@@ -1,0 +1,161 @@
+"""Integration tests: the experiment harnesses reproduce the paper's shapes.
+
+These run reduced horizons (the benchmarks run the full ones); what they
+assert is the *qualitative* content of each figure — orderings, directions
+of movement, crossovers — per DESIGN.md's shape-target policy.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import fig2, fig3
+from repro.experiments.common import (
+    SCHEME_BUILDERS,
+    TestbedConfig,
+    compare_schemes,
+    format_rows,
+    speedup_over,
+)
+
+
+# -- Fig. 2 --------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def fig2_result():
+    return fig2.run_fig2()
+
+
+def test_fig2a_device_capability_shifts_first_exit(fig2_result):
+    pi, nano = fig2_result.device_sweeps
+    assert pi.label == "raspberry-pi"
+    assert nano.optimal_exit > pi.optimal_exit
+
+
+def test_fig2b_edge_load_shifts_second_exit(fig2_result):
+    light, heavy = fig2_result.load_sweeps
+    assert heavy.optimal_exit < light.optimal_exit
+
+
+def test_fig2cd_models_differ(fig2_result):
+    first_optima = {s.label: s.optimal_exit for s in fig2_result.model_first_sweeps}
+    second_optima = {s.label: s.optimal_exit for s in fig2_result.model_second_sweeps}
+    assert len(set(first_optima.values())) > 1 or len(set(second_optima.values())) > 1
+
+
+def test_fig2_normalized_latency_has_unit_minimum(fig2_result):
+    for sweep in fig2_result.device_sweeps + fig2_result.load_sweeps:
+        assert min(sweep.normalized_latency) == pytest.approx(1.0)
+        assert max(sweep.normalized_latency) > 1.0
+
+
+# -- Fig. 3 --------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def fig3_result():
+    return fig3.run_fig3(num_slots=100, seed=0)
+
+
+def test_fig3_optimal_ratio_moves_with_arrival_rate(fig3_result):
+    optima = [c.optimal_ratio for c in fig3_result.arrival_curves]
+    assert len(set(optima)) > 1
+
+
+def test_fig3_complexity_shifts_ratio_up(fig3_result):
+    """Easier data (higher σ₁) keeps more work local or shifts the optimum;
+    at minimum the optima must differ across the sweep."""
+    optima = [c.optimal_ratio for c in fig3_result.complexity_curves]
+    assert len(set(optima)) > 1
+
+
+def test_fig3_low_bandwidth_forces_full_offloading(fig3_result):
+    """Paper: at 8 Mbps the optimal ratio is 1."""
+    low_bw = fig3_result.bandwidth_curves[0]
+    assert low_bw.label.startswith("8")
+    assert low_bw.optimal_ratio == pytest.approx(1.0)
+
+
+def test_fig3_high_bandwidth_lowers_ratio(fig3_result):
+    low_bw = fig3_result.bandwidth_curves[0]
+    high_bw = fig3_result.bandwidth_curves[-1]
+    assert high_bw.optimal_ratio < low_bw.optimal_ratio
+
+
+def test_fig3_latency_moves_ratio(fig3_result):
+    optima = [c.optimal_ratio for c in fig3_result.latency_curves]
+    assert len(set(optima)) > 1
+    # Higher propagation delay penalises the per-task d0 upload more than
+    # the (1-σ₁)-weighted intermediate upload, so the optimum falls.
+    assert optima[-1] <= optima[0]
+
+
+def test_fig3_curves_cover_grid(fig3_result):
+    for curves in fig3_result.all_panels().values():
+        for curve in curves:
+            assert curve.ratios == fig3.RATIO_GRID
+            assert len(curve.mean_tct) == len(curve.ratios)
+            assert all(t > 0 for t in curve.mean_tct)
+
+
+# -- Fig. 7/8-style comparisons (reduced) ---------------------------------------
+
+
+@pytest.fixture(scope="module")
+def comparison_results():
+    config = TestbedConfig(model="inception-v3", num_devices=4, arrival_rate=0.2)
+    return compare_schemes(
+        config, tuple(SCHEME_BUILDERS), num_slots=80, seed=0, simulator="event"
+    )
+
+
+def test_leime_beats_benchmarks_on_default_testbed(comparison_results):
+    speedups = speedup_over(comparison_results)
+    assert speedups["LEIME"] == pytest.approx(1.0)
+    for name in ("Neurosurgeon", "Edgent", "DDNN"):
+        assert speedups[name] > 1.2, f"{name} should lose clearly on the Pi"
+
+
+def test_all_schemes_complete_tasks(comparison_results):
+    for name, result in comparison_results.items():
+        assert result.completion_rate == 1.0, name
+
+
+def test_format_rows_alignment():
+    table = format_rows(("a", "bb"), [("x", 1), ("yy", 22)])
+    lines = table.splitlines()
+    assert len(lines) == 4
+    assert all(len(line) == len(lines[0]) for line in lines[1:])
+
+
+def test_replication_confidence_intervals():
+    from repro.experiments.common import ReplicatedResult, replicate_scheme
+
+    config = TestbedConfig(
+        model="squeezenet-1.0", num_devices=2, arrival_rate=0.4
+    )
+    result = replicate_scheme(
+        config, "LEIME", seeds=(0, 1, 2), num_slots=60
+    )
+    assert len(result.values) == 3
+    assert result.mean > 0
+    assert result.ci95_halfwidth() >= 0
+    # Seeds genuinely vary the outcome.
+    assert result.std > 0
+
+    with pytest.raises(ValueError):
+        ReplicatedResult(scheme="x", values=())
+    single = ReplicatedResult(scheme="x", values=(1.0,))
+    assert single.ci95_halfwidth() == 0.0
+
+
+def test_leime_wins_with_error_bars():
+    """The Fig. 7 headline holds beyond one seed: LEIME's upper CI bound
+    stays below DDNN's lower bound."""
+    from repro.experiments.common import replicate_scheme
+
+    config = TestbedConfig(model="inception-v3", num_devices=2, arrival_rate=0.2)
+    leime = replicate_scheme(config, "LEIME", seeds=(0, 1, 2), num_slots=80)
+    ddnn = replicate_scheme(config, "DDNN", seeds=(0, 1, 2), num_slots=80)
+    assert leime.mean + leime.ci95_halfwidth() < ddnn.mean - ddnn.ci95_halfwidth()

@@ -1,0 +1,88 @@
+"""Hardware catalog: platforms, ratios, network profiles."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import hardware
+from repro.units import mbps, ms
+
+
+def test_platform_rejects_bad_flops():
+    with pytest.raises(ValueError):
+        hardware.Platform("broken", 0.0)
+
+
+def test_platform_rejects_negative_overhead():
+    with pytest.raises(ValueError):
+        hardware.Platform("broken", 1e9, per_task_overhead=-1.0)
+
+
+def test_platform_compute_time():
+    platform = hardware.Platform("x", 2e9)
+    assert platform.compute_time(4e9) == pytest.approx(2.0)
+
+
+def test_platform_compute_time_rejects_negative_work():
+    with pytest.raises(ValueError):
+        hardware.RASPBERRY_PI_3B.compute_time(-1.0)
+
+
+def test_platform_scaled():
+    half = hardware.EDGE_I7_3770.scaled(0.5)
+    assert half.flops == pytest.approx(hardware.EDGE_I7_3770.flops / 2)
+    assert half.name == hardware.EDGE_I7_3770.name
+
+
+def test_platform_scaled_rename():
+    loaded = hardware.EDGE_I7_3770.scaled(0.5, name="edge-loaded")
+    assert loaded.name == "edge-loaded"
+
+
+def test_platform_scaled_rejects_nonpositive():
+    with pytest.raises(ValueError):
+        hardware.EDGE_I7_3770.scaled(0.0)
+
+
+def test_nano_pi_ratio_matches_paper():
+    """§II-A: Jetson Nano is 8.2× a Raspberry Pi 3B+ on Inception v3."""
+    ratio = hardware.JETSON_NANO.flops / hardware.RASPBERRY_PI_3B.flops
+    assert ratio == pytest.approx(8.2, rel=0.01)
+
+
+def test_edge_gpu_laptop_ratio_matches_paper():
+    """§II-A: the GPU edge desktop is ~5× a laptop i5."""
+    ratio = hardware.EDGE_GEFORCE_940MX.flops / hardware.LAPTOP_I5_7200U.flops
+    assert ratio == pytest.approx(5.0, rel=0.01)
+
+
+def test_platform_lookup():
+    assert hardware.platform("jetson-nano") is hardware.JETSON_NANO
+
+
+def test_platform_lookup_unknown_lists_names():
+    with pytest.raises(KeyError, match="jetson-nano"):
+        hardware.platform("nonexistent")
+
+
+def test_network_profile_transfer_time():
+    profile = hardware.NetworkProfile(bandwidth=mbps(8.0), latency=ms(50.0))
+    # 1 MB over 1 MB/s plus 50 ms.
+    assert profile.transfer_time(1e6) == pytest.approx(1.05)
+
+
+def test_network_profile_zero_payload_is_free():
+    profile = hardware.NetworkProfile(bandwidth=mbps(8.0), latency=ms(50.0))
+    assert profile.transfer_time(0) == 0.0
+
+
+def test_network_profile_rejects_negative_payload():
+    with pytest.raises(ValueError):
+        hardware.WIFI_DEVICE_EDGE.transfer_time(-1)
+
+
+def test_network_profile_validation():
+    with pytest.raises(ValueError):
+        hardware.NetworkProfile(bandwidth=0.0, latency=0.0)
+    with pytest.raises(ValueError):
+        hardware.NetworkProfile(bandwidth=1.0, latency=-0.1)

@@ -1,0 +1,166 @@
+"""The per-class exit-setting extension."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.exit_setting import branch_and_bound_exit_setting
+from repro.core.heterogeneous import (
+    group_devices,
+    heterogeneous_system,
+    plan_per_class,
+)
+from repro.core.offloading import DeviceConfig, DriftPlusPenaltyPolicy, EdgeSystem
+from repro.hardware import (
+    CLOUD_V100,
+    EDGE_I7_3770,
+    INTERNET_EDGE_CLOUD,
+    JETSON_NANO,
+    RASPBERRY_PI_3B,
+    WIFI_DEVICE_EDGE,
+)
+from repro.models.multi_exit import MultiExitDNN
+from repro.models.zoo import build_model
+from repro.sim.events import EventSimulator
+from repro.sim.arrivals import PoissonArrivals
+
+
+@pytest.fixture(scope="module")
+def mixed_fleet():
+    pis = [
+        DeviceConfig.from_platform(
+            RASPBERRY_PI_3B, WIFI_DEVICE_EDGE, 0.2, name=f"pi-{i}"
+        )
+        for i in range(2)
+    ]
+    nanos = [
+        DeviceConfig.from_platform(
+            JETSON_NANO, WIFI_DEVICE_EDGE, 0.5, name=f"nano-{i}"
+        )
+        for i in range(2)
+    ]
+    return tuple(pis + nanos)
+
+
+@pytest.fixture(scope="module")
+def me_dnn():
+    return MultiExitDNN(build_model("inception-v3"))
+
+
+def test_group_devices_by_class(mixed_fleet):
+    groups = group_devices(mixed_fleet)
+    assert len(groups) == 2
+    sizes = sorted(len(v) for v in groups.values())
+    assert sizes == [2, 2]
+
+
+def test_plan_per_class_differs_across_classes(me_dnn, mixed_fleet):
+    """The whole point: Pis and Nanos get different First-exits
+    (Fig. 2(a))."""
+    classes = plan_per_class(
+        me_dnn,
+        mixed_fleet,
+        EDGE_I7_3770.flops,
+        CLOUD_V100.flops,
+        INTERNET_EDGE_CLOUD,
+    )
+    selections = {
+        c.key[0]: c.plan.selection.first for c in classes
+    }
+    pi_first = selections[RASPBERRY_PI_3B.flops]
+    nano_first = selections[JETSON_NANO.flops]
+    assert nano_first > pi_first
+
+
+def test_plan_per_class_requires_devices(me_dnn):
+    with pytest.raises(ValueError):
+        plan_per_class(
+            me_dnn, [], EDGE_I7_3770.flops, CLOUD_V100.flops, INTERNET_EDGE_CLOUD
+        )
+
+
+def test_heterogeneous_system_deploys_per_device(me_dnn, mixed_fleet):
+    system = heterogeneous_system(
+        me_dnn,
+        mixed_fleet,
+        EDGE_I7_3770.flops,
+        CLOUD_V100.flops,
+        INTERNET_EDGE_CLOUD,
+    )
+    assert len(system.device_partitions) == 4
+    # Devices of the same class share a partition object; classes differ.
+    assert system.partition_for(0) is system.partition_for(1)
+    assert system.partition_for(2) is system.partition_for(3)
+    assert system.partition_for(0) is not system.partition_for(2)
+
+
+def test_partition_for_broadcast_without_override(me_dnn, mixed_fleet):
+    partition = me_dnn.partition_at(5, 14)
+    system = EdgeSystem(
+        devices=mixed_fleet,
+        edge_flops=EDGE_I7_3770.flops,
+        cloud_flops=CLOUD_V100.flops,
+        edge_cloud=INTERNET_EDGE_CLOUD,
+        partition=partition,
+    )
+    assert system.partition_for(3) is partition
+
+
+def test_device_partitions_length_validated(me_dnn, mixed_fleet):
+    partition = me_dnn.partition_at(5, 14)
+    with pytest.raises(ValueError):
+        EdgeSystem(
+            devices=mixed_fleet,
+            edge_flops=EDGE_I7_3770.flops,
+            cloud_flops=CLOUD_V100.flops,
+            edge_cloud=INTERNET_EDGE_CLOUD,
+            partition=partition,
+            device_partitions=(partition,),
+        )
+
+
+def test_heterogeneous_beats_single_average_partition(me_dnn, mixed_fleet):
+    """On a mixed fleet, per-class planning must not lose to the paper's
+    single average-device partition (and typically wins)."""
+    hetero = heterogeneous_system(
+        me_dnn,
+        mixed_fleet,
+        EDGE_I7_3770.flops,
+        CLOUD_V100.flops,
+        INTERNET_EDGE_CLOUD,
+        edge_overhead=EDGE_I7_3770.per_task_overhead,
+        cloud_overhead=CLOUD_V100.per_task_overhead,
+    )
+    # The paper's deployment: one partition planned against the average
+    # device (mean FLOPS across the fleet).
+    from repro.core.exit_setting import AverageEnvironment
+
+    mean_flops = sum(d.flops for d in mixed_fleet) / len(mixed_fleet)
+    avg_plan = branch_and_bound_exit_setting(
+        me_dnn,
+        AverageEnvironment(
+            device_flops=mean_flops,
+            edge_flops=EDGE_I7_3770.flops / len(mixed_fleet),
+            cloud_flops=CLOUD_V100.flops,
+            device_edge=WIFI_DEVICE_EDGE,
+            edge_cloud=INTERNET_EDGE_CLOUD,
+        ),
+    )
+    single = EdgeSystem(
+        devices=mixed_fleet,
+        edge_flops=EDGE_I7_3770.flops,
+        cloud_flops=CLOUD_V100.flops,
+        edge_cloud=INTERNET_EDGE_CLOUD,
+        partition=avg_plan.partition,
+        edge_overhead=EDGE_I7_3770.per_task_overhead,
+        cloud_overhead=CLOUD_V100.per_task_overhead,
+    )
+    arrivals = [PoissonArrivals(d.mean_arrivals) for d in mixed_fleet]
+    policy = DriftPlusPenaltyPolicy(v=50.0)
+    hetero_tct = EventSimulator(
+        system=hetero, arrivals=arrivals, seed=5
+    ).run(policy, 120).mean_tct
+    single_tct = EventSimulator(
+        system=single, arrivals=arrivals, seed=5
+    ).run(policy, 120).mean_tct
+    assert hetero_tct <= single_tct * 1.05

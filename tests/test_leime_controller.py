@@ -1,0 +1,96 @@
+"""The end-to-end LEIME controller."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.leime import LeimeController
+from repro.core.offloading import DeviceConfig, FixedRatioPolicy
+from repro.hardware import (
+    CLOUD_V100,
+    EDGE_I7_3770,
+    INTERNET_EDGE_CLOUD,
+    JETSON_NANO,
+    RASPBERRY_PI_3B,
+    WIFI_DEVICE_EDGE,
+)
+from repro.models.multi_exit import MultiExitDNN
+from repro.models.zoo import build_model
+
+
+def _controller(devices=None, **kwargs) -> LeimeController:
+    if devices is None:
+        devices = [
+            DeviceConfig.from_platform(
+                RASPBERRY_PI_3B, WIFI_DEVICE_EDGE, 0.5, name=f"pi-{i}"
+            )
+            for i in range(3)
+        ]
+    return LeimeController(
+        me_dnn=MultiExitDNN(build_model("inception-v3")),
+        devices=devices,
+        edge_flops=EDGE_I7_3770.flops,
+        cloud_flops=CLOUD_V100.flops,
+        edge_cloud=INTERNET_EDGE_CLOUD,
+        **kwargs,
+    )
+
+
+def test_controller_requires_devices():
+    with pytest.raises(ValueError):
+        _controller(devices=[])
+
+
+def test_plan_is_cached():
+    controller = _controller()
+    assert controller.plan() is controller.plan()
+
+
+def test_partition_matches_bb_search():
+    from repro.core.exit_setting import branch_and_bound_exit_setting
+
+    controller = _controller()
+    expected = branch_and_bound_exit_setting(
+        controller.me_dnn, controller.average_environment()
+    )
+    assert controller.partition.selection == expected.selection
+
+
+def test_edge_shares_sum_to_one():
+    devices = [
+        DeviceConfig.from_platform(RASPBERRY_PI_3B, WIFI_DEVICE_EDGE, 1.0, name="pi"),
+        DeviceConfig.from_platform(JETSON_NANO, WIFI_DEVICE_EDGE, 0.2, name="nano"),
+    ]
+    controller = _controller(devices=devices)
+    shares = controller.edge_shares()
+    assert sum(shares) == pytest.approx(1.0)
+    # The busy, slow Pi needs more edge help than the idle, fast Nano.
+    assert shares[0] > shares[1]
+
+
+def test_system_uses_kkt_shares():
+    controller = _controller()
+    system = controller.system()
+    assert system.shares == tuple(controller.edge_shares())
+    assert system.partition is controller.partition
+
+
+def test_decide_returns_ratio_per_device():
+    controller = _controller()
+    state = controller.new_state()
+    ratios = controller.decide(state, [0.5, 0.5, 0.5])
+    assert len(ratios) == 3
+    assert all(0.0 <= x <= 1.0 for x in ratios)
+
+
+def test_custom_policy_is_used():
+    controller = _controller(policy=FixedRatioPolicy(0.0))
+    state = controller.new_state()
+    assert controller.decide(state, [0.5, 0.5, 0.5]) == [0.0, 0.0, 0.0]
+
+
+def test_average_environment_aggregates_links():
+    controller = _controller()
+    env = controller.average_environment()
+    assert env.device_flops == pytest.approx(RASPBERRY_PI_3B.flops)
+    assert env.device_edge.bandwidth == pytest.approx(WIFI_DEVICE_EDGE.bandwidth)

@@ -1,0 +1,99 @@
+"""Layer FLOP math and the chain builder."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.models.layers import ChainBuilder, conv2d_flops, conv_out_hw, pool2d_flops
+
+
+def test_conv_out_hw_basic():
+    assert conv_out_hw(32, 3, 1, 1) == 32  # same-padding 3x3
+    assert conv_out_hw(32, 2, 2, 0) == 16  # 2x2 stride-2 pool
+    assert conv_out_hw(299, 3, 2, 0) == 149  # inception stem conv
+
+
+def test_conv_out_hw_rejects_collapse():
+    with pytest.raises(ValueError):
+        conv_out_hw(2, 5, 1, 0)
+
+
+def test_conv2d_flops_known_value():
+    # 3x3 conv, 3->64 channels, 32x32 output: 2*3*9*64*32*32.
+    flops, shape = conv2d_flops((3, 32, 32), 64, 3, padding=1)
+    assert shape == (64, 32, 32)
+    assert flops == 2 * 3 * 9 * 64 * 32 * 32
+
+
+def test_conv2d_flops_asymmetric_kernel():
+    flops, shape = conv2d_flops((8, 17, 17), 8, (1, 7), padding=(0, 3))
+    assert shape == (8, 17, 17)
+    assert flops == 2 * 8 * 7 * 8 * 17 * 17
+
+
+def test_pool2d_shape():
+    flops, shape = pool2d_flops((64, 32, 32), 2, 2)
+    assert shape == (64, 16, 16)
+    assert flops == 2 * 2 * 64 * 16 * 16
+
+
+def test_chain_builder_conv_unit():
+    chain2 = ChainBuilder(input_shape=(3, 32, 32))
+    chain2.conv("c1", 64, 3, padding=1)
+    chain2.conv("c2", 64, 3, padding=1)
+    chain2.conv("c3", 64, 3, padding=1, pool=(2, 2))
+    profile = chain2.build("tiny", 3072)
+    assert profile.num_layers == 3
+    assert profile.layers[0].output_shape == (64, 32, 32)
+    assert profile.layers[2].output_shape == (64, 16, 16)
+
+
+def test_chain_builder_fused_pool_counts_flops():
+    plain = ChainBuilder(input_shape=(3, 32, 32))
+    plain.conv("c", 64, 3, padding=1)
+    pooled = ChainBuilder(input_shape=(3, 32, 32))
+    pooled.conv("c", 64, 3, padding=1, pool=(2, 2))
+    assert pooled._layers[0].flops > plain._layers[0].flops
+
+
+def test_residual_block_projection_flops():
+    """A stride-2 block must include the 1x1 projection conv."""
+    with_proj = ChainBuilder(input_shape=(64, 56, 56))
+    with_proj.basic_residual_block("b", 128, stride=2)
+    without = ChainBuilder(input_shape=(128, 28, 28))
+    without.basic_residual_block("b", 128, stride=1)
+    assert with_proj._layers[0].output_shape == (128, 28, 28)
+    assert without._layers[0].output_shape == (128, 28, 28)
+    # Two 3x3 convs at 28x28 from 128ch are the same work; the projection
+    # conv makes the strided block strictly more expensive than
+    # 2*conv(128->128@28) would suggest relative to its own first conv at
+    # stride 2 — just assert the projection contributed something.
+    two_convs = 2 * (2 * 128 * 9 * 128 * 28 * 28)
+    first_conv = 2 * 64 * 9 * 128 * 28 * 28
+    second_conv = 2 * 128 * 9 * 128 * 28 * 28
+    projection = 2 * 64 * 1 * 128 * 28 * 28
+    assert with_proj._layers[0].flops == pytest.approx(
+        first_conv + second_conv + projection
+    )
+    assert without._layers[0].flops == pytest.approx(two_convs)
+
+
+def test_fire_module_shape_concatenates_expands():
+    chain = ChainBuilder(input_shape=(96, 16, 16))
+    chain.fire("f", squeeze=16, expand1x1=64, expand3x3=64)
+    assert chain._layers[0].output_shape == (128, 16, 16)
+
+
+def test_uncommitted_flops_raise_on_build():
+    chain = ChainBuilder(input_shape=(3, 32, 32))
+    chain.conv("a", 8, 3, padding=1)
+    chain.conv("b", 8, 3, padding=1)
+    chain.conv("c", 8, 3, padding=1)
+    chain._conv(8, 3, padding=1)  # pending, never committed
+    with pytest.raises(RuntimeError):
+        chain.build("broken", 3072)
+
+
+def test_builder_rejects_bad_input_shape():
+    with pytest.raises(ValueError):
+        ChainBuilder(input_shape=(0, 32, 32))

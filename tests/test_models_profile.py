@@ -1,0 +1,90 @@
+"""Profile dataclasses: validation, cumulative FLOPs, exit heads."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.models.profile import (
+    DNNProfile,
+    LayerProfile,
+    exit_classifier_flops,
+)
+
+
+def _profile(flops=(10.0, 20.0, 30.0, 40.0)) -> DNNProfile:
+    layers = tuple(
+        LayerProfile(name=f"l{i}", flops=f, output_shape=(8, 4, 4))
+        for i, f in enumerate(flops, start=1)
+    )
+    return DNNProfile(name="toy", input_bytes=100, layers=layers)
+
+
+def test_layer_profile_validation():
+    with pytest.raises(ValueError):
+        LayerProfile("bad", -1.0, (8, 4, 4))
+    with pytest.raises(ValueError):
+        LayerProfile("bad", 1.0, (8, 0, 4))
+
+
+def test_layer_output_bytes():
+    layer = LayerProfile("l", 1.0, (8, 4, 4))
+    assert layer.output_elements == 128
+    assert layer.output_bytes == 512
+
+
+def test_profile_needs_three_layers():
+    layers = (
+        LayerProfile("a", 1.0, (1, 1, 1)),
+        LayerProfile("b", 1.0, (1, 1, 1)),
+    )
+    with pytest.raises(ValueError):
+        DNNProfile("short", 10, layers)
+
+
+def test_cumulative_flops():
+    profile = _profile()
+    assert profile.cumulative_flops == (0.0, 10.0, 30.0, 60.0, 100.0)
+    assert profile.total_flops == 100.0
+
+
+def test_layer_range_flops():
+    profile = _profile()
+    assert profile.layer_range_flops(0, 2) == 30.0
+    assert profile.layer_range_flops(2, 4) == 70.0
+    assert profile.layer_range_flops(1, 1) == 0.0
+
+
+def test_layer_range_flops_validation():
+    profile = _profile()
+    with pytest.raises(ValueError):
+        profile.layer_range_flops(3, 2)
+    with pytest.raises(ValueError):
+        profile.layer_range_flops(0, 5)
+
+
+def test_exits_one_per_layer():
+    profile = _profile()
+    assert len(profile.exits) == profile.num_layers
+    assert profile.exit(1).index == 1
+    with pytest.raises(ValueError):
+        profile.exit(0)
+    with pytest.raises(ValueError):
+        profile.layer(5)
+
+
+def test_exit_classifier_flops_formula():
+    flops = exit_classifier_flops((64, 8, 8), num_classes=10, hidden_units=128)
+    expected = 64 * 8 * 8 + 2 * 64 * 128 + 2 * 128 * 10 + 5 * 10
+    assert flops == expected
+
+
+def test_exit_classifier_scales_with_channels():
+    small = exit_classifier_flops((32, 8, 8))
+    big = exit_classifier_flops((512, 8, 8))
+    assert big > small
+
+
+def test_intermediate_bytes_index_zero_is_input():
+    profile = _profile()
+    assert profile.intermediate_bytes(0) == 100
+    assert profile.intermediate_bytes(2) == 512

@@ -1,0 +1,129 @@
+"""The four evaluation networks: published-shape checks."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.models import zoo
+
+
+def test_zoo_names():
+    assert set(zoo.MODEL_BUILDERS) == {
+        "vgg-16",
+        "resnet-34",
+        "inception-v3",
+        "squeezenet-1.0",
+        "mobilenet-v1",
+    }
+
+
+def test_build_model_unknown():
+    with pytest.raises(KeyError, match="vgg-16"):
+        zoo.build_model("alexnet")
+
+
+def test_vgg16_structure():
+    profile = zoo.vgg16()
+    assert profile.num_layers == 13  # 13 conv units
+    assert profile.layers[-1].output_shape == (512, 1, 1)
+    # CIFAR VGG-16: ~0.63 GFLOPs with 2 FLOPs/MAC.
+    assert profile.total_flops == pytest.approx(0.627e9, rel=0.02)
+
+
+def test_resnet34_structure():
+    profile = zoo.resnet34()
+    assert profile.num_layers == 17  # stem + 16 basic blocks
+    assert profile.layers[-1].output_shape == (512, 7, 7)
+    # ResNet-34 @224: ~7.3 GFLOPs with 2 FLOPs/MAC.
+    assert profile.total_flops == pytest.approx(7.3e9, rel=0.05)
+
+
+def test_inception_v3_structure():
+    profile = zoo.inception_v3()
+    assert profile.num_layers == 16  # matches the paper's exit indices
+    assert profile.layers[-1].output_shape == (2048, 8, 8)
+    # Inception v3 @299: ~11.4 GFLOPs with 2 FLOPs/MAC.
+    assert profile.total_flops == pytest.approx(11.4e9, rel=0.05)
+
+
+def test_inception_v3_named_stages():
+    profile = zoo.inception_v3()
+    names = [layer.name for layer in profile.layers]
+    assert names[5] == "mixed5b"
+    assert names[13] == "mixed7a"
+    assert profile.layers[13].output_shape == (1280, 8, 8)
+    assert profile.layers[8].output_shape == (768, 17, 17)
+
+
+def test_squeezenet_structure():
+    profile = zoo.squeezenet1_0()
+    assert profile.num_layers == 9  # conv stem + 8 fire modules
+    assert profile.layers[-1].output_shape == (512, 4, 4)
+    # The CIFAR SqueezeNet is by far the smallest model.
+    assert profile.total_flops < 0.2e9
+
+
+def test_all_models_share_cifar_input_bytes():
+    for name in zoo.MODEL_BUILDERS:
+        assert zoo.build_model(name).input_bytes == 32 * 32 * 3
+
+
+def test_large_small_model_grouping():
+    """Fig. 10's discussion groups Inception v3/ResNet-34 as large and
+    SqueezeNet-1.0/VGG-16 as small; the FLOPs ordering must reflect it."""
+    flops = {name: zoo.build_model(name).total_flops for name in zoo.MODEL_BUILDERS}
+    assert min(flops["inception-v3"], flops["resnet-34"]) > max(
+        flops["vgg-16"], flops["squeezenet-1.0"]
+    )
+
+
+def test_intermediate_bytes_match_shapes():
+    profile = zoo.vgg16()
+    assert profile.intermediate_bytes(0) == profile.input_bytes
+    assert profile.intermediate_bytes(1) == 64 * 32 * 32 * 4
+    assert profile.intermediate_bytes(13) == 512 * 1 * 1 * 4
+
+
+def test_describe_mentions_every_layer():
+    profile = zoo.squeezenet1_0()
+    text = profile.describe()
+    for layer in profile.layers:
+        assert layer.name in text
+
+
+def test_mobilenet_v1_structure():
+    profile = zoo.mobilenet_v1()
+    assert profile.num_layers == 14  # stem + 13 depthwise-separable units
+    assert profile.layers[-1].output_shape == (1024, 7, 7)
+    # Published: 0.57 GMACs = 1.14 GFLOPs with 2 FLOPs/MAC.
+    assert profile.total_flops == pytest.approx(1.14e9, rel=0.03)
+
+
+def test_mobilenet_exit_setting_works():
+    """The new profile plugs into the whole pipeline."""
+    from repro.core.exit_setting import (
+        AverageEnvironment,
+        branch_and_bound_exit_setting,
+        brute_force_exit_setting,
+    )
+    from repro.hardware import (
+        CLOUD_V100,
+        EDGE_I7_3770,
+        INTERNET_EDGE_CLOUD,
+        RASPBERRY_PI_3B,
+        WIFI_DEVICE_EDGE,
+    )
+    from repro.models.multi_exit import MultiExitDNN
+
+    me_dnn = MultiExitDNN(zoo.mobilenet_v1())
+    env = AverageEnvironment.from_platforms(
+        RASPBERRY_PI_3B,
+        EDGE_I7_3770,
+        CLOUD_V100,
+        WIFI_DEVICE_EDGE,
+        INTERNET_EDGE_CLOUD,
+        edge_share=0.25,
+    )
+    fast = branch_and_bound_exit_setting(me_dnn, env)
+    brute = brute_force_exit_setting(me_dnn, env)
+    assert fast.selection == brute.selection

@@ -1,0 +1,122 @@
+"""MultiExitDNN partitioning and selection invariants."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.models.exit_rates import ParametricExitCurve
+from repro.models.multi_exit import ExitSelection, MultiExitDNN, PartitionedModel
+from repro.models.zoo import build_model
+
+
+@pytest.fixture(scope="module")
+def me_dnn():
+    return MultiExitDNN(build_model("inception-v3"))
+
+
+def test_selection_ordering_enforced():
+    with pytest.raises(ValueError):
+        ExitSelection(first=5, second=5, third=16)
+    with pytest.raises(ValueError):
+        ExitSelection(first=0, second=5, third=16)
+    with pytest.raises(ValueError):
+        ExitSelection(first=6, second=5, third=16)
+
+
+def test_third_exit_fixed_at_m(me_dnn):
+    with pytest.raises(ValueError, match="fixed"):
+        me_dnn.partition(ExitSelection(1, 2, 15))
+
+
+def test_partition_block_flops_cover_backbone(me_dnn):
+    profile = me_dnn.profile
+    partition = me_dnn.partition_at(5, 14)
+    head_flops = (
+        profile.exit(5).flops + profile.exit(14).flops + profile.exit(16).flops
+    )
+    assert sum(partition.block_flops) == pytest.approx(
+        profile.total_flops + head_flops
+    )
+
+
+def test_partition_transfer_bytes(me_dnn):
+    partition = me_dnn.partition_at(5, 14)
+    profile = me_dnn.profile
+    assert partition.d0 == profile.input_bytes
+    assert partition.d1 == profile.intermediate_bytes(5)
+    assert partition.d2 == profile.intermediate_bytes(14)
+
+
+def test_partition_sigma_ordering(me_dnn):
+    partition = me_dnn.partition_at(3, 10)
+    assert 0 <= partition.sigma1 <= partition.sigma2 <= 1.0
+    assert partition.sigma[2] == 1.0
+
+
+def test_expected_flops_less_than_total_with_early_exits(me_dnn):
+    partition = me_dnn.partition_at(5, 14)
+    assert partition.expected_flops_per_task < sum(partition.block_flops)
+
+
+def test_exit_rate_bounds(me_dnn):
+    with pytest.raises(ValueError):
+        me_dnn.exit_rate(0)
+    with pytest.raises(ValueError):
+        me_dnn.exit_rate(me_dnn.num_exits + 1)
+    assert me_dnn.exit_rate(me_dnn.num_exits) == 1.0
+
+
+def test_candidate_selections_count(me_dnn):
+    m = me_dnn.num_exits
+    candidates = me_dnn.candidate_selections()
+    assert len(candidates) == (m - 2) * (m - 1) // 2
+    assert all(c.third == m for c in candidates)
+    assert len(set(c.as_tuple() for c in candidates)) == len(candidates)
+
+
+def test_partitioned_model_validation():
+    selection = ExitSelection(1, 2, 3)
+    with pytest.raises(ValueError):
+        PartitionedModel(
+            name="bad",
+            selection=selection,
+            block_flops=(-1.0, 1.0, 1.0),
+            transfer_bytes=(1, 1, 1),
+            sigma=(0.1, 0.5, 1.0),
+        )
+    with pytest.raises(ValueError):
+        PartitionedModel(
+            name="bad",
+            selection=selection,
+            block_flops=(1.0, 1.0, 1.0),
+            transfer_bytes=(1, 1, 1),
+            sigma=(0.5, 0.1, 1.0),
+        )
+    with pytest.raises(ValueError):
+        PartitionedModel(
+            name="bad",
+            selection=selection,
+            block_flops=(1.0, 1.0, 1.0),
+            transfer_bytes=(1, 1, 1),
+            sigma=(0.1, 0.5, 0.9),
+        )
+
+
+@given(
+    first=st.integers(min_value=1, max_value=14),
+    second=st.integers(min_value=2, max_value=15),
+    complexity=st.floats(min_value=0.0, max_value=1.0),
+)
+def test_partition_invariants_random(first, second, complexity):
+    """Any valid selection of any complexity yields a consistent partition."""
+    if second <= first:
+        return
+    me_dnn = MultiExitDNN(
+        build_model("inception-v3"),
+        ParametricExitCurve.from_complexity(complexity),
+    )
+    partition = me_dnn.partition_at(first, second)
+    assert all(f >= 0 for f in partition.block_flops)
+    assert partition.sigma1 <= partition.sigma2 <= 1.0
+    assert partition.expected_flops_per_task <= sum(partition.block_flops) + 1e-6

@@ -1,0 +1,222 @@
+"""Convolutional substrate: im2col/col2im, Conv2d, GlobalAvgPool, CNN."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic_images import SyntheticPatchImageDataset
+from repro.nn.conv import Conv2d, GlobalAvgPool, col2im, im2col
+from repro.nn.functional import cross_entropy
+from repro.nn.multi_exit_cnn import MultiExitCNN
+
+
+def _numeric_grad(f, param, eps=1e-6):
+    grad = np.zeros_like(param)
+    it = np.nditer(param, flags=["multi_index"])
+    while not it.finished:
+        idx = it.multi_index
+        original = param[idx]
+        param[idx] = original + eps
+        up = f()
+        param[idx] = original - eps
+        down = f()
+        param[idx] = original
+        grad[idx] = (up - down) / (2 * eps)
+        it.iternext()
+    return grad
+
+
+# -- im2col / col2im -----------------------------------------------------------
+
+
+def test_im2col_shapes():
+    x = np.arange(2 * 3 * 5 * 5, dtype=np.float64).reshape(2, 3, 5, 5)
+    cols, out_h, out_w = im2col(x, kernel=3, stride=1, padding=1)
+    assert (out_h, out_w) == (5, 5)
+    assert cols.shape == (2 * 25, 3 * 9)
+
+
+def test_im2col_identity_kernel():
+    """A 1x1 window at stride 1 is just a reshape."""
+    x = np.random.default_rng(0).normal(size=(2, 3, 4, 4))
+    cols, out_h, out_w = im2col(x, kernel=1, stride=1, padding=0)
+    assert np.allclose(
+        cols.reshape(2, 4, 4, 3).transpose(0, 3, 1, 2), x
+    )
+
+
+def test_im2col_rejects_collapse():
+    x = np.zeros((1, 1, 2, 2))
+    with pytest.raises(ValueError):
+        im2col(x, kernel=5, stride=1, padding=0)
+
+
+def test_col2im_adjointness():
+    """col2im is the transpose of im2col: <im2col(x), c> == <x, col2im(c)>."""
+    rng = np.random.default_rng(1)
+    x = rng.normal(size=(2, 3, 6, 6))
+    cols, out_h, out_w = im2col(x, kernel=3, stride=2, padding=1)
+    c = rng.normal(size=cols.shape)
+    lhs = float((cols * c).sum())
+    folded = col2im(c, x.shape, kernel=3, stride=2, padding=1, out_h=out_h, out_w=out_w)
+    rhs = float((x * folded).sum())
+    assert lhs == pytest.approx(rhs, rel=1e-10)
+
+
+# -- Conv2d ---------------------------------------------------------------------
+
+
+def test_conv2d_matches_direct_convolution():
+    rng = np.random.default_rng(2)
+    conv = Conv2d(2, 4, kernel=3, rng=rng, padding=1)
+    x = rng.normal(size=(1, 2, 5, 5))
+    out = conv.forward(x, train=False)
+    assert out.shape == (1, 4, 5, 5)
+    # Direct computation at one output position.
+    padded = np.pad(x, ((0, 0), (0, 0), (1, 1), (1, 1)))
+    window = padded[0, :, 1:4, 2:5]
+    expected = float((window * conv.weight[1]).sum() + conv.bias[1])
+    assert out[0, 1, 1, 2] == pytest.approx(expected)
+
+
+def test_conv2d_stride_halves_grid():
+    rng = np.random.default_rng(3)
+    conv = Conv2d(3, 8, kernel=3, rng=rng, stride=2, padding=1)
+    out = conv.forward(np.zeros((2, 3, 8, 8)), train=False)
+    assert out.shape == (2, 8, 4, 4)
+
+
+def test_conv2d_gradient_check():
+    rng = np.random.default_rng(4)
+    conv = Conv2d(2, 3, kernel=3, rng=rng, padding=1)
+    x = rng.normal(size=(2, 2, 4, 4))
+    target = rng.normal(size=(2, 3, 4, 4))
+
+    def loss():
+        return 0.5 * float(((conv.forward(x, train=False) - target) ** 2).sum())
+
+    conv.zero_grad()
+    out = conv.forward(x)
+    grad_x = conv.backward(out - target)
+    assert grad_x.shape == x.shape
+    assert np.allclose(
+        conv.grad_weight, _numeric_grad(loss, conv.weight), atol=1e-4
+    )
+    assert np.allclose(conv.grad_bias, _numeric_grad(loss, conv.bias), atol=1e-4)
+    # Input gradient via finite differences on a few entries.
+    eps = 1e-6
+    for idx in [(0, 0, 0, 0), (1, 1, 2, 3), (0, 1, 3, 1)]:
+        x[idx] += eps
+        up = loss()
+        x[idx] -= 2 * eps
+        down = loss()
+        x[idx] += eps
+        assert grad_x[idx] == pytest.approx((up - down) / (2 * eps), abs=1e-4)
+
+
+def test_conv2d_validation():
+    rng = np.random.default_rng(0)
+    with pytest.raises(ValueError):
+        Conv2d(0, 3, 3, rng)
+    with pytest.raises(ValueError):
+        Conv2d(1, 3, 3, rng, stride=0)
+    conv = Conv2d(1, 1, 3, rng, padding=1)
+    with pytest.raises(ValueError):
+        conv.forward(np.zeros((2, 3)))
+    with pytest.raises(RuntimeError):
+        Conv2d(1, 1, 3, rng, padding=1).backward(np.zeros((1, 1, 4, 4)))
+
+
+# -- GlobalAvgPool ----------------------------------------------------------------
+
+
+def test_global_avg_pool_forward_backward():
+    pool = GlobalAvgPool()
+    x = np.arange(2 * 3 * 2 * 2, dtype=np.float64).reshape(2, 3, 2, 2)
+    out = pool.forward(x)
+    assert out.shape == (2, 3)
+    assert out[0, 0] == pytest.approx(x[0, 0].mean())
+    grad = pool.backward(np.ones((2, 3)))
+    assert grad.shape == x.shape
+    assert np.allclose(grad, 0.25)
+
+
+# -- MultiExitCNN ------------------------------------------------------------------
+
+
+def test_cnn_forward_shapes():
+    net = MultiExitCNN(in_channels=3, num_classes=10, num_stages=4, width=8)
+    logits = net.forward_all(np.zeros((2, 3, 12, 12)))
+    assert len(logits) == 4
+    assert all(l.shape == (2, 10) for l in logits)
+
+
+def test_cnn_gradient_check():
+    """Joint-loss gradient check through conv trunk + GAP heads."""
+    rng = np.random.default_rng(5)
+    net = MultiExitCNN(
+        in_channels=2, num_classes=3, num_stages=3, width=4, downsample_at=2, seed=1
+    )
+    x = rng.normal(size=(3, 2, 6, 6))
+    y = rng.integers(0, 3, size=3)
+
+    def loss():
+        logits = net.forward_all(x, train=False)
+        return sum(
+            w * cross_entropy(l, y) for w, l in zip(net.loss_weights, logits)
+        )
+
+    analytic = net.train_batch(x, y)
+    assert analytic == pytest.approx(loss())
+    for param, grad in zip(net.params(), net.grads()):
+        numeric = _numeric_grad(loss, param)
+        assert np.allclose(grad, numeric, atol=1e-4)
+
+
+def test_cnn_validation():
+    with pytest.raises(ValueError):
+        MultiExitCNN(3, 10, num_stages=2)
+    with pytest.raises(ValueError):
+        MultiExitCNN(3, 10, num_stages=3, width=0)
+    with pytest.raises(ValueError):
+        MultiExitCNN(3, 10, num_stages=3, loss_weights=[1.0])
+    net = MultiExitCNN(3, 10, num_stages=3)
+    with pytest.raises(ValueError):
+        net.forward_all(np.zeros((2, 3)))
+
+
+# -- image dataset ------------------------------------------------------------------
+
+
+def test_image_dataset_shapes_and_determinism():
+    gen = SyntheticPatchImageDataset(size=8, channels=2)
+    a = gen.sample(50, seed=3)
+    b = gen.sample(50, seed=3)
+    assert a.x.shape == (50, 2, 8, 8)
+    assert np.array_equal(a.x, b.x)
+    flat = a.flatten()
+    assert flat.x.shape == (50, 2 * 8 * 8)
+
+
+def test_image_dataset_easy_signal_is_local():
+    gen = SyntheticPatchImageDataset(
+        size=8, hard_fraction=0.0, noise=0.0, label_noise=0.0,
+        distractor_fraction=0.0,
+    )
+    data = gen.sample(100, seed=0)
+    p = gen.patch_size
+    outside = np.abs(data.x[:, :, p:, p:]).sum()
+    inside = np.abs(data.x[:, :, :p, :p]).sum()
+    assert outside == pytest.approx(0.0, abs=1e-12)
+    assert inside > 0
+
+
+def test_image_dataset_validation():
+    with pytest.raises(ValueError):
+        SyntheticPatchImageDataset(patch_size=20, size=8)
+    with pytest.raises(ValueError):
+        SyntheticPatchImageDataset(num_classes=1)
+    gen = SyntheticPatchImageDataset()
+    with pytest.raises(ValueError):
+        gen.sample(0)

@@ -1,0 +1,94 @@
+"""Numpy NN primitives: values and gradients."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn.functional import (
+    accuracy,
+    confidence,
+    cross_entropy,
+    cross_entropy_grad,
+    one_hot,
+    relu,
+    relu_grad,
+    softmax,
+)
+
+
+def test_relu_values():
+    x = np.array([-1.0, 0.0, 2.0])
+    assert relu(x).tolist() == [0.0, 0.0, 2.0]
+
+
+def test_relu_grad_masks_negatives():
+    x = np.array([-1.0, 0.5])
+    grad = relu_grad(x, np.array([3.0, 3.0]))
+    assert grad.tolist() == [0.0, 3.0]
+
+
+def test_softmax_rows_sum_to_one():
+    logits = np.random.default_rng(0).normal(size=(5, 10))
+    probs = softmax(logits)
+    assert np.allclose(probs.sum(axis=1), 1.0)
+    assert (probs > 0).all()
+
+
+def test_softmax_is_shift_invariant():
+    logits = np.array([[1.0, 2.0, 3.0]])
+    assert np.allclose(softmax(logits), softmax(logits + 100.0))
+
+
+def test_softmax_handles_large_logits():
+    probs = softmax(np.array([[1000.0, 0.0]]))
+    assert np.isfinite(probs).all()
+    assert probs[0, 0] == pytest.approx(1.0)
+
+
+def test_one_hot():
+    encoded = one_hot(np.array([0, 2]), 3)
+    assert encoded.tolist() == [[1, 0, 0], [0, 0, 1]]
+    with pytest.raises(ValueError):
+        one_hot(np.array([3]), 3)
+    with pytest.raises(ValueError):
+        one_hot(np.array([[0]]), 3)
+
+
+def test_cross_entropy_perfect_prediction():
+    logits = np.array([[100.0, 0.0], [0.0, 100.0]])
+    labels = np.array([0, 1])
+    assert cross_entropy(logits, labels) == pytest.approx(0.0, abs=1e-6)
+
+
+def test_cross_entropy_uniform_prediction():
+    logits = np.zeros((4, 10))
+    labels = np.arange(4) % 10
+    assert cross_entropy(logits, labels) == pytest.approx(np.log(10))
+
+
+def test_cross_entropy_grad_numerically():
+    """Finite-difference check of the fused softmax-CE gradient."""
+    rng = np.random.default_rng(1)
+    logits = rng.normal(size=(3, 5))
+    labels = np.array([0, 3, 2])
+    grad = cross_entropy_grad(logits, labels)
+    eps = 1e-6
+    for i in range(3):
+        for j in range(5):
+            bumped = logits.copy()
+            bumped[i, j] += eps
+            numeric = (cross_entropy(bumped, labels) - cross_entropy(logits, labels)) / eps
+            assert grad[i, j] == pytest.approx(numeric, abs=1e-4)
+
+
+def test_accuracy():
+    logits = np.array([[1.0, 0.0], [0.0, 1.0], [1.0, 0.0]])
+    labels = np.array([0, 1, 1])
+    assert accuracy(logits, labels) == pytest.approx(2 / 3)
+    assert accuracy(np.zeros((0, 2)), np.zeros(0, dtype=int)) == 0.0
+
+
+def test_confidence_is_max_softmax():
+    logits = np.array([[2.0, 0.0, 0.0]])
+    assert confidence(logits)[0] == pytest.approx(softmax(logits)[0].max())

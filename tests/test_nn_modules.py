@@ -1,0 +1,130 @@
+"""Module backprop: gradient checks for Linear/ReLU/Sequential and the
+multi-exit network's joint loss."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn.functional import cross_entropy
+from repro.nn.modules import Linear, ReLU, Sequential
+from repro.nn.multi_exit_net import MultiExitMLP
+
+
+def _numeric_grad(f, param, eps=1e-6):
+    grad = np.zeros_like(param)
+    it = np.nditer(param, flags=["multi_index"])
+    while not it.finished:
+        idx = it.multi_index
+        original = param[idx]
+        param[idx] = original + eps
+        up = f()
+        param[idx] = original - eps
+        down = f()
+        param[idx] = original
+        grad[idx] = (up - down) / (2 * eps)
+        it.iternext()
+    return grad
+
+
+def test_linear_forward_shape():
+    rng = np.random.default_rng(0)
+    layer = Linear(4, 3, rng)
+    out = layer.forward(np.ones((2, 4)))
+    assert out.shape == (2, 3)
+
+
+def test_linear_rejects_bad_dims():
+    rng = np.random.default_rng(0)
+    with pytest.raises(ValueError):
+        Linear(0, 3, rng)
+
+
+def test_linear_backward_before_forward_raises():
+    rng = np.random.default_rng(0)
+    layer = Linear(4, 3, rng)
+    with pytest.raises(RuntimeError):
+        layer.backward(np.ones((2, 3)))
+
+
+def test_linear_gradient_check():
+    rng = np.random.default_rng(1)
+    layer = Linear(4, 3, rng)
+    x = rng.normal(size=(5, 4))
+    target = rng.normal(size=(5, 3))
+
+    def loss():
+        return 0.5 * float(((layer.forward(x, train=False) - target) ** 2).sum())
+
+    layer.zero_grad()
+    out = layer.forward(x)
+    layer.backward(out - target)
+    assert np.allclose(
+        layer.grad_weight, _numeric_grad(loss, layer.weight), atol=1e-4
+    )
+    assert np.allclose(layer.grad_bias, _numeric_grad(loss, layer.bias), atol=1e-4)
+
+
+def test_sequential_gradient_check():
+    rng = np.random.default_rng(2)
+    net = Sequential(Linear(4, 8, rng), ReLU(), Linear(8, 3, rng))
+    x = rng.normal(size=(6, 4))
+    target = rng.normal(size=(6, 3))
+
+    def loss():
+        return 0.5 * float(((net.forward(x, train=False) - target) ** 2).sum())
+
+    net.zero_grad()
+    out = net.forward(x)
+    grad_in = net.backward(out - target)
+    assert grad_in.shape == x.shape
+    for param, grad in zip(net.params(), net.grads()):
+        assert np.allclose(grad, _numeric_grad(loss, param), atol=1e-4)
+
+
+def test_multi_exit_net_gradient_check():
+    """Full joint-loss gradient check through chunked trunk + heads."""
+    rng = np.random.default_rng(3)
+    net = MultiExitMLP(input_dim=12, num_classes=3, num_stages=3, hidden=6, seed=0)
+    x = rng.normal(size=(7, 12)).astype(np.float64)
+    y = rng.integers(0, 3, size=7)
+
+    def loss():
+        logits = net.forward_all(x, train=False)
+        return sum(
+            w * cross_entropy(l, y) for w, l in zip(net.loss_weights, logits)
+        )
+
+    analytic_loss = net.train_batch(x, y)
+    assert analytic_loss == pytest.approx(loss())
+    for param, grad in zip(net.params(), net.grads()):
+        numeric = _numeric_grad(loss, param)
+        assert np.allclose(grad, numeric, atol=1e-4), "joint-loss grad mismatch"
+
+
+def test_multi_exit_net_validation():
+    with pytest.raises(ValueError):
+        MultiExitMLP(input_dim=12, num_classes=3, num_stages=2)
+    with pytest.raises(ValueError):
+        MultiExitMLP(input_dim=12, num_classes=3, num_stages=3, loss_weights=[1.0])
+    with pytest.raises(ValueError):
+        MultiExitMLP(
+            input_dim=12, num_classes=3, num_stages=3, loss_weights=[1, 1, -1]
+        )
+
+
+def test_multi_exit_net_forward_shapes():
+    net = MultiExitMLP(input_dim=12, num_classes=5, num_stages=4, hidden=8)
+    logits = net.forward_all(np.zeros((2, 12)))
+    assert len(logits) == 4
+    assert all(l.shape == (2, 5) for l in logits)
+    with pytest.raises(ValueError):
+        net.forward_all(np.zeros((2, 10)))
+
+
+def test_multi_exit_net_with_hidden_heads():
+    net = MultiExitMLP(
+        input_dim=12, num_classes=5, num_stages=3, hidden=8, exit_hidden=4
+    )
+    logits = net.forward_all(np.zeros((2, 12)))
+    assert len(logits) == 3

@@ -1,0 +1,88 @@
+"""Model save/load round-trips."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import SyntheticImageDataset
+from repro.nn.calibration import CalibrationResult
+from repro.nn.multi_exit_net import MultiExitMLP
+from repro.nn.persistence import load_model, save_model
+
+
+@pytest.fixture()
+def small_net():
+    return MultiExitMLP(input_dim=24, num_classes=5, num_stages=3, hidden=8, seed=3)
+
+
+def test_roundtrip_preserves_outputs(small_net, tmp_path):
+    x = np.random.default_rng(0).normal(size=(6, 24)).astype(np.float64)
+    before = small_net.forward_all(x)
+    path = save_model(small_net, tmp_path / "model.npz")
+    loaded, calibration = load_model(path)
+    after = loaded.forward_all(x)
+    assert calibration is None
+    for a, b in zip(before, after):
+        assert np.allclose(a, b)
+
+
+def test_roundtrip_with_hidden_heads(tmp_path):
+    net = MultiExitMLP(
+        input_dim=24, num_classes=5, num_stages=3, hidden=8, exit_hidden=6, seed=1
+    )
+    x = np.random.default_rng(1).normal(size=(4, 24))
+    path = save_model(net, tmp_path / "model.npz")
+    loaded, _ = load_model(path)
+    for a, b in zip(net.forward_all(x), loaded.forward_all(x)):
+        assert np.allclose(a, b)
+
+
+def test_roundtrip_with_calibration(small_net, tmp_path):
+    calibration = CalibrationResult(
+        thresholds=(0.7, 0.8, 0.0),
+        exit_rates=(0.3, 0.6, 1.0),
+        release_rates=(0.3, 0.5, 1.0),
+        standalone_accuracy=(0.5, 0.6, 0.7),
+        reference_accuracy=0.7,
+    )
+    path = save_model(small_net, tmp_path / "m.npz", calibration=calibration)
+    _, loaded_cal = load_model(path)
+    assert loaded_cal == calibration
+
+
+def test_roundtrip_preserves_loss_weights(tmp_path):
+    net = MultiExitMLP(
+        input_dim=24,
+        num_classes=5,
+        num_stages=3,
+        hidden=8,
+        loss_weights=[0.5, 1.0, 2.0],
+    )
+    path = save_model(net, tmp_path / "m.npz")
+    loaded, _ = load_model(path)
+    assert loaded.loss_weights == (0.5, 1.0, 2.0)
+
+
+def test_load_rejects_wrong_format(small_net, tmp_path):
+    import json
+
+    path = save_model(small_net, tmp_path / "m.npz")
+    data = dict(np.load(path, allow_pickle=False))
+    meta = json.loads(str(data["meta"]))
+    meta["format_version"] = 99
+    data["meta"] = json.dumps(meta)
+    np.savez_compressed(path, **data)
+    with pytest.raises(ValueError, match="unsupported"):
+        load_model(path)
+
+
+def test_loaded_model_is_trainable(small_net, tmp_path):
+    """A loaded model can continue training (grads flow)."""
+    gen = SyntheticImageDataset(num_chunks=3, chunk_dim=8, num_classes=5)
+    data = gen.sample(64, seed=0)
+    path = save_model(small_net, tmp_path / "m.npz")
+    loaded, _ = load_model(path)
+    loss_before = loaded.train_batch(data.x, data.y)
+    assert np.isfinite(loss_before)
+    assert any(np.abs(g).sum() > 0 for g in loaded.grads())

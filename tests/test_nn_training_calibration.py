@@ -1,0 +1,131 @@
+"""Training loop and threshold calibration on a small instance."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import SyntheticImageDataset, train_val_test_split
+from repro.nn.calibration import (
+    calibrate_thresholds,
+    evaluate_combination,
+    exit_statistics,
+)
+from repro.nn.multi_exit_net import MultiExitMLP
+from repro.nn.training import SGD, TrainingConfig, per_exit_accuracy, train_multi_exit
+
+
+@pytest.fixture(scope="module")
+def trained():
+    """A small trained net shared by this module's tests (training is the
+    expensive part; the assertions are all read-only)."""
+    gen = SyntheticImageDataset(num_chunks=5, chunk_dim=8, seed=0)
+    full = gen.sample(4000, seed=1)
+    train, val, test = train_val_test_split(full)
+    net = MultiExitMLP(
+        input_dim=gen.dim, num_classes=10, num_stages=5, hidden=48, seed=0
+    )
+    losses = train_multi_exit(
+        net, train, TrainingConfig(epochs=20, learning_rate=0.08, seed=0)
+    )
+    return net, train, val, test, losses
+
+
+def test_training_reduces_loss(trained):
+    _, _, _, _, losses = trained
+    assert losses[-1] < losses[0] / 2
+
+
+def test_training_rejects_empty_dataset():
+    gen = SyntheticImageDataset(num_chunks=5, chunk_dim=8)
+    net = MultiExitMLP(input_dim=gen.dim, num_classes=10, num_stages=5)
+    data = gen.sample(10, seed=0).subset(np.array([], dtype=int))
+    with pytest.raises(ValueError):
+        train_multi_exit(net, data)
+
+
+def test_deeper_exits_are_more_accurate(trained):
+    net, _, _, test, _ = trained
+    acc = per_exit_accuracy(net, test)
+    # Depth grading: the final exit clearly beats the first, and the curve
+    # is near-monotone (small local dips allowed).
+    assert acc[-1] > acc[0] + 0.1
+    assert all(acc[i + 1] >= acc[i] - 0.05 for i in range(len(acc) - 1))
+
+
+def test_hard_samples_need_depth(trained):
+    net, _, _, test, _ = trained
+    hard = test.subset(np.where(test.hard)[0])
+    easy = test.subset(np.where(~test.hard)[0])
+    acc_hard = per_exit_accuracy(net, hard)
+    acc_easy = per_exit_accuracy(net, easy)
+    # Depth helps hard samples far more than easy ones.
+    assert (acc_hard[-1] - acc_hard[0]) > (acc_easy[-1] - acc_easy[0])
+
+
+def test_calibration_rates_monotone(trained):
+    net, _, val, _, _ = trained
+    cal = calibrate_thresholds(net, val)
+    rates = cal.exit_rates
+    assert all(b >= a - 1e-12 for a, b in zip(rates, rates[1:]))
+    assert rates[-1] == 1.0
+    assert len(cal.thresholds) == net.num_stages
+    assert cal.thresholds[-1] == 0.0
+
+
+def test_calibration_empty_validation_raises(trained):
+    net, _, val, _, _ = trained
+    with pytest.raises(ValueError):
+        calibrate_thresholds(net, val.subset(np.array([], dtype=int)))
+
+
+def test_combination_accuracy_loss_small(trained):
+    """The calibrated thresholds must keep the ME accuracy within ~3pp of
+    the original, the §III-B2 guarantee."""
+    net, _, val, test, _ = trained
+    cal = calibrate_thresholds(net, val, accuracy_margin=0.01)
+    for first, second in ((1, 2), (1, 4), (2, 3), (3, 4)):
+        evaluation = evaluate_combination(net, test, cal, first, second)
+        assert abs(evaluation.accuracy_loss) < 0.03
+        sigma1, sigma2, sigma3 = evaluation.sigma
+        assert 0 <= sigma1 <= sigma2 <= sigma3 == 1.0
+
+
+def test_combination_validation(trained):
+    net, _, val, test, _ = trained
+    cal = calibrate_thresholds(net, val)
+    with pytest.raises(ValueError):
+        evaluate_combination(net, test, cal, 3, 3)
+    with pytest.raises(ValueError):
+        evaluate_combination(net, test, cal, 1, net.num_stages)
+
+
+def test_higher_margin_releases_more(trained):
+    net, _, val, _, _ = trained
+    strict = calibrate_thresholds(net, val, accuracy_margin=0.0)
+    loose = calibrate_thresholds(net, val, accuracy_margin=0.05)
+    assert sum(loose.exit_rates) >= sum(strict.exit_rates) - 1e-9
+
+
+def test_exit_statistics_shape(trained):
+    net, _, val, test, _ = trained
+    cal = calibrate_thresholds(net, val)
+    stats = exit_statistics(net, test, cal)
+    assert len(stats["exit_rates"]) == net.num_stages
+    assert len(stats["standalone_accuracy"]) == net.num_stages
+
+
+def test_sgd_clipping_bounds_update():
+    opt = SGD(learning_rate=1.0, momentum=0.0, clip_norm=1.0)
+    param = np.zeros(4)
+    grads = [np.full(4, 100.0)]
+    opt.step([param], grads)
+    assert np.linalg.norm(param) == pytest.approx(1.0)
+
+
+def test_sgd_param_set_change_rejected():
+    opt = SGD()
+    a = np.zeros(3)
+    opt.step([a], [np.ones(3)])
+    with pytest.raises(ValueError):
+        opt.step([a, np.zeros(2)], [np.ones(3), np.ones(2)])

@@ -1,0 +1,28 @@
+"""The accuracy-latency frontier experiment (reduced size)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.pareto import run_pareto
+
+
+@pytest.fixture(scope="module")
+def pareto():
+    return run_pareto(samples=5000, epochs=20, model="squeezenet-1.0")
+
+
+def test_frontier_trades_accuracy_for_latency(pareto):
+    first, last = pareto.points[0], pareto.points[-1]
+    assert last.expected_tct < first.expected_tct
+    assert last.accuracy_loss >= first.accuracy_loss
+
+
+def test_frontier_latency_monotone(pareto):
+    assert pareto.is_frontier_monotone()
+
+
+def test_frontier_selections_valid(pareto):
+    for point in pareto.points:
+        e1, e2, e3 = point.selection
+        assert 1 <= e1 < e2 < e3

@@ -1,0 +1,81 @@
+"""Text reporting: sparklines, line charts, JSON export."""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass
+
+import numpy as np
+import pytest
+
+from repro.report import export_json, line_chart, sparkline
+
+
+def test_sparkline_shape():
+    line = sparkline([0, 1, 2, 3])
+    assert len(line) == 4
+    assert line[0] == "▁"
+    assert line[-1] == "█"
+
+
+def test_sparkline_constant_and_empty():
+    assert sparkline([]) == ""
+    assert sparkline([5.0, 5.0]) == "▁▁"
+
+
+def test_sparkline_nan_renders_space():
+    assert sparkline([0.0, math.nan, 1.0])[1] == " "
+    assert sparkline([math.nan]) == " "
+
+
+def test_line_chart_contains_series_and_labels():
+    chart = line_chart(
+        {"LEIME": [1, 2, 3], "DDNN": [3, 2, 1]},
+        x_labels=["2 Mbps", "128 Mbps"],
+        title="Fig. 7",
+    )
+    assert "Fig. 7" in chart
+    assert "* LEIME" in chart
+    assert "o DDNN" in chart
+    assert "2 Mbps" in chart and "128 Mbps" in chart
+    assert "3.00" in chart and "1.00" in chart
+
+
+def test_line_chart_resamples_long_series():
+    chart = line_chart({"x": list(range(1000))}, width=32)
+    body_rows = [l for l in chart.splitlines() if "|" in l]
+    assert all(len(row) == len(body_rows[0]) for row in body_rows)
+
+
+def test_line_chart_validation():
+    with pytest.raises(ValueError):
+        line_chart({})
+    with pytest.raises(ValueError):
+        line_chart({"a": [1, 2], "b": [1]})
+    with pytest.raises(ValueError):
+        line_chart({"a": []})
+    with pytest.raises(ValueError):
+        line_chart({"a": [1, 2]}, height=1)
+
+
+def test_line_chart_flat_series():
+    chart = line_chart({"flat": [2.0, 2.0, 2.0]})
+    assert "*" in chart
+
+
+def test_export_json_roundtrip(tmp_path):
+    @dataclass
+    class Inner:
+        values: tuple
+
+    payload = {
+        "series": Inner(values=(1, 2)),
+        "array": np.array([1.5, 2.5]),
+        "scalar": np.float64(3.5),
+    }
+    path = export_json(payload, tmp_path / "out" / "r.json")
+    loaded = json.loads(path.read_text())
+    assert loaded["series"]["values"] == [1, 2]
+    assert loaded["array"] == [1.5, 2.5]
+    assert loaded["scalar"] == 3.5

@@ -1,0 +1,129 @@
+"""The live threaded runtime prototype."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.offloading import DriftPlusPenaltyPolicy, FixedRatioPolicy
+from repro.runtime import LeimeRuntime, RuntimeLink, RuntimeNode, VirtualClock
+from repro.hardware import NetworkProfile
+from repro.sim.arrivals import ConstantArrivals
+
+
+# -- clock ---------------------------------------------------------------------
+
+
+def test_virtual_clock_scales():
+    clock = VirtualClock(speedup=1000.0)
+    before = clock.now()
+    clock.sleep(1.0)  # 1 virtual second = 1 ms wall
+    after = clock.now()
+    assert after - before >= 1.0
+    assert after - before < 500.0  # far less than 500 virtual seconds
+
+
+def test_virtual_clock_validation():
+    with pytest.raises(ValueError):
+        VirtualClock(speedup=0.0)
+    clock = VirtualClock()
+    with pytest.raises(ValueError):
+        clock.sleep(-1.0)
+
+
+# -- nodes ----------------------------------------------------------------------
+
+
+def test_runtime_node_processes_fifo():
+    clock = VirtualClock(speedup=2000.0)
+    node = RuntimeNode("worker", flops=1e9, clock=clock)
+    finished = []
+    try:
+        node.submit(1e9, lambda t: finished.append(("a", t)))  # 1 virtual s
+        node.submit(1e9, lambda t: finished.append(("b", t)))
+        node.shutdown()
+    finally:
+        pass
+    assert [name for name, _ in finished] == ["a", "b"]
+    assert finished[1][1] > finished[0][1]
+    assert node.jobs_done == 2
+
+
+def test_runtime_node_validation():
+    clock = VirtualClock(speedup=1000.0)
+    with pytest.raises(ValueError):
+        RuntimeNode("bad", flops=0.0, clock=clock)
+    node = RuntimeNode("ok", flops=1e9, clock=clock)
+    with pytest.raises(ValueError):
+        node.submit(-1.0, lambda t: None)
+    node.shutdown()
+
+
+def test_runtime_link_delivers_after_latency():
+    clock = VirtualClock(speedup=2000.0)
+    link = RuntimeLink(
+        "hop", NetworkProfile(bandwidth=1e6, latency=1.0), clock
+    )
+    deliveries = []
+    link.transmit(1e6, lambda t: deliveries.append(t))  # 1 s serialise + 1 s prop
+    link.shutdown()
+    import time
+
+    deadline = time.monotonic() + 5.0
+    while not deliveries and time.monotonic() < deadline:
+        time.sleep(0.005)
+    assert deliveries, "delivery never arrived"
+    assert deliveries[0] >= 2.0 * 0.9  # ~2 virtual seconds, loose bound
+
+
+# -- full runtime -----------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "policy", [FixedRatioPolicy(0.5), DriftPlusPenaltyPolicy(v=50.0)],
+    ids=["fixed", "leime"],
+)
+def test_runtime_completes_all_tasks(small_system, policy):
+    runtime = LeimeRuntime(small_system, policy, speedup=500.0, seed=0)
+    try:
+        report = runtime.run(
+            [ConstantArrivals(1.0)] * 2, num_slots=8, drain_timeout=30.0
+        )
+    finally:
+        runtime.shutdown()
+    assert len(report.tasks) == 16
+    assert report.completion_rate == 1.0
+    assert report.mean_tct > 0
+    tier1, tier2, tier3 = report.exit_fractions()
+    assert tier1 + tier2 + tier3 == pytest.approx(1.0)
+
+
+def test_runtime_latency_compatible_with_event_sim(small_system):
+    """The live threads and the event simulator describe the same system:
+    their mean TCTs agree within a loose factor (thread scheduling adds
+    jitter; the expectation must not)."""
+    from repro.sim.events import EventSimulator
+
+    arrivals = [ConstantArrivals(1.0)] * 2
+    simulated = EventSimulator(
+        system=small_system, arrivals=arrivals, seed=3
+    ).run(FixedRatioPolicy(1.0), 20)
+    # Moderate speedup: at high factors, millisecond thread-scheduling
+    # jitter is magnified into whole virtual seconds and distorts latency.
+    runtime = LeimeRuntime(
+        small_system, FixedRatioPolicy(1.0), speedup=40.0, seed=3
+    )
+    try:
+        live = runtime.run(arrivals, num_slots=20, drain_timeout=30.0)
+    finally:
+        runtime.shutdown()
+    assert live.completion_rate == 1.0
+    assert live.mean_tct == pytest.approx(simulated.mean_tct, rel=0.5)
+
+
+def test_runtime_arrival_count_validation(small_system):
+    runtime = LeimeRuntime(small_system, FixedRatioPolicy(0.0), speedup=500.0)
+    try:
+        with pytest.raises(ValueError):
+            runtime.run([ConstantArrivals(1.0)], num_slots=2)
+    finally:
+        runtime.shutdown()

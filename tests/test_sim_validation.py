@@ -1,0 +1,138 @@
+"""Event-simulator mechanics against closed-form queueing theory."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sim.events import _Engine
+from repro.sim.network import Link
+from repro.sim.nodes import FifoServer
+from repro.sim.validation import (
+    md1_mean_sojourn,
+    md1_mean_wait,
+    mm1_mean_wait,
+    utilisation,
+)
+from repro.hardware import NetworkProfile
+
+
+def test_utilisation_and_validation():
+    assert utilisation(2.0, 0.25) == pytest.approx(0.5)
+    with pytest.raises(ValueError):
+        utilisation(-1.0, 0.1)
+    with pytest.raises(ValueError):
+        md1_mean_wait(10.0, 0.2)  # rho = 2
+    with pytest.raises(ValueError):
+        mm1_mean_wait(10.0, 0.2)
+
+
+def test_md1_formula_values():
+    # rho = 0.5, s = 0.5: Wq = 1*0.25/(2*0.5) = 0.25
+    assert md1_mean_wait(1.0, 0.5) == pytest.approx(0.25)
+    assert md1_mean_sojourn(1.0, 0.5) == pytest.approx(0.75)
+
+
+def _simulate_md1(rate: float, service: float, num_jobs: int, seed: int) -> float:
+    """Drive a single FifoServer with Poisson arrivals and deterministic
+    service; return the mean sojourn time."""
+    rng = np.random.default_rng(seed)
+    engine = _Engine()
+    server = FifoServer("q", rate=1.0)  # demand = service time
+    sojourns: list[float] = []
+    time = 0.0
+    for _ in range(num_jobs):
+        time += float(rng.exponential(1.0 / rate))
+        arrival = time
+
+        def submit(t: float, _arrival=arrival) -> None:
+            def done(finish: float, _service: float) -> None:
+                sojourns.append(finish - _arrival)
+
+            server.submit(engine, t, service, done)
+
+        engine.schedule(arrival, submit)
+    engine.run_to_exhaustion(hard_limit=time * 100)
+    return float(np.mean(sojourns))
+
+
+@pytest.mark.parametrize("rho", [0.3, 0.6, 0.8])
+def test_fifo_server_matches_pollaczek_khinchine(rho):
+    """The event simulator's FIFO server reproduces M/D/1 sojourn times
+    within Monte-Carlo tolerance."""
+    service = 0.1
+    rate = rho / service
+    simulated = _simulate_md1(rate, service, num_jobs=20000, seed=1)
+    theoretical = md1_mean_sojourn(rate, service)
+    assert simulated == pytest.approx(theoretical, rel=0.08)
+
+
+def test_fifo_server_counts_jobs_and_busy_time():
+    engine = _Engine()
+    server = FifoServer("s", rate=2.0, overhead=0.1)
+    done = []
+    server.submit(engine, 0.0, 1.0, lambda t, s: done.append((t, s)))
+    server.submit(engine, 0.0, 1.0, lambda t, s: done.append((t, s)))
+    engine.run_to_exhaustion(hard_limit=100.0)
+    assert server.jobs_served == 2
+    # Each job: 1.0/2.0 + 0.1 overhead = 0.6 s.
+    assert server.busy_time == pytest.approx(1.2)
+    assert done[0][0] == pytest.approx(0.6)
+    assert done[1][0] == pytest.approx(1.2)
+
+
+def test_fifo_server_validation():
+    with pytest.raises(ValueError):
+        FifoServer("bad", rate=0.0)
+    with pytest.raises(ValueError):
+        FifoServer("bad", rate=1.0, overhead=-0.1)
+    engine = _Engine()
+    server = FifoServer("s", rate=1.0)
+    with pytest.raises(ValueError):
+        server.submit(engine, 0.0, -1.0, lambda t, s: None)
+
+
+def test_fifo_server_occupancy():
+    engine = _Engine()
+    server = FifoServer("s", rate=1.0)
+    assert server.occupancy == 0
+    server.submit(engine, 0.0, 5.0, lambda t, s: None)
+    server.submit(engine, 0.0, 5.0, lambda t, s: None)
+    assert server.busy
+    assert server.queue_length == 1
+    assert server.occupancy == 2
+
+
+def test_link_propagation_pipelines():
+    """Propagation delays the delivery but frees the link immediately:
+    two back-to-back transfers each serialise for 1 s but arrive 0.5 s
+    after their serialisation completes."""
+    engine = _Engine()
+    link = Link("hop", NetworkProfile(bandwidth=100.0, latency=0.5))
+    deliveries = []
+    link.transmit(engine, 0.0, 100.0, lambda t, s: deliveries.append(t))
+    link.transmit(engine, 0.0, 100.0, lambda t, s: deliveries.append(t))
+    engine.run_to_exhaustion(hard_limit=100.0)
+    assert deliveries[0] == pytest.approx(1.5)  # 1 s serialise + 0.5 s prop
+    assert deliveries[1] == pytest.approx(2.5)  # queued behind the first
+
+
+def test_link_reconfigure_affects_future_transfers():
+    engine = _Engine()
+    link = Link("hop", NetworkProfile(bandwidth=100.0, latency=0.0))
+    deliveries = []
+    link.transmit(engine, 0.0, 100.0, lambda t, s: deliveries.append(t))
+    engine.run_to_exhaustion(hard_limit=100.0)
+    link.reconfigure(NetworkProfile(bandwidth=200.0, latency=0.0))
+    link.transmit(engine, engine.now, 100.0, lambda t, s: deliveries.append(t))
+    engine.run_to_exhaustion(hard_limit=100.0)
+    assert deliveries[0] == pytest.approx(1.0)
+    assert deliveries[1] - deliveries[0] == pytest.approx(0.5)
+
+
+def test_engine_rejects_past_events():
+    engine = _Engine()
+    engine.schedule(1.0, lambda t: None)
+    engine.run_until(2.0)
+    with pytest.raises(ValueError):
+        engine.schedule(1.0, lambda t: None)

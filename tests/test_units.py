@@ -1,0 +1,52 @@
+"""Unit-conversion helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import units
+
+
+def test_mbps_roundtrip():
+    assert units.to_mbps(units.mbps(10.0)) == pytest.approx(10.0)
+
+
+def test_mbps_is_bytes_per_second():
+    # 8 Mbps = 1 MB/s.
+    assert units.mbps(8.0) == pytest.approx(1e6)
+
+
+def test_kbps_scale():
+    assert units.kbps(8000.0) == pytest.approx(units.mbps(8.0))
+
+
+def test_ms_roundtrip():
+    assert units.to_ms(units.ms(250.0)) == pytest.approx(250.0)
+
+
+def test_gflops_roundtrip():
+    assert units.to_gflops(units.gflops(3.6)) == pytest.approx(3.6)
+
+
+def test_mflops_scale():
+    assert units.mflops(1000.0) == pytest.approx(units.gflops(1.0))
+
+
+def test_byte_helpers():
+    assert units.kb(1.0) == 1000
+    assert units.mb(1.0) == 1_000_000
+    assert units.to_kb(2500.0) == pytest.approx(2.5)
+    assert units.to_mb(2_500_000.0) == pytest.approx(2.5)
+
+
+def test_tensor_bytes_float32():
+    assert units.tensor_bytes(3, 32, 32) == 3 * 32 * 32 * 4
+
+
+def test_tensor_bytes_custom_element_size():
+    assert units.tensor_bytes(10, bytes_per_element=1) == 10
+
+
+def test_tensor_bytes_rejects_nonpositive_dims():
+    with pytest.raises(ValueError):
+        units.tensor_bytes(3, 0, 32)
