@@ -39,6 +39,19 @@ from .offloading import (
     feasible_ratio_interval,
     slot_cost,
 )
+from .vectorized import (
+    BatchSlotCost,
+    FleetParams,
+    FleetState,
+    VectorizedSlotEngine,
+    drift_plus_penalty_batch,
+    edge_compute_split_batch,
+    feasible_ratio_intervals,
+    floored_edge_allocation_batch,
+    kkt_edge_allocation_batch,
+    slot_cost_batch,
+    vectorized_equivalent,
+)
 from .baselines import (
     ddnn_exit_setting,
     edgent_exit_setting,
@@ -73,6 +86,17 @@ __all__ = [
     "CapabilityBasedPolicy",
     "feasible_ratio_interval",
     "slot_cost",
+    "BatchSlotCost",
+    "FleetParams",
+    "FleetState",
+    "VectorizedSlotEngine",
+    "drift_plus_penalty_batch",
+    "edge_compute_split_batch",
+    "feasible_ratio_intervals",
+    "floored_edge_allocation_batch",
+    "kkt_edge_allocation_batch",
+    "slot_cost_batch",
+    "vectorized_equivalent",
     "ddnn_exit_setting",
     "edgent_exit_setting",
     "mean_exit_setting",

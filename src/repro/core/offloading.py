@@ -451,11 +451,20 @@ class OffloadingPolicy(Protocol):
 def _grid_refine_minimum(objective, lo: float, hi: float, grid: int = 33) -> float:
     """Minimise a smooth scalar objective on ``[lo, hi]``: coarse grid, then
     two rounds of local grid refinement around the best point.  Robust to
-    the mild non-convexity the Eq. 19 objective can exhibit near x=0."""
+    the mild non-convexity the Eq. 19 objective can exhibit near x=0.
+
+    A degenerate interval (``lo == hi``, e.g. the Eq. 8 feasible set of a
+    saturated uplink collapsing to ``x = 0``) returns ``lo`` directly —
+    there is nothing to search and a zero-width grid must never be built.
+    The same holds mid-refinement if round-off collapses the bracket.
+    """
     if hi <= lo:
         return lo
+    best = lo
     for _ in range(3):
         step = (hi - lo) / (grid - 1)
+        if step <= 0.0:  # bracket collapsed to a point during refinement
+            break
         xs = [lo + i * step for i in range(grid)]
         best = min(xs, key=objective)
         lo, hi = max(lo, best - step), min(hi, best + step)
@@ -474,9 +483,14 @@ class DriftPlusPenaltyPolicy:
     Attributes:
         v: The Lyapunov trade-off parameter ``V`` (larger → lower delay,
             larger queues; Theorem 3's ``O(B/V)`` gap).
+        vectorized: Opt into the NumPy fleet-scale fast path
+            (:func:`repro.core.vectorized.dpp_decide`) — same decisions
+            (pinned by the differential test harness), evaluated for all
+            devices and all candidate ratios at once.
     """
 
     v: float = 50.0
+    vectorized: bool = False
 
     def __post_init__(self) -> None:
         if self.v < 0:
@@ -489,6 +503,10 @@ class DriftPlusPenaltyPolicy:
         arrivals: Sequence[float],
         devices: Sequence[DeviceConfig] | None = None,
     ) -> list[float]:
+        if self.vectorized:
+            from .vectorized import dpp_decide
+
+            return dpp_decide(system, state, arrivals, devices, v=self.v)
         devs = tuple(devices) if devices is not None else system.devices
         ratios: list[float] = []
         for i, device in enumerate(devs):
@@ -528,10 +546,15 @@ class BalanceOffloadingPolicy:
     while ``T_i^e`` rises from 0, so a bisection on their difference finds
     the balance point; the Cauchy-Schwarz argument in §III-D4 shows this
     minimises the large-``V`` limit of the Eq. 19 objective.
+
+    ``vectorized=True`` opts into the batched bisection of
+    :func:`repro.core.vectorized.balance_decide` (same decisions, whole
+    fleet per call).
     """
 
     tolerance: float = 1e-6
     max_iterations: int = 60
+    vectorized: bool = False
 
     def _balance(
         self,
@@ -581,6 +604,17 @@ class BalanceOffloadingPolicy:
         arrivals: Sequence[float],
         devices: Sequence[DeviceConfig] | None = None,
     ) -> list[float]:
+        if self.vectorized:
+            from .vectorized import balance_decide
+
+            return balance_decide(
+                system,
+                state,
+                arrivals,
+                devices,
+                tolerance=self.tolerance,
+                max_iterations=self.max_iterations,
+            )
         devs = tuple(devices) if devices is not None else system.devices
         ratios: list[float] = []
         for i, device in enumerate(devs):

@@ -1,0 +1,657 @@
+"""The fleet-scale fast path: NumPy-batched slot engine (§III-D, Eqs. 8-20).
+
+The scalar implementations in :mod:`repro.core.offloading` evaluate the
+paper's cost model one device and one candidate ratio at a time, which is
+the right reference semantics but scales linearly in pure-Python overhead.
+This module re-implements the same quantities as array expressions over
+**device × ratio-grid matrices**, so a whole fleet's slot — feasibility
+intervals (Eq. 8), the edge compute split (Eq. 9), the slot cost (Eqs.
+12-14), the drift-plus-penalty objective (Eq. 19), and the queue updates
+(Eqs. 10-11) — is evaluated in a handful of vectorized calls.
+
+Design contract: **the scalar path is the oracle.**  Every formula below
+mirrors the scalar code's arithmetic operation-for-operation (same
+associativity, same conditional structure via masks), so the two paths
+agree to IEEE round-off — the differential harness in
+``tests/test_vectorized_differential.py`` pins them together at 1e-9 on
+randomized fleets.  Any behavioural change must land in the scalar code
+first and be mirrored here.
+
+Entry points:
+
+* :class:`FleetParams` — per-device arrays extracted from an
+  :class:`~repro.core.offloading.EdgeSystem` (heterogeneous per-device
+  partitions included);
+* :func:`feasible_ratio_intervals` / :func:`edge_compute_split_batch` /
+  :func:`slot_cost_batch` / :func:`drift_plus_penalty_batch` — the batched
+  equivalents of the scalar functions of the same names;
+* :func:`kkt_edge_allocation_batch` / :func:`floored_edge_allocation_batch`
+  — the Eq. 27 KKT edge allocation over arrays;
+* :func:`dpp_decide` / :func:`balance_decide` — batched policy solvers
+  backing the ``vectorized=True`` flag of
+  :class:`~repro.core.offloading.DriftPlusPenaltyPolicy` and
+  :class:`~repro.core.offloading.BalanceOffloadingPolicy`;
+* :class:`FleetState` + :class:`VectorizedSlotEngine` — array-backed
+  ``Q_i``/``H_i`` queues and a one-call whole-slot step, used by
+  :class:`~repro.sim.simulator.SlotSimulator` when ``vectorized=True``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from .offloading import (
+    _EPS,
+    DeviceConfig,
+    EdgeSystem,
+    LyapunovState,
+)
+
+__all__ = [
+    "FleetParams",
+    "FleetState",
+    "BatchSlotCost",
+    "VectorizedSlotEngine",
+    "feasible_ratio_intervals",
+    "edge_compute_split_batch",
+    "slot_cost_batch",
+    "drift_plus_penalty_batch",
+    "kkt_edge_allocation_batch",
+    "floored_edge_allocation_batch",
+    "dpp_decide",
+    "balance_decide",
+    "vectorized_equivalent",
+]
+
+
+@dataclass(frozen=True)
+class FleetParams:
+    """Per-device parameter arrays for one slot's evaluation.
+
+    Everything the scalar :func:`~repro.core.offloading.slot_cost` reads
+    from ``DeviceConfig``/``PartitionedModel``/``EdgeSystem.shares``,
+    flattened into ``(N,)`` float arrays so a fleet evaluates in one shot.
+    Heterogeneous deployments are handled naturally: each device's row
+    carries its own partition's ``μ``/``d``/``σ``.
+    """
+
+    flops: np.ndarray
+    bandwidth: np.ndarray
+    latency: np.ndarray
+    overhead: np.ndarray
+    shares: np.ndarray
+    mu1: np.ndarray
+    mu2: np.ndarray
+    mu3: np.ndarray
+    d0: np.ndarray
+    d1: np.ndarray
+    d2: np.ndarray
+    sigma1: np.ndarray
+    sigma2: np.ndarray
+
+    @property
+    def num_devices(self) -> int:
+        return self.flops.shape[0]
+
+    @classmethod
+    def from_system(
+        cls,
+        system: EdgeSystem,
+        devices: Sequence[DeviceConfig] | None = None,
+    ) -> "FleetParams":
+        """Extract arrays from ``system`` (and this slot's live ``devices``,
+        which a dynamic environment may have substituted)."""
+        devs = tuple(devices) if devices is not None else system.devices
+        parts = [system.partition_for(i) for i in range(len(devs))]
+        as_array = lambda values: np.array(values, dtype=np.float64)
+        return cls(
+            flops=as_array([d.flops for d in devs]),
+            bandwidth=as_array([d.link.bandwidth for d in devs]),
+            latency=as_array([d.link.latency for d in devs]),
+            overhead=as_array([d.overhead for d in devs]),
+            shares=as_array(system.shares[: len(devs)]),
+            mu1=as_array([p.mu1 for p in parts]),
+            mu2=as_array([p.mu2 for p in parts]),
+            mu3=as_array([p.mu3 for p in parts]),
+            d0=as_array([p.d0 for p in parts]),
+            d1=as_array([p.d1 for p in parts]),
+            d2=as_array([p.d2 for p in parts]),
+            sigma1=as_array([p.sigma1 for p in parts]),
+            sigma2=as_array([p.sigma2 for p in parts]),
+        )
+
+    def column(self, values: np.ndarray, like: np.ndarray) -> np.ndarray:
+        """Broadcast a ``(N,)`` parameter against ``like`` — ``(N,)`` stays
+        as-is, ``(N, G)`` grids get a trailing axis."""
+        if like.ndim == 2:
+            return values[:, None]
+        return values
+
+
+def feasible_ratio_intervals(
+    params: FleetParams, slot_length: float, arrivals: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Batched Eq. 8 feasibility: per-device ``(lo, hi)`` arrays, mirroring
+    :func:`~repro.core.offloading.feasible_ratio_interval` case-for-case."""
+    arrivals = np.asarray(arrivals, dtype=np.float64)
+    if np.any(arrivals < 0):
+        raise ValueError("arrivals must be non-negative")
+    budget = params.bandwidth * (slot_length - params.latency)
+    base = arrivals * (1.0 - params.sigma1) * params.d1
+    slope = arrivals * params.d0 - base
+    # Interior boundary of the affine constraint; guarded against the flat
+    # case (the mask below never selects the guarded value).
+    safe_slope = np.where(np.abs(slope) < _EPS, 1.0, slope)
+    boundary = (budget - base) / safe_slope
+
+    lo = np.zeros_like(arrivals)
+    hi = np.ones_like(arrivals)
+    flat = np.abs(slope) < _EPS
+    # slope ~ 0: feasible everywhere if the x-independent load fits.
+    hi = np.where(flat & (base > budget), 0.0, hi)
+    # slope > 0: offloading raw inputs is the heavier direction.
+    up = ~flat & (slope > 0)
+    hi = np.where(up, np.where(boundary < 0, 0.0, np.minimum(1.0, boundary)), hi)
+    # slope < 0: keeping tasks local is heavier.
+    down = ~flat & (slope < 0)
+    lo = np.where(down, np.where(boundary > 1, 1.0, np.maximum(0.0, boundary)), lo)
+    hi = np.where(down & (boundary > 1), 1.0, hi)
+    # Zero arrivals: unconstrained.
+    lo = np.where(arrivals == 0, 0.0, lo)
+    hi = np.where(arrivals == 0, 1.0, hi)
+    # Latency eats the whole slot: only full-local is defensible.
+    dead = budget <= 0
+    lo = np.where(dead, 0.0, lo)
+    hi = np.where(dead, 0.0, hi)
+    return lo, hi
+
+
+def edge_compute_split_batch(
+    x: np.ndarray, params: FleetParams, edge_flops: float
+) -> tuple[np.ndarray, np.ndarray]:
+    """Batched Eq. 9 split; ``x`` may be ``(N,)`` or ``(N, G)``."""
+    col = lambda v: params.column(v, x)
+    slice_flops = col(params.shares * edge_flops)
+    first_weight = x * col(params.mu1)
+    second_weight = col((1.0 - params.sigma1) * params.mu2)
+    total = first_weight + second_weight
+    moot = total <= 0.0
+    safe_total = np.where(moot, 1.0, total)
+    f1 = np.where(moot, 0.0, slice_flops * first_weight / safe_total)
+    return f1, slice_flops - f1
+
+
+@dataclass(frozen=True)
+class BatchSlotCost:
+    """Array-valued mirror of :class:`~repro.core.offloading.DeviceSlotCost`.
+
+    Every field has the shape of the evaluated ``x`` (``(N,)`` for one
+    ratio per device, ``(N, G)`` for a per-device candidate grid).
+    """
+
+    x: np.ndarray
+    arrivals: np.ndarray
+    local_tasks: np.ndarray
+    offloaded_tasks: np.ndarray
+    wait_local: np.ndarray
+    proc_local: np.ndarray
+    trans_local: np.ndarray
+    trans_edge: np.ndarray
+    wait_edge: np.ndarray
+    proc_edge: np.ndarray
+    tail: np.ndarray
+    service_local: np.ndarray
+    service_edge: np.ndarray
+    edge_first_flops: np.ndarray
+    edge_second_flops: np.ndarray
+
+    @property
+    def t_device(self) -> np.ndarray:
+        """``T_i^d`` (Eq. 12)."""
+        return self.wait_local + self.proc_local + self.trans_local
+
+    @property
+    def t_edge(self) -> np.ndarray:
+        """``T_i^e`` (Eq. 13)."""
+        return self.trans_edge + self.wait_edge + self.proc_edge
+
+    @property
+    def y(self) -> np.ndarray:
+        """``Y_i`` (Eq. 14)."""
+        return self.t_device + self.t_edge
+
+    @property
+    def total_time(self) -> np.ndarray:
+        return self.y + self.tail
+
+
+def slot_cost_batch(
+    params: FleetParams,
+    system: EdgeSystem,
+    x: np.ndarray,
+    arrivals: np.ndarray,
+    queue_local: np.ndarray,
+    queue_edge: np.ndarray,
+    include_tail: bool = True,
+) -> BatchSlotCost:
+    """Batched Eqs. 12-14 — the vectorized twin of
+    :func:`~repro.core.offloading.slot_cost`.
+
+    ``x`` is ``(N,)`` (one ratio per device) or ``(N, G)`` (a candidate
+    grid per device); ``arrivals``/``queue_local``/``queue_edge`` are
+    ``(N,)`` and broadcast across the grid axis.
+    """
+    x = np.clip(np.asarray(x, dtype=np.float64), 0.0, 1.0)
+    arrivals = np.asarray(arrivals, dtype=np.float64)
+    queue_local = np.asarray(queue_local, dtype=np.float64)
+    queue_edge = np.asarray(queue_edge, dtype=np.float64)
+    if np.any(arrivals < 0) or np.any(queue_local < 0) or np.any(queue_edge < 0):
+        raise ValueError("arrivals and queue lengths must be non-negative")
+    col = lambda v: params.column(v, x)
+    tau = system.slot_length
+    m = col(arrivals)
+    a_i = (1.0 - x) * m
+    d_i = x * m
+    f1, f2 = edge_compute_split_batch(x, params, system.edge_flops)
+
+    unit_local = col(params.mu1 / params.flops + params.overhead)
+
+    # Device side (Eq. 12).
+    wait_local = a_i * col(queue_local) * unit_local
+    proc_local = a_i * unit_local + a_i * np.maximum(a_i - 1.0, 0.0) / 2.0 * unit_local
+    # transfer_time(d1) with its zero-payload short-circuit.
+    tt1 = np.where(params.d1 == 0, 0.0, params.d1 / params.bandwidth + params.latency)
+    trans_local = np.where(a_i > 0, col(1.0 - params.sigma1) * a_i * col(tt1), 0.0)
+
+    # Edge side (Eq. 13).
+    tt0 = np.where(params.d0 == 0, 0.0, params.d0 / params.bandwidth + params.latency)
+    trans_edge = np.where(d_i > 0, d_i * col(tt0), 0.0)
+    f1_safe = np.maximum(f1, _EPS * system.edge_flops)
+    unit_edge = col(params.mu1) / f1_safe + system.edge_overhead
+    offloading = d_i > 0
+    wait_edge = np.where(offloading, d_i * col(queue_edge) * unit_edge, 0.0)
+    proc_edge = np.where(
+        offloading,
+        d_i * unit_edge + d_i * np.maximum(d_i - 1.0, 0.0) / 2.0 * unit_edge,
+        0.0,
+    )
+
+    # Service rates (Eqs. 10-11 drains).
+    service_local = tau / unit_local
+    served = f1 > 0
+    safe_f1 = np.where(served, f1, 1.0)
+    service_edge = np.where(
+        served, tau / (col(params.mu1) / safe_f1 + system.edge_overhead), 0.0
+    )
+
+    if include_tail:
+        surviving_first = col((1.0 - params.sigma1) * arrivals)
+        f2_safe = np.maximum(f2, _EPS * system.edge_flops)
+        tail = np.where(
+            (surviving_first > 0) & (col(params.mu2) > 0),
+            surviving_first * (col(params.mu2) / f2_safe + system.edge_overhead),
+            0.0,
+        )
+        tt2 = np.where(
+            params.d2 == 0,
+            0.0,
+            params.d2 / system.edge_cloud.bandwidth + system.edge_cloud.latency,
+        )
+        surviving_second = col((1.0 - params.sigma2) * arrivals)
+        tail = tail + np.where(
+            surviving_second > 0,
+            surviving_second
+            * (
+                col(tt2)
+                + col(params.mu3) / system.cloud_flops
+                + system.cloud_overhead
+            ),
+            0.0,
+        )
+    else:
+        tail = np.zeros_like(x)
+
+    return BatchSlotCost(
+        x=x,
+        arrivals=m * np.ones_like(x),
+        local_tasks=a_i,
+        offloaded_tasks=d_i,
+        wait_local=wait_local,
+        proc_local=proc_local,
+        trans_local=trans_local,
+        trans_edge=trans_edge,
+        wait_edge=wait_edge,
+        proc_edge=proc_edge,
+        tail=tail,
+        service_local=service_local * np.ones_like(x),
+        service_edge=service_edge,
+        edge_first_flops=f1,
+        edge_second_flops=f2,
+    )
+
+
+def drift_plus_penalty_batch(
+    cost: BatchSlotCost,
+    queue_local: np.ndarray,
+    queue_edge: np.ndarray,
+    v: float,
+) -> np.ndarray:
+    """Batched Eq. 19 objective, matching
+    :func:`~repro.core.offloading.drift_plus_penalty` term-for-term."""
+    q = queue_local[:, None] if cost.x.ndim == 2 else queue_local
+    h = queue_edge[:, None] if cost.x.ndim == 2 else queue_edge
+    return (
+        v * cost.y
+        + q * (cost.local_tasks - cost.service_local)
+        + h * (cost.offloaded_tasks - cost.service_edge)
+    )
+
+
+# -- Eq. 27 KKT edge allocation ------------------------------------------------
+
+
+def kkt_edge_allocation_batch(
+    device_flops: np.ndarray, arrival_rates: np.ndarray, edge_flops: float
+) -> np.ndarray:
+    """Array implementation of Eq. 27's active-set KKT water-filling —
+    the twin of :func:`~repro.core.resource_allocation.kkt_edge_allocation`.
+
+    The active-set loop survives (it shrinks the support, at most N
+    rounds in theory and 2-3 in practice) but every round is one array
+    expression instead of N scalar evaluations.
+    """
+    f = np.asarray(device_flops, dtype=np.float64)
+    k = np.asarray(arrival_rates, dtype=np.float64)
+    if f.shape != k.shape or f.ndim != 1 or f.size == 0:
+        raise ValueError("need matching 1-D device_flops and arrival_rates")
+    if np.any(f <= 0):
+        raise ValueError("device FLOPS must be positive")
+    if np.any(k < 0):
+        raise ValueError("arrival rates must be non-negative")
+    if edge_flops <= 0:
+        raise ValueError("edge FLOPS must be positive")
+    n = f.size
+    if not np.any(k > 0):
+        return np.full(n, 1.0 / n)
+    active = k > 0
+    sqrt_k = np.sqrt(k)
+    while True:
+        level = (f[active].sum() + edge_flops) / (edge_flops * sqrt_k[active].sum())
+        candidate = np.where(active, sqrt_k * level - f / edge_flops, 0.0)
+        negative = active & (candidate < 0)
+        if not np.any(negative):
+            shares = np.where(active, candidate, 0.0)
+            break
+        active = active & ~negative
+        if not np.any(active):
+            shares = np.zeros(n)
+            shares[int(np.argmin(f))] = 1.0
+            return shares
+    return shares / shares.sum()
+
+
+def floored_edge_allocation_batch(
+    device_flops: np.ndarray,
+    arrival_rates: np.ndarray,
+    edge_flops: float,
+    min_share: float = 0.01,
+) -> np.ndarray:
+    """Array twin of
+    :func:`~repro.core.resource_allocation.floored_edge_allocation`."""
+    if not 0.0 <= min_share < 1.0:
+        raise ValueError("min_share must be in [0, 1)")
+    shares = kkt_edge_allocation_batch(device_flops, arrival_rates, edge_flops)
+    if min_share == 0.0:
+        return shares
+    k = np.asarray(arrival_rates, dtype=np.float64)
+    active = k > 0
+    if not np.any(active) or active.sum() * min_share >= 1.0:
+        return np.full(shares.size, 1.0 / shares.size)
+    floored = np.where(active, np.maximum(shares, min_share), shares)
+    return floored / floored.sum()
+
+
+# -- batched policy solvers ----------------------------------------------------
+
+
+def _grid_refine_minimum_batch(
+    objective: Callable[[np.ndarray], np.ndarray],
+    lo: np.ndarray,
+    hi: np.ndarray,
+    grid: int = 33,
+) -> np.ndarray:
+    """Batched mirror of ``offloading._grid_refine_minimum``: the same
+    coarse-grid + two-refinement search run on every row at once.
+
+    Ties resolve to the first grid index in both paths (``min`` over a list
+    and ``np.argmin`` both keep the earliest minimum), and the grid points
+    are generated with the same ``lo + i·step`` arithmetic, so the two
+    implementations return bit-identical ratios.
+    """
+    lo = lo.astype(np.float64).copy()
+    hi = hi.astype(np.float64).copy()
+    degenerate = hi <= lo
+    frozen_lo = lo.copy()
+    idx = np.arange(grid, dtype=np.float64)
+    rows = np.arange(lo.shape[0])
+    best = lo.copy()
+    for _ in range(3):
+        step = (hi - lo) / (grid - 1)
+        xs = lo[:, None] + idx[None, :] * step[:, None]
+        values = objective(xs)
+        best = xs[rows, np.argmin(values, axis=1)]
+        lo = np.maximum(lo, best - step)
+        hi = np.minimum(hi, best + step)
+    return np.where(degenerate, frozen_lo, best)
+
+
+def dpp_decide(
+    system: EdgeSystem,
+    state: LyapunovState,
+    arrivals: Sequence[float],
+    devices: Sequence[DeviceConfig] | None = None,
+    v: float = 50.0,
+    grid: int = 33,
+) -> list[float]:
+    """Vectorized :class:`~repro.core.offloading.DriftPlusPenaltyPolicy`
+    decision: minimise Eq. 19 for every device over a shared ratio grid."""
+    params = FleetParams.from_system(system, devices)
+    arrivals_arr = np.asarray(arrivals, dtype=np.float64)
+    q = np.asarray(state.queue_local, dtype=np.float64)
+    h = np.asarray(state.queue_edge, dtype=np.float64)
+    lo, hi = feasible_ratio_intervals(params, system.slot_length, arrivals_arr)
+
+    def objective(xs: np.ndarray) -> np.ndarray:
+        cost = slot_cost_batch(
+            params, system, xs, arrivals_arr, q, h, include_tail=False
+        )
+        return drift_plus_penalty_batch(cost, q, h, v)
+
+    return _grid_refine_minimum_batch(objective, lo, hi, grid=grid).tolist()
+
+
+def balance_decide(
+    system: EdgeSystem,
+    state: LyapunovState,
+    arrivals: Sequence[float],
+    devices: Sequence[DeviceConfig] | None = None,
+    tolerance: float = 1e-6,
+    max_iterations: int = 60,
+) -> list[float]:
+    """Vectorized :class:`~repro.core.offloading.BalanceOffloadingPolicy`
+    decision: a batched bisection on ``T_i^d(x) − T_i^e(x)``.
+
+    Rows converge independently — a converged or endpoint-clamped device is
+    frozen while the rest keep bisecting, reproducing the scalar per-device
+    loop exactly.
+    """
+    params = FleetParams.from_system(system, devices)
+    arrivals_arr = np.asarray(arrivals, dtype=np.float64)
+    q = np.asarray(state.queue_local, dtype=np.float64)
+    h = np.asarray(state.queue_edge, dtype=np.float64)
+    lo, hi = feasible_ratio_intervals(params, system.slot_length, arrivals_arr)
+
+    def gap(xs: np.ndarray) -> np.ndarray:
+        cost = slot_cost_batch(
+            params, system, xs, arrivals_arr, q, h, include_tail=False
+        )
+        return cost.t_device - cost.t_edge
+
+    result = np.zeros_like(arrivals_arr)
+    idle = arrivals_arr <= 0
+    gap_lo, gap_hi = gap(lo), gap(hi)
+    stay_local = ~idle & (gap_lo <= 0)  # even full-local is device-cheap
+    go_remote = ~idle & ~stay_local & (gap_hi >= 0)  # full-offload is edge-cheap
+    result = np.where(stay_local, lo, result)
+    result = np.where(go_remote, hi, result)
+    active = ~(idle | stay_local | go_remote)
+    lo_b, hi_b = lo.copy(), hi.copy()
+    for _ in range(max_iterations):
+        if not np.any(active):
+            break
+        mid = 0.5 * (lo_b + hi_b)
+        converged = active & ((hi_b - lo_b) < tolerance)
+        result = np.where(converged, mid, result)
+        active = active & ~converged
+        if not np.any(active):
+            break
+        positive = gap(mid) > 0
+        lo_b = np.where(active & positive, mid, lo_b)
+        hi_b = np.where(active & ~positive, mid, hi_b)
+    # Iteration budget exhausted: the scalar path returns the midpoint.
+    result = np.where(active, 0.5 * (lo_b + hi_b), result)
+    return result.tolist()
+
+
+def vectorized_equivalent(policy):
+    """The batched drop-in for ``policy``, or ``None`` when no fast path
+    exists (the caller then keeps the scalar policy)."""
+    from dataclasses import replace
+
+    from .offloading import BalanceOffloadingPolicy, DriftPlusPenaltyPolicy
+
+    if isinstance(policy, (DriftPlusPenaltyPolicy, BalanceOffloadingPolicy)):
+        if policy.vectorized:
+            return policy
+        return replace(policy, vectorized=True)
+    return None
+
+
+# -- fleet state and whole-slot stepping ---------------------------------------
+
+
+@dataclass
+class FleetState:
+    """Array-backed ``Θ(t) = [Q(t), H(t)]`` — the fleet twin of
+    :class:`~repro.core.offloading.LyapunovState`, advancing every device's
+    Eq. 10-11 recursion in one call."""
+
+    queue_local: np.ndarray
+    queue_edge: np.ndarray
+
+    @classmethod
+    def zeros(cls, num_devices: int) -> "FleetState":
+        return cls(
+            queue_local=np.zeros(num_devices), queue_edge=np.zeros(num_devices)
+        )
+
+    @classmethod
+    def from_lyapunov(cls, state: LyapunovState) -> "FleetState":
+        return cls(
+            queue_local=np.asarray(state.queue_local, dtype=np.float64).copy(),
+            queue_edge=np.asarray(state.queue_edge, dtype=np.float64).copy(),
+        )
+
+    def to_lyapunov(self) -> LyapunovState:
+        return LyapunovState(
+            queue_local=self.queue_local.tolist(),
+            queue_edge=self.queue_edge.tolist(),
+        )
+
+    def sync_to(self, state: LyapunovState) -> None:
+        """Write the array queues back into a scalar ``LyapunovState`` (the
+        simulator keeps the caller-owned scalar state authoritative)."""
+        state.queue_local[:] = self.queue_local.tolist()
+        state.queue_edge[:] = self.queue_edge.tolist()
+
+    def update(self, cost: BatchSlotCost) -> None:
+        """Whole-fleet Eqs. 10-11: ``Q ← max(Q − b, 0) + A`` and
+        ``H ← max(H − c, 0) + D`` as two array expressions."""
+        self.queue_local = (
+            np.maximum(self.queue_local - cost.service_local, 0.0)
+            + cost.local_tasks
+        )
+        self.queue_edge = (
+            np.maximum(self.queue_edge - cost.service_edge, 0.0)
+            + cost.offloaded_tasks
+        )
+
+    def lyapunov_value(self) -> float:
+        """``L(Θ) = ½·Σ (Q_i² + H_i²)``."""
+        return 0.5 * float(
+            np.dot(self.queue_local, self.queue_local)
+            + np.dot(self.queue_edge, self.queue_edge)
+        )
+
+    def total_backlog(self) -> float:
+        return float(self.queue_local.sum() + self.queue_edge.sum())
+
+
+class VectorizedSlotEngine:
+    """One-call-per-slot evaluation of a whole fleet.
+
+    Precomputes the static :class:`FleetParams` once; a dynamic environment
+    that substitutes per-slot device configs triggers an O(N) re-extraction
+    (still negligible next to the scalar path's O(N·grid) cost closures).
+    """
+
+    def __init__(self, system: EdgeSystem):
+        self.system = system
+        self._static_params = FleetParams.from_system(system)
+
+    def params_for(
+        self, devices: Sequence[DeviceConfig] | None
+    ) -> FleetParams:
+        if devices is None or tuple(devices) == self.system.devices:
+            return self._static_params
+        return FleetParams.from_system(self.system, devices)
+
+    def slot_costs(
+        self,
+        devices: Sequence[DeviceConfig] | None,
+        ratios: Sequence[float],
+        arrivals: Sequence[float],
+        state: FleetState,
+        include_tail: bool = True,
+    ) -> BatchSlotCost:
+        """Eqs. 12-14 for the whole fleet at the chosen ratios."""
+        params = self.params_for(devices)
+        return slot_cost_batch(
+            params,
+            self.system,
+            np.asarray(ratios, dtype=np.float64),
+            np.asarray(arrivals, dtype=np.float64),
+            state.queue_local,
+            state.queue_edge,
+            include_tail=include_tail,
+        )
+
+    def step(
+        self,
+        policy,
+        state: FleetState,
+        expected: Sequence[float],
+        realised: Sequence[float],
+        devices: Sequence[DeviceConfig] | None = None,
+        include_tail: bool = True,
+    ) -> tuple[list[float], BatchSlotCost]:
+        """Advance the fleet one slot: decide ratios, evaluate the slot
+        cost at the realised arrivals, and apply the queue recursions."""
+        scalar_state = state.to_lyapunov()
+        ratios = policy.decide(self.system, scalar_state, expected, devices)
+        cost = self.slot_costs(devices, ratios, realised, state, include_tail)
+        state.update(cost)
+        return ratios, cost

@@ -21,6 +21,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..core.offloading import EdgeSystem, LyapunovState, OffloadingPolicy
+from ..core.vectorized import vectorized_equivalent
 from ..sim.arrivals import ArrivalProcess
 from ..sim.tasks import TaskRecord
 from .clock import VirtualClock
@@ -65,11 +66,23 @@ class RuntimeReport:
 class LeimeRuntime:
     """Run a deployed :class:`EdgeSystem` on live threads.
 
+    The run's randomness is split into two independent streams derived
+    from ``seed``: a **control** stream consumed only by the controller
+    loop (arrival draws and per-task offload coin flips) and an **exit**
+    stream consumed by worker threads (early-exit coin flips).  Workers
+    race each other, so their draw *order* is scheduling-dependent — but
+    because they draw from their own stream, the controller's sequence of
+    arrivals and offload decisions is byte-identical across same-seed runs
+    (``tests/test_determinism.py`` pins this).
+
     Args:
         system: The deployment (devices, shares, partition(s), τ).
         policy: The per-slot offloading policy.
         speedup: Virtual seconds per wall second.
         seed: RNG seed for arrivals, offload draws and exit draws.
+        vectorized: Swap the policy for its fleet-scale batched equivalent
+            (see :func:`repro.core.vectorized.vectorized_equivalent`) when
+            one exists; policies without a fast path run unchanged.
     """
 
     def __init__(
@@ -78,12 +91,18 @@ class LeimeRuntime:
         policy: OffloadingPolicy,
         speedup: float = 200.0,
         seed: int = 0,
+        vectorized: bool = False,
     ):
         self.system = system
+        if vectorized:
+            policy = vectorized_equivalent(policy) or policy
         self.policy = policy
         self.clock = VirtualClock(speedup)
-        self._rng = np.random.default_rng(seed)
-        self._rng_lock = threading.Lock()
+        control_seq, exit_seq = np.random.SeedSequence(seed).spawn(2)
+        self._control_rng = np.random.default_rng(control_seq)
+        self._exit_rng = np.random.default_rng(exit_seq)
+        self._control_lock = threading.Lock()
+        self._exit_lock = threading.Lock()
         n = system.num_devices
         self.devices = [
             RuntimeNode(
@@ -116,11 +135,18 @@ class LeimeRuntime:
         self._done = threading.Event()
         self._outstanding = 0
 
-    # -- randomness (threads share one generator) ---------------------------
+    # -- randomness (two streams: controller vs worker threads) -------------
 
-    def _random(self) -> float:
-        with self._rng_lock:
-            return float(self._rng.random())
+    def _control_random(self) -> float:
+        """Controller-loop draws (offload coin flips): deterministic order."""
+        with self._control_lock:
+            return float(self._control_rng.random())
+
+    def _exit_random(self) -> float:
+        """Worker-thread draws (exit coin flips): order races, stream is
+        isolated so it cannot perturb the control stream."""
+        with self._exit_lock:
+            return float(self._exit_rng.random())
 
     # -- task pipeline --------------------------------------------------------
 
@@ -147,7 +173,7 @@ class LeimeRuntime:
         exit2_given = (sigma2 - sigma1) / (1.0 - sigma1) if sigma1 < 1.0 else 1.0
 
         def done(t: float) -> None:
-            if self._random() < exit2_given:
+            if self._exit_random() < exit2_given:
                 self._task_finished(task, t, 2)
             else:
                 self._to_cloud(task)
@@ -158,7 +184,7 @@ class LeimeRuntime:
         part = self.system.partition_for(task.device)
 
         def done(t: float) -> None:
-            if self._random() < part.sigma1:
+            if self._exit_random() < part.sigma1:
                 self._task_finished(task, t, 1)
             else:
                 self._second_block(task)
@@ -174,7 +200,7 @@ class LeimeRuntime:
             return
 
         def local_done(t: float) -> None:
-            if self._random() < part.sigma1:
+            if self._exit_random() < part.sigma1:
                 self._task_finished(task, t, 1)
                 return
             self.uplinks[task.device].transmit(
@@ -214,8 +240,8 @@ class LeimeRuntime:
             expected = [proc.mean(slot) for proc in arrivals]
             ratios = self.policy.decide(self.system, state, expected)
             for i, proc in enumerate(arrivals):
-                with self._rng_lock:
-                    drawn = float(proc.sample(slot, self._rng))
+                with self._control_lock:
+                    drawn = float(proc.sample(slot, self._control_rng))
                 fractional[i] += drawn
                 count = int(fractional[i])
                 fractional[i] -= count
@@ -224,7 +250,7 @@ class LeimeRuntime:
                         task_id=len(self._tasks),
                         device=i,
                         created=self.clock.now(),
-                        offloaded=self._random() < ratios[i],
+                        offloaded=self._control_random() < ratios[i],
                     )
                     with self._tasks_lock:
                         self._tasks.append(task)

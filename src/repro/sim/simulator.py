@@ -28,6 +28,7 @@ from ..core.offloading import (
     OffloadingPolicy,
     slot_cost,
 )
+from ..core.vectorized import FleetState, VectorizedSlotEngine
 from .arrivals import ArrivalProcess
 from .environment import DynamicEnvironment, StaticEnvironment
 from .metrics import SimulationResult, SlotRecord
@@ -46,6 +47,13 @@ class SlotSimulator:
         seed: Seed for the run's random generator.  Two runs with equal
             seeds see identical arrivals and environments, which is how the
             experiments compare schemes under common randomness.
+        vectorized: Opt into the fleet-scale fast path: the slot's cost
+            evaluation and queue recursions run through
+            :class:`~repro.core.vectorized.VectorizedSlotEngine` as array
+            expressions instead of a per-device Python loop.  The RNG call
+            sequence is unchanged, so a vectorized run sees the *same*
+            arrivals and environment trajectory as a scalar run with the
+            same seed — the differential tests rely on this.
     """
 
     system: EdgeSystem
@@ -53,6 +61,7 @@ class SlotSimulator:
     environment: DynamicEnvironment = field(default_factory=StaticEnvironment)
     include_tail: bool = True
     seed: int = 0
+    vectorized: bool = False
 
     def __post_init__(self) -> None:
         if len(self.arrivals) != self.system.num_devices:
@@ -81,6 +90,8 @@ class SlotSimulator:
         rng = np.random.default_rng(self.seed)
         if state is None:
             state = LyapunovState.zeros(self.system.num_devices)
+        engine = VectorizedSlotEngine(self.system) if self.vectorized else None
+        fleet = FleetState.from_lyapunov(state) if self.vectorized else None
         records: list[SlotRecord] = []
         for slot in range(num_slots):
             live_devices = self.environment.devices_at(
@@ -89,22 +100,38 @@ class SlotSimulator:
             expected = [proc.mean(slot) for proc in self.arrivals]
             realised = [proc.sample(slot, rng) for proc in self.arrivals]
             ratios = policy.decide(self.system, state, expected, live_devices)
-            total_time = 0.0
-            total_arrivals = 0.0
-            for i, device in enumerate(live_devices):
-                cost = slot_cost(
-                    device,
-                    self.system,
-                    ratios[i],
-                    realised[i],
-                    state.queue_local[i],
-                    state.queue_edge[i],
-                    self.system.shares[i],
+            if engine is not None:
+                cost = engine.slot_costs(
+                    live_devices,
+                    ratios,
+                    realised,
+                    fleet,
                     include_tail=self.include_tail,
                 )
-                total_time += cost.total_time
-                total_arrivals += realised[i]
-                state.update(i, cost)
+                # Left-to-right accumulation mirrors the scalar loop (np.sum
+                # is pairwise), keeping the two paths byte-identical.
+                total_time = float(sum(cost.total_time.tolist(), 0.0))
+                total_arrivals = float(sum(cost.arrivals.tolist(), 0.0))
+                fleet.update(cost)
+                fleet.sync_to(state)
+            else:
+                total_time = 0.0
+                total_arrivals = 0.0
+                for i, device in enumerate(live_devices):
+                    cost = slot_cost(
+                        device,
+                        self.system,
+                        ratios[i],
+                        realised[i],
+                        state.queue_local[i],
+                        state.queue_edge[i],
+                        self.system.shares[i],
+                        include_tail=self.include_tail,
+                        partition=self.system.partition_for(i),
+                    )
+                    total_time += cost.total_time
+                    total_arrivals += realised[i]
+                    state.update(i, cost)
             records.append(
                 SlotRecord(
                     slot=slot,

@@ -1,10 +1,9 @@
-"""Shared fixtures for the test suite."""
+"""Shared fixtures for the test suite (factories live in ``helpers.py``)."""
 
 from __future__ import annotations
 
 import pytest
 
-from repro.core.offloading import DeviceConfig, EdgeSystem
 from repro.hardware import (
     CLOUD_V100,
     EDGE_I7_3770,
@@ -16,6 +15,8 @@ from repro.core.exit_setting import AverageEnvironment
 from repro.models.exit_rates import ParametricExitCurve
 from repro.models.multi_exit import MultiExitDNN
 from repro.models.zoo import build_model
+
+from tests.helpers import make_device, make_system
 
 
 @pytest.fixture(scope="session")
@@ -56,19 +57,11 @@ def rpi_environment():
 @pytest.fixture
 def small_system(inception_me, rpi_environment):
     """A 2-device RPi system with a mid-depth partition, for policy tests."""
-    partition = inception_me.partition_at(5, 14)
-    devices = tuple(
-        DeviceConfig.from_platform(
-            RASPBERRY_PI_3B, WIFI_DEVICE_EDGE, mean_arrivals=0.5, name=f"pi-{i}"
-        )
-        for i in range(2)
-    )
-    return EdgeSystem(
+    # make_device's defaults are exactly the WIFI_DEVICE_EDGE hop.
+    devices = tuple(make_device(name=f"pi-{i}") for i in range(2))
+    return make_system(
+        partition=inception_me.partition_at(5, 14),
         devices=devices,
-        edge_flops=EDGE_I7_3770.flops,
-        cloud_flops=CLOUD_V100.flops,
-        edge_cloud=INTERNET_EDGE_CLOUD,
-        partition=partition,
         edge_overhead=EDGE_I7_3770.per_task_overhead,
         cloud_overhead=CLOUD_V100.per_task_overhead,
     )

@@ -1,0 +1,104 @@
+"""Seeded determinism: same seed → same run, different seed → different run.
+
+The simulator promises full byte-identical reproducibility; the threaded
+runtime promises it for the *control plane* (arrival counts, task placement
+and offload decisions), since worker-thread timing is wall-clock and races
+by design — see :class:`repro.runtime.system.LeimeRuntime`'s two-stream
+RNG contract.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.offloading import DriftPlusPenaltyPolicy, FixedRatioPolicy
+from repro.runtime import LeimeRuntime
+from repro.sim.arrivals import PoissonArrivals
+from repro.sim.environment import RandomWalkEnvironment
+from repro.sim.simulator import SlotSimulator
+
+from tests.helpers import random_fleet
+
+
+def _simulate(seed: int, vectorized: bool, system):
+    sim = SlotSimulator(
+        system=system,
+        arrivals=[PoissonArrivals(0.5)] * system.num_devices,
+        environment=RandomWalkEnvironment(sigma=0.1),
+        seed=seed,
+        vectorized=vectorized,
+    )
+    return sim.run(DriftPlusPenaltyPolicy(v=50.0, vectorized=vectorized), 30)
+
+
+@pytest.mark.parametrize("vectorized", [False, True])
+def test_slot_simulator_same_seed_is_byte_identical(vectorized):
+    system = random_fleet(11, 4)
+    a = _simulate(7, vectorized, system)
+    b = _simulate(7, vectorized, system)
+    # Dataclass equality compares every float of every record exactly —
+    # byte-identical runs, not approximately-equal runs.
+    assert a.records == b.records
+
+
+@pytest.mark.parametrize("vectorized", [False, True])
+def test_slot_simulator_different_seeds_differ(vectorized):
+    system = random_fleet(11, 4)
+    a = _simulate(7, vectorized, system)
+    b = _simulate(8, vectorized, system)
+    assert a.records != b.records
+
+
+def test_slot_simulator_paths_are_byte_identical():
+    """Scalar and vectorized runs of the same seed produce *equal* record
+    tuples — not just 1e-9-close (the engine mirrors the scalar arithmetic
+    operation-for-operation, including accumulation order)."""
+    system = random_fleet(11, 4)
+    assert _simulate(7, False, system).records == _simulate(7, True, system).records
+
+
+def _control_plane(report):
+    """The discrete decisions the controller made, in creation order.
+
+    Timestamps are wall-clock (the virtual clock maps real time), so only
+    the discrete fields are reproducible across runs.
+    """
+    return [(t.task_id, t.device, t.offloaded) for t in report.tasks]
+
+
+def _run_runtime(seed: int, system, vectorized: bool = False):
+    runtime = LeimeRuntime(
+        system,
+        FixedRatioPolicy(0.5),
+        speedup=500.0,
+        seed=seed,
+        vectorized=vectorized,
+    )
+    try:
+        return runtime.run(
+            [PoissonArrivals(1.0)] * system.num_devices,
+            num_slots=8,
+            drain_timeout=30.0,
+        )
+    finally:
+        runtime.shutdown()
+
+
+def test_runtime_same_seed_same_control_plane(small_system):
+    a = _run_runtime(5, small_system)
+    b = _run_runtime(5, small_system)
+    assert len(a.tasks) == len(b.tasks) > 0
+    assert _control_plane(a) == _control_plane(b)
+
+
+def test_runtime_different_seeds_differ(small_system):
+    a = _run_runtime(5, small_system)
+    b = _run_runtime(6, small_system)
+    assert _control_plane(a) != _control_plane(b)
+
+
+def test_runtime_vectorized_flag_keeps_control_plane(small_system):
+    """Swapping in the batched policy must not consume different RNG draws."""
+    a = _run_runtime(5, small_system, vectorized=False)
+    b = _run_runtime(5, small_system, vectorized=True)
+    assert _control_plane(a) == _control_plane(b)

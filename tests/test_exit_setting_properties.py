@@ -1,0 +1,86 @@
+"""Property tests for the exit-setting searches (Theorems 1-2).
+
+Sweeps ≥200 randomized :class:`AverageEnvironment`s across all four model
+profiles and asserts that branch-and-bound is *exact* (same optimum as the
+O(m²) brute force) while evaluating strictly fewer candidates in
+aggregate — the Theorem 2 complexity claim.  Seeds appear in the test IDs
+so a failing instance reproduces from its name alone.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.exit_setting import (
+    branch_and_bound_exit_setting,
+    brute_force_exit_setting,
+)
+from repro.models.multi_exit import MultiExitDNN
+
+from tests.helpers import random_environment, random_exit_curve
+
+PROFILES = ("vgg-16", "resnet-34", "inception-v3", "squeezenet-1.0")
+SEEDS = range(50)  # 50 seeds × 4 profiles = 200 randomized instances
+
+
+def _instance(all_profiles, profile: str, seed: int):
+    me_dnn = MultiExitDNN(all_profiles[profile], random_exit_curve(seed))
+    env = random_environment(seed)
+    return me_dnn, env
+
+
+@pytest.mark.parametrize("profile", PROFILES)
+@pytest.mark.parametrize("seed", SEEDS)
+def test_branch_and_bound_is_exact(all_profiles, profile, seed):
+    """B&B returns the brute-force optimum — same cost, same triple."""
+    me_dnn, env = _instance(all_profiles, profile, seed)
+    brute = brute_force_exit_setting(me_dnn, env)
+    bnb = branch_and_bound_exit_setting(me_dnn, env)
+    assert bnb.cost == brute.cost, f"{profile}, seed {seed}"
+    assert bnb.selection == brute.selection, f"{profile}, seed {seed}"
+    assert bnb.partition.selection == brute.partition.selection
+
+
+@pytest.mark.parametrize("profile", PROFILES)
+def test_branch_and_bound_prunes_in_aggregate(all_profiles, profile):
+    """Across the whole random sweep B&B expands strictly fewer three-exit
+    nodes than brute force.  B&B's ``evaluations`` also count the ``m − 2``
+    two-exit relaxation lookups of its setup phase, so the node-expansion
+    count is ``evaluations − (m − 2)``; a single adversarial instance may
+    still expand every node, so pruning is a property of the aggregate."""
+    total_bnb_nodes = 0
+    total_brute = 0
+    for seed in SEEDS:
+        me_dnn, env = _instance(all_profiles, profile, seed)
+        m = me_dnn.num_exits
+        brute = brute_force_exit_setting(me_dnn, env)
+        bnb = branch_and_bound_exit_setting(me_dnn, env)
+        bnb_nodes = bnb.evaluations - (m - 2)
+        total_brute += brute.evaluations
+        total_bnb_nodes += bnb_nodes
+        # Per-instance sanity: never *more* nodes than the full enumeration.
+        assert 0 < bnb_nodes <= brute.evaluations, f"seed {seed}"
+    assert total_bnb_nodes < total_brute, (
+        f"{profile}: B&B expanded {total_bnb_nodes} nodes vs brute {total_brute}"
+    )
+    # The average saving should be substantial, not marginal.
+    assert total_bnb_nodes <= 0.9 * total_brute
+
+
+@pytest.mark.parametrize("profile", PROFILES)
+def test_brute_force_evaluation_count_is_m_squared(all_profiles, profile):
+    """The reference really enumerates every (e₁, e₂) pair once."""
+    me_dnn, env = _instance(all_profiles, profile, 0)
+    m = me_dnn.num_exits
+    brute = brute_force_exit_setting(me_dnn, env)
+    assert brute.evaluations == (m - 1) * (m - 2) // 2
+
+
+@pytest.mark.parametrize("seed", range(10))
+def test_selection_is_a_valid_triple(all_profiles, seed):
+    me_dnn, env = _instance(all_profiles, "inception-v3", seed)
+    result = branch_and_bound_exit_setting(me_dnn, env)
+    m = me_dnn.num_exits
+    sel = result.selection
+    assert 1 <= sel.first < sel.second < sel.third == m
+    assert result.cost > 0.0

@@ -19,43 +19,28 @@ from repro.core.offloading import (
     slot_cost,
 )
 from repro.hardware import (
-    CLOUD_V100,
     EDGE_I7_3770,
     INTERNET_EDGE_CLOUD,
-    NetworkProfile,
     RASPBERRY_PI_3B,
     WIFI_DEVICE_EDGE,
 )
-from repro.models.multi_exit import MultiExitDNN
-from repro.models.zoo import build_model
-from repro.units import mbps, ms
+
+from tests.helpers import inception_partition, make_device, make_system
 
 
 @pytest.fixture(scope="module")
 def partition():
-    return MultiExitDNN(build_model("inception-v3")).partition_at(5, 14)
+    return inception_partition()
 
 
 def _device(bandwidth=10.0, latency=20.0, arrivals=0.5) -> DeviceConfig:
-    return DeviceConfig(
-        name="pi",
-        flops=RASPBERRY_PI_3B.flops,
-        link=NetworkProfile(mbps(bandwidth), ms(latency)),
-        mean_arrivals=arrivals,
-        overhead=RASPBERRY_PI_3B.per_task_overhead,
+    return make_device(
+        bandwidth_mbps=bandwidth, latency_ms=latency, arrivals=arrivals
     )
 
 
 def _system(partition, devices=None) -> EdgeSystem:
-    if devices is None:
-        devices = (_device(), _device())
-    return EdgeSystem(
-        devices=tuple(devices),
-        edge_flops=EDGE_I7_3770.flops,
-        cloud_flops=CLOUD_V100.flops,
-        edge_cloud=INTERNET_EDGE_CLOUD,
-        partition=partition,
-    )
+    return make_system(partition=partition, devices=devices)
 
 
 # -- DeviceConfig / EdgeSystem validation ------------------------------------
@@ -350,6 +335,44 @@ def test_dpp_minimises_objective_on_grid(partition):
         objective(lo + (hi - lo) * i / 100) for i in range(101)
     )
     assert objective(ratios[0]) <= best_grid + 1e-6 * (1 + abs(best_grid))
+
+
+def test_grid_refine_handles_degenerate_interval():
+    """``_grid_refine_minimum`` on a collapsed bracket returns ``lo``
+    without evaluating a zero-width grid (regression: ``lo == hi`` used to
+    feed ``step == 0`` into the refinement rounds)."""
+    from repro.core.offloading import _grid_refine_minimum
+
+    calls = []
+
+    def objective(x: float) -> float:
+        calls.append(x)
+        return (x - 0.3) ** 2
+
+    assert _grid_refine_minimum(objective, 0.0, 0.0) == 0.0
+    assert _grid_refine_minimum(objective, 0.7, 0.7) == 0.7
+    assert calls == []  # degenerate brackets short-circuit entirely
+    # A non-degenerate bracket still refines toward the true minimum.
+    assert _grid_refine_minimum(objective, 0.0, 1.0) == pytest.approx(
+        0.3, abs=1e-3
+    )
+
+
+def test_saturated_uplink_forces_full_local(partition):
+    """A hop whose latency eats the whole slot admits only x = 0 (Eq. 8's
+    degenerate case); both DPP paths must return exactly 0.0 rather than
+    probe an empty interval."""
+    # slot_length is 1.0 s; a 1500 ms latency makes the budget negative.
+    saturated = _device(bandwidth=10.0, latency=1500.0, arrivals=1.0)
+    system = _system(partition, devices=(saturated, _device()))
+    lo, hi = feasible_ratio_interval(saturated, partition, 1.0, 1.0)
+    assert (lo, hi) == (0.0, 0.0)
+    state = LyapunovState(queue_local=[5.0, 1.0], queue_edge=[2.0, 1.0])
+    for vectorized in (False, True):
+        policy = DriftPlusPenaltyPolicy(v=50, vectorized=vectorized)
+        ratios = policy.decide(system, state, [1.0, 0.5])
+        assert ratios[0] == 0.0
+        assert 0.0 <= ratios[1] <= 1.0
 
 
 def test_balance_policy_balances_costs(partition):
