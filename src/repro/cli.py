@@ -9,13 +9,19 @@ Commands:
 * ``experiment NAME`` — regenerate a paper figure (``fig2``..``fig11``,
   ``motivation``).
 * ``analyze {complexity,v-sweep}`` — empirical checks of Theorems 2-3.
+* ``trace {generate,describe,replay}`` — synthesise, inspect, and replay
+  wild traces (:mod:`repro.traces`).
 """
 
 from __future__ import annotations
 
 import argparse
 import importlib
+import json
 import sys
+import time
+from dataclasses import replace
+from pathlib import Path
 from typing import Sequence
 
 from .core.analysis import measure_search_complexity, measure_v_tradeoff
@@ -43,12 +49,17 @@ EXPERIMENTS = (
     "fig9",
     "fig10",
     "fig11",
+    "fig_wild",
     "motivation",
     "pareto",
 )
 
 #: Offloading policies available to ``simulate``.
 POLICIES = ("leime", "balance", "device-only", "edge-only", "cap-based")
+
+#: Trace presets accepted by ``trace generate`` — each enables one (or
+#: every) generator of :class:`repro.traces.generators.WildTraceSpec`.
+TRACE_PRESETS = ("wild", "diurnal", "gilbert-elliott", "flash-crowd")
 
 
 def _build_policy(name: str, v: float):
@@ -210,6 +221,144 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     return 0
 
 
+def _trace_spec_from_args(args: argparse.Namespace):
+    """A :class:`WildTraceSpec` for the chosen preset: ``wild`` enables
+    every dynamic, each other preset isolates one generator."""
+    from .traces.generators import WildTraceSpec
+
+    spec = WildTraceSpec(
+        num_slots=args.slots,
+        num_devices=args.devices,
+        bandwidth=mbps(args.bandwidth_mbps),
+        latency=ms(args.latency_ms),
+        arrival_rate=args.arrival_rate,
+    )
+    if args.preset == "wild":
+        return spec
+    calm = dict(
+        diurnal_amplitude=0.0,
+        noise_sigma=0.0,
+        ge_p_bad=0.0,
+        flash_rate=0.0,
+        churn_down=0.0,
+    )
+    if args.preset == "diurnal":
+        calm.update(diurnal_amplitude=0.5, noise_sigma=0.15)
+    elif args.preset == "gilbert-elliott":
+        calm.update(ge_p_bad=0.05)
+    elif args.preset == "flash-crowd":
+        calm.update(flash_rate=2.0)
+    return replace(spec, **calm)
+
+
+def _cmd_trace_generate(args: argparse.Namespace) -> int:
+    from .traces.generators import generate_trace
+    from .traces.serialize import save_trace
+
+    trace = generate_trace(_trace_spec_from_args(args), seed=args.seed)
+    path = save_trace(trace, args.output)
+    print(
+        f"wrote {path}: {trace.num_slots} slots x {trace.num_devices} "
+        f"devices ({args.preset} preset, seed {args.seed})"
+    )
+    return 0
+
+
+def _cmd_trace_describe(args: argparse.Namespace) -> int:
+    from .traces.serialize import load_trace
+
+    trace = load_trace(args.trace)
+    print(
+        f"trace     : {args.trace}\n"
+        f"slots     : {trace.num_slots} (slot length {trace.slot_length} s)\n"
+        f"devices   : {trace.num_devices}"
+    )
+    if trace.meta:
+        generator = trace.meta.get("generator", "?")
+        seed = trace.meta.get("seed", "?")
+        print(f"generated : {generator} (seed {seed})")
+    print(f"{'channel':<14} {'units':<11} {'min':>12} {'mean':>12} "
+          f"{'max':>12} {'NaN%':>6}")
+    for channel in trace.channels:
+        stats = trace.describe()[channel.name]
+        print(
+            f"{channel.name:<14} {channel.units:<11} "
+            f"{stats['min']:>12.4g} {stats['mean']:>12.4g} "
+            f"{stats['max']:>12.4g} {stats['nan_fraction']:>6.1%}"
+        )
+    return 0
+
+
+def _cmd_trace_replay(args: argparse.Namespace) -> int:
+    from .traces.replay import replay_trace
+    from .traces.serialize import load_trace
+
+    trace = load_trace(args.trace)
+    config = TestbedConfig(
+        model=args.model,
+        device=platform(args.device),
+        edge=platform(args.edge),
+        cloud=platform(args.cloud),
+        num_devices=trace.num_devices,
+        arrival_rate=args.arrival_rate,
+        device_edge=NetworkProfile(mbps(args.bandwidth_mbps), ms(args.latency_ms)),
+        exit_curve=ParametricExitCurve.from_complexity(args.complexity),
+    )
+    me_dnn = config.me_dnn()
+    partition = branch_and_bound_exit_setting(
+        me_dnn, config.average_environment()
+    ).partition
+    system = config.system(partition)
+    policy = _build_policy(args.policy, args.v)
+    num_slots = args.slots if args.slots else trace.num_slots
+
+    start = time.perf_counter()
+    fast = replay_trace(
+        system, trace, policy, num_slots=num_slots, seed=args.seed,
+        vectorized=True,
+    )
+    fast_elapsed = time.perf_counter() - start
+    start = time.perf_counter()
+    scalar = replay_trace(
+        system, trace, policy, num_slots=num_slots, seed=args.seed
+    )
+    scalar_elapsed = time.perf_counter() - start
+    identical = all(
+        a.queue_local == b.queue_local
+        and a.queue_edge == b.queue_edge
+        and a.total_time == b.total_time
+        and a.ratios == b.ratios
+        for a, b in zip(scalar.records, fast.records)
+    )
+
+    print(f"trace     : {args.trace} ({num_slots} slots replayed)")
+    print(f"policy    : {args.policy}")
+    print(f"mean TCT  : {fast.mean_tct:.3f} s")
+    print(f"p95 TCT   : {fast.tct_percentile(95):.3f} s")
+    print(f"backlog   : {fast.final_backlog:.1f} tasks")
+    print(f"stable    : {fast.is_stable()}")
+    print(f"paths     : {'byte-identical' if identical else 'DIVERGED'}")
+    if args.output is not None:
+        payload = {
+            "benchmark": "trace_replay",
+            "trace": str(args.trace),
+            "policy": args.policy,
+            "slots": num_slots,
+            "devices": trace.num_devices,
+            "seed": args.seed,
+            "mean_tct_s": round(fast.mean_tct, 6),
+            "p95_tct_s": round(fast.tct_percentile(95), 6),
+            "final_backlog": round(fast.final_backlog, 3),
+            "stable": fast.is_stable(),
+            "paths_identical": identical,
+            "vectorized_slots_per_sec": round(num_slots / fast_elapsed, 2),
+            "scalar_slots_per_sec": round(num_slots / scalar_elapsed, 2),
+        }
+        Path(args.output).write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"wrote     : {args.output}")
+    return 0 if identical else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -253,6 +402,59 @@ def build_parser() -> argparse.ArgumentParser:
     analyze.add_argument("what", choices=("complexity", "v-sweep"))
     _add_testbed_arguments(analyze)
     analyze.set_defaults(func=_cmd_analyze)
+
+    trace = sub.add_parser(
+        "trace", help="generate, inspect, and replay wild traces"
+    )
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+
+    generate = trace_sub.add_parser(
+        "generate", help="synthesise a seeded wild trace"
+    )
+    generate.add_argument(
+        "--output",
+        type=Path,
+        default=Path("wild.npz"),
+        help="trace file to write (.jsonl or .npz)",
+    )
+    generate.add_argument("--preset", default="wild", choices=TRACE_PRESETS)
+    generate.add_argument("--slots", type=int, default=200)
+    generate.add_argument("--devices", type=int, default=4)
+    generate.add_argument("--seed", type=int, default=0)
+    generate.add_argument("--bandwidth-mbps", type=float, default=10.0)
+    generate.add_argument("--latency-ms", type=float, default=20.0)
+    generate.add_argument("--arrival-rate", type=float, default=0.4)
+    generate.set_defaults(func=_cmd_trace_generate)
+
+    describe_trace = trace_sub.add_parser(
+        "describe", help="per-channel summary of a trace file"
+    )
+    describe_trace.add_argument("trace", type=Path)
+    describe_trace.set_defaults(func=_cmd_trace_describe)
+
+    replay = trace_sub.add_parser(
+        "replay",
+        help="replay a trace through the slot simulator (both paths, "
+        "verifying they agree byte-for-byte)",
+    )
+    replay.add_argument("trace", type=Path)
+    _add_testbed_arguments(replay)
+    replay.add_argument("--policy", default="leime", choices=POLICIES)
+    replay.add_argument(
+        "--slots",
+        type=int,
+        default=None,
+        help="slots to replay (default: the trace length)",
+    )
+    replay.add_argument("--seed", type=int, default=0)
+    replay.add_argument("--v", type=float, default=50.0)
+    replay.add_argument(
+        "--output",
+        type=Path,
+        default=None,
+        help="write a BENCH_traces.json-style summary here",
+    )
+    replay.set_defaults(func=_cmd_trace_replay)
 
     return parser
 

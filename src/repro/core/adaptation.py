@@ -182,6 +182,23 @@ class AdaptiveExitController:
             return 0.0
         return abs(self._plan.partition.sigma1 - float(self._estimator.sigma1))
 
+    def replan_for_environment(
+        self, environment: AverageEnvironment
+    ) -> ExitSettingResult:
+        """Re-plan against fresh average conditions, keeping the current
+        exit-curve estimate.
+
+        This is the second drift axis of "LEIME in the wild": σ drift is
+        handled by :meth:`maybe_replan`; *environment* drift (a wild
+        trace's bandwidth moving away from the averages the plan assumed)
+        lands here.  Exit-rate observations carry over — they describe
+        the data distribution, not the network.
+        """
+        self.environment = environment
+        self._plan = branch_and_bound_exit_setting(self._me_dnn, environment)
+        self.replan_count += 1
+        return self._plan
+
     def maybe_replan(self) -> ExitSettingResult | None:
         """Replan if enough evidence of drift has accumulated.
 

@@ -626,12 +626,20 @@ class VectorizedSlotEngine:
         arrivals: Sequence[float],
         state: FleetState,
         include_tail: bool = True,
+        system: EdgeSystem | None = None,
     ) -> BatchSlotCost:
-        """Eqs. 12-14 for the whole fleet at the chosen ratios."""
+        """Eqs. 12-14 for the whole fleet at the chosen ratios.
+
+        ``system`` overrides the deployed system for this slot — a trace
+        environment varies shared parameters (edge capacity) per slot.
+        The per-device :class:`FleetParams` are unaffected by such
+        overrides (shares are relative), so the precomputed arrays stay
+        valid.
+        """
         params = self.params_for(devices)
         return slot_cost_batch(
             params,
-            self.system,
+            self.system if system is None else system,
             np.asarray(ratios, dtype=np.float64),
             np.asarray(arrivals, dtype=np.float64),
             state.queue_local,
@@ -647,11 +655,15 @@ class VectorizedSlotEngine:
         realised: Sequence[float],
         devices: Sequence[DeviceConfig] | None = None,
         include_tail: bool = True,
+        system: EdgeSystem | None = None,
     ) -> tuple[list[float], BatchSlotCost]:
         """Advance the fleet one slot: decide ratios, evaluate the slot
         cost at the realised arrivals, and apply the queue recursions."""
+        live_system = self.system if system is None else system
         scalar_state = state.to_lyapunov()
-        ratios = policy.decide(self.system, scalar_state, expected, devices)
-        cost = self.slot_costs(devices, ratios, realised, state, include_tail)
+        ratios = policy.decide(live_system, scalar_state, expected, devices)
+        cost = self.slot_costs(
+            devices, ratios, realised, state, include_tail, system=live_system
+        )
         state.update(cost)
         return ratios, cost

@@ -16,12 +16,14 @@ event simulator, so results are directly comparable.
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
+from typing import Callable
 
 import numpy as np
 
 from ..core.offloading import EdgeSystem, LyapunovState, OffloadingPolicy
 from ..core.vectorized import vectorized_equivalent
+from ..models.multi_exit import PartitionedModel
 from ..sim.arrivals import ArrivalProcess
 from ..sim.tasks import TaskRecord
 from .clock import VirtualClock
@@ -209,6 +211,22 @@ class LeimeRuntime:
 
         self.devices[task.device].submit(part.mu1, local_done)
 
+    # -- live reconfiguration --------------------------------------------------
+
+    def apply_partition(self, partition: PartitionedModel) -> None:
+        """Hot-swap the deployed exit setting.
+
+        Tasks launched after the swap read the new partition at every
+        stage; in-flight tasks pick it up at their *next* stage (a task
+        mid-first-block finishes that block at the old μ but transfers
+        and exits per the new plan) — the cheap approximation of a rolling
+        model rollout.  Per-device partitions are cleared: a re-plan
+        deploys one fleet-wide setting, as the paper's planner does.
+        """
+        self.system = replace(
+            self.system, partition=partition, device_partitions=()
+        )
+
     # -- the controller loop ---------------------------------------------------
 
     def run(
@@ -216,6 +234,7 @@ class LeimeRuntime:
         arrivals: list[ArrivalProcess],
         num_slots: int,
         drain_timeout: float = 30.0,
+        slot_hook: Callable[[int], object] | None = None,
     ) -> RuntimeReport:
         """Generate ``num_slots`` slots of live tasks and wait for drain.
 
@@ -225,6 +244,11 @@ class LeimeRuntime:
             drain_timeout: Wall-clock seconds to wait for completion after
                 generation ends before giving up (unfinished tasks then
                 show as incomplete in the report).
+            slot_hook: Called with the slot index at the top of every
+                slot, before the policy decision — the attachment point
+                for trace-driven adaptation
+                (:class:`~repro.traces.drift.BandwidthDriftMonitor`
+                re-plans exit settings through it).
         """
         if len(arrivals) != self.system.num_devices:
             raise ValueError("need one arrival process per device")
@@ -233,6 +257,8 @@ class LeimeRuntime:
         tau = self.system.slot_length
         fractional = [0.0] * n
         for slot in range(num_slots):
+            if slot_hook is not None:
+                slot_hook(slot)
             # Live queue occupancy drives the policy, as on a real edge.
             for i in range(n):
                 state.queue_local[i] = self.devices[i].backlog

@@ -22,6 +22,7 @@ from .arrivals import (
     SinusoidalRateArrivals,
     TraceArrivals,
     UniformArrivals,
+    mean_series,
 )
 from .environment import (
     DynamicEnvironment,
@@ -41,6 +42,7 @@ __all__ = [
     "TraceArrivals",
     "PiecewiseRateArrivals",
     "SinusoidalRateArrivals",
+    "mean_series",
     "DynamicEnvironment",
     "StaticEnvironment",
     "TraceEnvironment",

@@ -11,13 +11,21 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Protocol, Sequence
+from typing import Protocol, Sequence, runtime_checkable
 
 import numpy as np
 
 
+@runtime_checkable
 class ArrivalProcess(Protocol):
-    """Per-slot arrival counts for one device."""
+    """Per-slot arrival counts for one device.
+
+    The protocol is slot-indexed throughout: ``mean``/``sample`` take the
+    absolute slot, so non-stationary processes (piecewise phases,
+    sinusoids, replayed traces) are first-class.  ``runtime_checkable``
+    so adapters from other subsystems (:mod:`repro.traces`) can assert
+    conformance with ``isinstance``.
+    """
 
     def mean(self, slot: int) -> float:
         """Expected arrivals ``k_i`` in slot ``slot`` (what policies see)."""
@@ -26,6 +34,14 @@ class ArrivalProcess(Protocol):
     def sample(self, slot: int, rng: np.random.Generator) -> float:
         """Realised arrivals ``M_i(t)`` in slot ``slot``."""
         ...
+
+
+def mean_series(process: ArrivalProcess, num_slots: int) -> np.ndarray:
+    """The process's slot-indexed means over ``[0, num_slots)`` — what a
+    policy would plan against, as one array."""
+    if num_slots <= 0:
+        raise ValueError("need a positive number of slots")
+    return np.array([process.mean(t) for t in range(num_slots)], dtype=np.float64)
 
 
 @dataclass(frozen=True)
@@ -91,21 +107,58 @@ class UniformArrivals:
 
 @dataclass(frozen=True)
 class TraceArrivals:
-    """Replay a recorded arrival trace; repeats cyclically past the end."""
+    """Replay a recorded per-slot mean series.
+
+    The workhorse of trace replay (:mod:`repro.traces`): the series holds
+    slot-indexed *means*; by default they are replayed as deterministic
+    counts and the series repeats cyclically past its end.
+
+    Attributes:
+        trace: Per-slot means, one value per recorded slot.
+        poisson: Draw Poisson counts around each slot's mean instead of
+            replaying it verbatim (a recorded *rate* trace rather than a
+            recorded *count* trace).
+        cycle: Wrap past the end (default) or hold the final value — the
+            natural semantics for a finite-horizon recording.
+    """
 
     trace: tuple[float, ...]
+    poisson: bool = False
+    cycle: bool = True
 
     def __post_init__(self) -> None:
         if not self.trace:
             raise ValueError("trace must be non-empty")
-        if any(v < 0 for v in self.trace):
-            raise ValueError("trace values must be non-negative")
+        if any(not math.isfinite(v) or v < 0 for v in self.trace):
+            raise ValueError("trace values must be finite and non-negative")
+
+    @classmethod
+    def from_series(
+        cls,
+        values: Sequence[float] | np.ndarray,
+        poisson: bool = False,
+        cycle: bool = True,
+    ) -> "TraceArrivals":
+        """Adapt any array-like of slot-indexed means (a trace channel
+        column, a measurement log) into an arrival process."""
+        series = np.asarray(values, dtype=np.float64).ravel()
+        return cls(
+            trace=tuple(float(v) for v in series), poisson=poisson, cycle=cycle
+        )
+
+    def _rate_at(self, slot: int) -> float:
+        if self.cycle:
+            return self.trace[slot % len(self.trace)]
+        return self.trace[min(slot, len(self.trace) - 1)]
 
     def mean(self, slot: int) -> float:
-        return self.trace[slot % len(self.trace)]
+        return self._rate_at(slot)
 
     def sample(self, slot: int, rng: np.random.Generator) -> float:
-        return self.trace[slot % len(self.trace)]
+        rate = self._rate_at(slot)
+        if self.poisson:
+            return float(rng.poisson(rate))
+        return rate
 
 
 @dataclass(frozen=True)

@@ -54,6 +54,14 @@ class SlotSimulator:
             sequence is unchanged, so a vectorized run sees the *same*
             arrivals and environment trajectory as a scalar run with the
             same seed — the differential tests rely on this.
+
+    Environments may additionally expose a ``system_at(slot, base)``
+    method (the :class:`~repro.traces.replay.TraceEnvironment` extension):
+    it returns the :class:`EdgeSystem` in effect during the slot, letting
+    a trace vary *testbed* parameters (shared edge capacity) and not just
+    device links.  Both the scalar loop and the vectorized engine read
+    the same live system, so trace replay stays byte-identical across
+    paths.
     """
 
     system: EdgeSystem
@@ -92,14 +100,21 @@ class SlotSimulator:
             state = LyapunovState.zeros(self.system.num_devices)
         engine = VectorizedSlotEngine(self.system) if self.vectorized else None
         fleet = FleetState.from_lyapunov(state) if self.vectorized else None
+        system_at = getattr(self.environment, "system_at", None)
         records: list[SlotRecord] = []
         for slot in range(num_slots):
+            # The live system: a trace environment may vary testbed
+            # parameters (edge capacity) per slot; otherwise this is the
+            # deployed system unchanged.
+            live_system = (
+                self.system if system_at is None else system_at(slot, self.system)
+            )
             live_devices = self.environment.devices_at(
-                slot, self.system.devices, rng
+                slot, live_system.devices, rng
             )
             expected = [proc.mean(slot) for proc in self.arrivals]
             realised = [proc.sample(slot, rng) for proc in self.arrivals]
-            ratios = policy.decide(self.system, state, expected, live_devices)
+            ratios = policy.decide(live_system, state, expected, live_devices)
             if engine is not None:
                 cost = engine.slot_costs(
                     live_devices,
@@ -107,6 +122,7 @@ class SlotSimulator:
                     realised,
                     fleet,
                     include_tail=self.include_tail,
+                    system=live_system,
                 )
                 # Left-to-right accumulation mirrors the scalar loop (np.sum
                 # is pairwise), keeping the two paths byte-identical.
@@ -120,14 +136,14 @@ class SlotSimulator:
                 for i, device in enumerate(live_devices):
                     cost = slot_cost(
                         device,
-                        self.system,
+                        live_system,
                         ratios[i],
                         realised[i],
                         state.queue_local[i],
                         state.queue_edge[i],
-                        self.system.shares[i],
+                        live_system.shares[i],
                         include_tail=self.include_tail,
-                        partition=self.system.partition_for(i),
+                        partition=live_system.partition_for(i),
                     )
                     total_time += cost.total_time
                     total_arrivals += realised[i]

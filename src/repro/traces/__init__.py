@@ -1,0 +1,61 @@
+"""Wild traces — non-stationary environments as replayable per-slot series.
+
+The paper's whole premise is multi-exit inference *in the wild* (§II-A:
+1-30 Mbps links, 10-200 ms latencies, bursty load), yet a stationary
+simulator never exercises the adaptation machinery.  This package models
+the wild as data: a :class:`~repro.traces.schema.Trace` holds per-slot,
+per-device series for uplink bandwidth, link latency, edge capacity,
+arrival rate, and device up/down churn; generators synthesise the
+canonical dynamics (diurnal load, Gilbert-Elliott links, flash crowds,
+Poisson churn); replay adapters feed the same trace to every execution
+path — the scalar :class:`~repro.sim.simulator.SlotSimulator`, the
+vectorized fast path, and the live threaded runtime — byte-identically.
+
+Layout:
+
+* :mod:`repro.traces.schema` — :class:`TraceChannel`/:class:`Trace` with
+  shape/NaN validation (NaN is allowed only where churn marks a device
+  down);
+* :mod:`repro.traces.serialize` — JSONL ↔ ``.npz`` ↔ in-memory
+  round-trips;
+* :mod:`repro.traces.generators` — seeded generators, one RNG stream per
+  channel (the runtime's two-stream discipline, generalised);
+* :mod:`repro.traces.replay` — :class:`TraceEnvironment` (per-slot device
+  links *and* edge capacity) and arrival-process adapters;
+* :mod:`repro.traces.drift` — the runtime hook that lets
+  :class:`~repro.core.adaptation.AdaptiveExitController` re-plan when a
+  trace crosses drift thresholds.
+"""
+
+from .schema import CHANNEL_UNITS, Trace, TraceChannel, TraceValidationError
+from .serialize import load_trace, save_trace, traces_equal
+from .generators import (
+    WildTraceSpec,
+    diurnal_series,
+    flash_crowd_rates,
+    generate_trace,
+    gilbert_elliott_bandwidth,
+    poisson_churn,
+)
+from .replay import TraceEnvironment, arrival_processes, replay_trace
+from .drift import BandwidthDriftMonitor
+
+__all__ = [
+    "CHANNEL_UNITS",
+    "Trace",
+    "TraceChannel",
+    "TraceValidationError",
+    "load_trace",
+    "save_trace",
+    "traces_equal",
+    "WildTraceSpec",
+    "diurnal_series",
+    "flash_crowd_rates",
+    "generate_trace",
+    "gilbert_elliott_bandwidth",
+    "poisson_churn",
+    "TraceEnvironment",
+    "arrival_processes",
+    "replay_trace",
+    "BandwidthDriftMonitor",
+]

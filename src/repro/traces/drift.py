@@ -1,0 +1,113 @@
+"""Trace-driven re-planning: close the loop from wild traces to exit
+setting.
+
+Exit setting plans against *average* conditions (§III-A); a wild trace
+makes those averages themselves drift.  :class:`BandwidthDriftMonitor`
+watches a trace's link channels with a sliding window and, when the
+fleet-mean bandwidth has drifted past a relative threshold from the
+conditions the current plan assumed, asks an
+:class:`~repro.core.adaptation.AdaptiveExitController` to re-plan via
+:meth:`~repro.core.adaptation.AdaptiveExitController.replan_for_environment`
+— the same branch-and-bound machinery, fed live averages instead of
+historical ones.  Attached to a :class:`~repro.runtime.system.LeimeRuntime`
+(via ``run(..., slot_hook=monitor.on_slot)``), each re-plan hot-swaps the
+deployed partition, so tasks launched after the swap run the new exits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from ..core.adaptation import AdaptiveExitController
+from ..hardware import NetworkProfile
+from .replay import _channel_matrix
+from .schema import Trace
+
+
+@dataclass
+class BandwidthDriftMonitor:
+    """Replan exit setting when a trace's bandwidth drifts.
+
+    Attributes:
+        trace: The trace being replayed.
+        controller: Owns the deployed plan and the re-planning search.
+        runtime: Optional live runtime to hot-swap the partition on.
+        threshold: Relative drift of the windowed fleet-mean bandwidth
+            (vs. the bandwidth the current plan assumed) that triggers a
+            re-plan.
+        window: Sliding-window width in slots.
+        cooldown: Minimum slots between re-plans (hysteresis — without
+            it a noisy trace re-plans every slot near the threshold).
+        replanned_slots: Slots at which a re-plan fired, in order.
+    """
+
+    trace: Trace
+    controller: AdaptiveExitController
+    runtime: object | None = None
+    threshold: float = 0.3
+    window: int = 10
+    cooldown: int = 20
+    replanned_slots: list[int] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.threshold <= 0:
+            raise ValueError("threshold must be positive")
+        if self.window <= 0 or self.cooldown < 0:
+            raise ValueError("window must be positive, cooldown non-negative")
+        self._bandwidth = _channel_matrix(self.trace, "bandwidth")
+        if self._bandwidth is None:
+            raise ValueError("trace has no 'bandwidth' channel to monitor")
+        self._latency = _channel_matrix(self.trace, "latency")
+        self._planned_bandwidth = (
+            self.controller.environment.device_edge.bandwidth
+        )
+        self._last_replan = -(self.cooldown + 1)
+
+    def _windowed_mean(self, matrix: np.ndarray, slot: int) -> float:
+        start = max(0, slot - self.window + 1)
+        window = matrix[start : slot + 1]
+        if np.all(np.isnan(window)):
+            return float("nan")
+        return float(np.nanmean(window))
+
+    def drift(self, slot: int) -> float:
+        """Relative deviation of the windowed mean bandwidth from the
+        bandwidth the deployed plan assumed."""
+        t = slot % self.trace.num_slots
+        live = self._windowed_mean(self._bandwidth, t)
+        if np.isnan(live):
+            return 0.0
+        return abs(live - self._planned_bandwidth) / self._planned_bandwidth
+
+    def on_slot(self, slot: int) -> bool:
+        """The per-slot hook; returns True when a re-plan fired."""
+        if slot - self._last_replan <= self.cooldown:
+            return False
+        if self.drift(slot) <= self.threshold:
+            return False
+        t = slot % self.trace.num_slots
+        bandwidth = self._windowed_mean(self._bandwidth, t)
+        latency = (
+            self.controller.environment.device_edge.latency
+            if self._latency is None
+            else self._windowed_mean(self._latency, t)
+        )
+        if np.isnan(latency):
+            latency = self.controller.environment.device_edge.latency
+        environment = replace(
+            self.controller.environment,
+            device_edge=NetworkProfile(bandwidth, latency),
+        )
+        plan = self.controller.replan_for_environment(environment)
+        self._planned_bandwidth = bandwidth
+        self._last_replan = slot
+        self.replanned_slots.append(slot)
+        if self.runtime is not None:
+            self.runtime.apply_partition(plan.partition)
+        return True
+
+    @property
+    def replan_count(self) -> int:
+        return len(self.replanned_slots)

@@ -1,0 +1,184 @@
+"""Replay adapters: feed one trace to every execution path.
+
+* :func:`arrival_processes` turns the ``arrival_rate`` × ``up`` channels
+  into one :class:`~repro.sim.arrivals.TraceArrivals` per device (down
+  slots replay as zero arrivals);
+* :class:`TraceEnvironment` implements the simulator's
+  :class:`~repro.sim.environment.DynamicEnvironment` protocol *plus* the
+  ``system_at`` extension: per-slot device links from the
+  ``bandwidth``/``latency`` channels and per-slot shared edge capacity
+  from ``edge_flops``.  The :class:`~repro.sim.simulator.SlotSimulator`
+  applies both on the scalar and the vectorized path identically;
+* :func:`replay_trace` is the one-call "run this policy under this
+  trace" entry the CLI, the benchmarks, and the README snippet share.
+
+A down device keeps its *configured* baseline link (its trace samples are
+NaN — it reports nothing) and contributes zero arrivals; its queues keep
+draining, modelling a reboot rather than data loss.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Sequence
+
+import numpy as np
+
+from ..core.offloading import DeviceConfig, EdgeSystem, OffloadingPolicy
+from ..hardware import NetworkProfile
+from ..sim.arrivals import TraceArrivals
+from ..sim.metrics import SimulationResult
+from .schema import Trace
+
+
+def _channel_matrix(trace: Trace, name: str) -> np.ndarray | None:
+    """The channel as an ``(S, num_devices)`` matrix, or ``None``."""
+    channel = trace.get(name)
+    if channel is None:
+        return None
+    values = channel.values
+    if not channel.per_device:
+        values = np.broadcast_to(
+            values[:, None], (trace.num_slots, trace.num_devices)
+        )
+    return values
+
+
+def arrival_processes(
+    trace: Trace, poisson: bool = False, cycle: bool = True
+) -> list[TraceArrivals]:
+    """One arrival process per trace device.
+
+    The per-slot mean is ``arrival_rate`` gated by the ``up`` churn mask
+    (offline → 0); ``poisson=True`` replays the means as Poisson draws
+    instead of deterministic counts.
+    """
+    rates = _channel_matrix(trace, "arrival_rate")
+    if rates is None:
+        raise ValueError("trace has no 'arrival_rate' channel")
+    up = np.stack([trace.up_at(t) for t in range(trace.num_slots)])
+    effective = np.where(up, np.nan_to_num(rates, nan=0.0), 0.0)
+    return [
+        TraceArrivals.from_series(
+            effective[:, i], poisson=poisson, cycle=cycle
+        )
+        for i in range(trace.num_devices)
+    ]
+
+
+@dataclass
+class TraceEnvironment:
+    """Drive a simulator's per-slot conditions from a trace.
+
+    Implements ``devices_at`` (per-device link overrides where the trace
+    carries ``bandwidth``/``latency``) and the ``system_at`` extension
+    the :class:`~repro.sim.simulator.SlotSimulator` probes for (per-slot
+    ``edge_flops``).  The KKT ``shares`` stay as deployed — edge capacity
+    scales, the proportional split does not re-run per slot.
+
+    Attributes:
+        trace: The replayed trace.
+        cycle: Past the trace end, wrap around (default) or hold the
+            last slot.
+    """
+
+    trace: Trace
+    cycle: bool = True
+
+    def __post_init__(self) -> None:
+        self._bandwidth = _channel_matrix(self.trace, "bandwidth")
+        self._latency = _channel_matrix(self.trace, "latency")
+        edge = self.trace.get("edge_flops")
+        self._edge = None if edge is None else np.ravel(edge.values)
+        # Per-slot caches: rebuilding an EdgeSystem re-runs validation,
+        # so reuse the previous object while the capacity is unchanged.
+        self._last_edge_flops: float | None = None
+        self._last_system: EdgeSystem | None = None
+
+    def _index(self, slot: int) -> int:
+        if self.cycle:
+            return slot % self.trace.num_slots
+        return min(slot, self.trace.num_slots - 1)
+
+    def devices_at(
+        self, slot: int, base: Sequence[DeviceConfig], rng: np.random.Generator
+    ) -> tuple[DeviceConfig, ...]:
+        if self._bandwidth is None and self._latency is None:
+            return tuple(base)
+        if len(base) != self.trace.num_devices:
+            raise ValueError(
+                f"trace covers {self.trace.num_devices} devices but the "
+                f"system has {len(base)}"
+            )
+        t = self._index(slot)
+        up = self.trace.up_at(t)
+        adjusted = []
+        for i, device in enumerate(base):
+            if not up[i]:
+                # Offline: baseline link, zero traffic (the arrival
+                # adapter gates the rate with the same mask).
+                adjusted.append(device)
+                continue
+            bandwidth = (
+                device.link.bandwidth
+                if self._bandwidth is None
+                else float(self._bandwidth[t, i])
+            )
+            latency = (
+                device.link.latency
+                if self._latency is None
+                else float(self._latency[t, i])
+            )
+            if (
+                bandwidth == device.link.bandwidth
+                and latency == device.link.latency
+            ):
+                adjusted.append(device)
+            else:
+                adjusted.append(
+                    replace(device, link=NetworkProfile(bandwidth, latency))
+                )
+        return tuple(adjusted)
+
+    def system_at(self, slot: int, base: EdgeSystem) -> EdgeSystem:
+        """The system in effect during ``slot`` (per-slot edge capacity)."""
+        if self._edge is None:
+            return base
+        edge_flops = float(self._edge[self._index(slot)])
+        if edge_flops == base.edge_flops:
+            return base
+        if edge_flops != self._last_edge_flops or self._last_system is None:
+            self._last_system = replace(base, edge_flops=edge_flops)
+            self._last_edge_flops = edge_flops
+        return self._last_system
+
+
+def replay_trace(
+    system: EdgeSystem,
+    trace: Trace,
+    policy: OffloadingPolicy,
+    num_slots: int | None = None,
+    seed: int = 0,
+    vectorized: bool = False,
+    include_tail: bool = True,
+    poisson: bool = False,
+) -> SimulationResult:
+    """Run ``policy`` on ``system`` under ``trace`` for ``num_slots``
+    (defaults to the trace length) — the 3-line dynamic-environment
+    simulation, as one call."""
+    from ..sim.simulator import SlotSimulator
+
+    if system.num_devices != trace.num_devices:
+        raise ValueError(
+            f"system has {system.num_devices} devices but the trace covers "
+            f"{trace.num_devices}"
+        )
+    simulator = SlotSimulator(
+        system=system,
+        arrivals=arrival_processes(trace, poisson=poisson),
+        environment=TraceEnvironment(trace),
+        include_tail=include_tail,
+        seed=seed,
+        vectorized=vectorized,
+    )
+    return simulator.run(policy, num_slots or trace.num_slots)

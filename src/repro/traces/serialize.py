@@ -1,0 +1,218 @@
+"""Trace serialization: JSONL and ``.npz`` round-trips.
+
+Two formats, one in-memory schema:
+
+* **JSONL** — a human-diffable text format: a header line with the
+  schema version, slot length, channel declarations, and metadata,
+  followed by one JSON object per slot.  NaN (churn's "offline" marker)
+  is written as ``null`` so the files stay standards-compliant JSON.
+* **``.npz``** — the compact binary form: one array per channel plus a
+  JSON-encoded header, loadable with plain NumPy.
+
+``load_trace``/``save_trace`` dispatch on the file suffix, and
+``traces_equal`` is the NaN-aware equality the round-trip tests pin.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from .schema import Trace, TraceChannel, TraceValidationError
+
+#: Bumped on any incompatible schema change.
+FORMAT_VERSION = 1
+
+
+def traces_equal(a: Trace, b: Trace) -> bool:
+    """Structural equality with NaN == NaN (churn masks round-trip)."""
+    if a.names != b.names or a.slot_length != b.slot_length:
+        return False
+    if dict(a.meta) != dict(b.meta):
+        return False
+    for left, right in zip(a.channels, b.channels):
+        if left.units != right.units:
+            return False
+        if left.values.shape != right.values.shape:
+            return False
+        if not np.array_equal(left.values, right.values, equal_nan=True):
+            return False
+    return True
+
+
+# -- JSONL ----------------------------------------------------------------------
+
+
+def _nan_to_null(value: float) -> float | None:
+    return None if np.isnan(value) else value
+
+
+def _row_payload(channel: TraceChannel, slot: int) -> object:
+    if channel.per_device:
+        return [_nan_to_null(float(v)) for v in channel.values[slot]]
+    return _nan_to_null(float(channel.values[slot]))
+
+
+def save_jsonl(trace: Trace, path: str | Path) -> Path:
+    """Write ``trace`` as header + one line per slot."""
+    path = Path(path)
+    header = {
+        "format": "leime-trace",
+        "version": FORMAT_VERSION,
+        "slot_length": trace.slot_length,
+        "num_slots": trace.num_slots,
+        "num_devices": trace.num_devices,
+        "channels": [
+            {
+                "name": c.name,
+                "units": c.units,
+                "per_device": c.per_device,
+            }
+            for c in trace.channels
+        ],
+        "meta": dict(trace.meta),
+    }
+    with path.open("w") as handle:
+        handle.write(json.dumps(header, allow_nan=False) + "\n")
+        for slot in range(trace.num_slots):
+            row = {"slot": slot}
+            for channel in trace.channels:
+                row[channel.name] = _row_payload(channel, slot)
+            handle.write(json.dumps(row, allow_nan=False) + "\n")
+    return path
+
+
+def load_jsonl(path: str | Path) -> Trace:
+    """Read a trace written by :func:`save_jsonl` (schema-validated)."""
+    path = Path(path)
+    with path.open() as handle:
+        lines = [line for line in handle if line.strip()]
+    if not lines:
+        raise TraceValidationError(f"{path} is empty")
+    header = json.loads(lines[0])
+    if header.get("format") != "leime-trace":
+        raise TraceValidationError(f"{path} is not a leime-trace JSONL file")
+    if header.get("version") != FORMAT_VERSION:
+        raise TraceValidationError(
+            f"unsupported trace version {header.get('version')!r} "
+            f"(this build reads version {FORMAT_VERSION})"
+        )
+    num_slots = int(header["num_slots"])
+    rows = [json.loads(line) for line in lines[1:]]
+    if len(rows) != num_slots:
+        raise TraceValidationError(
+            f"{path} declares {num_slots} slots but has {len(rows)} rows"
+        )
+    channels = []
+    for spec in header["channels"]:
+        name = spec["name"]
+        series = []
+        for slot, row in enumerate(rows):
+            if name not in row:
+                raise TraceValidationError(
+                    f"slot {slot} is missing channel {name!r}"
+                )
+            payload = row[name]
+            if spec["per_device"]:
+                series.append(
+                    [np.nan if v is None else float(v) for v in payload]
+                )
+            else:
+                series.append(np.nan if payload is None else float(payload))
+        channels.append(
+            TraceChannel(
+                name=name,
+                values=np.asarray(series, dtype=np.float64),
+                units=spec.get("units", ""),
+            )
+        )
+    return Trace(
+        channels=tuple(channels),
+        slot_length=float(header["slot_length"]),
+        meta=header.get("meta", {}),
+    )
+
+
+# -- npz ------------------------------------------------------------------------
+
+
+def save_npz(trace: Trace, path: str | Path) -> Path:
+    """Write ``trace`` as a compressed ``.npz`` archive."""
+    path = Path(path)
+    header = {
+        "format": "leime-trace",
+        "version": FORMAT_VERSION,
+        "slot_length": trace.slot_length,
+        "channels": [
+            {"name": c.name, "units": c.units} for c in trace.channels
+        ],
+        "meta": dict(trace.meta),
+    }
+    arrays = {
+        f"channel_{c.name}": c.values for c in trace.channels
+    }
+    np.savez_compressed(
+        path, header=np.array(json.dumps(header)), **arrays
+    )
+    return path
+
+
+def load_npz(path: str | Path) -> Trace:
+    """Read a trace written by :func:`save_npz` (schema-validated)."""
+    path = Path(path)
+    with np.load(path, allow_pickle=False) as archive:
+        if "header" not in archive:
+            raise TraceValidationError(f"{path} is not a leime-trace archive")
+        header = json.loads(str(archive["header"]))
+        if header.get("format") != "leime-trace":
+            raise TraceValidationError(f"{path} is not a leime-trace archive")
+        if header.get("version") != FORMAT_VERSION:
+            raise TraceValidationError(
+                f"unsupported trace version {header.get('version')!r} "
+                f"(this build reads version {FORMAT_VERSION})"
+            )
+        channels = tuple(
+            TraceChannel(
+                name=spec["name"],
+                values=np.asarray(
+                    archive[f"channel_{spec['name']}"], dtype=np.float64
+                ),
+                units=spec.get("units", ""),
+            )
+            for spec in header["channels"]
+        )
+    return Trace(
+        channels=channels,
+        slot_length=float(header["slot_length"]),
+        meta=header.get("meta", {}),
+    )
+
+
+# -- suffix dispatch ------------------------------------------------------------
+
+
+def save_trace(trace: Trace, path: str | Path) -> Path:
+    """Write ``trace`` in the format named by the suffix of ``path``
+    (``.jsonl`` or ``.npz``)."""
+    path = Path(path)
+    if path.suffix == ".jsonl":
+        return save_jsonl(trace, path)
+    if path.suffix == ".npz":
+        return save_npz(trace, path)
+    raise ValueError(
+        f"unknown trace format {path.suffix!r} (use .jsonl or .npz)"
+    )
+
+
+def load_trace(path: str | Path) -> Trace:
+    """Read a trace file, dispatching on the suffix."""
+    path = Path(path)
+    if path.suffix == ".jsonl":
+        return load_jsonl(path)
+    if path.suffix == ".npz":
+        return load_npz(path)
+    raise ValueError(
+        f"unknown trace format {path.suffix!r} (use .jsonl or .npz)"
+    )

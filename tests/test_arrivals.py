@@ -6,12 +6,14 @@ import numpy as np
 import pytest
 
 from repro.sim.arrivals import (
+    ArrivalProcess,
     ConstantArrivals,
     PiecewiseRateArrivals,
     PoissonArrivals,
     SinusoidalRateArrivals,
     TraceArrivals,
     UniformArrivals,
+    mean_series,
 )
 
 
@@ -88,3 +90,58 @@ def test_sinusoidal_clamps_at_zero():
     assert max(rates) == pytest.approx(4.0, abs=0.1)
     with pytest.raises(ValueError):
         SinusoidalRateArrivals(base=1.0, amplitude=1.0, period=0)
+
+
+# -- protocol conformance --------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "process",
+    [
+        ConstantArrivals(1.0),
+        PoissonArrivals(2.0),
+        UniformArrivals(1, 3),
+        TraceArrivals((1.0, 2.0)),
+        PiecewiseRateArrivals(((5, 1.0),)),
+        SinusoidalRateArrivals(base=1.0, amplitude=0.5, period=10),
+    ],
+    ids=lambda p: type(p).__name__,
+)
+def test_processes_satisfy_arrival_protocol(process):
+    assert isinstance(process, ArrivalProcess)
+    rng = np.random.default_rng(0)
+    for t in (0, 3, 17):
+        assert process.mean(t) >= 0.0
+        assert process.sample(t, rng) >= 0.0
+
+
+def test_mean_series_matches_per_slot_means():
+    process = TraceArrivals((1.0, 2.0, 3.0))
+    series = mean_series(process, 5)
+    np.testing.assert_array_equal(series, [1.0, 2.0, 3.0, 1.0, 2.0])
+    assert series.dtype == np.float64
+
+
+def test_trace_arrivals_hold_last():
+    process = TraceArrivals((1.0, 2.0, 3.0), cycle=False)
+    assert process.mean(2) == 3.0
+    assert process.mean(10) == 3.0  # holds the last slot instead of wrapping
+
+
+def test_trace_arrivals_poisson_sampling():
+    process = TraceArrivals((4.0,) * 2000, poisson=True)
+    rng = np.random.default_rng(6)
+    samples = [process.sample(t, rng) for t in range(2000)]
+    assert process.mean(0) == 4.0  # mean stays the deterministic rate
+    assert np.mean(samples) == pytest.approx(4.0, rel=0.1)
+    assert any(s != 4.0 for s in samples)
+
+
+def test_trace_arrivals_from_series_validates():
+    series = np.array([0.5, 1.5])
+    process = TraceArrivals.from_series(series)
+    assert process.trace == (0.5, 1.5)
+    with pytest.raises(ValueError):
+        TraceArrivals.from_series(np.array([1.0, -2.0]))
+    with pytest.raises(ValueError):
+        TraceArrivals.from_series(np.array([1.0, np.nan]))

@@ -101,6 +101,107 @@ def test_requires_command():
         main([])
 
 
+def test_trace_generate_describe_replay(tmp_path, capsys):
+    """The full trace pipeline through the CLI: synthesise, inspect,
+    replay, and export the benchmark summary."""
+    trace_path = tmp_path / "wild.npz"
+    summary_path = tmp_path / "out.json"
+    assert (
+        main(
+            [
+                "trace",
+                "generate",
+                "--output",
+                str(trace_path),
+                "--slots",
+                "24",
+                "--devices",
+                "2",
+                "--seed",
+                "3",
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert trace_path.exists()
+    assert "24 slots" in out
+
+    assert main(["trace", "describe", str(trace_path)]) == 0
+    out = capsys.readouterr().out
+    for channel in ("bandwidth", "arrival_rate", "up"):
+        assert channel in out
+
+    assert (
+        main(
+            [
+                "trace",
+                "replay",
+                str(trace_path),
+                "--model",
+                "squeezenet-1.0",
+                "--policy",
+                "leime",
+                "--output",
+                str(summary_path),
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "byte-identical" in out
+
+    import json
+
+    payload = json.loads(summary_path.read_text())
+    assert payload["paths_identical"] is True
+    assert payload["slots"] == 24
+
+
+def test_trace_generate_presets_differ(tmp_path, capsys):
+    paths = {}
+    for preset in ("diurnal", "flash-crowd"):
+        path = tmp_path / f"{preset}.jsonl"
+        assert (
+            main(
+                [
+                    "trace",
+                    "generate",
+                    "--output",
+                    str(path),
+                    "--preset",
+                    preset,
+                    "--slots",
+                    "20",
+                    "--devices",
+                    "2",
+                ]
+            )
+            == 0
+        )
+        paths[preset] = path
+    capsys.readouterr()
+    assert (
+        paths["diurnal"].read_text() != paths["flash-crowd"].read_text()
+    )
+
+
+def test_trace_describe_missing_file(tmp_path):
+    with pytest.raises(FileNotFoundError):
+        main(["trace", "describe", str(tmp_path / "nope.npz")])
+
+
+def test_trace_requires_subcommand():
+    with pytest.raises(SystemExit):
+        main(["trace"])
+
+
+def test_experiment_fig_wild_listed():
+    from repro.cli import EXPERIMENTS
+
+    assert "fig_wild" in EXPERIMENTS
+
+
 def test_analyze_vsweep(capsys):
     assert (
         main(
