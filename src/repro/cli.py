@@ -11,6 +11,8 @@ Commands:
 * ``analyze {complexity,v-sweep}`` — empirical checks of Theorems 2-3.
 * ``trace {generate,describe,replay}`` — synthesise, inspect, and replay
   wild traces (:mod:`repro.traces`).
+* ``faults {generate,describe,replay}`` — synthesise, inspect, and
+  replay seeded fault plans (:mod:`repro.resilience`).
 """
 
 from __future__ import annotations
@@ -50,6 +52,7 @@ EXPERIMENTS = (
     "fig10",
     "fig11",
     "fig_wild",
+    "fig_faults",
     "motivation",
     "pareto",
 )
@@ -60,6 +63,12 @@ POLICIES = ("leime", "balance", "device-only", "edge-only", "cap-based")
 #: Trace presets accepted by ``trace generate`` — each enables one (or
 #: every) generator of :class:`repro.traces.generators.WildTraceSpec`.
 TRACE_PRESETS = ("wild", "diurnal", "gilbert-elliott", "flash-crowd")
+
+#: Fault-plan presets accepted by ``faults generate``: ``random`` draws
+#: every channel from :class:`repro.resilience.FaultPlanSpec`
+#: probabilities; ``canonical-outage`` is the acceptance scenario with a
+#: pinned edge outage (:func:`repro.resilience.canonical_outage_plan`).
+FAULT_PRESETS = ("random", "canonical-outage")
 
 
 def _build_policy(name: str, v: float):
@@ -359,6 +368,165 @@ def _cmd_trace_replay(args: argparse.Namespace) -> int:
     return 0 if identical else 1
 
 
+def _cmd_faults_generate(args: argparse.Namespace) -> int:
+    from .resilience import (
+        FaultPlanSpec,
+        canonical_outage_plan,
+        generate_fault_plan,
+        save_fault_plan,
+    )
+
+    if args.preset == "canonical-outage":
+        plan = canonical_outage_plan(
+            num_slots=args.slots, num_devices=args.devices, seed=args.seed
+        )
+    else:
+        spec = FaultPlanSpec(
+            num_slots=args.slots,
+            num_devices=args.devices,
+            drop_prob=args.drop_prob,
+            corrupt_prob=args.corrupt_prob,
+            crash_rate=args.crash_rate,
+            crash_recovery_mean=args.crash_recovery_mean,
+            straggler_prob=args.straggler_prob,
+            stale_prob=args.stale_prob,
+        )
+        plan = generate_fault_plan(spec, seed=args.seed)
+    path = save_fault_plan(plan, args.output)
+    outages = plan.outage_windows()
+    print(
+        f"wrote {path}: {plan.num_slots} slots x {plan.num_devices} devices "
+        f"({args.preset} preset, seed {args.seed}, "
+        f"{len(outages)} edge outage(s))"
+    )
+    return 0
+
+
+def _cmd_faults_describe(args: argparse.Namespace) -> int:
+    from .resilience import load_fault_plan
+
+    plan = load_fault_plan(args.plan)
+    print(
+        f"plan      : {args.plan}\n"
+        f"slots     : {plan.num_slots} (slot length {plan.slot_length} s)\n"
+        f"devices   : {plan.num_devices}"
+    )
+    if plan.meta:
+        generator = plan.meta.get("generator", "?")
+        seed = plan.meta.get("seed", "?")
+        print(f"generated : {generator} (seed {seed})")
+    for name, value in plan.describe().items():
+        if name.endswith("_fraction"):
+            print(f"{name:<22} {value:>8.1%}")
+        else:
+            print(f"{name:<22} {value:>8.3g}")
+    windows = plan.outage_windows()
+    if windows:
+        print(
+            "edge outages          : "
+            + ", ".join(f"[{start}, {stop})" for start, stop in windows)
+        )
+    return 0
+
+
+def _cmd_faults_replay(args: argparse.Namespace) -> int:
+    from .resilience import (
+        FaultyEnvironment,
+        RecoveryPolicy,
+        ResilientPolicy,
+        load_fault_plan,
+        slo_summary,
+    )
+    from .sim.events import EventSimulator
+    from .sim.simulator import SlotSimulator
+
+    plan = load_fault_plan(args.plan)
+    config = _testbed_from_args(args)
+    config = replace(config, num_devices=plan.num_devices)
+    me_dnn = config.me_dnn()
+    partition = branch_and_bound_exit_setting(
+        me_dnn, config.average_environment()
+    ).partition
+    system = config.system(partition)
+    num_slots = args.slots if args.slots else plan.num_slots
+
+    # Fluid level: both slot-simulator paths must replay the plan
+    # byte-identically (fresh policy/environment per run — both carry
+    # per-run state).
+    def fluid(vectorized: bool):
+        policy = ResilientPolicy(
+            _build_policy(args.policy, args.v), plan, RecoveryPolicy.default()
+        )
+        return SlotSimulator(
+            system=system,
+            arrivals=config.arrival_processes(),
+            environment=FaultyEnvironment(plan),
+            seed=args.seed,
+            vectorized=vectorized,
+        ).run(policy, num_slots)
+
+    start = time.perf_counter()
+    fast = fluid(vectorized=True)
+    fast_elapsed = time.perf_counter() - start
+    scalar = fluid(vectorized=False)
+    identical = all(
+        a.queue_local == b.queue_local
+        and a.queue_edge == b.queue_edge
+        and a.total_time == b.total_time
+        and a.ratios == b.ratios
+        for a, b in zip(scalar.records, fast.records)
+    )
+
+    # Task level: recovery vs. first-fault-drops through the event
+    # simulator, under common randomness.
+    summaries = {}
+    for label, recovery in (
+        ("recovery", RecoveryPolicy.default()),
+        ("no-recovery", RecoveryPolicy.none()),
+    ):
+        result = EventSimulator(
+            system=system,
+            arrivals=config.arrival_processes(),
+            seed=args.seed,
+            faults=plan,
+            recovery=recovery,
+        ).run(
+            _build_policy(args.policy, args.v),
+            num_slots,
+            drain_limit_factor=100.0,
+        )
+        summaries[label] = slo_summary(result, deadline=args.deadline_s)
+
+    print(f"plan      : {args.plan} ({num_slots} slots replayed)")
+    print(f"policy    : {args.policy}")
+    print(f"fluid TCT : {fast.mean_tct:.3f} s (max backlog {fast.max_backlog:.1f})")
+    for label, summary in summaries.items():
+        print(
+            f"{label:<10}: completion {summary['completion_rate']:.3f}, "
+            f"dropped {summary['dropped']}, retries {summary['total_retries']}, "
+            f"miss@{args.deadline_s:.0f}s {summary['deadline_miss_rate']:.1%}"
+        )
+    print(f"paths     : {'byte-identical' if identical else 'DIVERGED'}")
+    if args.output is not None:
+        payload = {
+            "benchmark": "fault_replay",
+            "plan": str(args.plan),
+            "policy": args.policy,
+            "slots": num_slots,
+            "devices": plan.num_devices,
+            "seed": args.seed,
+            "deadline_s": args.deadline_s,
+            "fluid_mean_tct_s": round(fast.mean_tct, 6),
+            "fluid_max_backlog": round(fast.max_backlog, 3),
+            "paths_identical": identical,
+            "vectorized_slots_per_sec": round(num_slots / fast_elapsed, 2),
+            "results": summaries,
+        }
+        Path(args.output).write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"wrote     : {args.output}")
+    return 0 if identical else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -455,6 +623,74 @@ def build_parser() -> argparse.ArgumentParser:
         help="write a BENCH_traces.json-style summary here",
     )
     replay.set_defaults(func=_cmd_trace_replay)
+
+    faults = sub.add_parser(
+        "faults", help="generate, inspect, and replay seeded fault plans"
+    )
+    faults_sub = faults.add_subparsers(dest="faults_command", required=True)
+
+    faults_generate = faults_sub.add_parser(
+        "generate", help="synthesise a seeded fault plan"
+    )
+    faults_generate.add_argument(
+        "--output",
+        type=Path,
+        default=Path("faults.npz"),
+        help="plan file to write (.jsonl or .npz)",
+    )
+    faults_generate.add_argument("--preset", default="random", choices=FAULT_PRESETS)
+    faults_generate.add_argument("--slots", type=int, default=160)
+    faults_generate.add_argument("--devices", type=int, default=4)
+    faults_generate.add_argument("--seed", type=int, default=0)
+    faults_generate.add_argument("--drop-prob", type=float, default=0.02)
+    faults_generate.add_argument("--corrupt-prob", type=float, default=0.01)
+    faults_generate.add_argument(
+        "--crash-rate",
+        type=float,
+        default=1.0,
+        help="expected edge crashes per 100 slots",
+    )
+    faults_generate.add_argument("--crash-recovery-mean", type=float, default=10.0)
+    faults_generate.add_argument("--straggler-prob", type=float, default=0.02)
+    faults_generate.add_argument("--stale-prob", type=float, default=0.02)
+    faults_generate.set_defaults(func=_cmd_faults_generate)
+
+    faults_describe = faults_sub.add_parser(
+        "describe", help="per-channel summary of a fault plan"
+    )
+    faults_describe.add_argument("plan", type=Path)
+    faults_describe.set_defaults(func=_cmd_faults_describe)
+
+    faults_replay = faults_sub.add_parser(
+        "replay",
+        help="replay a fault plan through the slot simulator (both paths, "
+        "verifying they agree byte-for-byte) and the event simulator "
+        "(recovery vs. none)",
+    )
+    faults_replay.add_argument("plan", type=Path)
+    _add_testbed_arguments(faults_replay)
+    faults_replay.add_argument("--policy", default="leime", choices=POLICIES)
+    faults_replay.add_argument(
+        "--slots",
+        type=int,
+        default=None,
+        help="slots to replay (default: the plan length)",
+    )
+    faults_replay.add_argument("--seed", type=int, default=0)
+    faults_replay.add_argument("--v", type=float, default=50.0)
+    faults_replay.add_argument(
+        "--deadline-s",
+        type=float,
+        default=10.0,
+        help="task deadline for the reported SLO miss rates",
+    )
+    faults_replay.add_argument(
+        "--output",
+        type=Path,
+        default=None,
+        help="write a BENCH_faults.json-style summary here",
+    )
+    faults_replay.set_defaults(func=_cmd_faults_replay)
 
     return parser
 

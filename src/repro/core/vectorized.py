@@ -537,6 +537,17 @@ def vectorized_equivalent(policy):
         if policy.vectorized:
             return policy
         return replace(policy, vectorized=True)
+    # Imported lazily: repro.resilience depends on repro.core, not the
+    # other way around.
+    from ..resilience.recovery import ResilientPolicy
+
+    if isinstance(policy, ResilientPolicy):
+        inner = vectorized_equivalent(policy.inner)
+        if inner is None:
+            return None
+        # replace() re-runs __post_init__, so the copy starts with a
+        # fresh slot cursor — callers swap policies before running.
+        return replace(policy, inner=inner)
     return None
 
 

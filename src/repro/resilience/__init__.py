@@ -1,0 +1,59 @@
+"""Resilience: seeded fault injection, recovery policies, SLO accounting.
+
+The wild edge does not just drift (PR 2's traces) — it *breaks*: uplinks
+drop transfers, edge slices crash and take seconds to come back,
+stragglers stall first blocks, and controllers act on stale telemetry.
+This package makes those failures first-class and replayable:
+
+* :mod:`~repro.resilience.faults` — :class:`FaultPlan`, a seeded,
+  trace-composable schedule of realised fault events;
+* :mod:`~repro.resilience.environment` — :class:`FaultyEnvironment`,
+  replaying a plan through the slot simulator's ``devices_at`` /
+  ``system_at`` seam (scalar and vectorized paths byte-identical);
+* :mod:`~repro.resilience.recovery` — :class:`RecoveryPolicy` budgets
+  (deadline / bounded exponential-backoff retries / local fallback) and
+  the :class:`ResilientPolicy` control wrapper (dead-edge exclusion,
+  telemetry watchdog);
+* :mod:`~repro.resilience.slo` — time-to-recovery and the shared SLO
+  summary block.
+
+The same plan drives the event simulator (``EventSimulator(faults=...)``)
+and the live runtime (``LeimeRuntime.run(faults=...)``), so a chaos
+scenario reproduces across every execution path from one seed.
+"""
+
+from .environment import FaultyEnvironment
+from .faults import (
+    FAULT_CHANNELS,
+    FaultPlan,
+    FaultPlanError,
+    FaultPlanSpec,
+    attach_faults,
+    canonical_outage_plan,
+    extract_faults,
+    generate_fault_plan,
+    load_fault_plan,
+    plans_equal,
+    save_fault_plan,
+)
+from .recovery import RecoveryPolicy, ResilientPolicy
+from .slo import slo_summary, time_to_recovery
+
+__all__ = [
+    "FAULT_CHANNELS",
+    "FaultPlan",
+    "FaultPlanError",
+    "FaultPlanSpec",
+    "FaultyEnvironment",
+    "RecoveryPolicy",
+    "ResilientPolicy",
+    "attach_faults",
+    "canonical_outage_plan",
+    "extract_faults",
+    "generate_fault_plan",
+    "load_fault_plan",
+    "plans_equal",
+    "save_fault_plan",
+    "slo_summary",
+    "time_to_recovery",
+]

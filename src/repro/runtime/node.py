@@ -11,12 +11,16 @@ serialise the next transfer while the previous one propagates — matching
 
 from __future__ import annotations
 
+import logging
 import queue
 import threading
+import warnings
 from typing import Callable
 
 from ..hardware import NetworkProfile
 from .clock import VirtualClock
+
+logger = logging.getLogger(__name__)
 
 
 class RuntimeNode:
@@ -75,13 +79,30 @@ class RuntimeNode:
             self.jobs_done += 1
             on_done(self._clock.now())
 
-    def shutdown(self) -> None:
+    def shutdown(self, join_timeout: float = 5.0) -> bool:
         """Stop the worker once its queue drains (jobs already queued are
-        finished first)."""
+        finished first).
+
+        Returns ``True`` on a clean stop.  A worker still alive after
+        ``join_timeout`` wall seconds is wedged (a callback deadlocked or
+        a service sleep never returned): the leak is reported loudly — a
+        ``RuntimeWarning`` plus a log record naming the node — and
+        ``False`` is returned, instead of silently abandoning the thread.
+        """
         while not self._queue.empty():
             self._clock.sleep(0.05)
         self._stop.set()
-        self._thread.join(timeout=5.0)
+        self._thread.join(timeout=join_timeout)
+        if self._thread.is_alive():
+            message = (
+                f"worker thread {self.name!r} is still alive "
+                f"{join_timeout:.1f}s after shutdown — leaking a wedged "
+                f"daemon thread ({self._queue.qsize()} jobs still queued)"
+            )
+            logger.warning(message)
+            warnings.warn(message, RuntimeWarning, stacklevel=2)
+            return False
+        return True
 
 
 class RuntimeLink(RuntimeNode):

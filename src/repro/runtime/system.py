@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass, replace
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
 import numpy as np
 
@@ -29,10 +29,21 @@ from ..sim.tasks import TaskRecord
 from .clock import VirtualClock
 from .node import RuntimeLink, RuntimeNode
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..resilience.faults import FaultPlan
+    from ..resilience.recovery import RecoveryPolicy
+
 
 @dataclass(frozen=True)
 class RuntimeReport:
-    """Outcome of a live run."""
+    """Outcome of a live run.
+
+    Empty-fleet convention (shared with
+    :class:`~repro.sim.events.EventSimResult`): statistics over zero
+    tasks are ``NaN``, never an optimistic ``1.0``/``0.0``, so a run
+    whose every task failed cannot masquerade as a perfect one.  Check
+    ``math.isnan`` before asserting on these fields.
+    """
 
     tasks: tuple[TaskRecord, ...]
     virtual_duration: float
@@ -43,16 +54,51 @@ class RuntimeReport:
 
     @property
     def completion_rate(self) -> float:
+        """Fraction of generated tasks completed (NaN if none generated)."""
         if not self.tasks:
-            return 1.0
+            return float("nan")
         return len(self.completed) / len(self.tasks)
 
     @property
     def mean_tct(self) -> float:
+        """Mean completion time over completed tasks (NaN if none)."""
         done = self.completed
         if not done:
-            return 0.0
+            return float("nan")
         return sum(t.tct for t in done) / len(done)
+
+    @property
+    def dropped_count(self) -> int:
+        return sum(1 for t in self.tasks if t.dropped)
+
+    @property
+    def in_flight_count(self) -> int:
+        """Tasks neither completed nor dropped when the report was cut
+        (``len(tasks) == completed + dropped + in-flight`` always holds)."""
+        return sum(1 for t in self.tasks if t.in_flight)
+
+    @property
+    def total_retries(self) -> int:
+        """Fault-recovery attempts consumed across all tasks."""
+        return sum(t.retries for t in self.tasks)
+
+    @property
+    def drop_rate(self) -> float:
+        """Fraction of generated tasks dropped (NaN if none generated)."""
+        if not self.tasks:
+            return float("nan")
+        return self.dropped_count / len(self.tasks)
+
+    def deadline_hit_rate(self, deadline: float) -> float:
+        """Fraction of all generated tasks completed within ``deadline``
+        virtual seconds (dropped/in-flight count as misses; NaN if no
+        tasks were generated)."""
+        if deadline <= 0:
+            raise ValueError("deadline must be positive")
+        if not self.tasks:
+            return float("nan")
+        hits = sum(1 for t in self.tasks if t.done and t.tct <= deadline)
+        return hits / len(self.tasks)
 
     def exit_fractions(self) -> tuple[float, float, float]:
         done = self.completed
@@ -136,6 +182,9 @@ class LeimeRuntime:
         self._tasks_lock = threading.Lock()
         self._done = threading.Event()
         self._outstanding = 0
+        self._faults: "FaultPlan | None" = None
+        self._recovery: "RecoveryPolicy | None" = None
+        self._live_slot = 0
 
     # -- randomness (two streams: controller vs worker threads) -------------
 
@@ -160,6 +209,107 @@ class LeimeRuntime:
             if self._outstanding == 0:
                 self._done.set()
 
+    def _task_dropped(self, task: TaskRecord) -> None:
+        """Terminal failure: the task leaves the system uncompleted (it
+        still decrements the drain counter, so runs always terminate)."""
+        task.dropped = True
+        with self._tasks_lock:
+            self._outstanding -= 1
+            if self._outstanding == 0:
+                self._done.set()
+
+    # -- fault handling (live twin of the event simulator's helpers) --------
+
+    def _fault_slot(self) -> int:
+        """The fault-plan row in effect: the controller's current slot.
+
+        Keyed off the slot *counter*, not the virtual clock — the
+        controller loop can fall behind wall-scaled time (a policy solve
+        takes longer than τ/speedup), and a clock-derived index would
+        then replay the wrong rows.  Worker threads race the counter, so
+        a fault read near a boundary may land one row off — acceptable:
+        determinism is promised for the control plane, not the worker
+        interleaving.  After generation the counter sits past the plan,
+        where accessors report a healthy world, so drains terminate."""
+        return self._live_slot
+
+    def _retry(
+        self,
+        task: TaskRecord,
+        action: Callable[[], None],
+        give_up: Callable[[], None],
+    ) -> None:
+        """Spend one retry (backoff runs on a timer thread in scaled wall
+        time), drop on a deadline breach, or hand over to ``give_up``."""
+        recovery = self._recovery
+        attempt = task.retries
+        if attempt >= recovery.max_retries:
+            give_up()
+            return
+        delay = recovery.backoff(attempt)
+        if (
+            recovery.deadline is not None
+            and self.clock.now() + delay - task.created > recovery.deadline
+        ):
+            self._task_dropped(task)
+            return
+        task.retries += 1
+        timer = threading.Timer(delay / self.clock.speedup, action)
+        timer.daemon = True
+        timer.start()
+
+    def _transmit_uplink(
+        self,
+        task: TaskRecord,
+        size: float,
+        on_delivered: Callable[[float], None],
+        give_up: Callable[[], None],
+    ) -> None:
+        faults = self._faults
+        if faults is None:
+            self.uplinks[task.device].transmit(size, on_delivered)
+            return
+        slot = self._fault_slot()
+        if faults.drop_at(slot, task.device):
+            self._retry(
+                task,
+                lambda: self._transmit_uplink(task, size, on_delivered, give_up),
+                give_up,
+            )
+            return
+        corrupted = faults.corrupt_at(slot, task.device)
+
+        def delivered(t: float) -> None:
+            if corrupted:
+                self._retry(
+                    task,
+                    lambda: self._transmit_uplink(
+                        task, size, on_delivered, give_up
+                    ),
+                    give_up,
+                )
+            else:
+                on_delivered(t)
+
+        self.uplinks[task.device].transmit(size, delivered)
+
+    def _submit_edge(
+        self,
+        task: TaskRecord,
+        demand: float,
+        on_done: Callable[[float], None],
+        give_up: Callable[[], None],
+    ) -> None:
+        faults = self._faults
+        if faults is not None and faults.edge_down_at(self._fault_slot()):
+            self._retry(
+                task,
+                lambda: self._submit_edge(task, demand, on_done, give_up),
+                give_up,
+            )
+            return
+        self.edge_slices[task.device].submit(demand, on_done)
+
     def _to_cloud(self, task: TaskRecord) -> None:
         part = self.system.partition_for(task.device)
         self.cloud_link.transmit(
@@ -180,7 +330,11 @@ class LeimeRuntime:
             else:
                 self._to_cloud(task)
 
-        self.edge_slices[task.device].submit(part.mu2, done)
+        # Block 2 needs the edge-resident intermediate state; past the
+        # retry budget the task is lost.
+        self._submit_edge(
+            task, part.mu2, done, lambda: self._task_dropped(task)
+        )
 
     def _first_block_on_edge(self, task: TaskRecord) -> None:
         part = self.system.partition_for(task.device)
@@ -191,25 +345,53 @@ class LeimeRuntime:
             else:
                 self._second_block(task)
 
-        self.edge_slices[task.device].submit(part.mu1, done)
+        def give_up() -> None:
+            # The device still holds the raw input: fall back on-device.
+            if self._recovery is not None and self._recovery.fallback_local:
+                self._first_block_on_device(task)
+            else:
+                self._task_dropped(task)
 
-    def _launch(self, task: TaskRecord) -> None:
+        self._submit_edge(task, part.mu1, done, give_up)
+
+    def _first_block_on_device(self, task: TaskRecord) -> None:
         part = self.system.partition_for(task.device)
-        if task.offloaded:
-            self.uplinks[task.device].transmit(
-                part.d0, lambda t: self._first_block_on_edge(task)
-            )
-            return
+        demand = part.mu1
+        if self._faults is not None:
+            demand *= self._faults.straggler_at(self._fault_slot(), task.device)
 
         def local_done(t: float) -> None:
             if self._exit_random() < part.sigma1:
                 self._task_finished(task, t, 1)
                 return
-            self.uplinks[task.device].transmit(
-                part.d1, lambda t2: self._second_block(task)
+            self._transmit_uplink(
+                task,
+                part.d1,
+                lambda t2: self._second_block(task),
+                lambda: self._task_dropped(task),
             )
 
-        self.devices[task.device].submit(part.mu1, local_done)
+        self.devices[task.device].submit(demand, local_done)
+
+    def _launch(self, task: TaskRecord) -> None:
+        part = self.system.partition_for(task.device)
+        if task.offloaded:
+
+            def give_up() -> None:
+                if self._recovery is not None and self._recovery.fallback_local:
+                    self._first_block_on_device(task)
+                else:
+                    self._task_dropped(task)
+
+            self._transmit_uplink(
+                task,
+                part.d0,
+                lambda t: self._first_block_on_edge(task),
+                give_up,
+            )
+            return
+
+        self._first_block_on_device(task)
 
     # -- live reconfiguration --------------------------------------------------
 
@@ -235,6 +417,8 @@ class LeimeRuntime:
         num_slots: int,
         drain_timeout: float = 30.0,
         slot_hook: Callable[[int], object] | None = None,
+        faults: "FaultPlan | None" = None,
+        recovery: "RecoveryPolicy | None" = None,
     ) -> RuntimeReport:
         """Generate ``num_slots`` slots of live tasks and wait for drain.
 
@@ -249,14 +433,44 @@ class LeimeRuntime:
                 for trace-driven adaptation
                 (:class:`~repro.traces.drift.BandwidthDriftMonitor`
                 re-plans exit settings through it).
+            faults: A :class:`~repro.resilience.faults.FaultPlan` to
+                replay live: worker threads consult the plan row for the
+                current virtual slot before every uplink transfer and
+                edge submission (drops, corruption, outages) and scale
+                the local first block by the straggler factor.
+            recovery: The retry/fallback/watchdog budget (defaults to
+                ``RecoveryPolicy.none()``, the lose-on-first-contact
+                baseline).  Requires ``faults``.  When the budget enables
+                dead-edge exclusion or the watchdog, the controller wraps
+                its policy in a
+                :class:`~repro.resilience.recovery.ResilientPolicy` for
+                the run.
         """
         if len(arrivals) != self.system.num_devices:
             raise ValueError("need one arrival process per device")
+        if recovery is not None and faults is None:
+            raise ValueError("recovery requires a fault plan to recover from")
+        policy = self.policy
+        if faults is not None:
+            if faults.num_devices != self.system.num_devices:
+                raise ValueError(
+                    f"fault plan covers {faults.num_devices} devices but "
+                    f"the system has {self.system.num_devices}"
+                )
+            from ..resilience.recovery import RecoveryPolicy, ResilientPolicy
+
+            if recovery is None:
+                recovery = RecoveryPolicy.none()
+            if recovery.exclude_dead_edge or recovery.watchdog:
+                policy = ResilientPolicy(policy, faults, recovery)
+        self._faults = faults
+        self._recovery = recovery
         n = self.system.num_devices
         state = LyapunovState.zeros(n)
         tau = self.system.slot_length
         fractional = [0.0] * n
         for slot in range(num_slots):
+            self._live_slot = slot
             if slot_hook is not None:
                 slot_hook(slot)
             # Live queue occupancy drives the policy, as on a real edge.
@@ -264,7 +478,7 @@ class LeimeRuntime:
                 state.queue_local[i] = self.devices[i].backlog
                 state.queue_edge[i] = self.edge_slices[i].backlog
             expected = [proc.mean(slot) for proc in arrivals]
-            ratios = self.policy.decide(self.system, state, expected)
+            ratios = policy.decide(self.system, state, expected)
             for i, proc in enumerate(arrivals):
                 with self._control_lock:
                     drawn = float(proc.sample(slot, self._control_rng))
@@ -284,6 +498,9 @@ class LeimeRuntime:
                         self._done.clear()
                     self._launch(task)
             self.clock.sleep(tau)
+        # Generation is over: park the fault cursor past the plan (a
+        # healthy world), so retries issued during the drain succeed.
+        self._live_slot = max(num_slots, faults.num_slots if faults else 0)
         with self._tasks_lock:
             nothing_pending = self._outstanding == 0
         if not nothing_pending:
@@ -292,8 +509,13 @@ class LeimeRuntime:
             tasks=tuple(self._tasks), virtual_duration=self.clock.now()
         )
 
-    def shutdown(self) -> None:
-        """Stop every worker thread."""
+    def shutdown(self) -> bool:
+        """Stop every worker thread.  Returns ``True`` when all stopped
+        cleanly; a wedged worker warns loudly (see
+        :meth:`~repro.runtime.node.RuntimeNode.shutdown`) and flips the
+        result to ``False``, but never blocks the remaining workers from
+        being stopped."""
+        clean = True
         for worker in (
             *self.devices,
             *self.uplinks,
@@ -301,4 +523,5 @@ class LeimeRuntime:
             self.cloud_link,
             self.cloud,
         ):
-            worker.shutdown()
+            clean = worker.shutdown() and clean
+        return clean

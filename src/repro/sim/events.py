@@ -38,7 +38,7 @@ from __future__ import annotations
 import heapq
 import itertools
 from dataclasses import dataclass, field
-from typing import Callable, Sequence
+from typing import TYPE_CHECKING, Callable, Sequence
 
 import numpy as np
 
@@ -48,6 +48,10 @@ from .environment import DynamicEnvironment, StaticEnvironment
 from .network import Link
 from .nodes import FifoServer
 from .tasks import TaskRecord
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..resilience.faults import FaultPlan
+    from ..resilience.recovery import RecoveryPolicy
 
 
 class _Engine:
@@ -84,7 +88,16 @@ class _Engine:
 
 @dataclass(frozen=True)
 class EventSimResult:
-    """Per-task outcomes of an event-driven run."""
+    """Per-task outcomes of an event-driven run.
+
+    Empty-fleet convention: statistics over zero tasks — ``mean_tct``
+    over zero completions, ``completion_rate``/``drop_rate``/
+    ``deadline_hit_rate`` over zero generated tasks — are ``NaN``, never
+    an optimistic ``1.0``/``0.0``, so a run whose every task failed (or
+    that generated nothing) cannot masquerade as a perfect one.  Check
+    ``math.isnan`` (NaN compares unequal to everything, including
+    itself) before asserting on these fields.
+    """
 
     tasks: tuple[TaskRecord, ...]
     horizon: float
@@ -95,22 +108,58 @@ class EventSimResult:
 
     @property
     def mean_tct(self) -> float:
+        """Mean completion time over completed tasks (NaN if none)."""
         done = self.completed
         if not done:
-            return 0.0
+            return float("nan")
         return sum(t.tct for t in done) / len(done)
 
     def tct_percentile(self, q: float) -> float:
         done = self.completed
         if not done:
-            return 0.0
+            return float("nan")
         return float(np.percentile([t.tct for t in done], q))
 
     @property
     def completion_rate(self) -> float:
+        """Fraction of generated tasks completed (NaN if none generated)."""
         if not self.tasks:
-            return 1.0
+            return float("nan")
         return len(self.completed) / len(self.tasks)
+
+    # -- SLO accounting -----------------------------------------------------
+
+    @property
+    def dropped_tasks(self) -> tuple[TaskRecord, ...]:
+        return tuple(t for t in self.tasks if t.dropped)
+
+    @property
+    def dropped_count(self) -> int:
+        return sum(1 for t in self.tasks if t.dropped)
+
+    @property
+    def in_flight_count(self) -> int:
+        """Tasks still in the system at the horizon.  The accounting
+        identity ``len(tasks) == completed + dropped + in-flight`` always
+        holds (the property harness pins it)."""
+        return sum(1 for t in self.tasks if t.in_flight)
+
+    @property
+    def total_retries(self) -> int:
+        """Fault-recovery attempts consumed across all tasks."""
+        return sum(t.retries for t in self.tasks)
+
+    @property
+    def drop_rate(self) -> float:
+        """Fraction of generated tasks dropped (NaN if none generated)."""
+        if not self.tasks:
+            return float("nan")
+        return self.dropped_count / len(self.tasks)
+
+    def deadline_miss_rate(self, deadline: float) -> float:
+        """Complement of :meth:`deadline_hit_rate` — dropped and
+        in-flight tasks count as misses."""
+        return 1.0 - self.deadline_hit_rate(deadline)
 
     def exit_fractions(self) -> tuple[float, float, float]:
         """Fraction of completed tasks exiting at tiers 1, 2, 3."""
@@ -132,12 +181,13 @@ class EventSimResult:
     def deadline_hit_rate(self, deadline: float) -> float:
         """Fraction of *all generated* tasks completed within ``deadline``
         seconds of creation — the §II-A "deadline requirements" metric.
-        In-flight tasks count as misses, so an unstable scheme cannot look
-        good by abandoning its worst tasks."""
+        In-flight and dropped tasks count as misses, so an unstable scheme
+        cannot look good by abandoning its worst tasks.  NaN when no tasks
+        were generated (the empty-fleet convention)."""
         if deadline <= 0:
             raise ValueError("deadline must be positive")
         if not self.tasks:
-            return 1.0
+            return float("nan")
         hits = sum(1 for t in self.tasks if t.done and t.tct <= deadline)
         return hits / len(self.tasks)
 
@@ -193,6 +243,20 @@ class EventSimulator:
             links.  Real 802.11 airtime is shared, so per-device links —
             the paper's `B_i^e` model — are optimistic under simultaneous
             uploads; this switch quantifies that optimism.
+        faults: A :class:`~repro.resilience.faults.FaultPlan` to replay:
+            transfers started in a drop slot never arrive, corrupted
+            transfers burn airtime and must be re-sent, edge submissions
+            during an outage are rejected, stragglers scale the local
+            first block.  All fault handling is deterministic (the plan
+            is pre-realised, backoff is a fixed schedule), so a fault run
+            draws exactly the RNG sequence of its fault-free twin.
+        recovery: The :class:`~repro.resilience.recovery.RecoveryPolicy`
+            budget applied when a fault hits (defaults to
+            ``RecoveryPolicy.none()`` — the naive baseline that loses the
+            task on first contact).  Requires ``faults``.  When the
+            budget enables dead-edge exclusion or the telemetry watchdog,
+            the policy passed to :meth:`run` is wrapped in a
+            :class:`~repro.resilience.recovery.ResilientPolicy`.
     """
 
     system: EdgeSystem
@@ -201,10 +265,22 @@ class EventSimulator:
     seed: int = 0
     spread_arrivals: bool = True
     shared_uplink: bool = False
+    faults: "FaultPlan | None" = None
+    recovery: "RecoveryPolicy | None" = None
 
     def __post_init__(self) -> None:
         if len(self.arrivals) != self.system.num_devices:
             raise ValueError("need one arrival process per device")
+        if self.recovery is not None and self.faults is None:
+            raise ValueError("recovery requires a fault plan to recover from")
+        if (
+            self.faults is not None
+            and self.faults.num_devices != self.system.num_devices
+        ):
+            raise ValueError(
+                f"fault plan covers {self.faults.num_devices} devices but "
+                f"the system has {self.system.num_devices}"
+            )
 
     def run(
         self,
@@ -260,6 +336,19 @@ class EventSimulator:
             "cloud", system.cloud_flops, overhead=system.cloud_overhead
         )
 
+        faults = self.faults
+        recovery = self.recovery
+        if faults is not None and recovery is None:
+            from ..resilience.recovery import RecoveryPolicy
+
+            recovery = RecoveryPolicy.none()
+        if recovery is not None and (
+            recovery.exclude_dead_edge or recovery.watchdog
+        ):
+            from ..resilience.recovery import ResilientPolicy
+
+            policy = ResilientPolicy(policy, faults, recovery)
+
         tasks: list[TaskRecord] = []
         ratios = [0.0] * n
         fractional = [0.0] * n
@@ -268,6 +357,95 @@ class EventSimulator:
         def finish(task: TaskRecord, time: float, tier: int) -> None:
             task.completed = time
             task.exit_tier = tier
+
+        def fault_slot(time: float) -> int:
+            # Past the plan the accessors report a healthy world, so the
+            # drain phase always terminates.
+            return int(time / tau)
+
+        def try_again(
+            task: TaskRecord,
+            time: float,
+            action: Callable[[float], None],
+            give_up: Callable[[float], None],
+        ) -> None:
+            """One failed attempt: spend a retry (deterministic backoff),
+            drop on a deadline breach, or hand over to ``give_up`` once
+            the budget is gone."""
+            attempt = task.retries
+            if attempt >= recovery.max_retries:
+                give_up(time)
+                return
+            delay = recovery.backoff(attempt)
+            if (
+                recovery.deadline is not None
+                and time + delay - task.created > recovery.deadline
+            ):
+                task.dropped = True
+                return
+            task.retries += 1
+            engine.schedule(time + delay, action)
+
+        def transmit_uplink(
+            task: TaskRecord,
+            time: float,
+            size: float,
+            on_sent: Callable[[float, float], None],
+            give_up: Callable[[float], None],
+        ) -> None:
+            """The device's uplink with drop/corrupt faults applied:
+            a transfer started in a drop slot never arrives; a corrupted
+            transfer burns its airtime, then must be re-sent."""
+            if faults is None:
+                uplink[task.device].transmit(engine, time, size, on_sent)
+                return
+            slot = fault_slot(time)
+            if faults.drop_at(slot, task.device):
+                try_again(
+                    task,
+                    time,
+                    lambda t: transmit_uplink(task, t, size, on_sent, give_up),
+                    give_up,
+                )
+                return
+            corrupted = faults.corrupt_at(slot, task.device)
+
+            def sent(t: float, service: float) -> None:
+                if corrupted:
+                    # Wasted airtime still counts against the task.
+                    task.transfer_time += t - time
+                    try_again(
+                        task,
+                        t,
+                        lambda t2: transmit_uplink(
+                            task, t2, size, on_sent, give_up
+                        ),
+                        give_up,
+                    )
+                else:
+                    on_sent(t, service)
+
+            uplink[task.device].transmit(engine, time, size, sent)
+
+        def submit_edge(
+            task: TaskRecord,
+            time: float,
+            demand: float,
+            on_done: Callable[[float, float], None],
+            give_up: Callable[[float], None],
+        ) -> None:
+            """The task's edge slice with the outage mask applied: a
+            crashed edge rejects new submissions (jobs already queued
+            drain when it returns — a restart, not data loss)."""
+            if faults is not None and faults.edge_down_at(fault_slot(time)):
+                try_again(
+                    task,
+                    time,
+                    lambda t: submit_edge(task, t, demand, on_done, give_up),
+                    give_up,
+                )
+                return
+            edge_slice[task.device].submit(engine, time, demand, on_done)
 
         def to_cloud(task: TaskRecord, time: float) -> None:
             part = system.partition_for(task.device)
@@ -300,7 +478,12 @@ class EventSimulator:
                 else:
                     to_cloud(task, t)
 
-            edge_slice[task.device].submit(engine, time, part.mu2, computed)
+            def give_up(t: float) -> None:
+                # Block 2 needs the intermediate state that lives on the
+                # edge path; past the retry budget the task is lost.
+                task.dropped = True
+
+            submit_edge(task, time, part.mu2, computed, give_up)
 
         def first_block_on_edge(task: TaskRecord, time: float) -> None:
             part = system.partition_for(task.device)
@@ -313,20 +496,23 @@ class EventSimulator:
                 else:
                     second_block(task, t)
 
-            edge_slice[task.device].submit(engine, time, part.mu1, computed)
+            def give_up(t: float) -> None:
+                # The device still holds the raw input: fall back to an
+                # on-device first block, or lose the task.
+                if recovery is not None and recovery.fallback_local:
+                    first_block_on_device(task, t)
+                else:
+                    task.dropped = True
 
-        def launch(task: TaskRecord, time: float) -> None:
+            submit_edge(task, time, part.mu1, computed, give_up)
+
+        def first_block_on_device(task: TaskRecord, time: float) -> None:
+            """Local first block on the device CPU (straggler-scaled)."""
             part = system.partition_for(task.device)
-            if task.offloaded:
-                # Raw input travels to the edge first (d0 on the uplink).
-                def sent(t: float, service: float) -> None:
-                    task.transfer_time += t - time
-                    first_block_on_edge(task, t)
+            demand = part.mu1
+            if faults is not None:
+                demand *= faults.straggler_at(fault_slot(time), task.device)
 
-                uplink[task.device].transmit(engine, time, part.d0, sent)
-                return
-
-            # Local first block on the device CPU.
             def computed(t: float, service: float) -> None:
                 task.compute_time += service
                 task.queue_time += (t - time) - service
@@ -339,9 +525,31 @@ class EventSimulator:
                     task.transfer_time += t2 - t
                     second_block(task, t2)
 
-                uplink[task.device].transmit(engine, t, part.d1, sent)
+                def give_up(t2: float) -> None:
+                    task.dropped = True
 
-            device_cpu[task.device].submit(engine, time, part.mu1, computed)
+                transmit_uplink(task, t, part.d1, sent, give_up)
+
+            device_cpu[task.device].submit(engine, time, demand, computed)
+
+        def launch(task: TaskRecord, time: float) -> None:
+            part = system.partition_for(task.device)
+            if task.offloaded:
+                # Raw input travels to the edge first (d0 on the uplink).
+                def sent(t: float, service: float) -> None:
+                    task.transfer_time += t - time
+                    first_block_on_edge(task, t)
+
+                def give_up(t: float) -> None:
+                    if recovery is not None and recovery.fallback_local:
+                        first_block_on_device(task, t)
+                    else:
+                        task.dropped = True
+
+                transmit_uplink(task, time, part.d0, sent, give_up)
+                return
+
+            first_block_on_device(task, time)
 
         def slot_boundary(slot: int) -> Callable[[float], None]:
             def handler(time: float) -> None:

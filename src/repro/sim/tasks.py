@@ -21,6 +21,12 @@ class TaskRecord:
         transfer_time: Total seconds spent on links (serialisation +
             propagation).
         queue_time: Total seconds spent waiting in FIFO queues.
+        retries: Fault-recovery attempts consumed (dropped transfers
+            re-sent, corrupted transfers retransmitted, edge submissions
+            re-tried during an outage).
+        dropped: The task was abandoned — its retry budget ran out with
+            no fallback, or a retry would have passed its deadline.  A
+            dropped task is terminal but never ``done``.
     """
 
     task_id: int
@@ -32,6 +38,8 @@ class TaskRecord:
     compute_time: float = 0.0
     transfer_time: float = 0.0
     queue_time: float = 0.0
+    retries: int = 0
+    dropped: bool = False
 
     @property
     def tct(self) -> float:
@@ -43,3 +51,8 @@ class TaskRecord:
     @property
     def done(self) -> bool:
         return self.completed is not None
+
+    @property
+    def in_flight(self) -> bool:
+        """Still somewhere in the system: neither completed nor dropped."""
+        return self.completed is None and not self.dropped

@@ -220,3 +220,113 @@ def test_analyze_vsweep(capsys):
     )
     out = capsys.readouterr().out
     assert "mean TCT" in out and "backlog" in out
+
+
+def test_faults_generate_describe_replay(tmp_path, capsys):
+    """The full chaos pipeline through the CLI: synthesise a plan,
+    inspect it, replay it through both simulators, export the summary."""
+    plan_path = tmp_path / "faults.npz"
+    summary_path = tmp_path / "out.json"
+    assert (
+        main(
+            [
+                "faults",
+                "generate",
+                "--output",
+                str(plan_path),
+                "--preset",
+                "canonical-outage",
+                "--slots",
+                "40",
+                "--devices",
+                "2",
+                "--seed",
+                "3",
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert plan_path.exists()
+    assert "40 slots" in out and "1 edge outage" in out
+
+    assert main(["faults", "describe", str(plan_path)]) == 0
+    out = capsys.readouterr().out
+    for field in ("drop_fraction", "edge_outages", "edge outages"):
+        assert field in out
+
+    assert (
+        main(
+            [
+                "faults",
+                "replay",
+                str(plan_path),
+                "--model",
+                "squeezenet-1.0",
+                "--policy",
+                "leime",
+                "--arrival-rate",
+                "0.3",
+                "--output",
+                str(summary_path),
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "byte-identical" in out
+    assert "recovery" in out and "no-recovery" in out
+
+    import json
+
+    payload = json.loads(summary_path.read_text())
+    assert payload["paths_identical"] is True
+    assert payload["slots"] == 40
+    recovery = payload["results"]["recovery"]
+    assert recovery["tasks"] == (
+        recovery["completed"] + recovery["dropped"] + recovery["in_flight"]
+    )
+
+
+def test_faults_generate_seeds_differ(tmp_path, capsys):
+    blobs = {}
+    for seed in ("0", "1"):
+        path = tmp_path / f"plan-{seed}.jsonl"
+        assert (
+            main(
+                [
+                    "faults",
+                    "generate",
+                    "--output",
+                    str(path),
+                    "--slots",
+                    "30",
+                    "--devices",
+                    "2",
+                    "--seed",
+                    seed,
+                    "--drop-prob",
+                    "0.1",
+                ]
+            )
+            == 0
+        )
+        blobs[seed] = path.read_text()
+    capsys.readouterr()
+    assert blobs["0"] != blobs["1"]
+
+
+def test_faults_describe_missing_file(tmp_path):
+    with pytest.raises(FileNotFoundError):
+        main(["faults", "describe", str(tmp_path / "nope.npz")])
+
+
+def test_faults_requires_subcommand():
+    with pytest.raises(SystemExit):
+        main(["faults"])
+
+
+def test_experiment_fig_faults_listed():
+    from repro.cli import EXPERIMENTS
+
+    assert "fig_faults" in EXPERIMENTS

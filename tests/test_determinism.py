@@ -102,3 +102,81 @@ def test_runtime_vectorized_flag_keeps_control_plane(small_system):
     a = _run_runtime(5, small_system, vectorized=False)
     b = _run_runtime(5, small_system, vectorized=True)
     assert _control_plane(a) == _control_plane(b)
+
+
+# -- fault-plan replay ----------------------------------------------------------
+
+
+def _fault_replay(seed: int, vectorized: bool, system, plan):
+    from repro.resilience import FaultyEnvironment, RecoveryPolicy, ResilientPolicy
+
+    sim = SlotSimulator(
+        system=system,
+        arrivals=[PoissonArrivals(0.4)] * system.num_devices,
+        environment=FaultyEnvironment(plan),
+        seed=seed,
+        vectorized=vectorized,
+    )
+    policy = ResilientPolicy(
+        DriftPlusPenaltyPolicy(v=50.0, vectorized=vectorized),
+        plan,
+        RecoveryPolicy.default(),
+    )
+    return sim.run(policy, plan.num_slots)
+
+
+def test_fault_plan_generation_is_seed_deterministic():
+    from repro.resilience import FaultPlanSpec, generate_fault_plan, plans_equal
+
+    spec = FaultPlanSpec(num_slots=50, num_devices=4, drop_prob=0.1)
+    assert plans_equal(generate_fault_plan(spec, seed=3), generate_fault_plan(spec, seed=3))
+    assert not plans_equal(
+        generate_fault_plan(spec, seed=3), generate_fault_plan(spec, seed=4)
+    )
+
+
+def test_fault_replay_same_seed_is_byte_identical():
+    from repro.resilience import canonical_outage_plan
+
+    system = random_fleet(11, 4)
+    plan = canonical_outage_plan(num_slots=40, num_devices=4, seed=0)
+    a = _fault_replay(7, False, system, plan)
+    b = _fault_replay(7, False, system, plan)
+    assert a.records == b.records
+
+
+def test_fault_replay_paths_are_byte_identical():
+    """The resilient wrapper and the fault overlay add no randomness and
+    no path-dependent arithmetic: scalar and vectorized replays of the
+    same plan produce *equal* record tuples."""
+    from repro.resilience import canonical_outage_plan
+
+    system = random_fleet(11, 4)
+    plan = canonical_outage_plan(num_slots=40, num_devices=4, seed=0)
+    assert (
+        _fault_replay(7, False, system, plan).records
+        == _fault_replay(7, True, system, plan).records
+    )
+
+
+def test_runtime_fault_replay_same_seed_same_control_plane(small_system):
+    from repro.resilience import RecoveryPolicy, canonical_outage_plan
+
+    plan = canonical_outage_plan(num_slots=8, num_devices=2, seed=0)
+
+    def run(seed):
+        runtime = LeimeRuntime(
+            small_system, FixedRatioPolicy(0.5), speedup=500.0, seed=seed
+        )
+        try:
+            return runtime.run(
+                [PoissonArrivals(1.0)] * 2,
+                num_slots=8,
+                drain_timeout=30.0,
+                faults=plan,
+                recovery=RecoveryPolicy.default(),
+            )
+        finally:
+            runtime.shutdown()
+
+    assert _control_plane(run(5)) == _control_plane(run(5))

@@ -159,3 +159,35 @@ def test_leime_wins_with_error_bars():
     leime = replicate_scheme(config, "LEIME", seeds=(0, 1, 2), num_slots=80)
     ddnn = replicate_scheme(config, "DDNN", seeds=(0, 1, 2), num_slots=80)
     assert leime.mean + leime.ci95_halfwidth() < ddnn.mean - ddnn.ci95_halfwidth()
+
+
+# -- fig_faults -----------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def fig_faults_result():
+    from repro.experiments.fig_faults import run_fig_faults
+
+    return run_fig_faults(num_slots=60, seed=0, arrival_rate=0.3)
+
+
+def test_fig_faults_recovery_meets_the_slo(fig_faults_result):
+    """The acceptance scenario: LEIME + recovery completes ≥ 95% under
+    the canonical outage while the naive runs visibly degrade."""
+    recovered = fig_faults_result.by_scheme("LEIME + recovery")
+    naive = fig_faults_result.by_scheme("LEIME (no recovery)")
+    assert recovered.completion_rate >= 0.95
+    assert naive.completion_rate < recovered.completion_rate
+    assert recovered.retries > 0 and naive.retries == 0
+
+
+def test_fig_faults_fluid_stays_bounded(fig_faults_result):
+    import math
+
+    leime = fig_faults_result.fluid_by_scheme("LEIME + recovery")
+    assert leime.stable
+    assert not math.isinf(leime.recovery_slots)
+
+
+def test_fig_faults_paths_are_byte_identical(fig_faults_result):
+    assert fig_faults_result.paths_identical
