@@ -1,0 +1,214 @@
+"""Event-path throughput: scalar closure-per-hop engine vs the fast lane.
+
+Sweeps fleet sizes (10 → 5,000 devices by default), with and without a
+seeded fault plan + retry budget, and times the identical scenario on
+both event engines (:meth:`repro.sim.events.EventSimulator.run` with
+``engine="scalar"`` vs ``engine="fast"``).  Every row also verifies the
+per-task equality contract — a speedup that changes the answer is a bug,
+not a result.  Results land in ``BENCH_events.json`` at the repo root.
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_events.py
+    PYTHONPATH=src python benchmarks/bench_events.py --devices 100 --slots 10
+
+Soft regression gate (CI): compare a fresh sweep against the committed
+baseline and fail when any row's *speedup ratio* (machine-independent,
+unlike absolute seconds) dropped by more than 30%::
+
+    PYTHONPATH=src python benchmarks/bench_events.py --check BENCH_events.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from dataclasses import replace
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+if str(REPO_ROOT) not in sys.path:  # for `tests.helpers` when run as a script
+    sys.path.insert(0, str(REPO_ROOT))
+
+from repro.core.offloading import FixedRatioPolicy
+from repro.resilience.faults import FaultPlanSpec, generate_fault_plan
+from repro.resilience.recovery import RecoveryPolicy
+from repro.sim.arrivals import PoissonArrivals
+from repro.sim.events import EventSimulator
+
+from tests.helpers import random_fleet
+
+DEFAULT_DEVICES = (10, 100, 1000, 5000)
+#: Tasks per device per slot.  The fast lane targets fleet-scale replay —
+#: many concurrent tasks per window — so the sweep uses the top of
+#: ``random_fleet``'s wild arrival range rather than a trickle.
+ARRIVAL_RATE = 2.0
+#: Allowed relative drop in a row's speedup before --check fails.
+REGRESSION_TOLERANCE = 0.30
+
+
+def _make_simulator(n: int, slots: int, faults: bool, seed: int) -> EventSimulator:
+    # random_fleet's backend is a single edge box; at thousands of devices
+    # that system is unstable (queues diverge and the drain never ends).
+    # Scale the shared backend with the fleet so every sweep point drains.
+    fleet = random_fleet(seed + 31, n)
+    backend_scale = max(1.0, n / 4.0) * (ARRIVAL_RATE / 0.5)
+    system = replace(
+        fleet,
+        edge_flops=fleet.edge_flops * backend_scale,
+        cloud_flops=fleet.cloud_flops * backend_scale,
+    )
+    kwargs = dict(
+        system=system,
+        arrivals=[PoissonArrivals(ARRIVAL_RATE)] * n,
+        seed=seed + 12,
+    )
+    if faults:
+        spec = FaultPlanSpec(
+            num_slots=slots,
+            num_devices=n,
+            drop_prob=0.04,
+            corrupt_prob=0.02,
+            straggler_prob=0.05,
+        )
+        kwargs["faults"] = generate_fault_plan(spec, seed=seed + 1)
+        kwargs["recovery"] = RecoveryPolicy.default()
+    return EventSimulator(**kwargs)
+
+
+def _timed_run(n: int, slots: int, faults: bool, engine: str, seed: int):
+    sim = _make_simulator(n, slots, faults, seed)
+    start = time.perf_counter()
+    result = sim.run(
+        FixedRatioPolicy(0.5), slots, drain_limit_factor=200.0, engine=engine
+    )
+    return time.perf_counter() - start, result
+
+
+def sweep(
+    device_counts: list[int], slots: int, seed: int = 0
+) -> list[dict]:
+    rows = []
+    for faults in (False, True):
+        for n in device_counts:
+            scalar_s, ra = _timed_run(n, slots, faults, "scalar", seed)
+            fast_s, rb = _timed_run(n, slots, faults, "fast", seed)
+            exact = len(ra.tasks) == len(rb.tasks) and all(
+                ta.exit_tier == tb.exit_tier
+                and ta.completed == tb.completed
+                and ta.retries == tb.retries
+                and ta.dropped == tb.dropped
+                for ta, tb in zip(ra.tasks, rb.tasks)
+            )
+            row = {
+                "devices": n,
+                "faults": faults,
+                "tasks": len(ra.tasks),
+                "scalar_s": round(scalar_s, 3),
+                "fast_s": round(fast_s, 3),
+                "speedup": round(scalar_s / fast_s, 2),
+                "exact": exact,
+            }
+            rows.append(row)
+            print(
+                f"{n:>6} devices {'with   ' if faults else 'without'} faults: "
+                f"{row['tasks']:>6} tasks, scalar {scalar_s:7.3f}s, "
+                f"fast {fast_s:7.3f}s, speedup {row['speedup']:5.2f}x, "
+                f"exact={exact}"
+            )
+            if not exact:
+                raise SystemExit(
+                    "fast engine diverged from the scalar reference — "
+                    "refusing to write benchmark results"
+                )
+    return rows
+
+
+def check(baseline_path: Path, rows: list[dict]) -> int:
+    """Soft regression gate: fail when a row's speedup dropped >30%
+    against the committed baseline (matched on devices × faults)."""
+    baseline = json.loads(baseline_path.read_text())
+    by_key = {
+        (r["devices"], r["faults"]): r for r in baseline.get("results", [])
+    }
+    failures = []
+    for row in rows:
+        base = by_key.get((row["devices"], row["faults"]))
+        if base is None or base.get("speedup") is None:
+            continue
+        # Sub-second rows are timing noise, not signal.
+        if row["scalar_s"] < 0.2:
+            continue
+        floor = base["speedup"] * (1.0 - REGRESSION_TOLERANCE)
+        if row["speedup"] < floor:
+            failures.append(
+                f"{row['devices']} devices faults={row['faults']}: "
+                f"speedup {row['speedup']:.2f}x < {floor:.2f}x "
+                f"(baseline {base['speedup']:.2f}x - {REGRESSION_TOLERANCE:.0%})"
+            )
+    if failures:
+        print("REGRESSION: " + "; ".join(failures))
+        return 1
+    print("speedups within tolerance of the committed baseline")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--devices",
+        type=int,
+        nargs="+",
+        default=list(DEFAULT_DEVICES),
+        help="fleet sizes to sweep",
+    )
+    parser.add_argument("--slots", type=int, default=20, help="slots per run")
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=REPO_ROOT / "BENCH_events.json",
+        help="where to write the JSON results",
+    )
+    parser.add_argument(
+        "--check",
+        type=Path,
+        default=None,
+        metavar="BASELINE",
+        help="compare speedups against this committed baseline instead of "
+        "overwriting it; exit 1 on a >30%% drop",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    rows = sweep(args.devices, args.slots, seed=args.seed)
+    if args.check is not None:
+        return check(args.check, rows)
+    payload = {
+        "benchmark": "event_engines",
+        "policy": "FixedRatioPolicy(0.5)",
+        "arrivals": f"Poisson({ARRIVAL_RATE})/device/slot",
+        "slots": args.slots,
+        "seed": args.seed,
+        "results": rows,
+    }
+    args.output.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.output}")
+    return 0
+
+
+# -- pytest-benchmark entry point (small configuration) -------------------------
+
+
+def bench_events_fast(benchmark):
+    def run():
+        elapsed, result = _timed_run(100, 10, True, "fast", seed=0)
+        return len(result.tasks) / elapsed
+
+    tasks_per_sec = benchmark(run)
+    benchmark.extra_info["fast_tasks_per_sec_100dev"] = round(tasks_per_sec, 1)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

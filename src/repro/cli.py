@@ -173,9 +173,13 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         num_slots=args.slots,
         seed=args.seed,
         simulator=args.simulator,
+        engine=args.engine,
     )
     print(f"policy    : {args.policy}")
-    print(f"simulator : {args.simulator}")
+    if args.simulator == "event":
+        print(f"simulator : {args.simulator} ({args.engine} engine)")
+    else:
+        print(f"simulator : {args.simulator}")
     print(f"mean TCT  : {result.mean_tct:.3f} s")
     if args.simulator == "event":
         print(f"p95 TCT   : {result.tct_percentile(95):.3f} s")
@@ -480,6 +484,7 @@ def _cmd_faults_replay(args: argparse.Namespace) -> int:
     # Task level: recovery vs. first-fault-drops through the event
     # simulator, under common randomness.
     summaries = {}
+    engine_results: dict[str, object] = {}
     for label, recovery in (
         ("recovery", RecoveryPolicy.default()),
         ("no-recovery", RecoveryPolicy.none()),
@@ -494,8 +499,33 @@ def _cmd_faults_replay(args: argparse.Namespace) -> int:
             _build_policy(args.policy, args.v),
             num_slots,
             drain_limit_factor=100.0,
+            engine=args.engine,
         )
         summaries[label] = slo_summary(result, deadline=args.deadline_s)
+        engine_results[label] = result
+
+    # Event level: the scalar reference loop and the array-backed fast
+    # lane must replay the plan to per-task-identical records.
+    twin = EventSimulator(
+        system=system,
+        arrivals=config.arrival_processes(),
+        seed=args.seed,
+        faults=plan,
+        recovery=RecoveryPolicy.default(),
+    ).run(
+        _build_policy(args.policy, args.v),
+        num_slots,
+        drain_limit_factor=100.0,
+        engine="fast" if args.engine == "scalar" else "scalar",
+    )
+    reference = engine_results["recovery"]
+    engines_agree = len(reference.tasks) == len(twin.tasks) and all(
+        a.exit_tier == b.exit_tier
+        and a.completed == b.completed
+        and a.retries == b.retries
+        and a.dropped == b.dropped
+        for a, b in zip(reference.tasks, twin.tasks)
+    )
 
     print(f"plan      : {args.plan} ({num_slots} slots replayed)")
     print(f"policy    : {args.policy}")
@@ -507,6 +537,11 @@ def _cmd_faults_replay(args: argparse.Namespace) -> int:
             f"miss@{args.deadline_s:.0f}s {summary['deadline_miss_rate']:.1%}"
         )
     print(f"paths     : {'byte-identical' if identical else 'DIVERGED'}")
+    print(
+        "engines   : "
+        f"{'per-task identical' if engines_agree else 'DIVERGED'} "
+        f"(scalar vs fast)"
+    )
     if args.output is not None:
         payload = {
             "benchmark": "fault_replay",
@@ -516,15 +551,17 @@ def _cmd_faults_replay(args: argparse.Namespace) -> int:
             "devices": plan.num_devices,
             "seed": args.seed,
             "deadline_s": args.deadline_s,
+            "engine": args.engine,
             "fluid_mean_tct_s": round(fast.mean_tct, 6),
             "fluid_max_backlog": round(fast.max_backlog, 3),
             "paths_identical": identical,
+            "engines_identical": engines_agree,
             "vectorized_slots_per_sec": round(num_slots / fast_elapsed, 2),
             "results": summaries,
         }
         Path(args.output).write_text(json.dumps(payload, indent=2) + "\n")
         print(f"wrote     : {args.output}")
-    return 0 if identical else 1
+    return 0 if identical and engines_agree else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -551,6 +588,13 @@ def build_parser() -> argparse.ArgumentParser:
     _add_testbed_arguments(simulate)
     simulate.add_argument("--policy", default="leime", choices=POLICIES)
     simulate.add_argument("--simulator", default="slot", choices=("slot", "event"))
+    simulate.add_argument(
+        "--engine",
+        default="scalar",
+        choices=("scalar", "fast"),
+        help="event-simulator implementation: the scalar reference loop "
+        "or the array-backed fast lane (identical seeded results)",
+    )
     simulate.add_argument("--slots", type=int, default=200)
     simulate.add_argument("--seed", type=int, default=0)
     simulate.add_argument("--v", type=float, default=50.0)
@@ -678,6 +722,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     faults_replay.add_argument("--seed", type=int, default=0)
     faults_replay.add_argument("--v", type=float, default=50.0)
+    faults_replay.add_argument(
+        "--engine",
+        default="scalar",
+        choices=("scalar", "fast"),
+        help="event engine for the reported runs; the other engine is "
+        "run once more to verify per-task agreement",
+    )
     faults_replay.add_argument(
         "--deadline-s",
         type=float,

@@ -113,8 +113,10 @@ class ComplexityEstimator:
         self._u2 = second_exit / m
 
     @staticmethod
-    def _invert(u: float, sigma: float) -> float | None:
-        """``a`` solving σ = u^a, or None when σ is pinned at 0/1."""
+    def _invert(u: float, sigma: float) -> float:
+        """``a`` solving σ = u^a.  A σ pinned at 0 or 1 (every task, or no
+        task, exiting) carries no shape information, so it is clamped to
+        (0, 1) and yields a finite, extreme — but always positive — ``a``."""
         clamped = min(max(sigma, 1e-6), 1.0 - 1e-6)
         return math.log(clamped) / math.log(u)
 
@@ -122,12 +124,8 @@ class ComplexityEstimator:
         """The curve implied by the estimated cumulative rates."""
         a1 = self._invert(self._u1, sigma1)
         a2 = self._invert(self._u2, sigma2)
-        estimates = [a for a in (a1, a2) if a is not None and a > 0]
-        if not estimates:
-            a = 1.0
-        else:
-            log_mean = sum(math.log(a) for a in estimates) / len(estimates)
-            a = math.exp(log_mean)
+        log_mean = (math.log(a1) + math.log(a2)) / 2.0
+        a = math.exp(log_mean)
         return ComplexityEstimate(
             a=a,
             implied_sigma1=self._u1**a,
@@ -154,14 +152,59 @@ class AdaptiveExitController:
     estimator_alpha: float = 0.1
     min_observations: int = 50
     replan_count: int = field(default=0, init=False)
+    plan_cache_hits: int = field(default=0, init=False)
 
     def __post_init__(self) -> None:
         if self.drift_threshold <= 0:
             raise ValueError("drift threshold must be positive")
-        initial_curve = ParametricExitCurve(a=1.0)
-        self._me_dnn = MultiExitDNN(self.profile, initial_curve)
-        self._plan = branch_and_bound_exit_setting(self._me_dnn, self.environment)
+        self._curve_a = 1.0
+        self._me_dnn = MultiExitDNN(self.profile, ParametricExitCurve(a=1.0))
+        self._plan_cache: dict[tuple, ExitSettingResult] = {}
+        self._plan = self._search(self.environment)
         self._estimator = ExitRateEstimator(alpha=self.estimator_alpha)
+
+    # -- plan cache ----------------------------------------------------------
+
+    @staticmethod
+    def _quantize(value: float) -> float:
+        """Round to 3 significant digits — conditions this close apart
+        plan identically for all practical purposes."""
+        if value == 0.0 or not math.isfinite(value):
+            return value
+        return round(value, 2 - math.floor(math.log10(abs(value))))
+
+    def _cache_key(self, env: AverageEnvironment) -> tuple:
+        q = self._quantize
+        return (
+            q(self._curve_a),
+            q(env.device_flops),
+            q(env.edge_flops),
+            q(env.cloud_flops),
+            q(env.device_edge.bandwidth),
+            q(env.device_edge.latency),
+            q(env.edge_cloud.bandwidth),
+            q(env.edge_cloud.latency),
+            q(env.device_overhead),
+            q(env.edge_overhead),
+            q(env.cloud_overhead),
+        )
+
+    def _search(self, env: AverageEnvironment) -> ExitSettingResult:
+        """Branch-and-bound, memoised on (quantized environment, curve).
+
+        A wild trace's bandwidth wiggles map to a handful of distinct
+        quantized conditions, so sustained-drift monitors that fire every
+        cooldown window mostly replay plans instead of re-searching."""
+        key = self._cache_key(env)
+        cached = self._plan_cache.get(key)
+        if cached is not None:
+            self.plan_cache_hits += 1
+            return cached
+        if len(self._plan_cache) >= 256:
+            self._plan_cache.clear()
+        plan = branch_and_bound_exit_setting(self._me_dnn, env)
+        self._plan_cache[key] = plan
+        return plan
 
     @property
     def plan(self) -> ExitSettingResult:
@@ -192,10 +235,12 @@ class AdaptiveExitController:
         handled by :meth:`maybe_replan`; *environment* drift (a wild
         trace's bandwidth moving away from the averages the plan assumed)
         lands here.  Exit-rate observations carry over — they describe
-        the data distribution, not the network.
+        the data distribution, not the network.  Re-plans against a
+        condition seen before (after quantization) are served from the
+        plan cache without re-running the search.
         """
         self.environment = environment
-        self._plan = branch_and_bound_exit_setting(self._me_dnn, environment)
+        self._plan = self._search(environment)
         self.replan_count += 1
         return self._plan
 
@@ -218,8 +263,9 @@ class AdaptiveExitController:
             float(self._estimator.sigma1), float(self._estimator.sigma2)
         )
         curve = ParametricExitCurve(a=complexity.a)
+        self._curve_a = complexity.a
         self._me_dnn = MultiExitDNN(self.profile, curve)
-        self._plan = branch_and_bound_exit_setting(self._me_dnn, self.environment)
+        self._plan = self._search(self.environment)
         self.replan_count += 1
         # Fresh deployment: prior observations described the old exits.
         self._estimator = ExitRateEstimator(alpha=self.estimator_alpha)

@@ -251,13 +251,24 @@ def branch_and_bound_exit_setting(
     m = me_dnn.num_exits
     two_exit_cost = [model.two_exit_cost(e1) for e1 in range(1, m - 1)]
 
+    # Each round needs the two-exit argmin over a shrinking prefix
+    # 1..upbound.  A rescan per round is O(m) — O(m²) across the search,
+    # dominating the O(m log m) cost-model work on long chains — so
+    # precompute every prefix argmin in one O(m) pass.  Ties keep the
+    # shallowest exit, as a left-to-right ``min`` rescan would.
+    prefix_argmin: list[int] = []
+    lead = 1
+    for j, cost_j in enumerate(two_exit_cost):
+        if cost_j < two_exit_cost[lead - 1]:
+            lead = j + 1
+        prefix_argmin.append(lead)
+
     best_selection: ExitSelection | None = None
     best_cost = float("inf")
     upbound = m - 2
     while upbound >= 1:
         # Current round's First-exit: the two-exit argmin within the bound.
-        candidates = range(1, upbound + 1)
-        i_k = min(candidates, key=lambda e1: two_exit_cost[e1 - 1])
+        i_k = prefix_argmin[upbound - 1]
         # Explore R_{i_k}: all Second-exit completions of exit_{i_k}.
         for e2 in range(i_k + 1, m):
             cost = model.cost_at(i_k, e2)

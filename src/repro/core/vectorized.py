@@ -64,6 +64,8 @@ __all__ = [
     "dpp_decide",
     "balance_decide",
     "vectorized_equivalent",
+    "service_times_batch",
+    "fifo_schedule_batch",
 ]
 
 
@@ -678,3 +680,126 @@ class VectorizedSlotEngine:
         )
         state.update(cost)
         return ratios, cost
+
+
+# -- event-path kernels -----------------------------------------------------
+#
+# Shared seams for the array-backed event engine
+# (:mod:`repro.sim.fast_events`).  Same design contract as the slot kernels
+# above, with a stricter bar: the scalar :class:`repro.sim.nodes.FifoServer`
+# is the oracle, and every arithmetic step here replays its operations
+# exactly — service priced at start of service as ``demand / rate +
+# overhead``, ``finish = start + service`` — so per-task schedules agree
+# *bitwise*, not merely to round-off.
+
+
+def service_times_batch(
+    demand: np.ndarray, rate: np.ndarray, overhead: np.ndarray
+) -> np.ndarray:
+    """The Eq. 1-3 service kernel, elementwise: ``demand / rate +
+    overhead`` — the exact expression ``FifoServer._start_next`` evaluates
+    for one job."""
+    return demand / rate + overhead
+
+
+def fifo_schedule_batch(
+    server: np.ndarray,
+    submit: np.ndarray,
+    service: np.ndarray,
+    free_at: np.ndarray,
+    cutoff: float = np.inf,
+    inclusive: bool = False,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """FIFO start/finish schedules for many servers at once.
+
+    Args:
+        server: ``(J,)`` integer server ids.  Rows must be sorted by
+            ``(server, queue order)`` — each server's jobs contiguous, in
+            the order they joined its queue.
+        submit: ``(J,)`` submission times.
+        service: ``(J,)`` service times (a :func:`service_times_batch`
+            output).
+        free_at: ``(J,)`` — per job, the owning server's in-service finish
+            time at the window start (``-inf`` when idle), i.e.
+            ``free_at_per_server[server]``.
+        cutoff: jobs whose service would *start* at or past the cutoff are
+            not served (a slot boundary may change the server's rate, so
+            their service must be priced later); ``inclusive=True`` also
+            serves jobs starting exactly at the cutoff (the ``drain=False``
+            horizon edge).
+
+    Returns:
+        ``(start, finish, served)`` per-job arrays; unserved entries of
+        ``start``/``finish`` are meaningless.
+
+    The Lindley recursion ``start_j = max(submit_j, finish_{j-1})``,
+    ``finish_j = start_j + service_j`` is evaluated column-wise —
+    vectorized *across* servers, sequential *within* each server — so
+    every finish is produced by the same two IEEE operations the scalar
+    server performs, in the same order.  A single column sweep padded to
+    the longest queue would make every short queue pay for one deep
+    queue (the shared cloud link under a fleet), so segments are grouped
+    into power-of-two width classes and each class is swept at its own
+    width (padding waste bounded at 2x).  A class with too few segments
+    to amortize the padded columns — e.g. the one cloud-link megaqueue —
+    falls back to a per-segment scalar loop: same two IEEE operations,
+    cheaper than ``width`` vectorized passes over one row.
+    """
+    count = server.shape[0]
+    if count == 0:
+        empty = np.empty(0, dtype=np.float64)
+        return empty, empty.copy(), np.empty(0, dtype=bool)
+    seg_start = np.flatnonzero(np.r_[True, server[1:] != server[:-1]])
+    seg_len = np.diff(np.r_[seg_start, count])
+    start = np.empty(count, dtype=np.float64)
+    finish = np.empty(count, dtype=np.float64)
+    # Width class: 0 for len <= 8, then one class per power of two.
+    classes = np.zeros(seg_len.shape[0], dtype=np.int64)
+    big = seg_len > 8
+    if big.any():
+        classes[big] = np.ceil(np.log2(seg_len[big])).astype(np.int64)
+    sweep_min_segs = 16
+    scalar_segs: list[np.ndarray] = []
+    for cls in np.unique(classes):
+        sel = classes == cls
+        s_start = seg_start[sel]
+        s_len = seg_len[sel]
+        if cls > 3 and s_start.shape[0] < sweep_min_segs:
+            scalar_segs.append(np.flatnonzero(sel))
+            continue
+        num_seg = s_start.shape[0]
+        width = int(s_len.max())
+        seg_of = np.repeat(np.arange(num_seg), s_len)
+        idx = np.arange(s_len.sum()) - np.repeat(
+            np.cumsum(s_len) - s_len, s_len
+        )
+        rows = s_start[seg_of] + idx
+        submit2 = np.full((num_seg, width), np.inf)
+        service2 = np.zeros((num_seg, width))
+        submit2[seg_of, idx] = submit[rows]
+        service2[seg_of, idx] = service[rows]
+        start2 = np.empty((num_seg, width))
+        finish2 = np.empty((num_seg, width))
+        prev = free_at[s_start]
+        for j in range(width):
+            started = np.maximum(submit2[:, j], prev)
+            finished = started + service2[:, j]
+            start2[:, j] = started
+            finish2[:, j] = finished
+            prev = finished
+        start[rows] = start2[seg_of, idx]
+        finish[rows] = finish2[seg_of, idx]
+    if scalar_segs:
+        for s in np.concatenate(scalar_segs).tolist():
+            i0 = int(seg_start[s])
+            i1 = i0 + int(seg_len[s])
+            submits = submit[i0:i1].tolist()
+            services = service[i0:i1].tolist()
+            prev_t = float(free_at[i0])
+            for j, sub_j in enumerate(submits):
+                started_t = sub_j if sub_j > prev_t else prev_t
+                prev_t = started_t + services[j]
+                start[i0 + j] = started_t
+                finish[i0 + j] = prev_t
+    served = (start <= cutoff) if inclusive else (start < cutoff)
+    return start, finish, served

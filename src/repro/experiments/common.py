@@ -215,13 +215,17 @@ def run_scheme(
     num_slots: int = DEFAULT_SLOTS,
     seed: int = 0,
     simulator: str = "slot",
+    engine: str = "scalar",
 ) -> SimulationResult | EventSimResult:
     """Simulate one scheme on the configured testbed.
 
     ``simulator="slot"`` advances the paper's analytic queue model;
     ``simulator="event"`` runs the task-level event simulation (FIFO
     compute and *link* queues — needed wherever a scheme saturates its
-    uplink, which the slot model cannot express).
+    uplink, which the slot model cannot express).  ``engine`` selects the
+    event implementation: the scalar reference loop or the array-backed
+    fast lane (``"fast"``), which replays the identical seeded scenario
+    per task (see :mod:`repro.sim.fast_events`).
     """
     system = config.system(scheme.partition)
     arrivals = config.arrival_processes()
@@ -231,7 +235,7 @@ def run_scheme(
         )
     if simulator == "event":
         return EventSimulator(system=system, arrivals=arrivals, seed=seed).run(
-            scheme.policy, num_slots, drain_limit_factor=100.0
+            scheme.policy, num_slots, drain_limit_factor=100.0, engine=engine
         )
     raise ValueError(f"unknown simulator {simulator!r}")
 

@@ -208,6 +208,40 @@ class FaultPlan:
     def stale_at(self, slot: int) -> bool:
         return self.in_range(slot) and bool(self.telemetry_stale[slot])
 
+    # -- vectorized access ----------------------------------------------------
+    #
+    # Batched twins of the scalar accessors above, used by the fast event
+    # engine (:mod:`repro.sim.fast_events`) to resolve a whole frontier of
+    # fault lookups in one shot.  Same out-of-range convention: slots
+    # outside the plan report a healthy world.
+
+    def _rows(self, slots: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """``(clipped_slots, in_range_mask)`` for an integer slot array."""
+        slots = np.asarray(slots, dtype=np.int64)
+        valid = (slots >= 0) & (slots < self.num_slots)
+        return np.where(valid, slots, 0), valid
+
+    def drop_rows(self, slots: np.ndarray, devices: np.ndarray) -> np.ndarray:
+        """Batched :meth:`drop_at`: a boolean array over parallel
+        ``(slot, device)`` pairs."""
+        rows, valid = self._rows(slots)
+        return valid & (self.uplink_drop[rows, devices] != 0.0)
+
+    def corrupt_rows(self, slots: np.ndarray, devices: np.ndarray) -> np.ndarray:
+        """Batched :meth:`corrupt_at`."""
+        rows, valid = self._rows(slots)
+        return valid & (self.uplink_corrupt[rows, devices] != 0.0)
+
+    def edge_down_rows(self, slots: np.ndarray) -> np.ndarray:
+        """Batched :meth:`edge_down_at`."""
+        rows, valid = self._rows(slots)
+        return valid & (self.edge_down[rows] != 0.0)
+
+    def straggler_rows(self, slots: np.ndarray, devices: np.ndarray) -> np.ndarray:
+        """Batched :meth:`straggler_at` (healthy factor 1.0 out of range)."""
+        rows, valid = self._rows(slots)
+        return np.where(valid, self.straggler[rows, devices], 1.0)
+
     def outage_windows(self) -> list[tuple[int, int]]:
         """Contiguous ``[start, stop)`` edge-outage windows, in order."""
         windows: list[tuple[int, int]] = []

@@ -100,6 +100,19 @@ class RecoveryPolicy:
         """Delay before retry ``attempt`` (0-based)."""
         return self.backoff_base * self.backoff_factor**attempt
 
+    def backoff_table(self) -> "np.ndarray":
+        """``backoff(k)`` for every spendable attempt, as an array.
+
+        The fast event engine indexes this table instead of re-evaluating
+        powers per task; entries are computed through :meth:`backoff`
+        itself, so they are bit-identical to the scalar schedule."""
+        import numpy as np
+
+        return np.array(
+            [self.backoff(k) for k in range(self.max_retries)],
+            dtype=np.float64,
+        )
+
     def backoff_span(self) -> float:
         """Total waiting the full retry budget can bridge — size this past
         the longest expected outage so retries survive it."""

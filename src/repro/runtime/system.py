@@ -145,6 +145,7 @@ class LeimeRuntime:
         if vectorized:
             policy = vectorized_equivalent(policy) or policy
         self.policy = policy
+        self.seed = seed
         self.clock = VirtualClock(speedup)
         control_seq, exit_seq = np.random.SeedSequence(seed).spawn(2)
         self._control_rng = np.random.default_rng(control_seq)
@@ -507,6 +508,45 @@ class LeimeRuntime:
             self._done.wait(timeout=drain_timeout)
         return RuntimeReport(
             tasks=tuple(self._tasks), virtual_duration=self.clock.now()
+        )
+
+    def simulate_offline(
+        self,
+        arrivals: list[ArrivalProcess],
+        num_slots: int,
+        faults: "FaultPlan | None" = None,
+        recovery: "RecoveryPolicy | None" = None,
+        engine: str = "fast",
+        drain_limit_factor: float = 50.0,
+    ):
+        """Replay this deployment offline through the event simulator.
+
+        A live run costs wall-clock time (worker threads racing a virtual
+        clock); capacity planning wants the same deployment — system,
+        policy, seed, fault plan — answered in milliseconds.  This seam
+        hands the runtime's configuration to
+        :class:`~repro.sim.events.EventSimulator`, defaulting to the
+        array-backed fast lane, and returns its
+        :class:`~repro.sim.events.EventSimResult`.
+
+        The replay is a *what-if model* of the deployment, not a
+        byte-identical twin of :meth:`run`: live worker threads race each
+        other (their exit draws and queue interleavings are
+        scheduling-dependent), while the simulator is fully deterministic.
+        """
+        from ..sim.events import EventSimulator
+
+        return EventSimulator(
+            system=self.system,
+            arrivals=arrivals,
+            seed=self.seed,
+            faults=faults,
+            recovery=recovery,
+        ).run(
+            self.policy,
+            num_slots,
+            drain_limit_factor=drain_limit_factor,
+            engine=engine,
         )
 
     def shutdown(self) -> bool:

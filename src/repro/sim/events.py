@@ -31,6 +31,18 @@ Dynamic environments update link rates at slot boundaries; transmissions
 already in service finish at their old rate (rate changes apply to
 subsequently started transfers), which matches how traffic shaping tools
 like the paper's COMCAST behave on short transfers.
+
+Randomness is split into two independent streams derived from ``seed``,
+mirroring :class:`repro.runtime.system.LeimeRuntime`'s documented
+discipline: a **control** stream consumed at slot boundaries (environment
+draws, arrival sampling, arrival offsets, offload coin flips) and an
+**exit** stream from which every task pre-draws its two exit coins at
+creation (the second coin is consumed only if the task reaches block 2).
+Keying exit coins to the *task* instead of to global completion order is
+what lets the array-backed fast lane (:mod:`repro.sim.fast_events`,
+selected with ``run(engine="fast")``) batch completions without
+perturbing seeded results — both engines replay the identical coin for
+the identical task.
 """
 
 from __future__ import annotations
@@ -38,6 +50,7 @@ from __future__ import annotations
 import heapq
 import itertools
 from dataclasses import dataclass, field
+from functools import cached_property
 from typing import TYPE_CHECKING, Callable, Sequence
 
 import numpy as np
@@ -102,9 +115,21 @@ class EventSimResult:
     tasks: tuple[TaskRecord, ...]
     horizon: float
 
-    @property
+    @cached_property
     def completed(self) -> tuple[TaskRecord, ...]:
+        """Completed tasks, materialised once (results are frozen)."""
         return tuple(t for t in self.tasks if t.done)
+
+    @cached_property
+    def _sorted_tcts(self) -> np.ndarray:
+        """Ascending completed-task TCTs, sorted once per result.
+        ``mean_tct``/``tct_percentile`` and the deadline metrics read this
+        instead of re-sorting the completed list on every call —
+        ``fig_faults``/``fig_wild`` query them in loops.  Results are
+        frozen, so no invalidation is needed."""
+        return np.sort(
+            np.array([t.tct for t in self.completed], dtype=np.float64)
+        )
 
     @property
     def mean_tct(self) -> float:
@@ -115,10 +140,9 @@ class EventSimResult:
         return sum(t.tct for t in done) / len(done)
 
     def tct_percentile(self, q: float) -> float:
-        done = self.completed
-        if not done:
+        if not self.completed:
             return float("nan")
-        return float(np.percentile([t.tct for t in done], q))
+        return float(np.percentile(self._sorted_tcts, q))
 
     @property
     def completion_rate(self) -> float:
@@ -188,7 +212,7 @@ class EventSimResult:
             raise ValueError("deadline must be positive")
         if not self.tasks:
             return float("nan")
-        hits = sum(1 for t in self.tasks if t.done and t.tct <= deadline)
+        hits = int(np.searchsorted(self._sorted_tcts, deadline, side="right"))
         return hits / len(self.tasks)
 
     def per_device_mean_tct(self, num_devices: int) -> list[float]:
@@ -282,12 +306,34 @@ class EventSimulator:
                 f"the system has {self.system.num_devices}"
             )
 
+    def _resolve_policy(
+        self, policy: OffloadingPolicy
+    ) -> tuple[OffloadingPolicy, "RecoveryPolicy | None"]:
+        """The effective (policy, recovery) pair for a run: default the
+        recovery budget when faults are present and wrap the policy in a
+        :class:`~repro.resilience.recovery.ResilientPolicy` when the
+        budget asks for control-plane recovery.  Shared by the scalar and
+        fast engines so both replay identical control decisions."""
+        recovery = self.recovery
+        if self.faults is not None and recovery is None:
+            from ..resilience.recovery import RecoveryPolicy
+
+            recovery = RecoveryPolicy.none()
+        if recovery is not None and (
+            recovery.exclude_dead_edge or recovery.watchdog
+        ):
+            from ..resilience.recovery import ResilientPolicy
+
+            policy = ResilientPolicy(policy, self.faults, recovery)
+        return policy, recovery
+
     def run(
         self,
         policy: OffloadingPolicy,
         num_slots: int,
         drain: bool = True,
         drain_limit_factor: float = 50.0,
+        engine: str = "scalar",
     ) -> EventSimResult:
         """Generate ``num_slots`` slots of tasks and simulate to completion.
 
@@ -299,10 +345,29 @@ class EventSimulator:
                 generation horizon; exceeding it raises, which is the
                 unstable-system signal tests rely on).
             drain_limit_factor: Safety bound for the drain phase.
+            engine: ``"scalar"`` walks the reference closure-per-hop event
+                loop below; ``"fast"`` dispatches the identical scenario
+                to the array-backed engine
+                (:func:`repro.sim.fast_events.run_fast`), which the
+                differential harness pins to the scalar results per task.
         """
         if num_slots <= 0:
             raise ValueError("need a positive number of slots")
-        rng = np.random.default_rng(self.seed)
+        if engine not in ("scalar", "fast"):
+            raise ValueError(f"unknown event engine {engine!r}")
+        if engine == "fast":
+            from .fast_events import run_fast
+
+            return run_fast(
+                self,
+                policy,
+                num_slots,
+                drain=drain,
+                drain_limit_factor=drain_limit_factor,
+            )
+        control_seq, exit_seq = np.random.SeedSequence(self.seed).spawn(2)
+        rng = np.random.default_rng(control_seq)
+        exit_rng = np.random.default_rng(exit_seq)
         engine = _Engine()
         system = self.system
         tau = system.slot_length
@@ -337,19 +402,12 @@ class EventSimulator:
         )
 
         faults = self.faults
-        recovery = self.recovery
-        if faults is not None and recovery is None:
-            from ..resilience.recovery import RecoveryPolicy
-
-            recovery = RecoveryPolicy.none()
-        if recovery is not None and (
-            recovery.exclude_dead_edge or recovery.watchdog
-        ):
-            from ..resilience.recovery import ResilientPolicy
-
-            policy = ResilientPolicy(policy, faults, recovery)
+        policy, recovery = self._resolve_policy(policy)
 
         tasks: list[TaskRecord] = []
+        # Two exit coins per task, pre-drawn at creation from the exit
+        # stream and indexed by task id (see the module docstring).
+        exit_coins: list[tuple[float, float]] = []
         ratios = [0.0] * n
         fractional = [0.0] * n
         state = LyapunovState.zeros(n)
@@ -473,7 +531,7 @@ class EventSimulator:
             def computed(t: float, service: float) -> None:
                 task.compute_time += service
                 task.queue_time += (t - time) - service
-                if rng.random() < exit2_given_past1:
+                if exit_coins[task.task_id][1] < exit2_given_past1:
                     finish(task, t, 2)
                 else:
                     to_cloud(task, t)
@@ -491,7 +549,7 @@ class EventSimulator:
             def computed(t: float, service: float) -> None:
                 task.compute_time += service
                 task.queue_time += (t - time) - service
-                if rng.random() < part.sigma1:
+                if exit_coins[task.task_id][0] < part.sigma1:
                     finish(task, t, 1)
                 else:
                     second_block(task, t)
@@ -516,7 +574,7 @@ class EventSimulator:
             def computed(t: float, service: float) -> None:
                 task.compute_time += service
                 task.queue_time += (t - time) - service
-                if rng.random() < part.sigma1:
+                if exit_coins[task.task_id][0] < part.sigma1:
                     finish(task, t, 1)
                     return
 
@@ -586,6 +644,9 @@ class EventSimulator:
                             offloaded=bool(rng.random() < ratios[i]),
                         )
                         tasks.append(task)
+                        exit_coins.append(
+                            (float(exit_rng.random()), float(exit_rng.random()))
+                        )
                         engine.schedule(
                             task.created, lambda t, _task=task: launch(_task, t)
                         )

@@ -20,7 +20,7 @@ draining, modelling a reboot rather than data loss.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
@@ -29,6 +29,9 @@ from ..hardware import NetworkProfile
 from ..sim.arrivals import TraceArrivals
 from ..sim.metrics import SimulationResult
 from .schema import Trace
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..sim.events import EventSimResult
 
 
 def _channel_matrix(trace: Trace, name: str) -> np.ndarray | None:
@@ -162,17 +165,44 @@ def replay_trace(
     vectorized: bool = False,
     include_tail: bool = True,
     poisson: bool = False,
-) -> SimulationResult:
+    events: bool = False,
+    engine: str = "scalar",
+) -> "SimulationResult | EventSimResult":
     """Run ``policy`` on ``system`` under ``trace`` for ``num_slots``
     (defaults to the trace length) — the 3-line dynamic-environment
-    simulation, as one call."""
-    from ..sim.simulator import SlotSimulator
+    simulation, as one call.
 
+    ``events=True`` replays the trace through the task-level
+    :class:`~repro.sim.events.EventSimulator` instead of the fluid slot
+    model, returning an :class:`~repro.sim.events.EventSimResult`;
+    ``engine`` then picks the scalar reference loop or the array-backed
+    fast lane (``"fast"`` — same seeded per-task results, see
+    :mod:`repro.sim.fast_events`).  The event path applies the trace's
+    per-slot link channels; the ``edge_flops`` channel is a slot-model
+    extension and is ignored here.
+    """
     if system.num_devices != trace.num_devices:
         raise ValueError(
             f"system has {system.num_devices} devices but the trace covers "
             f"{trace.num_devices}"
         )
+    if events:
+        from ..sim.events import EventSimulator
+
+        return EventSimulator(
+            system=system,
+            arrivals=arrival_processes(trace, poisson=poisson),
+            environment=TraceEnvironment(trace),
+            seed=seed,
+        ).run(
+            policy,
+            num_slots or trace.num_slots,
+            drain=include_tail,
+            drain_limit_factor=100.0,
+            engine=engine,
+        )
+    from ..sim.simulator import SlotSimulator
+
     simulator = SlotSimulator(
         system=system,
         arrivals=arrival_processes(trace, poisson=poisson),

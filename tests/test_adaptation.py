@@ -96,6 +96,31 @@ def test_complexity_estimator_degenerate_rates(profile):
     assert estimate.a > 0  # falls back to something sane
 
 
+def test_complexity_estimator_pinned_sigma(profile):
+    """σ pinned at 0 or 1 carries no shape information: the inversion
+    clamps it into (0, 1), always yields a finite positive ``a``, and the
+    pinned extremes bracket every interior observation."""
+    estimator = ComplexityEstimator(profile, 5, 14)
+    # σ₁ = 0 (no task exits early) → data looks maximally hard → large a.
+    hard = estimator.estimate(0.0, 0.0)
+    # σ₁ = 1 (every task exits early) → maximally easy → tiny a.
+    easy = estimator.estimate(1.0, 1.0)
+    for est in (hard, easy):
+        assert est.a > 0
+        assert np.isfinite(est.a)
+        assert 0.0 < est.implied_sigma1 < 1.0
+    interior = estimator.estimate(0.5, 0.8)
+    assert easy.a < interior.a < hard.a
+    # Clamping makes the pinned values indistinguishable from barely
+    # off-pinned ones — σ=0 and σ=ε estimate the same curve.
+    assert estimator.estimate(0.0, 0.0).a == pytest.approx(
+        estimator.estimate(1e-9, 1e-9).a
+    )
+    assert estimator.estimate(1.0, 1.0).a == pytest.approx(
+        estimator.estimate(1.0 - 1e-12, 1.0 - 1e-12).a
+    )
+
+
 def test_complexity_estimator_validation(profile):
     with pytest.raises(ValueError):
         ComplexityEstimator(profile, 14, 5)
@@ -158,6 +183,65 @@ def test_replan_on_complexity_drift(profile, environment):
     assert replanned.selection != initial_selection or (
         replanned.partition.sigma1 != controller.plan.partition.sigma1
     )
+
+
+def test_replan_for_environment_caches_repeat_conditions(profile, environment):
+    """Re-planning against a condition seen before (after quantization)
+    serves the cached plan without re-running the search."""
+    from dataclasses import replace
+
+    from repro.hardware import NetworkProfile
+
+    controller = AdaptiveExitController(profile=profile, environment=environment)
+    slow = replace(
+        environment,
+        device_edge=NetworkProfile(
+            environment.device_edge.bandwidth * 0.1,
+            environment.device_edge.latency,
+        ),
+    )
+    first = controller.replan_for_environment(slow)
+    assert controller.plan_cache_hits == 0
+    # Same conditions again (bit-identical): a cache hit, same plan object.
+    again = controller.replan_for_environment(slow)
+    assert again is first
+    assert controller.plan_cache_hits == 1
+    # A sub-0.1% bandwidth wiggle quantizes onto the same key.
+    wiggle = replace(
+        slow,
+        device_edge=NetworkProfile(
+            slow.device_edge.bandwidth * 1.0003,
+            slow.device_edge.latency,
+        ),
+    )
+    assert controller.replan_for_environment(wiggle) is first
+    assert controller.plan_cache_hits == 2
+    # Returning to the original environment replays the deployment plan.
+    assert controller.replan_for_environment(environment).selection
+    assert controller.plan_cache_hits == 3
+    # Every call counted as a replan, hit or not.
+    assert controller.replan_count == 4
+
+
+def test_plan_cache_invalidated_by_curve_change(profile, environment):
+    """A drift-triggered curve refresh must not reuse stale-σ plans."""
+    controller = AdaptiveExitController(
+        profile=profile,
+        environment=environment,
+        drift_threshold=0.05,
+        min_observations=10,
+    )
+    baseline = controller.replan_for_environment(environment)
+    assert controller.plan_cache_hits == 1  # deployment plan replayed
+    # Feed observations implying much easier data than the a=1 prior.
+    controller.observe(90, 8, 100)
+    drifted = controller.maybe_replan()
+    assert drifted is not None
+    # Same environment, new curve: the stale-σ plan is NOT replayed — the
+    # cache key includes the curve, so the refreshed plan is served.
+    refreshed = controller.replan_for_environment(environment)
+    assert refreshed is not baseline
+    assert refreshed is drifted
 
 
 def test_controller_validation(profile, environment):

@@ -1,0 +1,180 @@
+"""Differential harness: the array-backed fast event engine must replay
+the scalar engine's per-task records exactly.
+
+The contract (see :mod:`repro.sim.fast_events`) is *per-task-record
+equality*: same task identity, exit tier, retry and drop counts, and the
+same completion time and accrual split to 1e-9, across seeded
+configurations spanning {no faults, the canonical outage plan,
+stragglers + retries}.  Each scenario runs on a fresh simulator and a
+fresh policy per engine (both carry per-run state), exactly as a caller
+comparing engines would.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.offloading import FixedRatioPolicy
+from repro.resilience.faults import (
+    FaultPlanSpec,
+    canonical_outage_plan,
+    generate_fault_plan,
+)
+from repro.resilience.recovery import RecoveryPolicy
+from repro.sim.events import EventSimulator
+
+from .helpers import random_fleet
+
+#: seeds × scenarios = the differential sweep (≥ 100 seeded configs).
+SEEDS = tuple(range(34))
+SCENARIOS = ("no-faults", "canonical-outage", "stragglers-retries")
+
+NUM_DEVICES = 3
+NUM_SLOTS = 8
+
+
+def _build(scenario: str, seed: int) -> EventSimulator:
+    """One seeded configuration; every field that matters varies with the
+    seed so the sweep covers heterogeneous fleets, arrival mixes, and
+    spread/boundary arrivals."""
+    fleet_seed = 100 + seed
+    system = random_fleet(
+        fleet_seed, NUM_DEVICES, heterogeneous=(seed % 3 == 0)
+    )
+    from repro.sim.arrivals import PoissonArrivals
+
+    arrivals = [PoissonArrivals(0.3 + 0.05 * (seed % 5))] * NUM_DEVICES
+    kwargs = dict(
+        system=system,
+        arrivals=arrivals,
+        seed=seed,
+        spread_arrivals=(seed % 4 != 1),
+        shared_uplink=(seed % 5 == 2),
+    )
+    if scenario == "canonical-outage":
+        kwargs["faults"] = canonical_outage_plan(
+            num_slots=NUM_SLOTS, num_devices=NUM_DEVICES, seed=seed
+        )
+        kwargs["recovery"] = RecoveryPolicy.default()
+    elif scenario == "stragglers-retries":
+        spec = FaultPlanSpec(
+            num_slots=NUM_SLOTS,
+            num_devices=NUM_DEVICES,
+            drop_prob=0.08,
+            corrupt_prob=0.05,
+            straggler_prob=0.15,
+        )
+        kwargs["faults"] = generate_fault_plan(spec, seed=seed)
+        kwargs["recovery"] = RecoveryPolicy(
+            max_retries=1 + seed % 3,
+            deadline=None if seed % 2 else 12.0,
+            fallback_local=bool(seed % 2),
+        )
+    return EventSimulator(**kwargs)
+
+
+def _run_pair(scenario: str, seed: int):
+    ratio = 0.3 + 0.1 * (seed % 5)
+    scalar = _build(scenario, seed).run(
+        FixedRatioPolicy(ratio), NUM_SLOTS, drain_limit_factor=100.0
+    )
+    fast = _build(scenario, seed).run(
+        FixedRatioPolicy(ratio),
+        NUM_SLOTS,
+        drain_limit_factor=100.0,
+        engine="fast",
+    )
+    return scalar, fast
+
+
+def _assert_records_equal(scalar, fast, tag: str) -> None:
+    assert len(scalar.tasks) == len(fast.tasks), tag
+    assert scalar.horizon == pytest.approx(fast.horizon, abs=1e-9), tag
+    for ta, tb in zip(scalar.tasks, fast.tasks):
+        ctx = f"{tag} task {ta.task_id}"
+        assert ta.task_id == tb.task_id, ctx
+        assert ta.device == tb.device, ctx
+        assert ta.created == tb.created, ctx
+        assert ta.offloaded == tb.offloaded, ctx
+        assert ta.exit_tier == tb.exit_tier, ctx
+        # Byte-identical integer accounting — retries and drops are the
+        # acceptance currency of the resilience layer.
+        assert ta.retries == tb.retries, ctx
+        assert ta.dropped == tb.dropped, ctx
+        assert (ta.completed is None) == (tb.completed is None), ctx
+        if ta.completed is not None:
+            assert ta.completed == pytest.approx(tb.completed, abs=1e-9), ctx
+        assert ta.compute_time == pytest.approx(tb.compute_time, abs=1e-9), ctx
+        assert ta.transfer_time == pytest.approx(
+            tb.transfer_time, abs=1e-9
+        ), ctx
+        assert ta.queue_time == pytest.approx(tb.queue_time, abs=1e-9), ctx
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("scenario", SCENARIOS)
+def test_fast_engine_matches_scalar(scenario: str, seed: int) -> None:
+    scalar, fast = _run_pair(scenario, seed)
+    _assert_records_equal(scalar, fast, f"{scenario}/seed={seed}")
+
+
+@pytest.mark.parametrize("scenario", SCENARIOS)
+def test_fast_engine_properties(scenario: str) -> None:
+    """Structural invariants of any fast-engine result, independent of the
+    scalar twin: conservation of tasks and sane timestamps."""
+    result = _build(scenario, seed=1).run(
+        FixedRatioPolicy(0.5), NUM_SLOTS, drain_limit_factor=100.0, engine="fast"
+    )
+    tasks = result.tasks
+    completed = sum(1 for t in tasks if t.done)
+    dropped = sum(1 for t in tasks if t.dropped)
+    in_flight = sum(1 for t in tasks if t.in_flight)
+    # Conservation: every generated task is completed, dropped, or still
+    # in flight — never lost, never double-counted.
+    assert completed + dropped + in_flight == len(tasks)
+    assert completed == len(result.completed)
+    for t in tasks:
+        assert t.created >= 0.0
+        assert t.compute_time >= 0.0
+        assert t.transfer_time >= 0.0
+        assert t.queue_time >= -1e-12
+        assert t.retries >= 0
+        if t.done:
+            assert t.completed >= t.created
+            assert t.completed <= result.horizon + 1e-9
+            assert t.exit_tier in (1, 2, 3)
+        else:
+            assert t.exit_tier == 0
+
+
+def test_fast_engine_no_drain_leaves_tasks_in_flight() -> None:
+    """``drain=False`` cuts at the horizon on both engines identically."""
+    scalar = _build("no-faults", seed=3).run(
+        FixedRatioPolicy(0.7), NUM_SLOTS, drain=False
+    )
+    fast = _build("no-faults", seed=3).run(
+        FixedRatioPolicy(0.7), NUM_SLOTS, drain=False, engine="fast"
+    )
+    _assert_records_equal(scalar, fast, "no-drain")
+    assert scalar.horizon == fast.horizon
+
+
+def test_sorted_tct_cache_consistent_on_fast_results() -> None:
+    """The cached sorted-TCT array (percentile fast path) reflects the
+    fast engine's completed set."""
+    result = _build("no-faults", seed=5).run(
+        FixedRatioPolicy(0.5), NUM_SLOTS, drain_limit_factor=100.0, engine="fast"
+    )
+    tcts = sorted(t.tct for t in result.completed)
+    if tcts:
+        assert result.tct_percentile(50) == pytest.approx(
+            float(np.percentile(np.asarray(tcts), 50))
+        )
+
+
+def test_unknown_engine_rejected() -> None:
+    with pytest.raises(ValueError, match="unknown event engine"):
+        _build("no-faults", seed=0).run(
+            FixedRatioPolicy(0.5), NUM_SLOTS, engine="warp"
+        )
