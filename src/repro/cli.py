@@ -13,6 +13,8 @@ Commands:
   wild traces (:mod:`repro.traces`).
 * ``faults {generate,describe,replay}`` — synthesise, inspect, and
   replay seeded fault plans (:mod:`repro.resilience`).
+* ``overload`` — replay the canonical flash crowd governed vs
+  ungoverned (admission gate, backpressure, degradation ladder).
 """
 
 from __future__ import annotations
@@ -20,6 +22,7 @@ from __future__ import annotations
 import argparse
 import importlib
 import json
+import math
 import sys
 import time
 from dataclasses import replace
@@ -53,6 +56,7 @@ EXPERIMENTS = (
     "fig11",
     "fig_wild",
     "fig_faults",
+    "fig_overload",
     "motivation",
     "pareto",
 )
@@ -564,6 +568,94 @@ def _cmd_faults_replay(args: argparse.Namespace) -> int:
     return 0 if identical and engines_agree else 1
 
 
+def _cmd_overload(args: argparse.Namespace) -> int:
+    from .experiments.fig_overload import run_fig_overload
+    from .resilience import MODE_NAMES
+
+    result = run_fig_overload(
+        num_slots=args.slots,
+        seed=args.seed,
+        num_devices=args.devices,
+        magnitude=args.magnitude,
+    )
+    governed = result.by_scheme("LEIME + governor")
+    ungoverned = result.by_scheme("LEIME (ungoverned)")
+    governed_fluid = result.fluid_by_scheme("LEIME + governor")
+    ungoverned_fluid = result.fluid_by_scheme("LEIME (ungoverned)")
+    checks_ok = (
+        result.fluid_paths_identical
+        and result.event_engines_identical
+        and result.fluid_conservation
+        and governed.identity_holds
+        and ungoverned.identity_holds
+    )
+
+    print(
+        f"crowd     : {result.magnitude:.0f}x demand over slots "
+        f"{result.crowd_start}-{result.crowd_stop} "
+        f"({args.slots} slots, {args.devices} devices, seed {args.seed})"
+    )
+    print(
+        f"governed  : p99 TCT {governed.p99_tct:.2f} s, "
+        f"{governed.completed}/{governed.tasks} completed, "
+        f"{governed.shed} shed, max rung "
+        f"{governed.max_mode} ({MODE_NAMES[governed.max_mode]})"
+    )
+    print(
+        f"ungoverned: p99 TCT {ungoverned.p99_tct:.2f} s, "
+        f"{ungoverned.completed}/{ungoverned.tasks} completed, "
+        f"max backlog {ungoverned_fluid.max_backlog:.0f} tasks "
+        f"(governed {governed_fluid.max_backlog:.0f})"
+    )
+    recovery = governed_fluid.mode_recovery_slots
+    print(
+        "recovery  : ladder back to full "
+        + (
+            "never"
+            if math.isinf(recovery)
+            else f"{recovery:.0f} slots after the crowd"
+        )
+    )
+    print(
+        "checks    : "
+        + ("all identities hold" if checks_ok else "IDENTITY VIOLATION")
+        + " (fluid paths, event engines, conservation)"
+    )
+    if args.output is not None:
+        payload = {
+            "benchmark": "overload_demo",
+            "slots": args.slots,
+            "devices": args.devices,
+            "seed": args.seed,
+            "magnitude": args.magnitude,
+            "crowd_start": result.crowd_start,
+            "crowd_stop": result.crowd_stop,
+            "governed": {
+                "tasks": governed.tasks,
+                "completed": governed.completed,
+                "shed": governed.shed,
+                "dropped": governed.dropped,
+                "p99_tct_s": round(governed.p99_tct, 6),
+                "max_mode": governed.max_mode,
+                "max_backlog": round(governed_fluid.max_backlog, 3),
+                "mode_recovery_slots": recovery,
+            },
+            "ungoverned": {
+                "tasks": ungoverned.tasks,
+                "completed": ungoverned.completed,
+                "p99_tct_s": round(ungoverned.p99_tct, 6),
+                "max_backlog": round(ungoverned_fluid.max_backlog, 3),
+                "crowd_monotone": ungoverned_fluid.crowd_monotone,
+            },
+            "fluid_paths_identical": result.fluid_paths_identical,
+            "event_engines_identical": result.event_engines_identical,
+            "fluid_conservation": result.fluid_conservation,
+        }
+        Path(args.output).write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"wrote     : {args.output}")
+    return 0 if checks_ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -742,6 +834,28 @@ def build_parser() -> argparse.ArgumentParser:
         help="write a BENCH_faults.json-style summary here",
     )
     faults_replay.set_defaults(func=_cmd_faults_replay)
+
+    overload = sub.add_parser(
+        "overload",
+        help="replay the canonical flash crowd governed vs ungoverned "
+        "(admission gate, backpressure, degradation ladder)",
+    )
+    overload.add_argument("--slots", type=int, default=160)
+    overload.add_argument("--devices", type=int, default=4)
+    overload.add_argument("--seed", type=int, default=0)
+    overload.add_argument(
+        "--magnitude",
+        type=float,
+        default=80.0,
+        help="flash-crowd demand multiplier",
+    )
+    overload.add_argument(
+        "--output",
+        type=Path,
+        default=None,
+        help="write a JSON summary here",
+    )
+    overload.set_defaults(func=_cmd_overload)
 
     return parser
 

@@ -644,15 +644,25 @@ class VectorizedSlotEngine:
         """Eqs. 12-14 for the whole fleet at the chosen ratios.
 
         ``system`` overrides the deployed system for this slot — a trace
-        environment varies shared parameters (edge capacity) per slot.
-        The per-device :class:`FleetParams` are unaffected by such
-        overrides (shares are relative), so the precomputed arrays stay
-        valid.
+        environment varies shared parameters (edge capacity) per slot,
+        and the overload ladder swaps in degraded partitions.  Shared
+        overrides (edge capacity) leave the precomputed per-device
+        :class:`FleetParams` valid; partition overrides change the
+        ``μ``/``d``/``σ`` rows, so those trigger an O(N) re-extraction
+        from the live system — exactly what the scalar loop reads via
+        ``live_system.partition_for(i)``.
         """
-        params = self.params_for(devices)
+        live = self.system if system is None else system
+        if live is not self.system and (
+            live.partition is not self.system.partition
+            or live.device_partitions != self.system.device_partitions
+        ):
+            params = FleetParams.from_system(live, devices)
+        else:
+            params = self.params_for(devices)
         return slot_cost_batch(
             params,
-            self.system if system is None else system,
+            live,
             np.asarray(ratios, dtype=np.float64),
             np.asarray(arrivals, dtype=np.float64),
             state.queue_local,

@@ -15,7 +15,11 @@ This package makes those failures first-class and replayable:
   the :class:`ResilientPolicy` control wrapper (dead-edge exclusion,
   telemetry watchdog);
 * :mod:`~repro.resilience.slo` — time-to-recovery and the shared SLO
-  summary block.
+  summary block;
+* :mod:`~repro.resilience.overload` — admission control
+  (:class:`AdmissionGate`), backpressure, and the multi-exit degradation
+  ladder (:class:`OverloadGovernor`), keeping every execution path
+  inside its stability region under flash crowds.
 
 The same plan drives the event simulator (``EventSimulator(faults=...)``)
 and the live runtime (``LeimeRuntime.run(faults=...)``), so a chaos
@@ -36,19 +40,49 @@ from .faults import (
     plans_equal,
     save_fault_plan,
 )
+from .overload import (
+    MODE_FIRST_EXIT,
+    MODE_FULL,
+    MODE_NAMES,
+    MODE_SECOND_EXIT,
+    MODE_SHED,
+    AdmissionGate,
+    OverloadControl,
+    OverloadGovernor,
+    apply_backpressure,
+    clamp_queues,
+    degrade_partition,
+    degrade_system,
+    degraded_exit_params,
+    drain_stranded_edge,
+)
 from .recovery import RecoveryPolicy, ResilientPolicy
 from .slo import slo_summary, time_to_recovery
 
 __all__ = [
     "FAULT_CHANNELS",
+    "MODE_FIRST_EXIT",
+    "MODE_FULL",
+    "MODE_NAMES",
+    "MODE_SECOND_EXIT",
+    "MODE_SHED",
+    "AdmissionGate",
     "FaultPlan",
     "FaultPlanError",
     "FaultPlanSpec",
     "FaultyEnvironment",
+    "OverloadControl",
+    "OverloadGovernor",
     "RecoveryPolicy",
     "ResilientPolicy",
+    "apply_backpressure",
     "attach_faults",
     "canonical_outage_plan",
+    "clamp_queues",
+    "degrade_partition",
+    "degrade_system",
+    "degraded_exit_params",
+    "drain_stranded_edge",
     "extract_faults",
     "generate_fault_plan",
     "load_fault_plan",

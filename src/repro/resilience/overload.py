@@ -1,0 +1,411 @@
+"""Overload control: admission, backpressure, and a degradation ladder.
+
+The paper's P1 controller promises an ``O(B/V)`` optimality gap *subject
+to queue stability* (Theorem 3) — it has no answer when a flash crowd
+pushes arrivals past the joint device+edge+cloud capacity, because then
+no offloading ratio ``x_i(t)`` stabilises Eqs. 10-11 and every execution
+path in this repo diverges.  This module keeps the system inside its
+stability region with three cooperating mechanisms, all shared verbatim
+by the fluid slot paths (scalar + vectorized), both event engines, and
+the live runtime so a governed run stays byte-identical across paths:
+
+1. **Admission control / load shedding** (:class:`AdmissionGate`) — a
+   per-device token bucket combined with a queue-watermark hysteresis:
+   a device starts shedding when its backlog ``Q_i + H_i`` crosses
+   ``queue_high`` and stops only once it falls back under ``queue_low``;
+   while shedding, admissions are limited to the bucket's token
+   allowance.  Shed tasks are terminal and extend the SLO identity to
+   ``generated = completed + dropped + shed + in-flight``.
+2. **Backpressure** (:func:`apply_backpressure`, plus bounded queues in
+   :class:`~repro.runtime.node.RuntimeNode`) — a saturated edge queue
+   clamps that device's offloading ratio to 0 so ``x_i(t)`` reacts to
+   edge congestion before the fluid model's V-weighted drift term would.
+3. **Degradation ladder** (:class:`OverloadGovernor`) — a monitor that
+   watches the fleet-mean backlog and steps through graceful modes
+   (full three-exit plan → force Second-exit service → First-exit-only
+   local inference → shed), each rung trading exit depth for service
+   rate, the multi-exit-specific escape hatch.  Rungs are realised by
+   degrading the deployed partition's cumulative exit rates
+   (:func:`degrade_partition`), so every layer — fluid cost model, event
+   engines' exit coins, live runtime — observes the same σ override.
+   The governor steps *up* after ``patience`` consecutive hot slots and
+   back *down* only after ``cooldown`` consecutive cool slots
+   (hysteresis), and on returning to :data:`MODE_FULL` re-plans through
+   an attached :class:`~repro.core.adaptation.AdaptiveExitController`
+   the same way :class:`~repro.traces.drift.BandwidthDriftMonitor` does.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.adaptation import AdaptiveExitController
+    from ..core.offloading import EdgeSystem
+    from ..models.multi_exit import PartitionedModel
+
+#: Ladder rungs, shallow to deep.  Deeper rungs shed more work: each one
+#: raises the effective per-task service rate by cutting exit depth, and
+#: the last admits nothing at all until the backlog drains.
+MODE_FULL = 0  # the deployed three-exit plan, untouched
+MODE_SECOND_EXIT = 1  # force every non-First task to exit at the Second
+MODE_FIRST_EXIT = 2  # First-exit only, computed locally (x_i forced 0)
+MODE_SHED = 3  # admit nothing; serve out the backlog
+
+MODE_NAMES = ("full", "second-exit", "first-exit-local", "shed")
+
+
+@dataclass(frozen=True)
+class OverloadControl:
+    """Configuration for the overload-control layer.
+
+    Watermarks are per-device backlogs (``Q_i + H_i`` in tasks): a device
+    sheds above ``queue_high`` and recovers below ``queue_low``; the
+    governor steps the ladder on the fleet-*mean* backlog against the
+    same pair.  The gap between the two watermarks is the hysteresis
+    band — inside it, nothing changes state, so a backlog hovering at
+    the threshold cannot flap admission on and off every slot.
+
+    Attributes:
+        queue_high: Backlog (tasks) above which a device sheds and a
+            slot counts as *hot* for the ladder.
+        queue_low: Backlog below which shedding stops and a slot counts
+            as *cool*; must be below ``queue_high``.
+        token_rate: Admission tokens refilled per device per slot while
+            shedding — the trickle that keeps latency measurements alive
+            under sustained overload.
+        bucket_depth: Token-bucket cap (burst allowance).
+        queue_capacity: Bound on each fluid/runtime queue (tasks); the
+            overflow above it is shed.  ``None`` disables the bound.
+        patience: Consecutive hot slots before the ladder steps one
+            rung deeper.
+        cooldown: Consecutive cool slots before it steps one rung back.
+        max_mode: Deepest rung the ladder may reach.
+    """
+
+    queue_high: float = 12.0
+    queue_low: float = 4.0
+    token_rate: float = 1.0
+    bucket_depth: float = 4.0
+    queue_capacity: float | None = 64.0
+    patience: int = 3
+    cooldown: int = 8
+    max_mode: int = MODE_SHED
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.queue_low < self.queue_high:
+            raise ValueError("need 0 <= queue_low < queue_high")
+        if self.token_rate < 0 or self.bucket_depth < 0:
+            raise ValueError("token_rate and bucket_depth must be >= 0")
+        if self.queue_capacity is not None and self.queue_capacity <= 0:
+            raise ValueError("queue_capacity must be positive (or None)")
+        if self.patience < 1 or self.cooldown < 1:
+            raise ValueError("patience and cooldown must be >= 1")
+        if not MODE_FULL < self.max_mode <= MODE_SHED:
+            raise ValueError("max_mode must be a rung deeper than full")
+
+
+class AdmissionGate:
+    """Per-device token-bucket + watermark admission control.
+
+    One instance is stateful for one run: tokens refill once per device
+    per slot (every path calls :meth:`admit`/:meth:`admit_count` exactly
+    once per device per slot, whether or not tasks arrived), and the
+    per-device shedding flag carries the watermark hysteresis.  All
+    arithmetic is plain Python floats so the scalar and vectorized fluid
+    paths shed bit-identical amounts.
+    """
+
+    def __init__(self, control: OverloadControl, num_devices: int):
+        if num_devices <= 0:
+            raise ValueError("need at least one device")
+        self.control = control
+        self.num_devices = num_devices
+        self.tokens = [control.bucket_depth] * num_devices
+        self.shedding = [False] * num_devices
+
+    def _allowance(self, i: int, backlog: float, mode: int) -> float | None:
+        """Refill device ``i``'s bucket, advance its hysteresis, and
+        return its admission allowance (``None`` = unlimited)."""
+        control = self.control
+        self.tokens[i] = min(
+            control.bucket_depth, self.tokens[i] + control.token_rate
+        )
+        if mode >= MODE_SHED or backlog > control.queue_high:
+            self.shedding[i] = True
+        elif backlog < control.queue_low:
+            self.shedding[i] = False
+        if not self.shedding[i]:
+            return None
+        if mode >= MODE_SHED:
+            return 0.0
+        return self.tokens[i]
+
+    def admit(self, i: int, demand: float, backlog: float, mode: int) -> float:
+        """Fluid admission: the portion of ``demand`` tasks admitted for
+        device ``i`` this slot (the remainder is shed)."""
+        allowance = self._allowance(i, backlog, mode)
+        if allowance is None:
+            return demand
+        admitted = demand if demand <= allowance else allowance
+        self.tokens[i] -= admitted
+        return admitted
+
+    def admit_count(self, i: int, count: int, backlog: float, mode: int) -> int:
+        """Integral admission (event engines, live runtime): how many of
+        ``count`` whole tasks are admitted for device ``i`` this slot."""
+        allowance = self._allowance(i, backlog, mode)
+        if allowance is None:
+            return count
+        admitted = min(count, int(allowance))
+        self.tokens[i] -= admitted
+        return admitted
+
+
+@dataclass
+class OverloadGovernor:
+    """The degradation ladder: backlog-driven graceful modes.
+
+    Observes the per-device backlogs once per slot and steps
+    :attr:`mode` through the rungs with hysteresis: ``patience``
+    consecutive slots with fleet-mean backlog above ``queue_high`` step
+    one rung deeper; ``cooldown`` consecutive slots below ``queue_low``
+    step one rung back.  In between, both counters reset — the ladder
+    holds its rung.
+
+    Attached to a live :class:`~repro.runtime.system.LeimeRuntime`
+    (``runtime``), every rung change hot-swaps the deployed partition:
+    degraded rungs apply :func:`degrade_partition` to the base plan, and
+    the return to :data:`MODE_FULL` re-plans through the attached
+    :class:`~repro.core.adaptation.AdaptiveExitController` (when one is
+    given) exactly as :class:`~repro.traces.drift.BandwidthDriftMonitor`
+    does — the crowd may have left the world in a different state than
+    the pre-crowd plan assumed.  Simulators drive :meth:`observe`
+    directly and realise the rung themselves.
+
+    Attributes:
+        control: The shared watermark/hysteresis configuration.
+        num_devices: Fleet size (sets the mean-backlog denominator).
+        controller: Optional exit-setting controller to re-plan through
+            on recovery to :data:`MODE_FULL`.
+        runtime: Optional live runtime whose partition each rung change
+            hot-swaps.
+        mode: The current rung.
+        transitions: ``(slot, mode)`` per rung change, in order.
+        gate: The run's admission gate (shares ``control``).
+    """
+
+    control: OverloadControl
+    num_devices: int
+    controller: "AdaptiveExitController | None" = None
+    runtime: object | None = None
+    mode: int = field(default=MODE_FULL, init=False)
+    transitions: list[tuple[int, int]] = field(default_factory=list, init=False)
+
+    def __post_init__(self) -> None:
+        if self.num_devices <= 0:
+            raise ValueError("need at least one device")
+        self.gate = AdmissionGate(self.control, self.num_devices)
+        self._hot = 0
+        self._cool = 0
+        self._base_partition: "PartitionedModel | None" = None
+
+    def observe(self, slot: int, backlogs: Sequence[float]) -> int:
+        """Fold one slot's per-device backlogs in; returns the rung in
+        effect for the slot.  Monotone under pressure: while the mean
+        backlog is above ``queue_high`` the ladder never steps back (the
+        property harness pins this)."""
+        mean = sum(backlogs) / self.num_devices
+        control = self.control
+        if mean > control.queue_high:
+            self._hot += 1
+            self._cool = 0
+            if self._hot >= control.patience and self.mode < control.max_mode:
+                self._step(slot, self.mode + 1)
+                self._hot = 0
+        elif mean < control.queue_low:
+            self._cool += 1
+            self._hot = 0
+            if self._cool >= control.cooldown and self.mode > MODE_FULL:
+                self._step(slot, self.mode - 1)
+                self._cool = 0
+        else:
+            self._hot = 0
+            self._cool = 0
+        return self.mode
+
+    def _step(self, slot: int, mode: int) -> None:
+        self.mode = mode
+        self.transitions.append((slot, mode))
+        self._apply(mode)
+
+    def _apply(self, mode: int) -> None:
+        """Realise a rung on the attached live runtime (no-op without
+        one; the simulators degrade their own cost/exit parameters)."""
+        runtime = self.runtime
+        if runtime is None:
+            return
+        if self._base_partition is None:
+            self._base_partition = (
+                self.controller.plan.partition
+                if self.controller is not None
+                else runtime.system.partition
+            )
+        if mode == MODE_FULL and self.controller is not None:
+            plan = self.controller.replan_for_environment(
+                self.controller.environment
+            )
+            self._base_partition = plan.partition
+            runtime.apply_partition(plan.partition)
+            return
+        runtime.apply_partition(degrade_partition(self._base_partition, mode))
+
+    def on_slot(self, slot: int) -> int:
+        """Slot-hook form for a live runtime: read the live backlogs off
+        the attached runtime's worker queues and step the ladder."""
+        runtime = self.runtime
+        if runtime is None:
+            raise ValueError("on_slot needs an attached runtime")
+        backlogs = [
+            runtime.devices[i].backlog + runtime.edge_slices[i].backlog
+            for i in range(self.num_devices)
+        ]
+        return self.observe(slot, backlogs)
+
+    def time_to_recovery(self, crowd_stop: int) -> float:
+        """Slots from ``crowd_stop`` until the ladder returned to
+        :data:`MODE_FULL` — 0.0 if it never left (or was already back),
+        ``inf`` if it never recovered within the observed horizon."""
+        for slot, mode in self.transitions:
+            if slot >= crowd_stop and mode == MODE_FULL:
+                return float(slot - crowd_stop)
+        if not self.transitions or self.transitions[-1][1] == MODE_FULL:
+            return 0.0
+        return math.inf
+
+
+def degrade_partition(
+    partition: "PartitionedModel", mode: int
+) -> "PartitionedModel":
+    """The partition a ladder rung deploys: the same cuts with the
+    cumulative exit rates pinned so service stops at the rung's exit.
+
+    :data:`MODE_SECOND_EXIT` forces ``σ₂ = 1`` (every task that passes
+    the First-exit stops at the Second — no cloud leg); deeper rungs
+    force ``σ₁ = 1`` (every task exits at the First).  The degraded
+    tuples stay valid cumulative rates, so every consumer of the
+    partition — fluid cost model, exit coins, live workers — honours
+    the rung without special-casing."""
+    if mode <= MODE_FULL:
+        return partition
+    if mode == MODE_SECOND_EXIT:
+        sigma = (partition.sigma1, 1.0, 1.0)
+    else:
+        sigma = (1.0, 1.0, 1.0)
+    return replace(partition, sigma=sigma)
+
+
+def degrade_system(system: "EdgeSystem", mode: int) -> "EdgeSystem":
+    """The system a ladder rung deploys: every partition (fleet-wide and
+    per-device) degraded to the rung's exit depth."""
+    if mode <= MODE_FULL:
+        return system
+    return replace(
+        system,
+        partition=degrade_partition(system.partition, mode),
+        device_partitions=tuple(
+            degrade_partition(p, mode) for p in system.device_partitions
+        ),
+    )
+
+
+def degraded_exit_params(
+    partition: "PartitionedModel", mode: int
+) -> tuple[float, float]:
+    """``(σ₁, P[exit 2 | past 1])`` under a ladder rung — the pair the
+    event engines compare exit coins against."""
+    part = degrade_partition(partition, mode)
+    sigma1 = part.sigma1
+    exit2_given_past1 = (
+        (part.sigma2 - sigma1) / (1.0 - sigma1) if sigma1 < 1.0 else 1.0
+    )
+    return sigma1, exit2_given_past1
+
+
+def apply_backpressure(
+    ratios: Sequence[float],
+    queue_edge: Sequence[float],
+    control: OverloadControl,
+    mode: int,
+) -> list[float]:
+    """Clamp the policy's offloading ratios against edge saturation.
+
+    A device whose edge queue ``H_i`` is above ``queue_high`` gets
+    ``x_i = 0`` — new work stays local until the edge drains — and the
+    :data:`MODE_FIRST_EXIT`/:data:`MODE_SHED` rungs force the whole
+    fleet local (First-exit-only needs no edge at all)."""
+    if mode >= MODE_FIRST_EXIT:
+        return [0.0] * len(ratios)
+    high = control.queue_high
+    return [
+        0.0 if queue_edge[i] > high else float(r)
+        for i, r in enumerate(ratios)
+    ]
+
+
+def drain_stranded_edge(
+    queue_edge: list[float],
+    ratios: Sequence[float],
+    service: Sequence[float],
+    queue_high: float,
+    mode: int,
+) -> None:
+    """Drain fluid edge backlog stranded by a zero offloading ratio.
+
+    Eq. 11's edge service term ``c_i(t)`` is offload-driven — Eq. 9 gives
+    a first-block slice ``F_{i,1}^e = 0`` when ``x_i = 0`` — so once
+    :func:`apply_backpressure` forces a ratio to zero, the backlog ``H_i``
+    that *caused* the clamp can never drain: the clamp stays shut, the
+    mean backlog never falls below ``queue_low``, and the governor
+    deadlocks at its deepest rung.  The event engines and the live
+    runtime need no equivalent — their edge FIFOs are work-conserving and
+    keep serving queued first blocks whether or not new tasks offload.
+    This step restores work conservation to the fluid twin: every device
+    whose ratio governance forced to zero (the whole fleet at
+    :data:`MODE_FIRST_EXIT` and deeper; per-device clamps above
+    ``queue_high`` otherwise) drains at ``service[i]``, the idle slice's
+    full first-block rate ``τ / (μ₁ / (p_i·F^e) + o^e)``.
+
+    Mutates ``queue_edge`` in place.  Runs on plain Python floats in the
+    shared (non-vectorized) section of the slot loop, so the scalar and
+    vectorized fluid paths stay byte-identical.
+    """
+    for i, x in enumerate(ratios):
+        if queue_edge[i] <= 0.0 or x != 0.0:
+            continue
+        if mode >= MODE_FIRST_EXIT or queue_edge[i] > queue_high:
+            queue_edge[i] = max(queue_edge[i] - service[i], 0.0)
+
+
+def clamp_queues(
+    queue_local: list[float], queue_edge: list[float], capacity: float
+) -> float:
+    """Bound the fluid queues in place; returns the total overflow shed.
+
+    The fluid twin of a bounded ``queue.Queue``: whatever Eqs. 10-11
+    pushed past ``capacity`` is rejected (shed), never silently stored.
+    Devices are clamped left to right, local before edge, so the scalar
+    and vectorized paths accumulate the identical float."""
+    shed = 0.0
+    for i in range(len(queue_local)):
+        over = queue_local[i] - capacity
+        if over > 0.0:
+            queue_local[i] = capacity
+            shed += over
+        over = queue_edge[i] - capacity
+        if over > 0.0:
+            queue_edge[i] = capacity
+            shed += over
+    return shed

@@ -55,9 +55,11 @@ def slo_summary(result: "EventSimResult", deadline: float | None = None) -> dict
         "tasks": len(result.tasks),
         "completed": len(result.completed),
         "dropped": result.dropped_count,
+        "shed": result.shed_count,
         "in_flight": result.in_flight_count,
         "completion_rate": result.completion_rate,
         "drop_rate": result.drop_rate,
+        "shed_rate": result.shed_rate,
         "total_retries": result.total_retries,
         "mean_tct": result.mean_tct,
     }

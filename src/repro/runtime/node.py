@@ -14,6 +14,7 @@ from __future__ import annotations
 import logging
 import queue
 import threading
+import time
 import warnings
 from typing import Callable
 
@@ -31,6 +32,11 @@ class RuntimeNode:
         flops: Throughput; job demands are FLOPs.
         clock: The shared virtual clock.
         overhead: Per-job fixed virtual seconds.
+        capacity: Bound on the queue (jobs).  ``None`` (the default) is
+            unbounded; with a bound, :meth:`submit` rejects instead of
+            enqueueing once the backlog reaches it — the runtime half of
+            the overload layer's backpressure (the fluid twin is
+            :func:`repro.resilience.overload.clamp_queues`).
     """
 
     def __init__(
@@ -39,19 +45,24 @@ class RuntimeNode:
         flops: float,
         clock: VirtualClock,
         overhead: float = 0.0,
+        capacity: int | None = None,
     ):
         if flops <= 0:
             raise ValueError(f"node {name!r} needs positive FLOPS")
         if overhead < 0:
             raise ValueError("overhead must be non-negative")
+        if capacity is not None and capacity <= 0:
+            raise ValueError("capacity must be positive (or None)")
         self.name = name
         self.flops = flops
         self.overhead = overhead
+        self.capacity = capacity
         self._clock = clock
         self._queue: queue.Queue = queue.Queue()
         self._thread = threading.Thread(target=self._run, name=name, daemon=True)
         self._stop = threading.Event()
         self.jobs_done = 0
+        self.jobs_rejected = 0
         self._thread.start()
 
     @property
@@ -59,12 +70,18 @@ class RuntimeNode:
         """Jobs waiting in the queue (approximate, by nature)."""
         return self._queue.qsize()
 
-    def submit(self, demand: float, on_done: Callable[[float], None]) -> None:
+    def submit(self, demand: float, on_done: Callable[[float], None]) -> bool:
         """Enqueue a job; ``on_done(finish_virtual_time)`` runs on the
-        worker thread when it completes."""
+        worker thread when it completes.  Returns ``False`` (and enqueues
+        nothing) when a bounded queue is full — the caller owns the
+        rejected job's fate, exactly like a full ``queue.Queue``."""
         if demand < 0:
             raise ValueError("demand must be non-negative")
+        if self.capacity is not None and self._queue.qsize() >= self.capacity:
+            self.jobs_rejected += 1
+            return False
         self._queue.put((demand, on_done))
+        return True
 
     def _service_time(self, demand: float) -> float:
         return demand / self.flops + self.overhead
@@ -110,23 +127,64 @@ class RuntimeLink(RuntimeNode):
 
     Job demands are bytes; service time is ``bytes / bandwidth``; after
     serialisation a timer thread delivers the payload ``latency`` virtual
-    seconds later without blocking the link.
+    seconds later without blocking the link.  Outstanding propagation
+    timers are tracked so :meth:`shutdown` can wait for in-flight
+    deliveries instead of leaking detached timer threads whose callbacks
+    would fire into a half-torn-down runtime.
     """
 
     def __init__(self, name: str, profile: NetworkProfile, clock: VirtualClock):
         super().__init__(name, flops=profile.bandwidth, clock=clock)
         self.latency = profile.latency
+        self._timers: set[threading.Timer] = set()
+        self._timers_lock = threading.Lock()
 
-    def transmit(self, num_bytes: float, on_delivered: Callable[[float], None]) -> None:
+    def transmit(
+        self, num_bytes: float, on_delivered: Callable[[float], None]
+    ) -> bool:
+        """Serialise then deliver after the propagation delay.  Returns
+        ``False`` without enqueueing when a bounded link queue is full."""
+
         def serialised(time_done: float) -> None:
             if self.latency <= 0:
                 on_delivered(time_done)
                 return
             wall_delay = self.latency / self._clock.speedup
-            timer = threading.Timer(
-                wall_delay, lambda: on_delivered(self._clock.now())
-            )
+
+            def deliver() -> None:
+                try:
+                    on_delivered(self._clock.now())
+                finally:
+                    with self._timers_lock:
+                        self._timers.discard(timer)
+
+            timer = threading.Timer(wall_delay, deliver)
             timer.daemon = True
+            with self._timers_lock:
+                self._timers.add(timer)
             timer.start()
 
-        self.submit(num_bytes, serialised)
+        return self.submit(num_bytes, serialised)
+
+    def shutdown(self, join_timeout: float = 5.0) -> bool:
+        """Stop the serialising worker, then drain outstanding propagation
+        timers within the same ``join_timeout`` budget.  A timer still
+        alive past the budget is reported exactly like a wedged worker."""
+        clean = super().shutdown(join_timeout)
+        deadline = time.monotonic() + join_timeout
+        # The worker is joined, so no new timers can be created; snapshot
+        # and join what is still propagating.
+        with self._timers_lock:
+            pending = list(self._timers)
+        for timer in pending:
+            timer.join(timeout=max(0.0, deadline - time.monotonic()))
+        leaked = [t for t in pending if t.is_alive()]
+        if leaked:
+            message = (
+                f"link {self.name!r} leaked {len(leaked)} propagation "
+                f"timer(s) still alive {join_timeout:.1f}s after shutdown"
+            )
+            logger.warning(message)
+            warnings.warn(message, RuntimeWarning, stacklevel=2)
+            return False
+        return clean

@@ -31,6 +31,7 @@ from .node import RuntimeLink, RuntimeNode
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..resilience.faults import FaultPlan
+    from ..resilience.overload import OverloadControl, OverloadGovernor
     from ..resilience.recovery import RecoveryPolicy
 
 
@@ -73,9 +74,22 @@ class RuntimeReport:
 
     @property
     def in_flight_count(self) -> int:
-        """Tasks neither completed nor dropped when the report was cut
-        (``len(tasks) == completed + dropped + in-flight`` always holds)."""
+        """Tasks neither completed, dropped, nor shed when the report was
+        cut (``len(tasks) == completed + dropped + shed + in-flight``
+        always holds)."""
         return sum(1 for t in self.tasks if t.in_flight)
+
+    @property
+    def shed_count(self) -> int:
+        """Tasks rejected at admission by overload control."""
+        return sum(1 for t in self.tasks if t.shed)
+
+    @property
+    def shed_rate(self) -> float:
+        """Fraction of generated tasks shed (NaN if none generated)."""
+        if not self.tasks:
+            return float("nan")
+        return self.shed_count / len(self.tasks)
 
     @property
     def total_retries(self) -> int:
@@ -212,7 +226,10 @@ class LeimeRuntime:
 
     def _task_dropped(self, task: TaskRecord) -> None:
         """Terminal failure: the task leaves the system uncompleted (it
-        still decrements the drain counter, so runs always terminate)."""
+        still decrements the drain counter, so runs always terminate).
+        Bounded-queue rejections mid-pipeline land here too — every
+        submission path checks its ``submit``/``transmit`` result, so a
+        full queue can never strand the drain counter."""
         task.dropped = True
         with self._tasks_lock:
             self._outstanding -= 1
@@ -268,7 +285,8 @@ class LeimeRuntime:
     ) -> None:
         faults = self._faults
         if faults is None:
-            self.uplinks[task.device].transmit(size, on_delivered)
+            if not self.uplinks[task.device].transmit(size, on_delivered):
+                give_up()
             return
         slot = self._fault_slot()
         if faults.drop_at(slot, task.device):
@@ -292,7 +310,8 @@ class LeimeRuntime:
             else:
                 on_delivered(t)
 
-        self.uplinks[task.device].transmit(size, delivered)
+        if not self.uplinks[task.device].transmit(size, delivered):
+            give_up()
 
     def _submit_edge(
         self,
@@ -309,16 +328,21 @@ class LeimeRuntime:
                 give_up,
             )
             return
-        self.edge_slices[task.device].submit(demand, on_done)
+        if not self.edge_slices[task.device].submit(demand, on_done):
+            give_up()
 
     def _to_cloud(self, task: TaskRecord) -> None:
         part = self.system.partition_for(task.device)
-        self.cloud_link.transmit(
-            part.d2,
-            lambda t: self.cloud.submit(
+
+        def sent(t: float) -> None:
+            accepted = self.cloud.submit(
                 part.mu3, lambda t2: self._task_finished(task, t2, 3)
-            ),
-        )
+            )
+            if not accepted:
+                self._task_dropped(task)
+
+        if not self.cloud_link.transmit(part.d2, sent):
+            self._task_dropped(task)
 
     def _second_block(self, task: TaskRecord) -> None:
         part = self.system.partition_for(task.device)
@@ -372,7 +396,8 @@ class LeimeRuntime:
                 lambda: self._task_dropped(task),
             )
 
-        self.devices[task.device].submit(demand, local_done)
+        if not self.devices[task.device].submit(demand, local_done):
+            self._task_dropped(task)
 
     def _launch(self, task: TaskRecord) -> None:
         part = self.system.partition_for(task.device)
@@ -420,6 +445,7 @@ class LeimeRuntime:
         slot_hook: Callable[[int], object] | None = None,
         faults: "FaultPlan | None" = None,
         recovery: "RecoveryPolicy | None" = None,
+        overload: "OverloadControl | OverloadGovernor | None" = None,
     ) -> RuntimeReport:
         """Generate ``num_slots`` slots of live tasks and wait for drain.
 
@@ -446,6 +472,19 @@ class LeimeRuntime:
                 its policy in a
                 :class:`~repro.resilience.recovery.ResilientPolicy` for
                 the run.
+            overload: An
+                :class:`~repro.resilience.overload.OverloadControl` (a
+                fresh governor is built and attached to this runtime) or
+                a pre-built
+                :class:`~repro.resilience.overload.OverloadGovernor`
+                (pass one to attach an
+                :class:`~repro.core.adaptation.AdaptiveExitController`
+                for re-planning on recovery).  Enables the live overload
+                layer: worker queues are bounded to ``queue_capacity``,
+                the admission gate sheds demand past the watermarks,
+                backpressure clamps the offloading ratios, and ladder
+                rung changes hot-swap the deployed partition via
+                :meth:`apply_partition`.
         """
         if len(arrivals) != self.system.num_devices:
             raise ValueError("need one arrival process per device")
@@ -467,6 +506,31 @@ class LeimeRuntime:
         self._faults = faults
         self._recovery = recovery
         n = self.system.num_devices
+        governor = None
+        if overload is not None:
+            from ..resilience.overload import (
+                OverloadControl,
+                OverloadGovernor,
+                apply_backpressure,
+            )
+
+            governor = (
+                OverloadGovernor(overload, n)
+                if isinstance(overload, OverloadControl)
+                else overload
+            )
+            if governor.runtime is None:
+                governor.runtime = self
+            capacity = governor.control.queue_capacity
+            if capacity is not None:
+                for node in (
+                    *self.devices,
+                    *self.uplinks,
+                    *self.edge_slices,
+                    self.cloud_link,
+                    self.cloud,
+                ):
+                    node.capacity = int(capacity)
         state = LyapunovState.zeros(n)
         tau = self.system.slot_length
         fractional = [0.0] * n
@@ -478,26 +542,49 @@ class LeimeRuntime:
             for i in range(n):
                 state.queue_local[i] = self.devices[i].backlog
                 state.queue_edge[i] = self.edge_slices[i].backlog
+            backlogs = [
+                state.queue_local[i] + state.queue_edge[i] for i in range(n)
+            ]
+            if governor is not None:
+                # A rung change hot-swaps the deployed partition before
+                # the policy reads it.
+                governor.observe(slot, backlogs)
             expected = [proc.mean(slot) for proc in arrivals]
             ratios = policy.decide(self.system, state, expected)
+            if governor is not None:
+                ratios = apply_backpressure(
+                    ratios, state.queue_edge, governor.control, governor.mode
+                )
             for i, proc in enumerate(arrivals):
                 with self._control_lock:
                     drawn = float(proc.sample(slot, self._control_rng))
                 fractional[i] += drawn
                 count = int(fractional[i])
                 fractional[i] -= count
-                for _ in range(count):
+                admitted = (
+                    count
+                    if governor is None
+                    else governor.gate.admit_count(
+                        i, count, backlogs[i], governor.mode
+                    )
+                )
+                for k in range(count):
                     task = TaskRecord(
                         task_id=len(self._tasks),
                         device=i,
                         created=self.clock.now(),
                         offloaded=self._control_random() < ratios[i],
+                        shed=k >= admitted,
                     )
                     with self._tasks_lock:
                         self._tasks.append(task)
-                        self._outstanding += 1
-                        self._done.clear()
-                    self._launch(task)
+                        if not task.shed:
+                            self._outstanding += 1
+                            self._done.clear()
+                    # A shed task never enters the pipeline — it is
+                    # terminal at creation and exempt from the drain.
+                    if not task.shed:
+                        self._launch(task)
             self.clock.sleep(tau)
         # Generation is over: park the fault cursor past the plan (a
         # healthy world), so retries issued during the drain succeed.

@@ -64,6 +64,7 @@ from .tasks import TaskRecord
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..resilience.faults import FaultPlan
+    from ..resilience.overload import OverloadControl
     from ..resilience.recovery import RecoveryPolicy
 
 
@@ -114,6 +115,9 @@ class EventSimResult:
 
     tasks: tuple[TaskRecord, ...]
     horizon: float
+    #: Degradation-ladder rung per generation slot (empty when the run
+    #: was ungoverned) — see :mod:`repro.resilience.overload`.
+    modes: tuple[int, ...] = ()
 
     @cached_property
     def completed(self) -> tuple[TaskRecord, ...]:
@@ -164,9 +168,21 @@ class EventSimResult:
     @property
     def in_flight_count(self) -> int:
         """Tasks still in the system at the horizon.  The accounting
-        identity ``len(tasks) == completed + dropped + in-flight`` always
-        holds (the property harness pins it)."""
+        identity ``len(tasks) == completed + dropped + shed + in-flight``
+        always holds (the property harness pins it)."""
         return sum(1 for t in self.tasks if t.in_flight)
+
+    @property
+    def shed_count(self) -> int:
+        """Tasks rejected at admission by overload control."""
+        return sum(1 for t in self.tasks if t.shed)
+
+    @property
+    def shed_rate(self) -> float:
+        """Fraction of generated tasks shed (NaN if none generated)."""
+        if not self.tasks:
+            return float("nan")
+        return self.shed_count / len(self.tasks)
 
     @property
     def total_retries(self) -> int:
@@ -281,6 +297,15 @@ class EventSimulator:
             budget enables dead-edge exclusion or the telemetry watchdog,
             the policy passed to :meth:`run` is wrapped in a
             :class:`~repro.resilience.recovery.ResilientPolicy`.
+        overload: An :class:`~repro.resilience.overload.OverloadControl`
+            enabling the load-control layer at slot boundaries: the
+            admission gate sheds whole tasks (created, counted, but
+            never launched — their RNG draws are still consumed, so a
+            governed run replays its ungoverned twin's streams),
+            backpressure clamps the offloading ratios, and the
+            degradation ladder overrides the per-device exit parameters.
+            Both engines realise the identical control decisions, so the
+            per-task equality contract extends to governed runs.
     """
 
     system: EdgeSystem
@@ -291,6 +316,7 @@ class EventSimulator:
     shared_uplink: bool = False
     faults: "FaultPlan | None" = None
     recovery: "RecoveryPolicy | None" = None
+    overload: "OverloadControl | None" = None
 
     def __post_init__(self) -> None:
         if len(self.arrivals) != self.system.num_devices:
@@ -403,6 +429,30 @@ class EventSimulator:
 
         faults = self.faults
         policy, recovery = self._resolve_policy(policy)
+
+        # Effective exit parameters per device.  The degradation ladder
+        # overrides them at slot boundaries; every exit decision reads
+        # them at completion time, mirroring how the fast engine's
+        # per-window arrays pick up the rung set at the window start.
+        sigma1_eff = [system.partition_for(i).sigma1 for i in range(n)]
+        exit2_eff = [0.0] * n
+        for i in range(n):
+            part = system.partition_for(i)
+            exit2_eff[i] = (
+                (part.sigma2 - part.sigma1) / (1.0 - part.sigma1)
+                if part.sigma1 < 1.0
+                else 1.0
+            )
+        governor = None
+        modes: list[int] = []
+        if self.overload is not None:
+            from ..resilience.overload import (
+                OverloadGovernor,
+                apply_backpressure,
+                degraded_exit_params,
+            )
+
+            governor = OverloadGovernor(self.overload, n)
 
         tasks: list[TaskRecord] = []
         # Two exit coins per task, pre-drawn at creation from the exit
@@ -523,15 +573,11 @@ class EventSimulator:
         def second_block(task: TaskRecord, time: float) -> None:
             """Run block 2 on the task's edge slice, then exit or go deeper."""
             part = system.partition_for(task.device)
-            sigma1, sigma2 = part.sigma1, part.sigma2
-            exit2_given_past1 = (
-                (sigma2 - sigma1) / (1.0 - sigma1) if sigma1 < 1.0 else 1.0
-            )
 
             def computed(t: float, service: float) -> None:
                 task.compute_time += service
                 task.queue_time += (t - time) - service
-                if exit_coins[task.task_id][1] < exit2_given_past1:
+                if exit_coins[task.task_id][1] < exit2_eff[task.device]:
                     finish(task, t, 2)
                 else:
                     to_cloud(task, t)
@@ -549,7 +595,7 @@ class EventSimulator:
             def computed(t: float, service: float) -> None:
                 task.compute_time += service
                 task.queue_time += (t - time) - service
-                if exit_coins[task.task_id][0] < part.sigma1:
+                if exit_coins[task.task_id][0] < sigma1_eff[task.device]:
                     finish(task, t, 1)
                 else:
                     second_block(task, t)
@@ -574,7 +620,7 @@ class EventSimulator:
             def computed(t: float, service: float) -> None:
                 task.compute_time += service
                 task.queue_time += (t - time) - service
-                if exit_coins[task.task_id][0] < part.sigma1:
+                if exit_coins[task.task_id][0] < sigma1_eff[task.device]:
                     finish(task, t, 1)
                     return
 
@@ -622,8 +668,23 @@ class EventSimulator:
                 for i in range(n):
                     state.queue_local[i] = device_cpu[i].occupancy
                     state.queue_edge[i] = edge_slice[i].occupancy
+                if governor is not None:
+                    backlogs = [
+                        state.queue_local[i] + state.queue_edge[i]
+                        for i in range(n)
+                    ]
+                    mode = governor.observe(slot, backlogs)
+                    for i in range(n):
+                        sigma1_eff[i], exit2_eff[i] = degraded_exit_params(
+                            system.partition_for(i), mode
+                        )
+                    modes.append(mode)
                 expected = [proc.mean(slot) for proc in self.arrivals]
                 ratios[:] = policy.decide(system, state, expected, live)
+                if governor is not None:
+                    ratios[:] = apply_backpressure(
+                        ratios, state.queue_edge, self.overload, governor.mode
+                    )
                 for i, proc in enumerate(self.arrivals):
                     # Tasks are integral here; fractional draws (the fluid
                     # model's constant rates) accumulate until they yield a
@@ -631,7 +692,19 @@ class EventSimulator:
                     fractional[i] += float(proc.sample(slot, rng))
                     count = int(fractional[i])
                     fractional[i] -= count
-                    for _ in range(count):
+                    # The gate runs once per device per slot (token refill)
+                    # even when nothing arrived.  Shed tasks beyond the
+                    # allowance are still created — all their RNG draws are
+                    # consumed so a governed run replays its ungoverned
+                    # twin's streams — but never launched.
+                    admitted = (
+                        count
+                        if governor is None
+                        else governor.gate.admit_count(
+                            i, count, backlogs[i], governor.mode
+                        )
+                    )
+                    for k in range(count):
                         offset = (
                             float(rng.uniform(0.0, tau))
                             if self.spread_arrivals
@@ -642,14 +715,17 @@ class EventSimulator:
                             device=i,
                             created=time + offset,
                             offloaded=bool(rng.random() < ratios[i]),
+                            shed=k >= admitted,
                         )
                         tasks.append(task)
                         exit_coins.append(
                             (float(exit_rng.random()), float(exit_rng.random()))
                         )
-                        engine.schedule(
-                            task.created, lambda t, _task=task: launch(_task, t)
-                        )
+                        if not task.shed:
+                            engine.schedule(
+                                task.created,
+                                lambda t, _task=task: launch(_task, t),
+                            )
 
             return handler
 
@@ -660,4 +736,6 @@ class EventSimulator:
         engine.run_until(horizon)
         if drain:
             engine.run_to_exhaustion(horizon * drain_limit_factor)
-        return EventSimResult(tasks=tuple(tasks), horizon=engine.now)
+        return EventSimResult(
+            tasks=tuple(tasks), horizon=engine.now, modes=tuple(modes)
+        )

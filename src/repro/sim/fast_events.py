@@ -302,10 +302,11 @@ class _TaskStore:
         self.comp = np.empty(cap, dtype=_F8)
         self.trans = np.empty(cap, dtype=_F8)
         self.queue = np.empty(cap, dtype=_F8)
+        self.shed = np.empty(cap, dtype=np.bool_)
 
     _COLS = (
         "device", "created", "offloaded", "u1", "u2", "completed",
-        "tier", "dropped", "retries", "comp", "trans", "queue",
+        "tier", "dropped", "retries", "comp", "trans", "queue", "shed",
     )
 
     def append(self, device, created, offloaded, u1, u2) -> int:
@@ -328,6 +329,7 @@ class _TaskStore:
         self.comp[i] = 0.0
         self.trans[i] = 0.0
         self.queue[i] = 0.0
+        self.shed[i] = False
         self.count += 1
         return i
 
@@ -353,6 +355,7 @@ class _TaskStore:
         self.comp[i0:i1] = 0.0
         self.trans[i0:i1] = 0.0
         self.queue[i0:i1] = 0.0
+        self.shed[i0:i1] = False
         self.count = i1
         return np.arange(i0, i1, dtype=_I8)
 
@@ -366,10 +369,10 @@ class _TaskStore:
                 i, dev, created, off,
                 tier if fin == fin else 0,
                 fin if fin == fin else None,
-                comp, trans, queue, retries, dropped,
+                comp, trans, queue, retries, dropped, shed,
             )
             for i, (dev, created, off, tier, fin, comp, trans, queue,
-                    retries, dropped) in enumerate(
+                    retries, dropped, shed) in enumerate(
                 zip(
                     self.device[:c].tolist(),
                     self.created[:c].tolist(),
@@ -381,6 +384,7 @@ class _TaskStore:
                     self.queue[:c].tolist(),
                     self.retries[:c].tolist(),
                     self.dropped[:c].tolist(),
+                    self.shed[:c].tolist(),
                 )
             )
         ]
@@ -431,6 +435,10 @@ class _FastEngine:
                 if part.sigma1 < 1.0
                 else 1.0
             )
+        # The degradation ladder overrides the exit-coin thresholds per
+        # window; keep the deployed values so recovery restores them.
+        self.base_sigma1 = self.sigma1.copy()
+        self.base_exit2cond = self.exit2cond.copy()
 
         # Server id layout: [0,n) device CPUs, [n,2n) uplinks (shared mode
         # collapses every device onto sid n), [2n,3n) edge slices, 3n the
@@ -489,6 +497,24 @@ class _FastEngine:
             for i, device in enumerate(live):
                 self.rate[n + i] = device.link.bandwidth
                 self.extra[n + i] = device.link.latency
+
+    def set_mode(self, mode: int) -> None:
+        """Realise a degradation-ladder rung: override the exit-coin
+        thresholds for the coming window, byte-identically to the scalar
+        engine's :func:`~repro.resilience.overload.degraded_exit_params`
+        refresh (``(1-σ₁)/(1-σ₁)`` is exactly ``1.0`` in IEEE, so forcing
+        the conditional to ``1.0`` matches the scalar division)."""
+        from ..resilience.overload import MODE_FULL, MODE_SECOND_EXIT
+
+        if mode <= MODE_FULL:
+            self.sigma1[:] = self.base_sigma1
+            self.exit2cond[:] = self.base_exit2cond
+        elif mode == MODE_SECOND_EXIT:
+            self.sigma1[:] = self.base_sigma1
+            self.exit2cond[:] = 1.0
+        else:
+            self.sigma1[:] = 1.0
+            self.exit2cond[:] = 1.0
 
     def occupancy(self, w0: float) -> np.ndarray:
         """Waiting + in-service jobs per server at boundary time ``w0``.
@@ -1148,6 +1174,12 @@ def run_fast(
     state = LyapunovState.zeros(n)
     ratios = [0.0] * n
     fractional = [0.0] * n
+    governor = None
+    modes: list[int] = []
+    if sim.overload is not None:
+        from ..resilience.overload import OverloadGovernor, apply_backpressure
+
+        governor = OverloadGovernor(sim.overload, n)
 
     for slot in range(num_slots):
         w0 = slot * tau
@@ -1157,18 +1189,39 @@ def run_fast(
         occ = eng.occupancy(w0)
         state.queue_local[:] = occ[:n].tolist()
         state.queue_edge[:] = occ[2 * n : 3 * n].tolist()
+        if governor is not None:
+            backlogs = [
+                state.queue_local[i] + state.queue_edge[i] for i in range(n)
+            ]
+            eng.set_mode(governor.observe(slot, backlogs))
+            modes.append(governor.mode)
         expected = [proc.mean(slot) for proc in sim.arrivals]
         ratios[:] = eng.policy.decide(system, state, expected, live)
+        if governor is not None:
+            ratios[:] = apply_backpressure(
+                ratios, state.queue_edge, sim.overload, governor.mode
+            )
         l_time: list[np.ndarray] = []
         l_dev: list[int] = []
         l_count: list[int] = []
         l_off: list[np.ndarray] = []
+        l_shed: list[np.ndarray] = []
         for i, proc in enumerate(sim.arrivals):
             fractional[i] += float(proc.sample(slot, rng))
             count = int(fractional[i])
             fractional[i] -= count
+            # The gate's per-device refill runs once per slot whether or
+            # not tasks arrived, mirroring the scalar boundary handler.
+            admitted = (
+                count
+                if governor is None
+                else governor.gate.admit_count(
+                    i, count, backlogs[i], governor.mode
+                )
+            )
             if not count:
                 continue
+            l_shed.append(np.arange(count) >= admitted)
             # Batched draws consume the same PCG64 doubles, in the same
             # order, as the scalar engine's per-task
             # ``uniform(0, tau)`` / ``random()`` interleaving:
@@ -1196,6 +1249,20 @@ def run_fast(
             tasks = eng.store.append_batch(
                 devices, times, offloaded, exit_draws[0::2], exit_draws[1::2]
             )
+            if governor is not None:
+                # Shed tasks keep their rows (all RNG draws consumed, so
+                # governed and ungoverned runs replay identical streams)
+                # but never become launch intents — per device the first
+                # ``admitted`` tasks run, the tail is shed, exactly the
+                # scalar boundary's k >= admitted rule.
+                shed_arr = np.concatenate(l_shed)
+                if shed_arr.any():
+                    eng.store.shed[tasks[shed_arr]] = True
+                    keep = ~shed_arr
+                    times = times[keep]
+                    tasks = tasks[keep]
+                    offloaded = offloaded[keep]
+                    total = int(keep.sum())
         else:
             times = np.empty(0, dtype=_F8)
             tasks = np.empty(0, dtype=_I8)
@@ -1231,5 +1298,7 @@ def run_fast(
         eng.window(horizon, horizon, _empty(_INTENT), inclusive=True)
         result_horizon = horizon
     return EventSimResult(
-        tasks=tuple(eng.store.materialize()), horizon=result_horizon
+        tasks=tuple(eng.store.materialize()),
+        horizon=result_horizon,
+        modes=tuple(modes),
     )

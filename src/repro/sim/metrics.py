@@ -14,11 +14,18 @@ class SlotRecord:
 
     Attributes:
         slot: Slot index.
-        arrivals: Total tasks arriving this slot.
+        arrivals: Total tasks *admitted* this slot (overload control may
+            shed part of the generated demand).
         total_time: Summed latency of those tasks (``Σ_i Y_i + tail_i``).
         ratios: Per-device offloading ratios chosen for the slot.
         queue_local: Post-update ``Q_i`` per device.
         queue_edge: Post-update ``H_i`` per device.
+        shed: Tasks rejected this slot by the admission gate plus queue
+            overflow clamped by the bounded-queue capacity; the slot's
+            generated demand is ``arrivals + shed``.
+        mode: The degradation-ladder rung in effect
+            (:data:`repro.resilience.overload.MODE_FULL` when no
+            governor is attached).
     """
 
     slot: int
@@ -27,6 +34,8 @@ class SlotRecord:
     ratios: tuple[float, ...]
     queue_local: tuple[float, ...]
     queue_edge: tuple[float, ...]
+    shed: float = 0.0
+    mode: int = 0
 
     @property
     def mean_tct(self) -> float:
@@ -63,6 +72,18 @@ class SimulationResult:
         return sum(r.arrivals for r in self.records)
 
     @property
+    def total_shed(self) -> float:
+        """Fluid tasks rejected by overload control across the run."""
+        return sum(r.shed for r in self.records)
+
+    @property
+    def total_generated(self) -> float:
+        """Demand before admission: ``arrivals + shed`` summed — the
+        fluid half of ``generated = completed + dropped + shed +
+        in-flight``."""
+        return sum(r.arrivals + r.shed for r in self.records)
+
+    @property
     def mean_tct(self) -> float:
         """Arrival-weighted mean TCT across the whole run."""
         arrivals = self.total_arrivals
@@ -87,6 +108,13 @@ class SimulationResult:
 
     def ratio_timeline(self, device: int = 0) -> np.ndarray:
         return np.array([r.ratios[device] for r in self.records])
+
+    def mode_timeline(self) -> np.ndarray:
+        """Per-slot degradation-ladder rung (zeros when ungoverned)."""
+        return np.array([r.mode for r in self.records])
+
+    def shed_timeline(self) -> np.ndarray:
+        return np.array([r.shed for r in self.records])
 
     def tct_percentile(self, q: float) -> float:
         """Percentile of per-slot mean TCT over slots with arrivals."""

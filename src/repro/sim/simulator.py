@@ -18,7 +18,7 @@ trajectory (common random numbers via the seed).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
@@ -32,6 +32,9 @@ from ..core.vectorized import FleetState, VectorizedSlotEngine
 from .arrivals import ArrivalProcess
 from .environment import DynamicEnvironment, StaticEnvironment
 from .metrics import SimulationResult, SlotRecord
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..resilience.overload import OverloadControl
 
 
 @dataclass
@@ -54,6 +57,16 @@ class SlotSimulator:
             sequence is unchanged, so a vectorized run sees the *same*
             arrivals and environment trajectory as a scalar run with the
             same seed — the differential tests rely on this.
+        overload: An :class:`~repro.resilience.overload.OverloadControl`
+            enabling the load-control layer: per-slot admission gating
+            (shed demand is recorded on each
+            :class:`~repro.sim.metrics.SlotRecord`), backpressure ratio
+            clamps, bounded queues, and the degradation ladder (degraded
+            rungs replace the live system's partitions via
+            :func:`~repro.resilience.overload.degrade_system`).  The
+            gate, clamp, and ladder all run on plain Python floats
+            *outside* the scalar/vectorized branch, so governed runs
+            stay byte-identical across both fluid paths.
 
     Environments may additionally expose a ``system_at(slot, base)``
     method (the :class:`~repro.traces.replay.TraceEnvironment` extension):
@@ -70,6 +83,7 @@ class SlotSimulator:
     include_tail: bool = True
     seed: int = 0
     vectorized: bool = False
+    overload: "OverloadControl | None" = None
 
     def __post_init__(self) -> None:
         if len(self.arrivals) != self.system.num_devices:
@@ -101,6 +115,19 @@ class SlotSimulator:
         engine = VectorizedSlotEngine(self.system) if self.vectorized else None
         fleet = FleetState.from_lyapunov(state) if self.vectorized else None
         system_at = getattr(self.environment, "system_at", None)
+        n = self.system.num_devices
+        governor = None
+        if self.overload is not None:
+            from ..resilience.overload import (
+                MODE_FULL,
+                OverloadGovernor,
+                apply_backpressure,
+                clamp_queues,
+                degrade_system,
+                drain_stranded_edge,
+            )
+
+            governor = OverloadGovernor(self.overload, n)
         records: list[SlotRecord] = []
         for slot in range(num_slots):
             # The live system: a trace environment may vary testbed
@@ -109,12 +136,35 @@ class SlotSimulator:
             live_system = (
                 self.system if system_at is None else system_at(slot, self.system)
             )
+            mode = 0
+            shed = 0.0
+            if governor is not None:
+                backlogs = [
+                    state.queue_local[i] + state.queue_edge[i]
+                    for i in range(n)
+                ]
+                mode = governor.observe(slot, backlogs)
+                if mode != MODE_FULL:
+                    # The rung's partitions replace the live ones, so the
+                    # fluid cost model serves at the degraded exit depth.
+                    live_system = degrade_system(live_system, mode)
             live_devices = self.environment.devices_at(
                 slot, live_system.devices, rng
             )
             expected = [proc.mean(slot) for proc in self.arrivals]
             realised = [proc.sample(slot, rng) for proc in self.arrivals]
+            if governor is not None:
+                admitted = []
+                for i in range(n):
+                    a = governor.gate.admit(i, realised[i], backlogs[i], mode)
+                    shed += realised[i] - a
+                    admitted.append(a)
+                realised = admitted
             ratios = policy.decide(live_system, state, expected, live_devices)
+            if governor is not None:
+                ratios = apply_backpressure(
+                    ratios, state.queue_edge, self.overload, mode
+                )
             if engine is not None:
                 cost = engine.slot_costs(
                     live_devices,
@@ -148,6 +198,45 @@ class SlotSimulator:
                     total_time += cost.total_time
                     total_arrivals += realised[i]
                     state.update(i, cost)
+            if governor is not None:
+                # Backpressure forced x_i = 0 for saturated devices, but
+                # the fluid edge service c_i(t) is offload-driven (Eq. 9
+                # gives F_{i,1}^e = 0 at x = 0), so the stranded backlog
+                # would otherwise never drain and the ladder could never
+                # cool down.  Drain it at the idle slice's full
+                # first-block rate — the fluid twin of the event engines'
+                # work-conserving FIFOs.
+                idle_service = [
+                    live_system.slot_length
+                    / (
+                        live_system.partition_for(i).mu1
+                        / (live_system.shares[i] * live_system.edge_flops)
+                        + live_system.edge_overhead
+                    )
+                    if live_system.shares[i] > 0
+                    else 0.0
+                    for i in range(n)
+                ]
+                drain_stranded_edge(
+                    state.queue_edge,
+                    ratios,
+                    idle_service,
+                    self.overload.queue_high,
+                    mode,
+                )
+                if self.overload.queue_capacity is not None:
+                    # Bounded queues: overflow past the capacity is shed,
+                    # and the clamp runs on the scalar state lists in both
+                    # paths (the vectorized arrays are rewritten from
+                    # them) so the shed float is identical.
+                    shed += clamp_queues(
+                        state.queue_local,
+                        state.queue_edge,
+                        self.overload.queue_capacity,
+                    )
+                if fleet is not None:
+                    fleet.queue_local[:] = state.queue_local
+                    fleet.queue_edge[:] = state.queue_edge
             records.append(
                 SlotRecord(
                     slot=slot,
@@ -156,6 +245,8 @@ class SlotSimulator:
                     ratios=tuple(ratios),
                     queue_local=tuple(state.queue_local),
                     queue_edge=tuple(state.queue_edge),
+                    shed=shed,
+                    mode=mode,
                 )
             )
         return SimulationResult(records=tuple(records))

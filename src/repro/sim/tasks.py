@@ -27,6 +27,11 @@ class TaskRecord:
         dropped: The task was abandoned — its retry budget ran out with
             no fallback, or a retry would have passed its deadline.  A
             dropped task is terminal but never ``done``.
+        shed: The task was rejected at admission (the overload layer's
+            watermark/token-bucket gate) and never entered the system.
+            Terminal, like ``dropped``, but distinct in the SLO identity
+            — shedding is a *decision*, dropping a *failure* (a bounded
+            queue rejecting a task mid-pipeline is a drop).
     """
 
     task_id: int
@@ -40,6 +45,7 @@ class TaskRecord:
     queue_time: float = 0.0
     retries: int = 0
     dropped: bool = False
+    shed: bool = False
 
     @property
     def tct(self) -> float:
@@ -54,5 +60,6 @@ class TaskRecord:
 
     @property
     def in_flight(self) -> bool:
-        """Still somewhere in the system: neither completed nor dropped."""
-        return self.completed is None and not self.dropped
+        """Still somewhere in the system: neither completed, dropped,
+        nor shed at admission."""
+        return self.completed is None and not self.dropped and not self.shed

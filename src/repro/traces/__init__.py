@@ -31,6 +31,7 @@ from .schema import CHANNEL_UNITS, Trace, TraceChannel, TraceValidationError
 from .serialize import load_trace, save_trace, traces_equal
 from .generators import (
     WildTraceSpec,
+    canonical_flash_crowd,
     diurnal_series,
     flash_crowd_rates,
     generate_trace,
@@ -49,6 +50,7 @@ __all__ = [
     "save_trace",
     "traces_equal",
     "WildTraceSpec",
+    "canonical_flash_crowd",
     "diurnal_series",
     "flash_crowd_rates",
     "generate_trace",

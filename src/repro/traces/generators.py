@@ -183,6 +183,33 @@ def flash_crowd_rates(
     return rates
 
 
+def canonical_flash_crowd(
+    num_slots: int = 120,
+    num_devices: int = 4,
+    base_rate: float = 0.3,
+    magnitude: float = 8.0,
+    crowd_start: int = 30,
+    crowd_stop: int = 70,
+) -> np.ndarray:
+    """The pinned ``(S, N)`` flash-crowd rate matrix the overload
+    experiments share: ``base_rate`` everywhere except a fleet-wide burst
+    of ``base_rate × magnitude`` over ``[crowd_start, crowd_stop)``.
+
+    Deterministic by construction (no RNG), so governed vs ungoverned
+    comparisons in :mod:`repro.experiments.fig_overload`, the overload
+    benchmark, and the CI gate all replay the identical demand — the
+    overload twin of :func:`repro.resilience.faults.canonical_outage_plan`.
+    Feed each column to
+    :meth:`repro.sim.arrivals.TraceArrivals.from_series`."""
+    if not 0 <= crowd_start < crowd_stop <= num_slots:
+        raise ValueError("need 0 <= crowd_start < crowd_stop <= num_slots")
+    if base_rate < 0 or magnitude < 1.0:
+        raise ValueError("need base_rate >= 0 and magnitude >= 1")
+    rates = np.full((num_slots, num_devices), base_rate, dtype=np.float64)
+    rates[crowd_start:crowd_stop] = base_rate * magnitude
+    return rates
+
+
 def poisson_churn(
     num_slots: int,
     num_devices: int,

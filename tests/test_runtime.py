@@ -58,6 +58,66 @@ def test_runtime_node_validation():
     node.shutdown()
 
 
+def test_runtime_node_capacity_rejects_when_full():
+    """A bounded node refuses submissions past its capacity instead of
+    queueing without limit; accepted work still completes."""
+    clock = VirtualClock(speedup=1000.0)
+    node = RuntimeNode("bounded", flops=1e9, clock=clock, capacity=1)
+    outcomes = []
+    try:
+        # Each job runs ~0.3 s wall, so the flood below lands while the
+        # worker is busy and the single queue slot fills immediately.
+        outcomes = [node.submit(3e11, lambda t: None) for _ in range(5)]
+    finally:
+        node.shutdown(join_timeout=10.0)
+    accepted = sum(outcomes)
+    assert accepted + node.jobs_rejected == 5
+    # The worker can steal at most one job off the queue mid-flood.
+    assert accepted <= 2
+    assert node.jobs_rejected >= 3
+    assert node.jobs_done == accepted
+
+
+def test_runtime_node_capacity_validation():
+    clock = VirtualClock(speedup=1000.0)
+    with pytest.raises(ValueError):
+        RuntimeNode("bad", flops=1e9, clock=clock, capacity=0)
+
+
+def test_runtime_link_shutdown_drains_propagation_timers():
+    """shutdown() joins in-flight propagation timers: every transmitted
+    payload has been delivered by the time it returns, and the return
+    value reports a clean stop."""
+    clock = VirtualClock(speedup=1000.0)
+    link = RuntimeLink(
+        "hop", NetworkProfile(bandwidth=1e9, latency=2.0), clock
+    )
+    deliveries = []
+    for _ in range(3):
+        assert link.transmit(1e3, deliveries.append)
+    clean = link.shutdown()
+    assert clean
+    # No sleeping: the drain happened inside shutdown, not after it.
+    assert len(deliveries) == 3
+
+
+def test_empty_runtime_report_rates_are_nan():
+    """Statistics over zero tasks are NaN, never an optimistic number —
+    including the overload layer's shed_rate."""
+    import math
+
+    from repro.runtime.system import RuntimeReport
+
+    report = RuntimeReport(tasks=(), virtual_duration=0.0)
+    assert math.isnan(report.completion_rate)
+    assert math.isnan(report.mean_tct)
+    assert math.isnan(report.drop_rate)
+    assert math.isnan(report.shed_rate)
+    assert report.shed_count == 0
+    assert report.dropped_count == 0
+    assert report.in_flight_count == 0
+
+
 def test_runtime_link_delivers_after_latency():
     clock = VirtualClock(speedup=2000.0)
     link = RuntimeLink(
