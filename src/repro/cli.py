@@ -56,6 +56,7 @@ EXPERIMENTS = (
     "fig11",
     "fig_wild",
     "fig_faults",
+    "fig_federation",
     "fig_overload",
     "motivation",
     "pareto",
@@ -656,6 +657,78 @@ def _cmd_overload(args: argparse.Namespace) -> int:
     return 0 if checks_ok else 1
 
 
+def _cmd_federation(args: argparse.Namespace) -> int:
+    from .experiments.fig_federation import run_fig_federation
+
+    result = run_fig_federation(
+        num_slots=args.slots,
+        seed=args.seed,
+        num_edges=args.edges,
+        num_devices=args.devices,
+    )
+    failover = result.by_scheme("failover")
+    stay = result.by_scheme("no failover")
+    start = result.faults.meta["outage_start"]
+    stop = result.faults.meta["outage_stop"]
+    checks_ok = result.migration_gain > 0 and result.fluid_paths_identical
+
+    print(
+        f"federation : {args.edges} edges, {args.devices} devices, "
+        f"edge {result.faults.meta['edge']} down slots {start}-{stop} "
+        f"({args.slots} slots, seed {args.seed})"
+    )
+    print(
+        f"failover   : {failover.completed}/{failover.generated} completed, "
+        f"{failover.dropped} dropped, {failover.migrations} migrations"
+    )
+    print(
+        f"no failover: {stay.completed}/{stay.generated} completed, "
+        f"{stay.dropped} dropped"
+    )
+    print(
+        f"gain       : +{result.migration_gain} completed tasks with "
+        "migration"
+    )
+    print(
+        "checks     : "
+        + (
+            "failover strictly wins, fluid paths byte-identical"
+            if checks_ok
+            else "CHECK FAILED"
+        )
+    )
+    if args.output is not None:
+        payload = {
+            "benchmark": "federation_demo",
+            "slots": args.slots,
+            "edges": args.edges,
+            "devices": args.devices,
+            "seed": args.seed,
+            "outage": {
+                "edge": result.faults.meta["edge"],
+                "start": start,
+                "stop": stop,
+            },
+            "failover": {
+                "generated": failover.generated,
+                "completed": failover.completed,
+                "dropped": failover.dropped,
+                "migrations": failover.migrations,
+            },
+            "no_failover": {
+                "generated": stay.generated,
+                "completed": stay.completed,
+                "dropped": stay.dropped,
+            },
+            "migration_gain": result.migration_gain,
+            "per_edge": result.failover_summary["edges"],
+            "fluid_paths_identical": result.fluid_paths_identical,
+        }
+        Path(args.output).write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"wrote      : {args.output}")
+    return 0 if checks_ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -856,6 +929,23 @@ def build_parser() -> argparse.ArgumentParser:
         help="write a JSON summary here",
     )
     overload.set_defaults(func=_cmd_overload)
+
+    federation = sub.add_parser(
+        "federation",
+        help="replay the canonical partial outage over a multi-edge "
+        "federation, with vs without failover migration",
+    )
+    federation.add_argument("--slots", type=int, default=96)
+    federation.add_argument("--edges", type=int, default=3)
+    federation.add_argument("--devices", type=int, default=9)
+    federation.add_argument("--seed", type=int, default=0)
+    federation.add_argument(
+        "--output",
+        type=Path,
+        default=None,
+        help="write a JSON summary here",
+    )
+    federation.set_defaults(func=_cmd_federation)
 
     return parser
 

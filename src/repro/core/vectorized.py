@@ -602,6 +602,39 @@ class FleetState:
             + cost.offloaded_tasks
         )
 
+    def shard(self, indices: "Sequence[int] | np.ndarray") -> "FleetState":
+        """Gather-copy the sub-state of the devices in ``indices``.
+
+        The federation layer steps each edge's member devices through its
+        own :class:`VectorizedSlotEngine`; a shard is an independent copy
+        (fancy indexing copies), so per-edge updates cannot alias the
+        global arrays.  Scatter the result back with :meth:`absorb`.
+        """
+        idx = np.asarray(indices, dtype=np.intp)
+        return FleetState(
+            queue_local=self.queue_local[idx],
+            queue_edge=self.queue_edge[idx],
+        )
+
+    def absorb(
+        self, indices: "Sequence[int] | np.ndarray", shard: "FleetState"
+    ) -> None:
+        """Scatter a shard's queues back into the global state.
+
+        Element-wise float64 assignment — the values written are the
+        shard's bytes unchanged, so a single-shard round-trip
+        (``absorb(idx, shard(idx))`` after an update) is byte-identical
+        to updating the global arrays directly.  Mutates in place.
+        """
+        idx = np.asarray(indices, dtype=np.intp)
+        if idx.shape[0] != shard.queue_local.shape[0]:
+            raise ValueError(
+                f"shard width {shard.queue_local.shape[0]} does not match "
+                f"{idx.shape[0]} indices"
+            )
+        self.queue_local[idx] = shard.queue_local
+        self.queue_edge[idx] = shard.queue_edge
+
     def lyapunov_value(self) -> float:
         """``L(Θ) = ½·Σ (Q_i² + H_i²)``."""
         return 0.5 * float(

@@ -1,0 +1,241 @@
+"""Federated event simulation: per-edge shards of the task-level engines.
+
+Each edge runs a full :class:`~repro.sim.events.EventSimulator` over its
+member devices (scalar or the array-backed fast lane — the ``engine``
+argument passes straight through).  Federation enters through three
+seams, all pre-realised data:
+
+* **Membership masks** — each member's arrival process is wrapped in
+  :class:`MaskedArrivals`: a slot where the assignment plan points the
+  device elsewhere yields zero demand *in this shard* (the draw is still
+  consumed, keeping shard streams stable under re-masking).  Masks over
+  all edges partition the slot axis, so migration conserves tasks: every
+  generated task belongs to exactly one shard, and a migrating device's
+  in-flight work finishes at the edge that accepted it.
+* **Seeds** — shard ``e`` runs on
+  :meth:`~repro.federation.topology.FederationTopology.shard_seed`
+  (edge 0 keeps the base seed), so an E=1 federation replays the
+  single-edge run's two RNG streams byte-for-byte.
+* **Partial outages** — a :class:`~repro.federation.faults.
+  FederationFaultPlan` slices into ordinary per-shard
+  :class:`~repro.resilience.faults.FaultPlan`\\ s, so a dead edge
+  rejects submissions through the existing, tested outage machinery
+  while its peers keep serving.
+
+Policies and environments may carry per-run state (a
+``ResilientPolicy`` cursor, a random-walk environment's factors), so
+each shard gets its own deep copy — exactly what a caller comparing
+independent runs would construct.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+from ..core.offloading import OffloadingPolicy
+from ..sim.arrivals import ArrivalProcess
+from ..sim.environment import DynamicEnvironment, StaticEnvironment
+from ..sim.events import EventSimResult, EventSimulator
+from ..sim.tasks import TaskRecord
+from .assignment import AssignmentPlan
+from .faults import FederationFaultPlan
+from .topology import FederationTopology
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..resilience.overload import OverloadControl
+    from ..resilience.recovery import RecoveryPolicy
+
+
+@dataclass(frozen=True)
+class MaskedArrivals:
+    """An arrival process gated by a per-slot membership mask.
+
+    Wraps a device's global process for one shard: masked-out slots
+    report zero expected and zero realised demand.  ``sample`` always
+    consumes the inner draw so a shard's control stream does not shift
+    when the mask changes; slots past the mask's end are inactive (drain
+    phases generate nothing).
+    """
+
+    inner: ArrivalProcess
+    mask: tuple[bool, ...]
+
+    def __post_init__(self) -> None:
+        if not self.mask:
+            raise ValueError("mask must be non-empty")
+
+    def active(self, slot: int) -> bool:
+        return 0 <= slot < len(self.mask) and self.mask[slot]
+
+    def mean(self, slot: int) -> float:
+        return self.inner.mean(slot) if self.active(slot) else 0.0
+
+    def sample(self, slot: int, rng: np.random.Generator) -> float:
+        value = self.inner.sample(slot, rng)
+        return value if self.active(slot) else 0.0
+
+
+@dataclass(frozen=True)
+class FederatedEventResult:
+    """Per-edge event-simulation outcomes plus the merged global view.
+
+    Shard results are ordinary :class:`EventSimResult`\\ s in *local*
+    device numbering; :meth:`merged` re-keys tasks to global device
+    indices and fresh global task ids (ordered by creation time, then
+    edge) for fleet-wide SLO accounting.
+    """
+
+    edge_results: tuple[EventSimResult, ...]
+    edge_members: tuple[tuple[int, ...], ...]
+    plan: AssignmentPlan
+
+    @property
+    def num_edges(self) -> int:
+        return len(self.edge_results)
+
+    @property
+    def horizon(self) -> float:
+        return max((r.horizon for r in self.edge_results), default=0.0)
+
+    def merged(self) -> EventSimResult:
+        """One global :class:`EventSimResult` over every shard's tasks,
+        devices re-keyed to global indices and task ids renumbered to be
+        globally unique.  Per-shard task order is preserved (edge-major
+        concatenation), so an E=1 merge is the identity — SLO accounting
+        is order-free either way."""
+        tasks: list[TaskRecord] = []
+        for result, members in zip(self.edge_results, self.edge_members):
+            for task in result.tasks:
+                tasks.append(
+                    replace(
+                        task,
+                        device=members[task.device],
+                        task_id=len(tasks),
+                    )
+                )
+        return EventSimResult(tasks=tuple(tasks), horizon=self.horizon)
+
+    # -- per-edge SLO accounting --------------------------------------------
+
+    def edge_generated(self, edge: int) -> int:
+        return len(self.edge_results[edge].tasks)
+
+    def identity_holds(self) -> bool:
+        """Every shard's SLO identity plus the global sum:
+        ``generated = completed + dropped + shed + in-flight`` per edge,
+        and the per-edge identities sum to the global one."""
+        totals = [0, 0, 0, 0, 0]
+        for result in self.edge_results:
+            parts = (
+                len(result.completed),
+                result.dropped_count,
+                result.shed_count,
+                result.in_flight_count,
+            )
+            if len(result.tasks) != sum(parts):
+                return False
+            totals[0] += len(result.tasks)
+            for k, part in enumerate(parts):
+                totals[k + 1] += part
+        return totals[0] == sum(totals[1:])
+
+
+@dataclass
+class FederatedEventSimulator:
+    """Task-level simulation of a federation, one sub-simulation per edge.
+
+    Attributes mirror :class:`~repro.sim.events.EventSimulator` plus the
+    federation inputs (``topology``, ``plan``, ``faults`` as a
+    federation plan).  ``policy`` and ``environment`` are deep-copied
+    per shard (both may carry per-run state).
+    """
+
+    topology: FederationTopology
+    arrivals: Sequence[ArrivalProcess]
+    plan: AssignmentPlan
+    environment: DynamicEnvironment = field(default_factory=StaticEnvironment)
+    seed: int = 0
+    spread_arrivals: bool = True
+    shared_uplink: bool = False
+    faults: FederationFaultPlan | None = None
+    recovery: "RecoveryPolicy | None" = None
+    overload: "OverloadControl | None" = None
+
+    def __post_init__(self) -> None:
+        if len(self.arrivals) != self.topology.num_devices:
+            raise ValueError("need one arrival process per device")
+        if self.plan.num_devices != self.topology.num_devices:
+            raise ValueError("plan and topology disagree on device count")
+        if self.plan.num_edges != self.topology.num_edges:
+            raise ValueError("plan and topology disagree on edge count")
+        if self.recovery is not None and self.faults is None:
+            raise ValueError("recovery requires a fault plan to recover from")
+        if self.faults is not None and (
+            self.faults.num_edges != self.topology.num_edges
+        ):
+            raise ValueError("fault plan and topology disagree on edge count")
+
+    def run(
+        self,
+        policy: OffloadingPolicy,
+        num_slots: int,
+        drain: bool = True,
+        drain_limit_factor: float = 50.0,
+        engine: str = "scalar",
+    ) -> FederatedEventResult:
+        """Run every shard for ``num_slots`` generation slots."""
+        if num_slots > self.plan.num_slots:
+            raise ValueError(
+                f"plan covers {self.plan.num_slots} slots, cannot generate "
+                f"{num_slots}"
+            )
+        results: list[EventSimResult] = []
+        members_per_edge: list[tuple[int, ...]] = []
+        for edge in range(self.topology.num_edges):
+            members = self.plan.member_union(edge)
+            members_per_edge.append(members)
+            if not members:
+                results.append(EventSimResult(tasks=(), horizon=0.0))
+                continue
+            shard_system = self.topology.build_shard(edge, members)
+            shard_arrivals = [
+                MaskedArrivals(
+                    inner=self.arrivals[i],
+                    mask=self.plan.slot_mask(edge, i),
+                )
+                for i in members
+            ]
+            shard_faults = (
+                self.faults.shard_plan(edge, members)
+                if self.faults is not None
+                else None
+            )
+            sim = EventSimulator(
+                system=shard_system,
+                arrivals=shard_arrivals,
+                environment=copy.deepcopy(self.environment),
+                seed=self.topology.shard_seed(self.seed, edge),
+                spread_arrivals=self.spread_arrivals,
+                shared_uplink=self.shared_uplink,
+                faults=shard_faults,
+                recovery=self.recovery if shard_faults is not None else None,
+                overload=self.overload,
+            )
+            results.append(
+                sim.run(
+                    copy.deepcopy(policy),
+                    num_slots,
+                    drain=drain,
+                    drain_limit_factor=drain_limit_factor,
+                    engine=engine,
+                )
+            )
+        return FederatedEventResult(
+            edge_results=tuple(results),
+            edge_members=tuple(members_per_edge),
+            plan=self.plan,
+        )

@@ -1,0 +1,189 @@
+"""Partial outages: the resilience layer's fault model, per edge.
+
+A single-edge :class:`~repro.resilience.faults.FaultPlan` carries one
+``edge_down`` column — when the edge dies, the whole fleet loses its
+edge.  In a federation an outage is *partial*: one cluster dies while
+its peers keep serving, and (with migration) its devices fail over.
+
+:class:`FederationFaultPlan` keeps the per-device channels global (drop/
+corrupt/straggler/stale follow the device wherever it is assigned) and
+widens ``edge_down`` to ``(S, E)``.  :meth:`FederationFaultPlan.
+shard_plan` slices a perfectly ordinary per-shard :class:`FaultPlan` out
+of it — member columns of the device channels plus the shard's own
+``edge_down`` column — so both event engines and the live runtime replay
+partial outages through their existing, already-verified fault handling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from ..resilience.faults import FaultPlan
+
+
+@dataclass(frozen=True)
+class FederationFaultPlan:
+    """A realised fault schedule over a federation.
+
+    Attributes:
+        edge_down: ``(S, E)`` 0/1 — per-edge outage mask (the *partial*
+            outage channel).
+        base: Optional fleet-wide :class:`FaultPlan` carrying the
+            per-device channels (its own ``edge_down`` column is
+            ignored — this plan's matrix replaces it).
+        slot_length: τ in seconds.
+        meta: Free-form provenance.
+    """
+
+    edge_down: np.ndarray
+    base: FaultPlan | None = None
+    slot_length: float = 1.0
+    meta: Mapping[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        edge_down = np.asarray(self.edge_down, dtype=np.float64)
+        object.__setattr__(self, "edge_down", edge_down)
+        if edge_down.ndim != 2 or 0 in edge_down.shape:
+            raise ValueError(
+                f"edge_down needs a non-empty (S, E) shape, got "
+                f"{edge_down.shape}"
+            )
+        if not np.isin(edge_down, (0.0, 1.0)).all():
+            raise ValueError("edge_down must contain only 0/1")
+        if self.base is not None and self.base.num_slots != edge_down.shape[0]:
+            raise ValueError(
+                f"base plan covers {self.base.num_slots} slots, edge_down "
+                f"covers {edge_down.shape[0]}"
+            )
+        if self.slot_length <= 0:
+            raise ValueError("slot_length must be positive")
+        object.__setattr__(self, "meta", dict(self.meta))
+
+    @property
+    def num_slots(self) -> int:
+        return int(self.edge_down.shape[0])
+
+    @property
+    def num_edges(self) -> int:
+        return int(self.edge_down.shape[1])
+
+    def edge_down_at(self, slot: int, edge: int) -> bool:
+        """Whether edge ``edge`` is down in ``slot`` (healthy out of
+        range, matching :class:`FaultPlan`'s convention)."""
+        if not 0 <= edge < self.num_edges:
+            raise ValueError(f"edge must be in [0, {self.num_edges})")
+        if not 0 <= slot < self.num_slots:
+            return False
+        return bool(self.edge_down[slot, edge])
+
+    def outage_windows(self, edge: int) -> list[tuple[int, int]]:
+        """Contiguous ``[start, stop)`` outage windows of one edge."""
+        windows: list[tuple[int, int]] = []
+        down = self.edge_down[:, edge].astype(bool)
+        start: int | None = None
+        for t, is_down in enumerate(down):
+            if is_down and start is None:
+                start = t
+            elif not is_down and start is not None:
+                windows.append((start, t))
+                start = None
+        if start is not None:
+            windows.append((start, self.num_slots))
+        return windows
+
+    def shard_plan(
+        self, edge: int, members: Sequence[int]
+    ) -> FaultPlan | None:
+        """The per-shard :class:`FaultPlan` edge ``edge`` replays.
+
+        Member columns of the base plan's device channels (healthy
+        zeros/ones when there is no base plan) plus this edge's own
+        ``edge_down`` column.  Returns ``None`` when nothing can ever
+        fault in the shard — the shard then runs exactly as an unfaulted
+        simulation (same constructor arguments, same RNG consumption),
+        which keeps the E=1 no-fault conformance contract exact.
+        """
+        members = list(members)
+        if not members:
+            raise ValueError("a shard needs at least one member device")
+        s, n = self.num_slots, len(members)
+        edge_down = self.edge_down[:, edge].copy()
+        if self.base is None:
+            if not edge_down.any():
+                return None
+            return FaultPlan(
+                uplink_drop=np.zeros((s, n)),
+                uplink_corrupt=np.zeros((s, n)),
+                edge_down=edge_down,
+                straggler=np.ones((s, n)),
+                telemetry_stale=np.zeros(s),
+                slot_length=self.slot_length,
+                meta=dict(self.meta, edge=edge),
+            )
+        idx = np.asarray(members, dtype=np.intp)
+        return FaultPlan(
+            uplink_drop=self.base.uplink_drop[:, idx],
+            uplink_corrupt=self.base.uplink_corrupt[:, idx],
+            edge_down=edge_down,
+            straggler=self.base.straggler[:, idx],
+            telemetry_stale=self.base.telemetry_stale.copy(),
+            slot_length=self.slot_length,
+            meta=dict(self.meta, edge=edge),
+        )
+
+
+def lift_fault_plan(plan: FaultPlan, num_edges: int) -> FederationFaultPlan:
+    """Widen a single-edge :class:`FaultPlan` to a federation: the plan's
+    ``edge_down`` column becomes every edge's column (a *global* outage),
+    and the per-device channels ride along unchanged.  With
+    ``num_edges=1`` this is the identity embedding the E=1 fault
+    conformance tests replay."""
+    if num_edges < 1:
+        raise ValueError("need at least one edge")
+    return FederationFaultPlan(
+        edge_down=np.tile(
+            plan.edge_down.reshape(-1, 1).astype(np.float64), (1, num_edges)
+        ),
+        base=plan,
+        slot_length=plan.slot_length,
+        meta=dict(plan.meta),
+    )
+
+
+def canonical_partial_outage(
+    num_slots: int,
+    num_edges: int,
+    edge: int = 0,
+    seed: int = 0,
+) -> FederationFaultPlan:
+    """The canonical *partial* outage: one pinned window on one edge.
+
+    Mirrors :func:`~repro.resilience.faults.canonical_outage_plan`'s
+    deterministic window — ``num_slots // 8`` slots opening at
+    ``num_slots // 3`` — but confined to ``edge`` while its peers stay
+    healthy.  No background device faults (the federation demos isolate
+    the failover effect); compose with a base plan via
+    :class:`FederationFaultPlan` directly when background noise is
+    wanted.
+    """
+    if num_slots <= 0:
+        raise ValueError("need a positive number of slots")
+    if not 0 <= edge < num_edges:
+        raise ValueError(f"edge must be in [0, {num_edges})")
+    start = num_slots // 3
+    stop = start + max(num_slots // 8, 1)
+    edge_down = np.zeros((num_slots, num_edges))
+    edge_down[start:stop, edge] = 1.0
+    return FederationFaultPlan(
+        edge_down=edge_down,
+        meta={
+            "generator": "canonical_partial_outage",
+            "seed": seed,
+            "edge": edge,
+            "outage_start": start,
+            "outage_stop": stop,
+        },
+    )

@@ -1,0 +1,407 @@
+"""The federated fluid paths: per-edge shards under a thin coordinator.
+
+:class:`FederatedSlotSimulator` steps E edge shards through the paper's
+queue/cost model per slot.  The coordination layer is deliberately thin —
+it owns the *global* things (one RNG, the global Lyapunov state, the
+admission gate, the slot records) and delegates everything per-edge to
+the existing machinery:
+
+* **RNG**: one ``default_rng(seed)`` drives the environment and the
+  arrival draws over the whole fleet in global device order — exactly
+  :class:`~repro.sim.simulator.SlotSimulator`'s sequence, so an E=1
+  federation consumes the identical stream.
+* **State**: the Lyapunov queues ``Θ = [Q, H]`` are global per-device
+  vectors.  Migration conserves backlog by construction: a re-assigned
+  device's queues ride along to its new shard (tasks are queued *at the
+  device* in the fluid model; only the serving edge changes).
+* **Shards**: each populated edge builds an
+  :class:`~repro.core.offloading.EdgeSystem` over its members with
+  per-edge KKT shares, cached per assignment epoch.  The vectorized path
+  gathers each shard's sub-state with
+  :meth:`~repro.core.vectorized.FleetState.shard`, steps it through the
+  shard's own :class:`~repro.core.vectorized.VectorizedSlotEngine`, and
+  scatters it back with :meth:`~repro.core.vectorized.FleetState.absorb`
+  — the sharding refactor that keeps per-slot work proportional to
+  shard width and unlocks very large fleets.
+* **Overload**: one global :class:`~repro.resilience.overload.
+  AdmissionGate` (token buckets are device-scoped and must survive
+  migration) plus one degradation ladder *per edge* observing its
+  members' mean backlog — per-edge accounting of modes and shed.
+* **Partial outages**: a :class:`~repro.federation.faults.
+  FederationFaultPlan` collapses a down edge's fluid capacity by
+  ``edge_down_factor`` (the same overlay
+  :class:`~repro.resilience.environment.FaultyEnvironment` applies
+  globally) while its peers run untouched.
+
+With one edge and a static plan, every step above degenerates to the
+single-edge simulator's code path, which the conformance suite pins
+byte-identically for both the scalar and vectorized branches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+from ..core.offloading import (
+    EdgeSystem,
+    LyapunovState,
+    OffloadingPolicy,
+    slot_cost,
+)
+from ..core.vectorized import FleetState, VectorizedSlotEngine
+from ..sim.arrivals import ArrivalProcess
+from ..sim.environment import DynamicEnvironment, StaticEnvironment
+from ..sim.metrics import SimulationResult, SlotRecord
+from .assignment import AssignmentPlan
+from .faults import FederationFaultPlan
+from .topology import FederationTopology
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..resilience.overload import OverloadControl
+
+
+@dataclass(frozen=True)
+class FederatedFluidResult:
+    """Outcome of a federated slot-simulation run.
+
+    Attributes:
+        global_result: Full-fleet records in global device order — the
+            object the E=1 conformance suite compares byte-identically
+            against a single-edge run.
+        edge_records: Per-edge slot records; an edge's record covers its
+            members *that slot* (empty tuples when unpopulated).
+        plan: The assignment plan the run replayed.
+    """
+
+    global_result: SimulationResult
+    edge_records: tuple[tuple[SlotRecord, ...], ...]
+    plan: AssignmentPlan
+
+    @property
+    def num_edges(self) -> int:
+        return len(self.edge_records)
+
+    def edge_result(self, edge: int) -> SimulationResult:
+        return SimulationResult(records=self.edge_records[edge])
+
+    @property
+    def edge_results(self) -> tuple[SimulationResult, ...]:
+        return tuple(self.edge_result(e) for e in range(self.num_edges))
+
+
+@dataclass
+class FederatedSlotSimulator:
+    """Run an offloading policy over a federation of edge clusters.
+
+    Attributes:
+        topology: The federation (sites, devices, partition, cloud).
+        arrivals: One arrival process per device, global order.
+        plan: The realised device→edge assignment to replay.
+        environment: Per-slot network dynamics over the *whole fleet* in
+            global device order (one draw sequence, shared by all
+            shards — common random numbers across federations).
+        include_tail: Forwarded to the cost model.
+        seed: Seed for the run's single random generator.
+        vectorized: Step each shard through its own
+            :class:`VectorizedSlotEngine` (array path) instead of the
+            per-device scalar loop.  Byte-identical either way.
+        overload: Enables the overload layer: one global admission gate
+            plus a per-edge degradation ladder.
+        faults: Per-edge outage schedule; a down edge's capacity
+            collapses to ``edge_down_factor`` × nominal for the window.
+        edge_down_factor: Fluid capacity factor during an outage
+            (matches ``FaultyEnvironment``'s default).
+    """
+
+    topology: FederationTopology
+    arrivals: Sequence[ArrivalProcess]
+    plan: AssignmentPlan
+    environment: DynamicEnvironment = field(default_factory=StaticEnvironment)
+    include_tail: bool = True
+    seed: int = 0
+    vectorized: bool = False
+    overload: "OverloadControl | None" = None
+    faults: FederationFaultPlan | None = None
+    edge_down_factor: float = 0.05
+
+    def __post_init__(self) -> None:
+        if len(self.arrivals) != self.topology.num_devices:
+            raise ValueError(
+                f"need one arrival process per device: "
+                f"{len(self.arrivals)} != {self.topology.num_devices}"
+            )
+        if self.plan.num_devices != self.topology.num_devices:
+            raise ValueError("plan and topology disagree on device count")
+        if self.plan.num_edges != self.topology.num_edges:
+            raise ValueError("plan and topology disagree on edge count")
+        if self.faults is not None and (
+            self.faults.num_edges != self.topology.num_edges
+        ):
+            raise ValueError("fault plan and topology disagree on edge count")
+        if not 0.0 < self.edge_down_factor <= 1.0:
+            raise ValueError("edge_down_factor must be in (0, 1]")
+
+    def run(
+        self,
+        policy: OffloadingPolicy,
+        num_slots: int,
+        state: LyapunovState | None = None,
+    ) -> FederatedFluidResult:
+        """Simulate ``num_slots`` slots across all shards."""
+        if num_slots <= 0:
+            raise ValueError("need a positive number of slots")
+        topology, plan = self.topology, self.plan
+        n, num_edges = topology.num_devices, topology.num_edges
+        rng = np.random.default_rng(self.seed)
+        if state is None:
+            state = LyapunovState.zeros(n)
+        fleet = FleetState.from_lyapunov(state) if self.vectorized else None
+        # Shard systems (and vectorized engines) are cached per member
+        # set — they only change at assignment-epoch boundaries.
+        shard_cache: dict[
+            tuple[int, tuple[int, ...]],
+            tuple[EdgeSystem, VectorizedSlotEngine | None],
+        ] = {}
+
+        gate = None
+        ladders: list = []
+        if self.overload is not None:
+            from ..resilience.overload import AdmissionGate, OverloadGovernor
+
+            gate = AdmissionGate(self.overload, n)
+            ladders = [
+                OverloadGovernor(self.overload, n) for _ in range(num_edges)
+            ]
+
+        global_records: list[SlotRecord] = []
+        edge_records: list[list[SlotRecord]] = [[] for _ in range(num_edges)]
+        for slot in range(num_slots):
+            row = plan.row(slot)
+            member_lists = [
+                [int(i) for i in np.flatnonzero(row == e)]
+                for e in range(num_edges)
+            ]
+            modes = [0] * num_edges
+            backlogs: list[float] = []
+            if gate is not None:
+                backlogs = [
+                    state.queue_local[i] + state.queue_edge[i]
+                    for i in range(n)
+                ]
+                for e in range(num_edges):
+                    members = member_lists[e]
+                    if not members:
+                        modes[e] = ladders[e].mode
+                        continue
+                    # The ladder's mean-backlog denominator tracks the
+                    # edge's current membership (fleet-wide at E=1).
+                    ladders[e].num_devices = len(members)
+                    modes[e] = ladders[e].observe(
+                        slot, [backlogs[i] for i in members]
+                    )
+            live_devices = self.environment.devices_at(
+                slot, topology.devices, rng
+            )
+            expected = [proc.mean(slot) for proc in self.arrivals]
+            realised = [proc.sample(slot, rng) for proc in self.arrivals]
+            edge_shed = [0.0] * num_edges
+            if gate is not None:
+                admitted = []
+                for i in range(n):
+                    a = gate.admit(i, realised[i], backlogs[i], modes[row[i]])
+                    edge_shed[row[i]] += realised[i] - a
+                    admitted.append(a)
+                realised = admitted
+
+            ratios_global = [0.0] * n
+            edge_time = [0.0] * num_edges
+            edge_arrivals = [0.0] * num_edges
+            for e in range(num_edges):
+                members = member_lists[e]
+                if not members:
+                    continue
+                live_shard = self._live_shard(
+                    shard_cache, e, members, slot, modes[e]
+                )
+                engine = None
+                if self.vectorized:
+                    engine = shard_cache[(e, tuple(members))][1]
+                sub_state = LyapunovState(
+                    queue_local=[state.queue_local[i] for i in members],
+                    queue_edge=[state.queue_edge[i] for i in members],
+                )
+                ratios = policy.decide(
+                    live_shard,
+                    sub_state,
+                    [expected[i] for i in members],
+                    [live_devices[i] for i in members],
+                )
+                if gate is not None:
+                    from ..resilience.overload import apply_backpressure
+
+                    ratios = apply_backpressure(
+                        ratios,
+                        sub_state.queue_edge,
+                        self.overload,
+                        modes[e],
+                    )
+                if engine is not None:
+                    shard_state = fleet.shard(members)
+                    cost = engine.slot_costs(
+                        [live_devices[i] for i in members],
+                        ratios,
+                        [realised[i] for i in members],
+                        shard_state,
+                        include_tail=self.include_tail,
+                        system=live_shard,
+                    )
+                    # Left-to-right accumulation mirrors the scalar loop
+                    # (see SlotSimulator) — byte-identical paths.
+                    edge_time[e] = float(sum(cost.total_time.tolist(), 0.0))
+                    edge_arrivals[e] = float(sum(cost.arrivals.tolist(), 0.0))
+                    shard_state.update(cost)
+                    fleet.absorb(members, shard_state)
+                    fleet.sync_to(state)
+                else:
+                    for j, i in enumerate(members):
+                        cost = slot_cost(
+                            live_devices[i],
+                            live_shard,
+                            ratios[j],
+                            realised[i],
+                            state.queue_local[i],
+                            state.queue_edge[i],
+                            live_shard.shares[j],
+                            include_tail=self.include_tail,
+                            partition=live_shard.partition_for(j),
+                        )
+                        edge_time[e] += cost.total_time
+                        edge_arrivals[e] += realised[i]
+                        state.update(i, cost)
+                for j, i in enumerate(members):
+                    ratios_global[i] = float(ratios[j])
+
+            if gate is not None:
+                from ..resilience.overload import (
+                    clamp_queues,
+                    drain_stranded_edge,
+                )
+
+                for e in range(num_edges):
+                    members = member_lists[e]
+                    if not members:
+                        continue
+                    live_shard = self._live_shard(
+                        shard_cache, e, members, slot, modes[e]
+                    )
+                    idle_service = [
+                        live_shard.slot_length
+                        / (
+                            live_shard.partition_for(j).mu1
+                            / (live_shard.shares[j] * live_shard.edge_flops)
+                            + live_shard.edge_overhead
+                        )
+                        if live_shard.shares[j] > 0
+                        else 0.0
+                        for j in range(len(members))
+                    ]
+                    member_edge = [state.queue_edge[i] for i in members]
+                    drain_stranded_edge(
+                        member_edge,
+                        [ratios_global[i] for i in members],
+                        idle_service,
+                        self.overload.queue_high,
+                        modes[e],
+                    )
+                    for j, i in enumerate(members):
+                        state.queue_edge[i] = member_edge[j]
+                    if self.overload.queue_capacity is not None:
+                        member_local = [state.queue_local[i] for i in members]
+                        member_edge = [state.queue_edge[i] for i in members]
+                        edge_shed[e] += clamp_queues(
+                            member_local,
+                            member_edge,
+                            self.overload.queue_capacity,
+                        )
+                        for j, i in enumerate(members):
+                            state.queue_local[i] = member_local[j]
+                            state.queue_edge[i] = member_edge[j]
+                if fleet is not None:
+                    fleet.queue_local[:] = state.queue_local
+                    fleet.queue_edge[:] = state.queue_edge
+
+            # 0.0 + x is exactly x, so single-edge totals are the shard
+            # totals unchanged — the byte-identity argument needs this.
+            total_time = sum(edge_time, 0.0)
+            total_arrivals = sum(edge_arrivals, 0.0)
+            global_shed = sum(edge_shed, 0.0)
+            global_mode = max(
+                (modes[e] for e in range(num_edges) if member_lists[e]),
+                default=0,
+            )
+            global_records.append(
+                SlotRecord(
+                    slot=slot,
+                    arrivals=total_arrivals,
+                    total_time=total_time,
+                    ratios=tuple(ratios_global),
+                    queue_local=tuple(state.queue_local),
+                    queue_edge=tuple(state.queue_edge),
+                    shed=global_shed,
+                    mode=global_mode,
+                )
+            )
+            for e in range(num_edges):
+                members = member_lists[e]
+                edge_records[e].append(
+                    SlotRecord(
+                        slot=slot,
+                        arrivals=edge_arrivals[e],
+                        total_time=edge_time[e],
+                        ratios=tuple(ratios_global[i] for i in members),
+                        queue_local=tuple(
+                            state.queue_local[i] for i in members
+                        ),
+                        queue_edge=tuple(
+                            state.queue_edge[i] for i in members
+                        ),
+                        shed=edge_shed[e],
+                        mode=modes[e],
+                    )
+                )
+        return FederatedFluidResult(
+            global_result=SimulationResult(records=tuple(global_records)),
+            edge_records=tuple(tuple(r) for r in edge_records),
+            plan=plan,
+        )
+
+    def _live_shard(
+        self,
+        cache: dict,
+        edge: int,
+        members: list[int],
+        slot: int,
+        mode: int,
+    ) -> EdgeSystem:
+        """The shard system in effect this slot: the cached base shard,
+        capacity-collapsed during an outage, then degraded to the
+        ladder rung — the same order the single-edge simulator applies
+        its trace override and governor rung."""
+        key = (edge, tuple(members))
+        if key not in cache:
+            system = self.topology.build_shard(edge, members)
+            engine = VectorizedSlotEngine(system) if self.vectorized else None
+            cache[key] = (system, engine)
+        live = cache[key][0]
+        if self.faults is not None and self.faults.edge_down_at(slot, edge):
+            live = replace(
+                live, edge_flops=live.edge_flops * self.edge_down_factor
+            )
+        if mode != 0:
+            from ..resilience.overload import degrade_system
+
+            live = degrade_system(live, mode)
+        return live

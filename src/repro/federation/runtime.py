@@ -1,0 +1,195 @@
+"""The federated live path: one :class:`LeimeRuntime` per edge cluster.
+
+Each edge's shard deploys on its own live threaded runtime (virtual
+clock, worker threads, two-stream RNG) with the shard seed, the member
+devices, and :class:`~repro.federation.events.MaskedArrivals` gating the
+global arrival processes to the shard's assignment slots.  Shards run
+sequentially — each owns its own virtual clock, so wall-clock ordering
+between shards carries no meaning; only the per-shard control planes
+(task id, device, offload decision) are reproducible, exactly as for the
+single-edge runtime.
+
+With one edge the shard *is* the original deployment: same system, same
+seed, same arrival draws — the conformance suite pins the control planes
+equal.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import TYPE_CHECKING, Sequence
+
+from ..core.offloading import OffloadingPolicy
+from ..runtime.system import LeimeRuntime, RuntimeReport
+from ..sim.arrivals import ArrivalProcess
+from .assignment import AssignmentPlan
+from .events import MaskedArrivals
+from .faults import FederationFaultPlan
+from .topology import FederationTopology
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..resilience.overload import OverloadControl
+    from ..resilience.recovery import RecoveryPolicy
+
+
+class FederatedRuntimeReport:
+    """Per-edge :class:`RuntimeReport`\\ s plus global control-plane and
+    SLO views."""
+
+    def __init__(
+        self,
+        edge_reports: tuple[RuntimeReport, ...],
+        edge_members: tuple[tuple[int, ...], ...],
+    ):
+        self.edge_reports = edge_reports
+        self.edge_members = edge_members
+
+    @property
+    def num_edges(self) -> int:
+        return len(self.edge_reports)
+
+    def control_plane(self) -> tuple[tuple[int, int, int, bool], ...]:
+        """Every shard's reproducible decisions with global device ids:
+        ``(edge, task_id, device, offloaded)`` in per-shard task order.
+        Timestamps are wall-clock and deliberately excluded."""
+        rows = []
+        for edge, (report, members) in enumerate(
+            zip(self.edge_reports, self.edge_members)
+        ):
+            for task in report.tasks:
+                rows.append(
+                    (edge, task.task_id, members[task.device], task.offloaded)
+                )
+        return tuple(rows)
+
+    @property
+    def generated(self) -> int:
+        return sum(len(r.tasks) for r in self.edge_reports)
+
+    @property
+    def completed_count(self) -> int:
+        return sum(len(r.completed) for r in self.edge_reports)
+
+    def identity_holds(self) -> bool:
+        """Per-edge ``generated = completed + dropped + shed + in-flight``
+        and the global sum."""
+        for report in self.edge_reports:
+            parts = (
+                len(report.completed)
+                + report.dropped_count
+                + report.shed_count
+                + report.in_flight_count
+            )
+            if len(report.tasks) != parts:
+                return False
+        return True
+
+
+class FederatedRuntime:
+    """Deploy a federation on live threads, one runtime per edge.
+
+    Args:
+        topology: The federation.
+        policy: The per-slot offloading policy (deep-copied per shard —
+            policies may carry per-run state).
+        plan: The realised device→edge assignment.
+        speedup: Virtual seconds per wall second, shared by all shards.
+        seed: Base seed; shard ``e`` derives
+            :meth:`~repro.federation.topology.FederationTopology.
+            shard_seed`.
+        vectorized: Forwarded to each shard's runtime.
+    """
+
+    def __init__(
+        self,
+        topology: FederationTopology,
+        policy: OffloadingPolicy,
+        plan: AssignmentPlan,
+        speedup: float = 200.0,
+        seed: int = 0,
+        vectorized: bool = False,
+    ):
+        if plan.num_devices != topology.num_devices:
+            raise ValueError("plan and topology disagree on device count")
+        if plan.num_edges != topology.num_edges:
+            raise ValueError("plan and topology disagree on edge count")
+        self.topology = topology
+        self.policy = policy
+        self.plan = plan
+        self.speedup = speedup
+        self.seed = seed
+        self.vectorized = vectorized
+        self._runtimes: list[LeimeRuntime] = []
+
+    def run(
+        self,
+        arrivals: Sequence[ArrivalProcess],
+        num_slots: int,
+        drain_timeout: float = 30.0,
+        faults: FederationFaultPlan | None = None,
+        recovery: "RecoveryPolicy | None" = None,
+        overload: "OverloadControl | None" = None,
+    ) -> FederatedRuntimeReport:
+        """Run every shard live, sequentially, and collect the reports."""
+        if len(arrivals) != self.topology.num_devices:
+            raise ValueError("need one arrival process per device")
+        if num_slots > self.plan.num_slots:
+            raise ValueError(
+                f"plan covers {self.plan.num_slots} slots, cannot generate "
+                f"{num_slots}"
+            )
+        if faults is not None and faults.num_edges != self.topology.num_edges:
+            raise ValueError("fault plan and topology disagree on edge count")
+        reports: list[RuntimeReport] = []
+        members_per_edge: list[tuple[int, ...]] = []
+        for edge in range(self.topology.num_edges):
+            members = self.plan.member_union(edge)
+            members_per_edge.append(members)
+            if not members:
+                reports.append(
+                    RuntimeReport(tasks=(), virtual_duration=0.0)
+                )
+                continue
+            shard_system = self.topology.build_shard(edge, members)
+            shard_arrivals = [
+                MaskedArrivals(
+                    inner=arrivals[i], mask=self.plan.slot_mask(edge, i)
+                )
+                for i in members
+            ]
+            shard_faults = (
+                faults.shard_plan(edge, members) if faults is not None else None
+            )
+            runtime = LeimeRuntime(
+                shard_system,
+                copy.deepcopy(self.policy),
+                speedup=self.speedup,
+                seed=self.topology.shard_seed(self.seed, edge),
+                vectorized=self.vectorized,
+            )
+            self._runtimes.append(runtime)
+            try:
+                reports.append(
+                    runtime.run(
+                        list(shard_arrivals),
+                        num_slots=num_slots,
+                        drain_timeout=drain_timeout,
+                        faults=shard_faults,
+                        recovery=recovery if shard_faults is not None else None,
+                        overload=overload,
+                    )
+                )
+            finally:
+                runtime.shutdown()
+        return FederatedRuntimeReport(
+            edge_reports=tuple(reports),
+            edge_members=tuple(members_per_edge),
+        )
+
+    def shutdown(self) -> bool:
+        """Shut down any shard runtimes still alive (idempotent)."""
+        ok = True
+        for runtime in self._runtimes:
+            ok = runtime.shutdown() and ok
+        self._runtimes.clear()
+        return ok

@@ -115,9 +115,12 @@ class RuntimeReport:
         return hits / len(self.tasks)
 
     def exit_fractions(self) -> tuple[float, float, float]:
+        """Fraction of completed tasks exiting at tiers 1, 2, 3 (NaN
+        triple when nothing completed — the empty-fleet convention)."""
         done = self.completed
         if not done:
-            return (0.0, 0.0, 0.0)
+            nan = float("nan")
+            return (nan, nan, nan)
         counts = [0, 0, 0]
         for task in done:
             counts[task.exit_tier - 1] += 1

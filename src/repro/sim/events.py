@@ -202,10 +202,13 @@ class EventSimResult:
         return 1.0 - self.deadline_hit_rate(deadline)
 
     def exit_fractions(self) -> tuple[float, float, float]:
-        """Fraction of completed tasks exiting at tiers 1, 2, 3."""
+        """Fraction of completed tasks exiting at tiers 1, 2, 3 (NaN
+        triple when nothing completed — the empty-fleet convention; a
+        run that completed nothing must not read as "0% deep exits")."""
         done = self.completed
         if not done:
-            return (0.0, 0.0, 0.0)
+            nan = float("nan")
+            return (nan, nan, nan)
         counts = [0, 0, 0]
         for task in done:
             counts[task.exit_tier - 1] += 1
@@ -213,9 +216,11 @@ class EventSimResult:
         return (counts[0] / total, counts[1] / total, counts[2] / total)
 
     def offloaded_fraction(self) -> float:
+        """Fraction of completed tasks whose first block ran on the edge
+        (NaN when nothing completed)."""
         done = self.completed
         if not done:
-            return 0.0
+            return float("nan")
         return sum(1 for t in done if t.offloaded) / len(done)
 
     def deadline_hit_rate(self, deadline: float) -> float:
@@ -232,14 +237,15 @@ class EventSimResult:
         return hits / len(self.tasks)
 
     def per_device_mean_tct(self, num_devices: int) -> list[float]:
-        """Mean TCT by generating device (0.0 for devices with no tasks)."""
+        """Mean TCT by generating device (NaN for devices that completed
+        nothing, per the empty-fleet convention)."""
         totals = [0.0] * num_devices
         counts = [0] * num_devices
         for task in self.completed:
             totals[task.device] += task.tct
             counts[task.device] += 1
         return [
-            totals[i] / counts[i] if counts[i] else 0.0
+            totals[i] / counts[i] if counts[i] else float("nan")
             for i in range(num_devices)
         ]
 

@@ -35,6 +35,7 @@ CHANNEL_UNITS: dict[str, str] = {
     "edge_flops": "flops",
     "arrival_rate": "tasks/slot",
     "up": "bool",
+    "edge_assignment": "edge index",
 }
 
 #: Channels that must be strictly positive where the device is up.

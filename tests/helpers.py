@@ -132,6 +132,45 @@ def random_fleet(
     )
 
 
+def random_federation_topology(
+    seed: int,
+    num_edges: int,
+    n: int,
+    max_arrivals: float = 2.0,
+):
+    """A seeded random federation of ``num_edges`` sites over ``n``
+    devices on the suite's workhorse partition (wild ranges as
+    :func:`random_fleet`)."""
+    from repro.federation import random_federation
+
+    return random_federation(
+        seed=seed,
+        num_edges=num_edges,
+        num_devices=n,
+        partition=inception_partition(),
+        max_arrivals=max_arrivals,
+    )
+
+
+def static_home_plan(topology, num_slots: int):
+    """The static nearest-home assignment plan (no spill/churn/failover)."""
+    from repro.federation import build_assignment_plan
+
+    return build_assignment_plan(topology, num_slots)
+
+
+def single_edge_fixture(seed: int, n: int, num_slots: int):
+    """The E=1 conformance fixture: a random fleet, its federation
+    wrapper, and the static single-edge plan, as
+    ``(system, topology, plan)``."""
+    from repro.federation import build_assignment_plan, single_edge_topology
+
+    system = random_fleet(seed, n)
+    topology = single_edge_topology(system)
+    plan = build_assignment_plan(topology, num_slots)
+    return system, topology, plan
+
+
 def random_environment(seed: int) -> AverageEnvironment:
     """A seeded random average-conditions row (the Table I quantities)."""
     rng = np.random.default_rng(seed)
