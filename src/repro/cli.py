@@ -15,6 +15,11 @@ Commands:
   replay seeded fault plans (:mod:`repro.resilience`).
 * ``overload`` — replay the canonical flash crowd governed vs
   ungoverned (admission gate, backpressure, degradation ladder).
+* ``federation`` — partial-outage failover demo across edge sites.
+* ``policy list`` — enumerate the policy registry
+  (:mod:`repro.policies`).
+* ``tournament`` — race registered policies across scenario axes and
+  emit a league table (:mod:`repro.tournament`).
 """
 
 from __future__ import annotations
@@ -31,13 +36,9 @@ from typing import Sequence
 
 from .core.analysis import measure_search_complexity, measure_v_tradeoff
 from .core.exit_setting import AverageEnvironment, branch_and_bound_exit_setting
-from .core.offloading import (
-    BalanceOffloadingPolicy,
-    CapabilityBasedPolicy,
-    DriftPlusPenaltyPolicy,
-    FixedRatioPolicy,
-)
 from .experiments.common import TestbedConfig, run_scheme, Scheme
+from .policies import build_policy, policy_names, policy_spec
+from .tournament.scenarios import scenario_names
 from .hardware import NetworkProfile, PLATFORMS, platform
 from .models.exit_rates import ParametricExitCurve
 from .models.multi_exit import MultiExitDNN
@@ -58,12 +59,14 @@ EXPERIMENTS = (
     "fig_faults",
     "fig_federation",
     "fig_overload",
+    "fig_tournament",
     "motivation",
     "pareto",
 )
 
-#: Offloading policies available to ``simulate``.
-POLICIES = ("leime", "balance", "device-only", "edge-only", "cap-based")
+#: Offloading policies available to ``simulate``, ``tournament``, and
+#: the replay commands — everything in the registry.
+POLICIES = policy_names()
 
 #: Trace presets accepted by ``trace generate`` — each enables one (or
 #: every) generator of :class:`repro.traces.generators.WildTraceSpec`.
@@ -76,18 +79,8 @@ TRACE_PRESETS = ("wild", "diurnal", "gilbert-elliott", "flash-crowd")
 FAULT_PRESETS = ("random", "canonical-outage")
 
 
-def _build_policy(name: str, v: float):
-    if name == "leime":
-        return DriftPlusPenaltyPolicy(v=v)
-    if name == "balance":
-        return BalanceOffloadingPolicy()
-    if name == "device-only":
-        return FixedRatioPolicy(0.0)
-    if name == "edge-only":
-        return FixedRatioPolicy(1.0)
-    if name == "cap-based":
-        return CapabilityBasedPolicy()
-    raise ValueError(f"unknown policy {name!r}")
+def _build_policy(name: str, v: float, seed: int = 0):
+    return build_policy(name, v=v, seed=seed)
 
 
 def _add_testbed_arguments(parser: argparse.ArgumentParser) -> None:
@@ -569,6 +562,44 @@ def _cmd_faults_replay(args: argparse.Namespace) -> int:
     return 0 if identical and engines_agree else 1
 
 
+def _cmd_policy_list(args: argparse.Namespace) -> int:
+    print(f"{'name':<16} {'kind':<9} description")
+    for name in policy_names():
+        spec = policy_spec(name)
+        print(f"{spec.name:<16} {spec.kind:<9} {spec.description}")
+    return 0
+
+
+def _cmd_tournament(args: argparse.Namespace) -> int:
+    from .tournament import TournamentSpec, league_markdown, run_tournament
+
+    spec = TournamentSpec(
+        policies=tuple(args.policies or ()),
+        scenarios=tuple(args.scenarios or ()),
+        engines=tuple(args.engines),
+        num_slots=args.slots,
+        num_devices=args.devices,
+        seed=args.seed,
+        v=args.v,
+        deadline=args.deadline_s,
+    )
+    artifact = run_tournament(
+        spec,
+        output=str(args.output) if args.output is not None else None,
+        resume=not args.fresh,
+        progress=None if args.quiet else print,
+    )
+    report = league_markdown(artifact)
+    if args.report is not None:
+        Path(args.report).write_text(report)
+    print(report, end="")
+    if args.output is not None:
+        print(f"\nwrote artifact: {args.output}")
+    if args.report is not None:
+        print(f"wrote report  : {args.report}")
+    return 0
+
+
 def _cmd_overload(args: argparse.Namespace) -> int:
     from .experiments.fig_overload import run_fig_overload
     from .resilience import MODE_NAMES
@@ -946,6 +977,62 @@ def build_parser() -> argparse.ArgumentParser:
         help="write a JSON summary here",
     )
     federation.set_defaults(func=_cmd_federation)
+
+    policy = sub.add_parser("policy", help="inspect the policy registry")
+    policy_sub = policy.add_subparsers(dest="policy_command", required=True)
+    policy_sub.add_parser(
+        "list", help="list registered offloading policies"
+    ).set_defaults(func=_cmd_policy_list)
+
+    tournament = sub.add_parser(
+        "tournament",
+        help="race the policy zoo across scenarios and emit a league table",
+    )
+    tournament.add_argument(
+        "--policies",
+        nargs="+",
+        default=None,
+        choices=POLICIES,
+        help="policies to race (default: every registered policy)",
+    )
+    tournament.add_argument(
+        "--scenarios",
+        nargs="+",
+        default=None,
+        choices=scenario_names(),
+        help="scenarios to race on (default: every registered scenario)",
+    )
+    tournament.add_argument(
+        "--engines",
+        nargs="+",
+        default=["scalar", "fast"],
+        choices=("scalar", "fast"),
+        help="event engines per cell (default: both, cross-checking them)",
+    )
+    tournament.add_argument("--slots", type=int, default=80)
+    tournament.add_argument("--devices", type=int, default=4)
+    tournament.add_argument("--seed", type=int, default=0)
+    tournament.add_argument("--v", type=float, default=50.0)
+    tournament.add_argument("--deadline-s", type=float, default=5.0)
+    tournament.add_argument(
+        "--output",
+        type=Path,
+        default=None,
+        help="JSON artifact to write (and resume from when it exists)",
+    )
+    tournament.add_argument(
+        "--report",
+        type=Path,
+        default=None,
+        help="markdown league report to write",
+    )
+    tournament.add_argument(
+        "--fresh",
+        action="store_true",
+        help="ignore an existing artifact instead of resuming from it",
+    )
+    tournament.add_argument("--quiet", action="store_true")
+    tournament.set_defaults(func=_cmd_tournament)
 
     return parser
 

@@ -27,7 +27,7 @@ relaxation ``0 ≤ x_i(t) ≤ 1``.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Protocol, Sequence
+from typing import Protocol, Sequence, runtime_checkable
 
 from ..hardware import NetworkProfile, Platform
 from ..models.multi_exit import PartitionedModel
@@ -429,8 +429,17 @@ def drift_plus_penalty(
     )
 
 
+@runtime_checkable
 class OffloadingPolicy(Protocol):
-    """Chooses per-device offloading ratios for the coming slot."""
+    """Chooses per-device offloading ratios for the coming slot.
+
+    The protocol is ``runtime_checkable`` so the policy registry
+    (:mod:`repro.policies`) can reject objects that do not implement the
+    ``decide`` seam before a tournament spends wall-clock on them.  A
+    policy *may* additionally expose ``reset()`` to rewind internal
+    state (slot cursors, learned tables, RNG streams) to its
+    just-constructed value; stateless policies simply omit it.
+    """
 
     def decide(
         self,

@@ -792,8 +792,14 @@ def fifo_schedule_batch(
     if count == 0:
         empty = np.empty(0, dtype=np.float64)
         return empty, empty.copy(), np.empty(0, dtype=bool)
-    seg_start = np.flatnonzero(np.r_[True, server[1:] != server[:-1]])
-    seg_len = np.diff(np.r_[seg_start, count])
+    breaks = np.empty(count, dtype=np.bool_)
+    breaks[0] = True
+    np.not_equal(server[1:], server[:-1], out=breaks[1:])
+    seg_start = np.flatnonzero(breaks)
+    bounds = np.empty(seg_start.shape[0] + 1, dtype=np.int64)
+    bounds[:-1] = seg_start
+    bounds[-1] = count
+    seg_len = np.diff(bounds)
     start = np.empty(count, dtype=np.float64)
     finish = np.empty(count, dtype=np.float64)
     # Width class: 0 for len <= 8, then one class per power of two.

@@ -1,0 +1,49 @@
+"""Policy tournament — the league table across scenario axes.
+
+The drift-plus-penalty controller (Eq. 18/19) is one point in a design
+space the related work explores with probabilistic destination vectors
+(faas-offloading-sim), online split selection (SplitEE), and learned
+offloading (graph-RL).  This harness races every registered policy
+(:mod:`repro.policies`) across the canonical scenario set
+(:mod:`repro.tournament.scenarios`) on both event engines and prints
+the resulting league.
+
+Expected outcome — and what the tournament test suite pins: **LEIME
+ranks first**, strictly beating the naive device-only/edge-only
+baselines on the congested stationary scenario, while the learned
+policies land mid-table (they pay real decisions for exploration and
+converge toward, never past, the analytic optimum — their reward *is*
+the Eq. 19 objective LEIME minimises exactly).  The scalar and fast
+engine columns must agree cell-for-cell; a mismatch is a conformance
+bug, not a ranking signal.
+"""
+
+from __future__ import annotations
+
+from ..tournament import TournamentSpec, league_markdown, run_tournament
+
+
+def run_fig_tournament(
+    num_slots: int = 80,
+    num_devices: int = 4,
+    seed: int = 0,
+    output: str | None = None,
+) -> dict:
+    """Run the full default bracket and return the artifact."""
+    spec = TournamentSpec(
+        num_slots=num_slots, num_devices=num_devices, seed=seed
+    )
+    return run_tournament(spec, output=output)
+
+
+def main() -> None:
+    artifact = run_fig_tournament()
+    print(league_markdown(artifact), end="")
+    league = {row["policy"]: row["rank"] for row in artifact["league"]}
+    assert league["leime"] == 1, "LEIME must lead the default league"
+    assert league["leime"] < league["device-only"], "DPP must beat device-only"
+    assert league["leime"] < league["edge-only"], "DPP must beat edge-only"
+
+
+if __name__ == "__main__":
+    main()

@@ -195,13 +195,16 @@ class FederatedEventSimulator:
             )
         results: list[EventSimResult] = []
         members_per_edge: list[tuple[int, ...]] = []
+        # Non-home members pay their host site's backhaul latency on
+        # every device↔edge transfer (see EdgeSite.backhaul_latency).
+        homes = self.topology.home_assignment()
         for edge in range(self.topology.num_edges):
             members = self.plan.member_union(edge)
             members_per_edge.append(members)
             if not members:
                 results.append(EventSimResult(tasks=(), horizon=0.0))
                 continue
-            shard_system = self.topology.build_shard(edge, members)
+            shard_system = self.topology.build_shard(edge, members, homes)
             shard_arrivals = [
                 MaskedArrivals(
                     inner=self.arrivals[i],

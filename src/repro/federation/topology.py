@@ -24,7 +24,7 @@ exactly the original RNG streams.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Sequence
 
 import numpy as np
@@ -55,6 +55,13 @@ class EdgeSite:
         edge_cloud: This cluster's backhaul hop to the shared cloud.
         position: Planar coordinates for nearest-edge assignment.
         edge_overhead: Per-task framework overhead on this edge, seconds.
+        backhaul_latency: Extra one-way propagation (seconds) a device
+            homed at a *different* site pays to reach this edge — the
+            metro backhaul hop an offloaded/migrated member traverses on
+            top of its access link.  Applied as a latency term on the
+            member's device↔edge hop (not a capacity scalar), so every
+            transfer of a non-home member pays it per attempt, on both
+            event engines identically.  Home members never pay it.
     """
 
     name: str
@@ -62,6 +69,7 @@ class EdgeSite:
     edge_cloud: NetworkProfile
     position: tuple[float, float] = (0.0, 0.0)
     edge_overhead: float = 0.0
+    backhaul_latency: float = 0.0
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -70,6 +78,8 @@ class EdgeSite:
             raise ValueError("edge FLOPS must be positive")
         if self.edge_overhead < 0:
             raise ValueError("edge overhead must be non-negative")
+        if self.backhaul_latency < 0:
+            raise ValueError("backhaul latency must be non-negative")
 
     def distance_to(self, position: tuple[float, float]) -> float:
         return math.hypot(
@@ -174,7 +184,7 @@ class FederationTopology:
         return seed + SHARD_SEED_STRIDE * edge
 
     def build_shard(
-        self, edge: int, members: Sequence[int]
+        self, edge: int, members: Sequence[int], homes: Sequence[int] | None = None
     ) -> EdgeSystem:
         """The :class:`EdgeSystem` edge ``edge`` runs for ``members``.
 
@@ -183,6 +193,12 @@ class FederationTopology:
         site's capacity, i.e. per-edge resource allocation.  ``members``
         must be ascending global device indices; the shard preserves
         that order.
+
+        ``homes`` (per global device, usually :meth:`home_assignment`)
+        enables the site's ``backhaul_latency`` term: members homed
+        elsewhere get it added to their device↔edge link latency.  With
+        ``homes=None`` (or a zero-latency site) the shard is built from
+        the devices verbatim, preserving the E=1 identity contract.
         """
         if not 0 <= edge < self.num_edges:
             raise ValueError(f"edge must be in [0, {self.num_edges})")
@@ -194,8 +210,25 @@ class FederationTopology:
         if members[0] < 0 or members[-1] >= self.num_devices:
             raise ValueError("member index out of range")
         site = self.sites[edge]
+
+        def member_device(i: int) -> DeviceConfig:
+            device = self.devices[i]
+            if (
+                homes is None
+                or site.backhaul_latency == 0.0
+                or homes[i] == edge
+            ):
+                return device
+            return replace(
+                device,
+                link=NetworkProfile(
+                    bandwidth=device.link.bandwidth,
+                    latency=device.link.latency + site.backhaul_latency,
+                ),
+            )
+
         return EdgeSystem(
-            devices=tuple(self.devices[i] for i in members),
+            devices=tuple(member_device(i) for i in members),
             edge_flops=site.edge_flops,
             cloud_flops=self.cloud_flops,
             edge_cloud=site.edge_cloud,

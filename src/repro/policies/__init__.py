@@ -1,0 +1,49 @@
+"""The policy zoo: every offloading policy behind one protocol + registry.
+
+``repro.policies`` formalises the decision seam all five execution
+paths already share — :class:`~repro.core.offloading.OffloadingPolicy`,
+now ``runtime_checkable`` — and registers each implementation (paper
+controllers, naive baselines, the resilience wrapper, and the learned
+zoo) under a stable name so the CLI, the tournament harness, and the
+conformance suite enumerate the same set:
+
+>>> from repro.policies import build_policy, policy_names
+>>> policy_names()  # doctest: +ELLIPSIS
+('balance', 'bandit', 'cap-based', ...)
+>>> build_policy("leime", v=80.0).v
+80.0
+"""
+
+from ..core.offloading import OffloadingPolicy
+from .bandit import DEFAULT_ARMS, ExitBanditPolicy
+from .common import bounded_reward, evaluate_ratio, log_bucket, queue_bucket
+from .probabilistic import ProbabilisticPolicy
+from .registry import (
+    PolicySpec,
+    build_policy,
+    healthy_fault_plan,
+    policy_names,
+    policy_spec,
+    register_policy,
+    reset_policy,
+)
+from .tabular import TabularQPolicy
+
+__all__ = [
+    "DEFAULT_ARMS",
+    "ExitBanditPolicy",
+    "OffloadingPolicy",
+    "PolicySpec",
+    "ProbabilisticPolicy",
+    "TabularQPolicy",
+    "bounded_reward",
+    "build_policy",
+    "evaluate_ratio",
+    "healthy_fault_plan",
+    "log_bucket",
+    "policy_names",
+    "policy_spec",
+    "queue_bucket",
+    "register_policy",
+    "reset_policy",
+]

@@ -1,0 +1,129 @@
+"""Contextual UCB over split settings, in the spirit of SplitEE.
+
+SplitEE picks exit/split points for a multi-exit DNN with online
+learning instead of solving the placement analytically.  Here the arm
+set is a grid of candidate split ratios (``x`` — how much of the first
+block leaves the device), the context is the slot's observed channel
+state (the per-device uplink bandwidth the dynamic environment
+substitutes each slot), and the learner is UCB1 with per-(device,
+context) statistics: each context learns which split the wild channel
+actually rewards, rather than trusting the profile-time plan.
+
+The reward signal is the same Eq. 19 drift-plus-penalty objective the
+paper's controller minimises (squashed to a bounded scale), so the
+bandit is a *model-evaluated* learner: it pays for exploration in real
+decisions, but scores arms on the fluid cost model rather than on noisy
+end-to-end samples.  Everything is deterministic — exploration order is
+fixed (unplayed arms in grid order, then UCB with lowest-index
+tie-breaks), so two runs from identical inputs take identical decisions
+on every execution path.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..core.offloading import (
+    DeviceConfig,
+    EdgeSystem,
+    LyapunovState,
+    feasible_ratio_interval,
+)
+from .common import bounded_reward, evaluate_ratio, greedy_argmax, log_bucket
+
+#: Default split-setting arm grid — the coarse ``x`` lattice UCB explores.
+DEFAULT_ARMS = (0.0, 0.25, 0.5, 0.75, 1.0)
+
+
+@dataclass
+class ExitBanditPolicy:
+    """UCB1 split selection with per-slot channel context.
+
+    Attributes:
+        arms: Candidate split ratios (clipped per slot into the Eq. 8
+            feasible interval before execution).
+        exploration: UCB confidence weight ``c`` (rewards are bounded in
+            ``(-1, 1)``, so ``c ≈ 1`` is the classical scale).
+        v: The Lyapunov trade-off weight used in the reward objective —
+            matching DPP's ``V`` makes the two directly comparable.
+        context_buckets: Number of log2 bandwidth buckets; the reference
+            point is each device's first observed bandwidth.
+    """
+
+    arms: tuple[float, ...] = DEFAULT_ARMS
+    exploration: float = 1.0
+    v: float = 50.0
+    context_buckets: int = 4
+    _counts: dict = field(default_factory=dict, repr=False)
+    _means: dict = field(default_factory=dict, repr=False)
+    _reference: dict = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        if not self.arms or any(not 0.0 <= a <= 1.0 for a in self.arms):
+            raise ValueError("arms must be a non-empty grid inside [0, 1]")
+        if self.exploration < 0:
+            raise ValueError("exploration must be non-negative")
+        if self.context_buckets < 1:
+            raise ValueError("context_buckets must be >= 1")
+
+    def reset(self) -> None:
+        """Forget every arm statistic and context reference."""
+        self._counts.clear()
+        self._means.clear()
+        self._reference.clear()
+
+    def _pick_arm(self, key: tuple[int, int]) -> int:
+        counts = self._counts.setdefault(key, [0] * len(self.arms))
+        means = self._means.setdefault(key, [0.0] * len(self.arms))
+        for j, count in enumerate(counts):
+            if count == 0:  # deterministic exploration, grid order
+                return j
+        total = sum(counts)
+        scores = [
+            means[j]
+            + self.exploration * math.sqrt(math.log(total) / counts[j])
+            for j in range(len(self.arms))
+        ]
+        return greedy_argmax(scores)
+
+    def _update(self, key: tuple[int, int], arm: int, reward: float) -> None:
+        self._counts[key][arm] += 1
+        count = self._counts[key][arm]
+        self._means[key][arm] += (reward - self._means[key][arm]) / count
+
+    def decide(
+        self,
+        system: EdgeSystem,
+        state: LyapunovState,
+        arrivals: Sequence[float],
+        devices: Sequence[DeviceConfig] | None = None,
+    ) -> list[float]:
+        devs = tuple(devices) if devices is not None else system.devices
+        ratios: list[float] = []
+        for i, device in enumerate(devs):
+            reference = self._reference.setdefault(i, device.link.bandwidth)
+            context = log_bucket(
+                device.link.bandwidth, reference, self.context_buckets
+            )
+            key = (i, context)
+            arm = self._pick_arm(key)
+            lo, hi = feasible_ratio_interval(
+                device, system.partition_for(i), system.slot_length, arrivals[i]
+            )
+            x = min(max(self.arms[arm], lo), hi)
+            cost = evaluate_ratio(
+                system,
+                device,
+                i,
+                x,
+                max(float(arrivals[i]), 0.0),
+                state.queue_local[i],
+                state.queue_edge[i],
+                self.v,
+            )
+            if math.isfinite(cost):  # a NaN probe must not poison the table
+                self._update(key, arm, bounded_reward(cost))
+            ratios.append(x)
+        return ratios

@@ -1,0 +1,107 @@
+"""Shared plumbing for the policy zoo.
+
+The learned policies (:mod:`repro.policies.bandit`,
+:mod:`repro.policies.tabular`) score candidate split ratios against the
+same Eq. 19 objective the paper's controller minimises, and discretize
+the per-slot channel/queue observations into small integer contexts.
+Both pieces live here so the two learners (and their tests) agree on
+the exact arithmetic.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from ..core.offloading import (
+    DeviceConfig,
+    EdgeSystem,
+    drift_plus_penalty,
+    slot_cost,
+)
+
+
+def evaluate_ratio(
+    system: EdgeSystem,
+    device: DeviceConfig,
+    index: int,
+    x: float,
+    arrivals: float,
+    queue_local: float,
+    queue_edge: float,
+    v: float,
+) -> float:
+    """The Eq. 19 drift-plus-penalty value of playing ratio ``x`` for one
+    device this slot — the immediate cost the learned policies train on.
+
+    This is the same objective :class:`~repro.core.offloading.
+    DriftPlusPenaltyPolicy` minimises exactly, so a learner that converges
+    has, by construction, rediscovered the paper's controller for the
+    contexts it visited.
+    """
+    cost = slot_cost(
+        device,
+        system,
+        x,
+        arrivals,
+        queue_local,
+        queue_edge,
+        system.shares[index],
+        include_tail=False,
+        partition=system.partition_for(index),
+    )
+    return drift_plus_penalty(cost, queue_local, queue_edge, v)
+
+
+def bounded_reward(cost: float) -> float:
+    """Map an unbounded slot cost to a reward in ``(-1, 1)``.
+
+    ``r = -c / (1 + |c|)`` is strictly decreasing in ``c``, so argmax over
+    rewards equals argmin over costs, while UCB confidence radii and
+    Q-learning steps see a bounded scale regardless of ``V`` or fleet
+    units (seconds × V can reach 1e3 under backlog).
+    """
+    return -cost / (1.0 + abs(cost))
+
+
+def log_bucket(value: float, reference: float, num_buckets: int) -> int:
+    """Discretize ``value`` relative to ``reference`` on a log2 scale.
+
+    Bucket ``num_buckets // 2`` holds values near the reference; each
+    step up/down halves or doubles it, clipped into
+    ``[0, num_buckets - 1]``.  Non-positive inputs (a dead link reported
+    as zero bandwidth) land in bucket 0.
+    """
+    if num_buckets <= 0:
+        raise ValueError("num_buckets must be positive")
+    if value <= 0 or reference <= 0 or not math.isfinite(value):
+        return 0
+    ratio = math.log2(value / reference)
+    bucket = int(math.floor(ratio)) + num_buckets // 2
+    return min(max(bucket, 0), num_buckets - 1)
+
+
+def queue_bucket(backlog: float) -> int:
+    """Discretize a per-device backlog ``Q_i + H_i`` (tasks) into four
+    rungs: idle, light, loaded, congested.  Thresholds bracket the
+    overload watermarks (default ``queue_low=4``/``queue_high=12``) so a
+    learner can tell a draining system from one the governor is about to
+    degrade."""
+    if not backlog > 0.5:  # also catches NaN from a stale-telemetry probe
+        return 0
+    if backlog <= 4.0:
+        return 1
+    if backlog <= 12.0:
+        return 2
+    return 3
+
+
+def greedy_argmax(values: Sequence[float]) -> int:
+    """Deterministic argmax: ties break toward the lowest index, NaN never
+    wins (a table cell poisoned by a NaN observation stays unplayable
+    rather than absorbing the policy)."""
+    best, best_value = 0, -math.inf
+    for j, value in enumerate(values):
+        if value > best_value:
+            best, best_value = j, value
+    return best

@@ -1,0 +1,135 @@
+"""Rate-solved probabilistic offloading, after faas-offloading-sim.
+
+faas-offloading-sim's ``ProbabilisticPolicy`` keeps a per-class
+probability vector (p_local / p_cloud / p_edge / p_drop), re-solves it
+from observed arrival-rate estimates every ``update_interval``, and
+draws each task's destination from the current vector.  This module
+ports that structure onto the paper's two-tier fluid seam: one
+``(p_local, p_edge, p_drop)`` vector per device, re-solved periodically
+from exponentially-smoothed arrival estimates by water-filling the
+destinations in cost order (edge slice first, device second, the
+overflow marked for drop).
+
+Two deliberate deviations from the FaaS original:
+
+* The solve is a closed-form water-fill, not an LP — with one device
+  class per queue and capacities known from Eqs. 8/9 there is nothing a
+  solver would add.
+* The ``decide`` seam returns fluid split ratios, so the policy is
+  deterministic (no per-task destination coins) and ``p_drop`` cannot be
+  executed here: admission is the overload governor's job
+  (:mod:`repro.resilience.overload`).  The drop mass therefore runs
+  locally — the conservative fallback — while the intended vector stays
+  inspectable via :attr:`ProbabilisticPolicy.probability_vectors` (the
+  tournament's shed-rate column shows what a governed run makes of it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..core.offloading import (
+    DeviceConfig,
+    EdgeSystem,
+    LyapunovState,
+    feasible_ratio_interval,
+    slot_cost,
+)
+
+
+@dataclass
+class ProbabilisticPolicy:
+    """Per-device destination probabilities, periodically re-solved.
+
+    Attributes:
+        update_interval: Slots between vector re-solves (the cadence of
+            faas-offloading-sim's ``update_probabilities``).
+        smoothing: EWMA weight on the newest arrival observation
+            (``alpha`` in ``est = alpha·obs + (1-alpha)·est``).
+        headroom: Fraction of a destination's service capacity the solve
+            is allowed to book; < 1 keeps the planned load strictly
+            inside the stability region so queues drain between bursts.
+    """
+
+    update_interval: int = 8
+    smoothing: float = 0.5
+    headroom: float = 0.9
+
+    def __post_init__(self) -> None:
+        if self.update_interval < 1:
+            raise ValueError("update_interval must be >= 1")
+        if not 0.0 < self.smoothing <= 1.0:
+            raise ValueError("smoothing must be in (0, 1]")
+        if not 0.0 < self.headroom <= 1.0:
+            raise ValueError("headroom must be in (0, 1]")
+        self.reset()
+
+    def reset(self) -> None:
+        """Forget the rate estimates and solved vectors."""
+        self._slot = 0
+        self._rates: list[float] | None = None
+        self._vectors: list[tuple[float, float, float]] | None = None
+
+    @property
+    def probability_vectors(self) -> list[tuple[float, float, float]]:
+        """The last solved ``(p_local, p_edge, p_drop)`` per device."""
+        return list(self._vectors or [])
+
+    def _solve(
+        self, system: EdgeSystem, device: DeviceConfig, index: int, rate: float
+    ) -> tuple[float, float, float]:
+        """Water-fill one device's estimated rate across destinations."""
+        if rate <= 0.0:
+            return (1.0, 0.0, 0.0)
+        probe = max(rate, 1.0)
+        # Capacities (tasks/slot) at the two extremes: service_edge needs
+        # x=1 so Eq. 9 grants the slice its full F_{i,1}^e; service_local
+        # is x-independent.
+        kwargs = dict(
+            include_tail=False, partition=system.partition_for(index)
+        )
+        edge_cap = slot_cost(
+            device, system, 1.0, probe, 0.0, 0.0, system.shares[index], **kwargs
+        ).service_edge
+        local_cap = slot_cost(
+            device, system, 0.0, probe, 0.0, 0.0, system.shares[index], **kwargs
+        ).service_local
+        p_edge = min(1.0, self.headroom * edge_cap / rate)
+        p_local = min(1.0 - p_edge, self.headroom * local_cap / rate)
+        p_drop = max(0.0, 1.0 - p_edge - p_local)
+        return (p_local, p_edge, p_drop)
+
+    def decide(
+        self,
+        system: EdgeSystem,
+        state: LyapunovState,
+        arrivals: Sequence[float],
+        devices: Sequence[DeviceConfig] | None = None,
+    ) -> list[float]:
+        devs = tuple(devices) if devices is not None else system.devices
+        observed = [max(float(a), 0.0) for a in arrivals]
+        if self._rates is None or len(self._rates) != len(devs):
+            # First slot (or the fleet changed shape under us, e.g. a
+            # federation shard): seed the estimator from what we see.
+            self._rates = list(observed)
+            self._vectors = None
+        else:
+            alpha = self.smoothing
+            self._rates = [
+                alpha * obs + (1.0 - alpha) * est
+                for obs, est in zip(observed, self._rates)
+            ]
+        if self._vectors is None or self._slot % self.update_interval == 0:
+            self._vectors = [
+                self._solve(system, device, i, self._rates[i])
+                for i, device in enumerate(devs)
+            ]
+        self._slot += 1
+        ratios: list[float] = []
+        for i, device in enumerate(devs):
+            lo, hi = feasible_ratio_interval(
+                device, system.partition_for(i), system.slot_length, observed[i]
+            )
+            ratios.append(min(max(self._vectors[i][1], lo), hi))
+        return ratios

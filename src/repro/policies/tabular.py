@@ -1,0 +1,154 @@
+"""Tabular Q-learning over a discretized system state.
+
+The graph-RL offloading line of work ("Graph Reinforcement
+Learning-based CNN Inference Offloading in Dynamic Edge Computing")
+learns where to run inference from the evolving edge state.  This is
+the repo's no-torch stand-in: a tabular Q-learner over a small
+discretized ``(queue, bandwidth, capacity)`` state —
+
+* **queue** — the device's backlog ``Q_i + H_i`` bucketed against the
+  overload watermarks (:func:`repro.policies.common.queue_bucket`);
+* **bandwidth** — the slot's observed uplink on a log2 scale relative
+  to the device's first observation (the wild-trace channel);
+* **capacity** — the edge server's advertised FLOPS relative to its
+  first observation (outages and degraded slots shrink it).
+
+Actions are the same split-ratio grid the bandit explores; the Q-table
+is shared across devices (state already encodes what differs), which is
+the tabular analogue of the graph net sharing weights across nodes.
+The TD target bootstraps from the *next* observed state one slot later,
+and rewards are the bounded Eq. 19 costs from
+:func:`repro.policies.common.bounded_reward`.  Exploration is seeded
+ε-greedy on the policy's own Generator — never the simulator's streams,
+so a learned run stays replayable and engine-identical.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from ..core.offloading import (
+    DeviceConfig,
+    EdgeSystem,
+    LyapunovState,
+    feasible_ratio_interval,
+)
+from .bandit import DEFAULT_ARMS
+from .common import (
+    bounded_reward,
+    evaluate_ratio,
+    greedy_argmax,
+    log_bucket,
+    queue_bucket,
+)
+
+
+@dataclass
+class TabularQPolicy:
+    """ε-greedy tabular Q-learning offloading policy.
+
+    Attributes:
+        arms: Candidate split ratios (the action set).
+        learning_rate: TD step size ``α``.
+        discount: Bootstrap weight ``γ`` on the next state's value.
+        epsilon: Per-device exploration probability each slot.
+        v: Lyapunov weight of the reward objective (matches DPP's ``V``).
+        seed: Seed for the policy-private exploration Generator.
+        context_buckets: log2 buckets for the bandwidth dimension.
+    """
+
+    arms: tuple[float, ...] = DEFAULT_ARMS
+    learning_rate: float = 0.2
+    discount: float = 0.9
+    epsilon: float = 0.1
+    v: float = 50.0
+    seed: int = 0
+    context_buckets: int = 4
+    _q: dict = field(default_factory=dict, repr=False)
+    _pending: dict = field(default_factory=dict, repr=False)
+    _reference_bw: dict = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        if not self.arms or any(not 0.0 <= a <= 1.0 for a in self.arms):
+            raise ValueError("arms must be a non-empty grid inside [0, 1]")
+        if not 0.0 < self.learning_rate <= 1.0:
+            raise ValueError("learning_rate must be in (0, 1]")
+        if not 0.0 <= self.discount < 1.0:
+            raise ValueError("discount must be in [0, 1)")
+        if not 0.0 <= self.epsilon <= 1.0:
+            raise ValueError("epsilon must be in [0, 1]")
+        if self.context_buckets < 1:
+            raise ValueError("context_buckets must be >= 1")
+        self.reset()
+
+    def reset(self) -> None:
+        """Clear the table, pending transitions, and rewind the RNG."""
+        self._q.clear()
+        self._pending.clear()
+        self._reference_bw.clear()
+        self._reference_capacity: float | None = None
+        self._rng = np.random.default_rng(self.seed)
+
+    def _state_of(
+        self, system: EdgeSystem, device: DeviceConfig, index: int, backlog: float
+    ) -> tuple[int, int, int]:
+        if self._reference_capacity is None:
+            self._reference_capacity = system.edge_flops
+        reference_bw = self._reference_bw.setdefault(index, device.link.bandwidth)
+        return (
+            queue_bucket(backlog),
+            log_bucket(device.link.bandwidth, reference_bw, self.context_buckets),
+            log_bucket(system.edge_flops, self._reference_capacity, 3),
+        )
+
+    def decide(
+        self,
+        system: EdgeSystem,
+        state: LyapunovState,
+        arrivals: Sequence[float],
+        devices: Sequence[DeviceConfig] | None = None,
+    ) -> list[float]:
+        devs = tuple(devices) if devices is not None else system.devices
+        ratios: list[float] = []
+        for i, device in enumerate(devs):
+            backlog = state.queue_local[i] + state.queue_edge[i]
+            s = self._state_of(system, device, i, backlog)
+            qvals = self._q.setdefault(s, [0.0] * len(self.arms))
+            pending = self._pending.get(i)
+            if pending is not None:
+                # One-step TD update: the state we just landed in is the
+                # bootstrap target for last slot's transition.
+                prev_state, prev_arm, prev_reward = pending
+                prev_q = self._q[prev_state]
+                target = prev_reward + self.discount * max(qvals)
+                prev_q[prev_arm] += self.learning_rate * (
+                    target - prev_q[prev_arm]
+                )
+            if self._rng.random() < self.epsilon:
+                arm = int(self._rng.integers(len(self.arms)))
+            else:
+                arm = greedy_argmax(qvals)
+            lo, hi = feasible_ratio_interval(
+                device, system.partition_for(i), system.slot_length, arrivals[i]
+            )
+            x = min(max(self.arms[arm], lo), hi)
+            cost = evaluate_ratio(
+                system,
+                device,
+                i,
+                x,
+                max(float(arrivals[i]), 0.0),
+                state.queue_local[i],
+                state.queue_edge[i],
+                self.v,
+            )
+            if math.isfinite(cost):
+                self._pending[i] = (s, arm, bounded_reward(cost))
+            else:  # stale-telemetry garbage: drop the transition entirely
+                self._pending.pop(i, None)
+            ratios.append(x)
+        return ratios

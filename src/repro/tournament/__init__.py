@@ -1,0 +1,49 @@
+"""Tournament harness: race the policy zoo across scenario axes.
+
+Quickstart::
+
+    from repro.tournament import TournamentSpec, run_tournament, league_markdown
+
+    spec = TournamentSpec(policies=("leime", "device-only"), seed=0)
+    artifact = run_tournament(spec, output="tournament.json")
+    print(league_markdown(artifact))
+
+See :mod:`repro.tournament.runner` for the cell execution model and
+:mod:`repro.tournament.scenarios` for the named worlds.
+"""
+
+from .report import league_markdown
+from .runner import (
+    ENGINES,
+    SCHEMA,
+    TournamentSpec,
+    cell_key,
+    league_table,
+    load_artifact,
+    run_cell,
+    run_tournament,
+    save_artifact,
+)
+from .scenarios import (
+    ScenarioSpec,
+    register_scenario,
+    scenario_names,
+    scenario_spec,
+)
+
+__all__ = [
+    "ENGINES",
+    "SCHEMA",
+    "ScenarioSpec",
+    "TournamentSpec",
+    "cell_key",
+    "league_markdown",
+    "league_table",
+    "load_artifact",
+    "register_scenario",
+    "run_cell",
+    "run_tournament",
+    "save_artifact",
+    "scenario_names",
+    "scenario_spec",
+]

@@ -1,0 +1,117 @@
+"""Markdown rendering for tournament artifacts.
+
+Pure formatting — every number is already rounded by the runner, so the
+markdown inherits the artifact's byte-identity guarantee: same spec +
+same seed → same report, byte for byte.
+"""
+
+from __future__ import annotations
+
+
+def _fmt(value: float | int | None, digits: int = 3) -> str:
+    if value is None:
+        return "—"
+    if isinstance(value, int):
+        return str(value)
+    return f"{value:.{digits}f}"
+
+
+def _table(header: list[str], rows: list[list[str]]) -> str:
+    lines = [
+        "| " + " | ".join(header) + " |",
+        "| " + " | ".join("---" for _ in header) + " |",
+    ]
+    lines.extend("| " + " | ".join(row) + " |" for row in rows)
+    return "\n".join(lines)
+
+
+def league_markdown(artifact: dict) -> str:
+    """The full markdown league report for one tournament artifact."""
+    spec = artifact["spec"]
+    out = [
+        "# Tournament league",
+        "",
+        f"- fingerprint: `{artifact['fingerprint']}`",
+        f"- seed {spec['seed']}, {spec['num_slots']} slots × "
+        f"{spec['num_devices']} devices, V = {spec['v']}, "
+        f"deadline {spec['deadline']} s",
+        f"- scenarios: {', '.join(spec['scenarios'])}",
+        f"- engines: {', '.join(spec['engines'])}",
+        "",
+        "## League table",
+        "",
+        _table(
+            [
+                "rank",
+                "policy",
+                "mean rank",
+                "completion",
+                "p50 TCT (s)",
+                "p99 TCT (s)",
+                "drop",
+                "shed",
+                "miss",
+            ],
+            [
+                [
+                    str(row["rank"]),
+                    row["policy"],
+                    _fmt(row["mean_rank"], 2),
+                    _fmt(row["completion_rate"]),
+                    _fmt(row["p50_tct"]),
+                    _fmt(row["p99_tct"]),
+                    _fmt(row["drop_rate"]),
+                    _fmt(row["shed_rate"]),
+                    _fmt(row["deadline_miss_rate"]),
+                ]
+                for row in artifact["league"]
+            ],
+        ),
+    ]
+    for scenario in spec["scenarios"]:
+        rows = sorted(
+            (
+                cell
+                for cell in artifact["cells"].values()
+                if cell["scenario"] == scenario
+            ),
+            key=lambda cell: (cell["engine"], cell["policy"]),
+        )
+        if not rows:
+            continue
+        out.extend(
+            [
+                "",
+                f"## Scenario: {scenario}",
+                "",
+                _table(
+                    [
+                        "policy",
+                        "engine",
+                        "tasks",
+                        "completion",
+                        "p50 TCT (s)",
+                        "p99 TCT (s)",
+                        "drop",
+                        "shed",
+                        "retries",
+                    ],
+                    [
+                        [
+                            cell["policy"],
+                            cell["engine"],
+                            _fmt(cell["metrics"]["tasks"]),
+                            _fmt(cell["metrics"]["completion_rate"]),
+                            _fmt(cell["metrics"]["p50_tct"]),
+                            _fmt(cell["metrics"]["p99_tct"]),
+                            _fmt(cell["metrics"]["drop_rate"]),
+                            _fmt(cell["metrics"]["shed_rate"]),
+                            _fmt(cell["metrics"]["total_retries"]),
+                        ]
+                        for cell in rows
+                    ],
+                ),
+            ]
+        )
+    out.append("")
+    return "\n".join(out)

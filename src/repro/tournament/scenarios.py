@@ -1,0 +1,117 @@
+"""Named tournament scenarios — the axes PRs 2–5 built, as fixtures.
+
+A scenario pins everything about the world except the policy and the
+event engine: the arrival regime, the per-slot environment (a wild
+trace), the fault schedule, and the overload governor.  Policies race
+on *identical* worlds — every cell of one scenario shares the same
+simulation seed, the repo's common-random-numbers idiom — so a league
+gap is attributable to the controller, not to luck.
+
+The canonical four cover one of each axis the tournament acceptance
+demands: a stationary Poisson regime (the paper's Test Case setting), a
+wild trace (diurnal + Gilbert-Elliott + flash crowds), the canonical
+edge-outage fault plan with default recovery, and the flash-crowd
+overload scenario under the default governor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Scenario kinds understood by the cell runner.
+KINDS = ("stationary", "wild-trace", "faults", "overload")
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One named world for every policy to race on.
+
+    Attributes:
+        name: Registry key (also the CLI spelling).
+        kind: One of :data:`KINDS`; selects the cell runner's wiring.
+        description: One-line summary for reports.
+        arrival_rate: Mean per-device arrivals per slot (the base rate
+            during an overload scenario's calm phase).
+        overload_magnitude: Flash-crowd arrival multiplier
+            (``kind="overload"`` only).
+        bandwidth_mbps: Device↔edge uplink bandwidth override (Mbit/s);
+            ``None`` keeps the testbed's Wi-Fi default.  Wild-trace
+            scenarios ignore it — their links come from the trace.
+    """
+
+    name: str
+    kind: str
+    description: str
+    arrival_rate: float = 0.3
+    overload_magnitude: float = 8.0
+    bandwidth_mbps: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise ValueError(f"kind must be one of {KINDS}, got {self.kind!r}")
+        if self.arrival_rate < 0:
+            raise ValueError("arrival_rate must be non-negative")
+        if self.overload_magnitude < 1.0:
+            raise ValueError("overload_magnitude must be >= 1")
+        if self.bandwidth_mbps is not None and self.bandwidth_mbps <= 0:
+            raise ValueError("bandwidth_mbps must be positive")
+
+
+_SCENARIOS: dict[str, ScenarioSpec] = {}
+
+
+def register_scenario(spec: ScenarioSpec, *, replace: bool = False) -> ScenarioSpec:
+    if spec.name in _SCENARIOS and not replace:
+        raise ValueError(f"scenario {spec.name!r} already registered")
+    _SCENARIOS[spec.name] = spec
+    return spec
+
+
+def scenario_names() -> tuple[str, ...]:
+    return tuple(sorted(_SCENARIOS))
+
+
+def scenario_spec(name: str) -> ScenarioSpec:
+    try:
+        return _SCENARIOS[name]
+    except KeyError:
+        known = ", ".join(scenario_names())
+        raise ValueError(
+            f"unknown scenario {name!r}; registered: {known}"
+        ) from None
+
+
+register_scenario(
+    ScenarioSpec(
+        name="stationary",
+        kind="stationary",
+        description="stationary Poisson arrivals on a congested 2 Mbps uplink",
+        arrival_rate=1.5,
+        bandwidth_mbps=2.0,
+    )
+)
+register_scenario(
+    ScenarioSpec(
+        name="diurnal-wild",
+        kind="wild-trace",
+        description="wild trace: diurnal bandwidth, Gilbert-Elliott links, flash crowds",
+        arrival_rate=0.4,
+    )
+)
+register_scenario(
+    ScenarioSpec(
+        name="edge-outage",
+        kind="faults",
+        description="canonical edge outage + background chaos, default recovery",
+        arrival_rate=0.3,
+    )
+)
+register_scenario(
+    ScenarioSpec(
+        name="flash-crowd",
+        kind="overload",
+        description="8x flash crowd under the default overload governor",
+        arrival_rate=0.3,
+        overload_magnitude=8.0,
+    )
+)

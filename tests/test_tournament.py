@@ -1,0 +1,151 @@
+"""Tournament harness contracts: determinism, resume, and the headline.
+
+The league is only evidence if re-running it is free of noise: the same
+spec must serialise byte-identically twice, a resumed run must reuse
+finished cells verbatim, and the canonical stationary scenario must
+reproduce the paper-side headline — LEIME (drift-plus-penalty) strictly
+ahead of the naive single-destination baselines on both event engines.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.tournament import (
+    TournamentSpec,
+    cell_key,
+    league_markdown,
+    load_artifact,
+    run_tournament,
+    save_artifact,
+)
+from repro.tournament.runner import _serialise
+
+MINI = TournamentSpec(
+    policies=("leime", "device-only", "edge-only"),
+    scenarios=("stationary", "flash-crowd"),
+    num_slots=30,
+    num_devices=3,
+    seed=7,
+)
+
+
+def test_spec_validates_names() -> None:
+    with pytest.raises(ValueError):
+        TournamentSpec(policies=("no-such-policy",))
+    with pytest.raises(ValueError):
+        TournamentSpec(scenarios=("no-such-scenario",))
+    with pytest.raises(ValueError):
+        TournamentSpec(engines=("gpu",))
+
+
+def test_fingerprint_tracks_the_spec() -> None:
+    assert MINI.fingerprint() == MINI.fingerprint()
+    assert MINI.fingerprint() != TournamentSpec(
+        policies=MINI.policies,
+        scenarios=MINI.scenarios,
+        num_slots=MINI.num_slots,
+        num_devices=MINI.num_devices,
+        seed=MINI.seed + 1,
+    ).fingerprint()
+
+
+def test_two_runs_serialise_byte_identically() -> None:
+    a = run_tournament(MINI)
+    b = run_tournament(MINI)
+    assert _serialise(a) == _serialise(b)
+    assert league_markdown(a) == league_markdown(b)
+
+
+def test_every_cell_agrees_across_engines() -> None:
+    """A scalar/fast metric gap inside one (scenario, policy) pair is a
+    conformance bug; the league must never rank engine noise."""
+    artifact = run_tournament(MINI)
+    for scenario in MINI.scenarios:
+        for policy in MINI.policies:
+            scalar = artifact["cells"][cell_key(scenario, policy, "scalar")]
+            fast = artifact["cells"][cell_key(scenario, policy, "fast")]
+            assert scalar["metrics"] == fast["metrics"], (scenario, policy)
+
+
+def test_leime_beats_naive_baselines_on_stationary() -> None:
+    """The acceptance headline on the congested stationary scenario."""
+    spec = TournamentSpec(
+        policies=("leime", "device-only", "edge-only"),
+        scenarios=("stationary",),
+        num_slots=80,
+        num_devices=4,
+        seed=0,
+    )
+    artifact = run_tournament(spec)
+    league = {row["policy"]: row["rank"] for row in artifact["league"]}
+    assert league["leime"] == 1
+    assert league["leime"] < league["device-only"]
+    assert league["leime"] < league["edge-only"]
+    # Strict wins, not tie-break luck: compare the p99 column per engine.
+    for engine in spec.engines:
+        p99 = {
+            policy: artifact["cells"][cell_key("stationary", policy, engine)][
+                "metrics"
+            ]["p99_tct"]
+            for policy in spec.policies
+        }
+        assert p99["leime"] < p99["device-only"]
+        assert p99["leime"] < p99["edge-only"]
+
+
+def test_resume_reuses_finished_cells(tmp_path, monkeypatch) -> None:
+    out = tmp_path / "tournament.json"
+    run_tournament(MINI, output=str(out))
+    first = out.read_bytes()
+
+    import repro.tournament.runner as runner
+
+    def boom(*args, **kwargs):  # pragma: no cover - only on regression
+        raise AssertionError("resume must not recompute finished cells")
+
+    monkeypatch.setattr(runner, "run_cell", boom)
+    artifact = run_tournament(MINI, output=str(out))
+    assert out.read_bytes() == first
+    assert len(artifact["cells"]) == len(MINI.policies) * len(
+        MINI.scenarios
+    ) * len(MINI.engines)
+
+
+def test_partial_artifact_resumes_the_remainder(tmp_path) -> None:
+    out = tmp_path / "tournament.json"
+    full = run_tournament(MINI)
+    partial = dict(full)
+    keys = sorted(full["cells"])
+    partial["cells"] = {k: full["cells"][k] for k in keys[: len(keys) // 2]}
+    partial["league"] = []
+    save_artifact(partial, str(out))
+    resumed = run_tournament(MINI, output=str(out))
+    assert _serialise(resumed) == _serialise(full)
+
+
+def test_mismatched_fingerprint_starts_fresh(tmp_path) -> None:
+    out = tmp_path / "tournament.json"
+    stale = {
+        "schema": "repro.tournament/v1",
+        "fingerprint": "not-this-spec",
+        "cells": {"bogus|cell|scalar": {"metrics": {}}},
+        "league": [],
+    }
+    save_artifact(stale, str(out))
+    artifact = run_tournament(MINI, output=str(out))
+    assert "bogus|cell|scalar" not in artifact["cells"]
+    assert load_artifact(str(out))["fingerprint"] == MINI.fingerprint()
+
+
+def test_artifact_is_stable_json(tmp_path) -> None:
+    """The committed artifact format: sorted keys, rounded floats, no
+    NaN tokens (empty groups serialise as null)."""
+    out = tmp_path / "tournament.json"
+    run_tournament(MINI, output=str(out))
+    text = out.read_text()
+    assert "NaN" not in text
+    parsed = json.loads(text)
+    assert _serialise(parsed) == text
