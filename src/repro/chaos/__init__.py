@@ -1,0 +1,102 @@
+"""Chaos engineering for the serving stack: checkpoints, control-plane
+faults, and a seeded invariant-fuzzing campaign.
+
+Three parts (see DESIGN.md, "Chaos & crash recovery"):
+
+* :mod:`repro.chaos.checkpoint` — versioned kill/restore snapshots with
+  ``checkpoint_every=`` hooks on every execution path;
+* :mod:`repro.chaos.control_faults` — a seeded
+  :class:`~repro.chaos.control_faults.ControlFaultPlan` (telemetry
+  delay/drop/duplication, bounded clock skew, coordinator crash-restart)
+  plus the epoch-fenced
+  :class:`~repro.chaos.control_faults.FencedController`;
+* :mod:`repro.chaos.campaign` / :mod:`repro.chaos.oracles` — the
+  ``repro chaos`` fuzzer replaying sampled failure compositions against
+  invariant oracles.
+
+The package ``__init__`` stays import-light (the simulators import
+:mod:`~repro.chaos.checkpoint` from inside their run loops); campaign
+symbols load lazily on first attribute access.
+"""
+
+from __future__ import annotations
+
+from .checkpoint import (
+    CHECKPOINT_SCHEMA_VERSION,
+    Checkpoint,
+    CheckpointError,
+    CheckpointLog,
+    Killed,
+    KillSwitch,
+    checkpoint_from_bytes,
+    checkpoint_to_bytes,
+    load_checkpoint,
+    run_fingerprint,
+    save_checkpoint,
+    snapshot,
+)
+from .control_faults import (
+    CONTROL_PLAN_SCHEMA_VERSION,
+    ControlFaultError,
+    ControlFaultPlan,
+    ControlFaultSpec,
+    FencedController,
+    canonical_coordinator_outage,
+    control_plans_equal,
+    generate_control_fault_plan,
+    load_control_fault_plan,
+    save_control_fault_plan,
+)
+
+_LAZY = {
+    "ChaosSpec": "campaign",
+    "run_campaign": "campaign",
+    "run_case": "campaign",
+    "sample_case": "campaign",
+    "shrink_case": "campaign",
+    "render_markdown": "campaign",
+    "write_reports": "campaign",
+    "event_conservation": "oracles",
+    "fluid_conservation": "oracles",
+    "nan_sentinels": "oracles",
+    "records_equal": "oracles",
+    "records_diff": "oracles",
+    "tasks_equal": "oracles",
+    "tasks_diff": "oracles",
+}
+
+
+def __getattr__(name: str):
+    module = _LAZY.get(name)
+    if module is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(f".{module}", __name__), name)
+
+
+__all__ = [
+    "CHECKPOINT_SCHEMA_VERSION",
+    "CONTROL_PLAN_SCHEMA_VERSION",
+    "Checkpoint",
+    "CheckpointError",
+    "CheckpointLog",
+    "Killed",
+    "KillSwitch",
+    "ControlFaultError",
+    "ControlFaultPlan",
+    "ControlFaultSpec",
+    "FencedController",
+    "canonical_coordinator_outage",
+    "checkpoint_from_bytes",
+    "checkpoint_to_bytes",
+    "control_plans_equal",
+    "generate_control_fault_plan",
+    "load_checkpoint",
+    "load_control_fault_plan",
+    "run_fingerprint",
+    "save_checkpoint",
+    "save_control_fault_plan",
+    "snapshot",
+    *sorted(_LAZY),
+]

@@ -13,6 +13,9 @@ Commands:
   wild traces (:mod:`repro.traces`).
 * ``faults {generate,describe,replay}`` — synthesise, inspect, and
   replay seeded fault plans (:mod:`repro.resilience`).
+* ``chaos {run,report,replay}`` — seeded chaos campaign over faults ×
+  engines × kill-points against invariant oracles, with shrinking
+  replay of violating cases (:mod:`repro.chaos`).
 * ``overload`` — replay the canonical flash crowd governed vs
   ungoverned (admission gate, backpressure, degradation ladder).
 * ``federation`` — partial-outage failover demo across edge sites.
@@ -342,6 +345,14 @@ def _cmd_trace_replay(args: argparse.Namespace) -> int:
         for a, b in zip(scalar.records, fast.records)
     )
 
+    conservation = []
+    for label, run in (("vectorized", fast), ("scalar", scalar)):
+        from .chaos.oracles import fluid_conservation
+
+        conservation += [
+            f"[{label}] {line}" for line in fluid_conservation(run)
+        ]
+
     print(f"trace     : {args.trace} ({num_slots} slots replayed)")
     print(f"policy    : {args.policy}")
     print(f"mean TCT  : {fast.mean_tct:.3f} s")
@@ -349,6 +360,12 @@ def _cmd_trace_replay(args: argparse.Namespace) -> int:
     print(f"backlog   : {fast.final_backlog:.1f} tasks")
     print(f"stable    : {fast.is_stable()}")
     print(f"paths     : {'byte-identical' if identical else 'DIVERGED'}")
+    print(
+        "conserved : "
+        + ("generated = arrivals + shed" if not conservation else "VIOLATED")
+    )
+    for line in conservation:
+        print(f"  - {line}")
     if args.output is not None:
         payload = {
             "benchmark": "trace_replay",
@@ -364,10 +381,13 @@ def _cmd_trace_replay(args: argparse.Namespace) -> int:
             "paths_identical": identical,
             "vectorized_slots_per_sec": round(num_slots / fast_elapsed, 2),
             "scalar_slots_per_sec": round(num_slots / scalar_elapsed, 2),
+            "conservation_holds": not conservation,
         }
         Path(args.output).write_text(json.dumps(payload, indent=2) + "\n")
         print(f"wrote     : {args.output}")
-    return 0 if identical else 1
+    if not identical:
+        return 1
+    return 1 if conservation and args.strict else 0
 
 
 def _cmd_faults_generate(args: argparse.Namespace) -> int:
@@ -525,6 +545,14 @@ def _cmd_faults_replay(args: argparse.Namespace) -> int:
         for a, b in zip(reference.tasks, twin.tasks)
     )
 
+    from .chaos.oracles import event_conservation, fluid_conservation
+
+    conservation = [f"[fluid] {line}" for line in fluid_conservation(fast)]
+    for label, result in engine_results.items():
+        conservation += [
+            f"[{label}] {line}" for line in event_conservation(result)
+        ]
+
     print(f"plan      : {args.plan} ({num_slots} slots replayed)")
     print(f"policy    : {args.policy}")
     print(f"fluid TCT : {fast.mean_tct:.3f} s (max backlog {fast.max_backlog:.1f})")
@@ -540,6 +568,16 @@ def _cmd_faults_replay(args: argparse.Namespace) -> int:
         f"{'per-task identical' if engines_agree else 'DIVERGED'} "
         f"(scalar vs fast)"
     )
+    print(
+        "conserved : "
+        + (
+            "generated = completed + dropped + shed + in-flight"
+            if not conservation
+            else "VIOLATED"
+        )
+    )
+    for line in conservation:
+        print(f"  - {line}")
     if args.output is not None:
         payload = {
             "benchmark": "fault_replay",
@@ -556,10 +594,84 @@ def _cmd_faults_replay(args: argparse.Namespace) -> int:
             "engines_identical": engines_agree,
             "vectorized_slots_per_sec": round(num_slots / fast_elapsed, 2),
             "results": summaries,
+            "conservation_holds": not conservation,
         }
         Path(args.output).write_text(json.dumps(payload, indent=2) + "\n")
         print(f"wrote     : {args.output}")
-    return 0 if identical and engines_agree else 1
+    if not (identical and engines_agree):
+        return 1
+    return 1 if conservation and args.strict else 0
+
+
+def _cmd_chaos_run(args: argparse.Namespace) -> int:
+    from .chaos import ChaosSpec, run_campaign, write_reports
+
+    spec = ChaosSpec(seed=args.seed, num_samples=args.samples)
+    report = run_campaign(spec, progress=None if args.quiet else print)
+    bad = report["samples"] - report["clean"]
+    written = write_reports(report, args.output, args.report)
+    print(
+        f"campaign  : {report['samples']} cases (seed {args.seed}), "
+        + ", ".join(
+            f"{level} x{count}"
+            for level, count in report["level_counts"].items()
+        )
+    )
+    print(
+        "oracles   : "
+        + (
+            "all held"
+            if bad == 0
+            else f"VIOLATED on {bad} case(s) — replay with "
+            f"`repro chaos replay --seed {args.seed} --case "
+            f"{report['violating_cases'][0]['index']}`"
+        )
+    )
+    print(f"reproduce : fingerprint {report['fingerprint']}")
+    for path in written:
+        print(f"wrote     : {path}")
+    return 1 if bad and args.strict else 0
+
+
+def _cmd_chaos_report(args: argparse.Namespace) -> int:
+    from .chaos.campaign import CAMPAIGN_SCHEMA_VERSION
+    from .chaos import render_markdown
+
+    report = json.loads(Path(args.artifact).read_text())
+    if report.get("format") != "repro-chaos-report":
+        print(f"{args.artifact} is not a chaos campaign artifact", file=sys.stderr)
+        return 2
+    if report.get("schema_version") != CAMPAIGN_SCHEMA_VERSION:
+        print(
+            f"artifact schema v{report.get('schema_version')} != supported "
+            f"v{CAMPAIGN_SCHEMA_VERSION}; refusing to misparse",
+            file=sys.stderr,
+        )
+        return 2
+    print(render_markdown(report), end="")
+    bad = report["samples"] - report["clean"]
+    return 1 if bad and args.strict else 0
+
+
+def _cmd_chaos_replay(args: argparse.Namespace) -> int:
+    from .chaos import ChaosSpec, run_case, sample_case, shrink_case
+
+    spec = ChaosSpec(seed=args.seed, num_samples=args.case + 1)
+    case = sample_case(spec, args.case)
+    print(f"case      : {json.dumps(case, sort_keys=True)}")
+    result = run_case(case)
+    if not result["violations"]:
+        print("oracles   : all held")
+        return 0
+    print(f"oracles   : {len(result['violations'])} violation(s)")
+    for violation in result["violations"]:
+        print(f"  - {violation}")
+    if not args.no_shrink:
+        shrunk, shrunk_result = shrink_case(case)
+        print(f"shrunk    : {json.dumps(shrunk, sort_keys=True)}")
+        for violation in shrunk_result["violations"]:
+            print(f"  - {violation}")
+    return 1
 
 
 def _cmd_policy_list(args: argparse.Namespace) -> int:
@@ -862,6 +974,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="write a BENCH_traces.json-style summary here",
     )
+    replay.add_argument(
+        "--strict",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="exit non-zero if the SLO conservation identity is violated "
+        "(default: on, for CI)",
+    )
     replay.set_defaults(func=_cmd_trace_replay)
 
     faults = sub.add_parser(
@@ -937,6 +1056,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="write a BENCH_faults.json-style summary here",
     )
+    faults_replay.add_argument(
+        "--strict",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="exit non-zero if the SLO conservation identity is violated "
+        "(default: on, for CI)",
+    )
     faults_replay.set_defaults(func=_cmd_faults_replay)
 
     overload = sub.add_parser(
@@ -977,6 +1103,65 @@ def build_parser() -> argparse.ArgumentParser:
         help="write a JSON summary here",
     )
     federation.set_defaults(func=_cmd_federation)
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="seeded chaos campaign: faults x engines x kill-points "
+        "replayed against invariant oracles",
+    )
+    chaos_sub = chaos.add_subparsers(dest="chaos_command", required=True)
+
+    chaos_run = chaos_sub.add_parser(
+        "run", help="run a seeded campaign and write JSON + markdown reports"
+    )
+    chaos_run.add_argument("--samples", type=int, default=200)
+    chaos_run.add_argument("--seed", type=int, default=0)
+    chaos_run.add_argument(
+        "--output",
+        type=Path,
+        default=Path("chaos_report.json"),
+        help="JSON artifact to write",
+    )
+    chaos_run.add_argument(
+        "--report",
+        type=Path,
+        default=Path("chaos_report.md"),
+        help="markdown violation digest to write",
+    )
+    chaos_run.add_argument(
+        "--strict",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="exit non-zero on any oracle violation (default: on, for CI)",
+    )
+    chaos_run.add_argument("--quiet", action="store_true")
+    chaos_run.set_defaults(func=_cmd_chaos_run)
+
+    chaos_report = chaos_sub.add_parser(
+        "report", help="render a campaign artifact as markdown"
+    )
+    chaos_report.add_argument("artifact", type=Path)
+    chaos_report.add_argument(
+        "--strict",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="exit non-zero if the artifact records violations",
+    )
+    chaos_report.set_defaults(func=_cmd_chaos_report)
+
+    chaos_replay = chaos_sub.add_parser(
+        "replay",
+        help="re-run one sampled case by index, shrinking any violation "
+        "to a minimal reproducer",
+    )
+    chaos_replay.add_argument("--case", type=int, required=True)
+    chaos_replay.add_argument("--seed", type=int, default=0)
+    chaos_replay.add_argument(
+        "--no-shrink",
+        action="store_true",
+        help="report the violation without minimising the case",
+    )
+    chaos_replay.set_defaults(func=_cmd_chaos_replay)
 
     policy = sub.add_parser("policy", help="inspect the policy registry")
     policy_sub = policy.add_subparsers(dest="policy_command", required=True)

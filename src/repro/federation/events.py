@@ -179,6 +179,23 @@ class FederatedEventSimulator:
         ):
             raise ValueError("fault plan and topology disagree on edge count")
 
+    def _fingerprint(self, num_slots: int, engine: str) -> str:
+        from ..chaos.checkpoint import run_fingerprint
+
+        return run_fingerprint(
+            path="federated-event",
+            seed=self.seed,
+            devices=self.topology.num_devices,
+            edges=self.topology.num_edges,
+            slots=num_slots,
+            engine=engine,
+            spread_arrivals=self.spread_arrivals,
+            shared_uplink=self.shared_uplink,
+            faults=self.faults is not None,
+            recovery=repr(self.recovery),
+            overload=repr(self.overload),
+        )
+
     def run(
         self,
         policy: OffloadingPolicy,
@@ -186,23 +203,62 @@ class FederatedEventSimulator:
         drain: bool = True,
         drain_limit_factor: float = 50.0,
         engine: str = "scalar",
+        checkpoint_every: int | None = None,
+        checkpoint_sink=None,
+        resume_from=None,
     ) -> FederatedEventResult:
-        """Run every shard for ``num_slots`` generation slots."""
+        """Run every shard for ``num_slots`` generation slots.
+
+        Checkpoints are ``"state"``-kind at **shard granularity**: shards
+        run sequentially and independently, so after each completed edge
+        the finished results are snapshotted and a resumed run skips
+        straight to the next edge (the checkpoint's ``slot`` field holds
+        the next *edge index*).  Every shard's own simulation is
+        deterministic from its shard seed, so the combined result is
+        byte-identical to an uninterrupted run.
+        """
         if num_slots > self.plan.num_slots:
             raise ValueError(
                 f"plan covers {self.plan.num_slots} slots, cannot generate "
                 f"{num_slots}"
             )
-        results: list[EventSimResult] = []
-        members_per_edge: list[tuple[int, ...]] = []
+        from ..chaos.checkpoint import (
+            snapshot,
+            validate_hooks,
+            validate_resume,
+        )
+
+        validate_hooks(checkpoint_every, checkpoint_sink)
+        fingerprint = self._fingerprint(num_slots, engine)
+        if resume_from is not None:
+            validate_resume(
+                resume_from, "federated-event", "state", fingerprint
+            )
+            payload = resume_from.payload()
+            results = payload["results"]
+            members_per_edge = payload["members_per_edge"]
+            start_edge = resume_from.slot
+        else:
+            results: list[EventSimResult] = []
+            members_per_edge: list[tuple[int, ...]] = []
+            start_edge = 0
         # Non-home members pay their host site's backhaul latency on
         # every device↔edge transfer (see EdgeSite.backhaul_latency).
         homes = self.topology.home_assignment()
-        for edge in range(self.topology.num_edges):
+        for edge in range(start_edge, self.topology.num_edges):
             members = self.plan.member_union(edge)
             members_per_edge.append(members)
             if not members:
                 results.append(EventSimResult(tasks=(), horizon=0.0))
+                self._emit_shard_checkpoint(
+                    checkpoint_every,
+                    checkpoint_sink,
+                    snapshot,
+                    fingerprint,
+                    edge,
+                    results,
+                    members_per_edge,
+                )
                 continue
             shard_system = self.topology.build_shard(edge, members, homes)
             shard_arrivals = [
@@ -237,8 +293,50 @@ class FederatedEventSimulator:
                     engine=engine,
                 )
             )
+            self._emit_shard_checkpoint(
+                checkpoint_every,
+                checkpoint_sink,
+                snapshot,
+                fingerprint,
+                edge,
+                results,
+                members_per_edge,
+            )
         return FederatedEventResult(
             edge_results=tuple(results),
             edge_members=tuple(members_per_edge),
             plan=self.plan,
+        )
+
+    def _emit_shard_checkpoint(
+        self,
+        checkpoint_every,
+        checkpoint_sink,
+        snapshot,
+        fingerprint,
+        edge,
+        results,
+        members_per_edge,
+    ) -> None:
+        """Snapshot the finished shards after edge ``edge`` completes
+        (``slot`` = the next edge index; the final edge emits nothing —
+        the run is already done)."""
+        done = edge + 1
+        if (
+            not checkpoint_every
+            or done >= self.topology.num_edges
+            or done % checkpoint_every != 0
+        ):
+            return
+        checkpoint_sink(
+            snapshot(
+                "federated-event",
+                "state",
+                done,
+                fingerprint,
+                dict(
+                    results=list(results),
+                    members_per_edge=list(members_per_edge),
+                ),
+            )
         )

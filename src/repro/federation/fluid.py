@@ -144,41 +144,118 @@ class FederatedSlotSimulator:
         if not 0.0 < self.edge_down_factor <= 1.0:
             raise ValueError("edge_down_factor must be in (0, 1]")
 
+    def _fingerprint(self, num_slots: int) -> str:
+        from ..chaos.checkpoint import run_fingerprint
+
+        return run_fingerprint(
+            path="federated-fluid",
+            seed=self.seed,
+            devices=self.topology.num_devices,
+            edges=self.topology.num_edges,
+            slots=num_slots,
+            vectorized=self.vectorized,
+            include_tail=self.include_tail,
+            overload=repr(self.overload),
+            edge_down_factor=self.edge_down_factor,
+        )
+
     def run(
         self,
         policy: OffloadingPolicy,
         num_slots: int,
         state: LyapunovState | None = None,
+        checkpoint_every: int | None = None,
+        checkpoint_sink=None,
+        resume_from=None,
     ) -> FederatedFluidResult:
-        """Simulate ``num_slots`` slots across all shards."""
+        """Simulate ``num_slots`` slots across all shards.
+
+        Checkpoints are ``"state"``-kind (the coordinator's state is the
+        RNG, queues, gate/ladders, and accumulated records; shard systems
+        are immutable and rebuilt from the topology on resume).
+        """
         if num_slots <= 0:
             raise ValueError("need a positive number of slots")
+        from ..chaos.checkpoint import (
+            should_emit,
+            snapshot,
+            validate_hooks,
+            validate_resume,
+        )
+
+        validate_hooks(checkpoint_every, checkpoint_sink)
+        fingerprint = self._fingerprint(num_slots)
         topology, plan = self.topology, self.plan
         n, num_edges = topology.num_devices, topology.num_edges
-        rng = np.random.default_rng(self.seed)
-        if state is None:
-            state = LyapunovState.zeros(n)
-        fleet = FleetState.from_lyapunov(state) if self.vectorized else None
+        environment = self.environment
+        arrivals: Sequence[ArrivalProcess] = self.arrivals
+        if resume_from is not None:
+            validate_resume(resume_from, "federated-fluid", "state", fingerprint)
+            payload = resume_from.payload()
+            rng = payload["rng"]
+            state = payload["state"]
+            fleet = payload["fleet"]
+            gate = payload["gate"]
+            ladders = payload["ladders"]
+            global_records = payload["global_records"]
+            edge_records = payload["edge_records"]
+            policy = payload["policy"]
+            environment = payload["environment"]
+            arrivals = payload["arrivals"]
+            start_slot = resume_from.slot
+        else:
+            rng = np.random.default_rng(self.seed)
+            if state is None:
+                state = LyapunovState.zeros(n)
+            fleet = FleetState.from_lyapunov(state) if self.vectorized else None
+            gate = None
+            ladders: list = []
+            if self.overload is not None:
+                from ..resilience.overload import AdmissionGate, OverloadGovernor
+
+                gate = AdmissionGate(self.overload, n)
+                ladders = [
+                    OverloadGovernor(self.overload, n) for _ in range(num_edges)
+                ]
+            global_records: list[SlotRecord] = []
+            edge_records: list[list[SlotRecord]] = [
+                [] for _ in range(num_edges)
+            ]
+            start_slot = 0
         # Shard systems (and vectorized engines) are cached per member
-        # set — they only change at assignment-epoch boundaries.
+        # set — they only change at assignment-epoch boundaries, and are
+        # derived (immutable) data: rebuilt, not checkpointed.
         shard_cache: dict[
             tuple[int, tuple[int, ...]],
             tuple[EdgeSystem, VectorizedSlotEngine | None],
         ] = {}
-
-        gate = None
-        ladders: list = []
-        if self.overload is not None:
-            from ..resilience.overload import AdmissionGate, OverloadGovernor
-
-            gate = AdmissionGate(self.overload, n)
-            ladders = [
-                OverloadGovernor(self.overload, n) for _ in range(num_edges)
-            ]
-
-        global_records: list[SlotRecord] = []
-        edge_records: list[list[SlotRecord]] = [[] for _ in range(num_edges)]
-        for slot in range(num_slots):
+        # A FencedController needs the true slot index: the coordinator
+        # consults the policy once per edge, not once per slot.
+        begin_slot = getattr(policy, "begin_slot", None)
+        for slot in range(start_slot, num_slots):
+            if should_emit(checkpoint_every, slot):
+                checkpoint_sink(
+                    snapshot(
+                        "federated-fluid",
+                        "state",
+                        slot,
+                        fingerprint,
+                        dict(
+                            rng=rng,
+                            state=state,
+                            fleet=fleet,
+                            gate=gate,
+                            ladders=ladders,
+                            global_records=global_records,
+                            edge_records=edge_records,
+                            policy=policy,
+                            environment=environment,
+                            arrivals=list(arrivals),
+                        ),
+                    )
+                )
+            if begin_slot is not None:
+                begin_slot(slot)
             row = plan.row(slot)
             member_lists = [
                 [int(i) for i in np.flatnonzero(row == e)]
@@ -202,11 +279,11 @@ class FederatedSlotSimulator:
                     modes[e] = ladders[e].observe(
                         slot, [backlogs[i] for i in members]
                     )
-            live_devices = self.environment.devices_at(
+            live_devices = environment.devices_at(
                 slot, topology.devices, rng
             )
-            expected = [proc.mean(slot) for proc in self.arrivals]
-            realised = [proc.sample(slot, rng) for proc in self.arrivals]
+            expected = [proc.mean(slot) for proc in arrivals]
+            realised = [proc.sample(slot, rng) for proc in arrivals]
             edge_shed = [0.0] * num_edges
             if gate is not None:
                 admitted = []

@@ -62,6 +62,11 @@ FAULT_CHANNELS: dict[str, str] = {
     "telemetry_stale": "bool",
 }
 
+#: Version stamp written into saved fault plans; bumped on any layout
+#: change so old files fail loudly instead of misparsing.
+FAULT_PLAN_SCHEMA_VERSION = 1
+_SCHEMA_KEY = "fault_plan_schema_version"
+
 
 class FaultPlanError(ValueError):
     """A fault plan (or serialized plan file) violates the schema."""
@@ -293,7 +298,10 @@ class FaultPlan:
     # -- trace composition ---------------------------------------------------
 
     def to_trace(self) -> Trace:
-        """The plan as a standalone trace of ``fault_*`` channels."""
+        """The plan as a standalone trace of ``fault_*`` channels,
+        stamped with the fault-plan schema version."""
+        meta = dict(self.meta)
+        meta[_SCHEMA_KEY] = FAULT_PLAN_SCHEMA_VERSION
         return Trace(
             channels=tuple(
                 TraceChannel(
@@ -304,12 +312,29 @@ class FaultPlan:
                 for name in FAULT_CHANNELS
             ),
             slot_length=self.slot_length,
-            meta=dict(self.meta),
+            meta=meta,
         )
 
     @classmethod
     def from_trace(cls, trace: Trace) -> "FaultPlan":
-        """Recover a plan from a trace carrying ``fault_*`` channels."""
+        """Recover a plan from a trace carrying ``fault_*`` channels.
+
+        A mismatched ``fault_plan_schema_version`` stamp raises loudly;
+        a trace without the stamp (written before it existed, or a plan
+        embedded via :func:`attach_faults`) is read as the current
+        layout.
+        """
+        meta = {
+            k: v
+            for k, v in dict(trace.meta).items()
+            if not str(k).startswith("trace_")
+        }
+        declared = meta.pop(_SCHEMA_KEY, None)
+        if declared is not None and int(declared) != FAULT_PLAN_SCHEMA_VERSION:
+            raise FaultPlanError(
+                f"fault plan schema v{declared} != supported "
+                f"v{FAULT_PLAN_SCHEMA_VERSION}; refusing to misparse"
+            )
         arrays = {}
         for name in FAULT_CHANNELS:
             channel = trace.get(FAULT_CHANNEL_PREFIX + name)
@@ -319,15 +344,7 @@ class FaultPlan:
                     f"available: {trace.names}"
                 )
             arrays[name] = channel.values
-        return cls(
-            slot_length=trace.slot_length,
-            meta={
-                k: v
-                for k, v in dict(trace.meta).items()
-                if not str(k).startswith("trace_")
-            },
-            **arrays,
-        )
+        return cls(slot_length=trace.slot_length, meta=meta, **arrays)
 
 
 def plans_equal(a: FaultPlan, b: FaultPlan) -> bool:

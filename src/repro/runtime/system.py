@@ -440,6 +440,22 @@ class LeimeRuntime:
 
     # -- the controller loop ---------------------------------------------------
 
+    def _run_fingerprint(self, num_slots, faults, recovery, overload) -> str:
+        """Digest of a live run's configuration for checkpoint validation."""
+        from ..chaos.checkpoint import run_fingerprint
+
+        return run_fingerprint(
+            path="runtime",
+            seed=self.seed,
+            devices=self.system.num_devices,
+            slots=num_slots,
+            faults=None if faults is None else repr(faults.describe()),
+            recovery=repr(recovery),
+            # A pre-built governor's repr drags in live objects; the
+            # frozen control config is the stable part.
+            overload=repr(getattr(overload, "control", overload)),
+        )
+
     def run(
         self,
         arrivals: list[ArrivalProcess],
@@ -449,6 +465,9 @@ class LeimeRuntime:
         faults: "FaultPlan | None" = None,
         recovery: "RecoveryPolicy | None" = None,
         overload: "OverloadControl | OverloadGovernor | None" = None,
+        checkpoint_every: int | None = None,
+        checkpoint_sink=None,
+        resume_from=None,
     ) -> RuntimeReport:
         """Generate ``num_slots`` slots of live tasks and wait for drain.
 
@@ -488,11 +507,40 @@ class LeimeRuntime:
                 backpressure clamps the offloading ratios, and ladder
                 rung changes hot-swap the deployed partition via
                 :meth:`apply_partition`.
+            checkpoint_every: Emit a ``"replay"``-kind checkpoint to
+                ``checkpoint_sink`` at the top of every such slot.  Live
+                worker threads cannot be snapshotted, so the runtime's
+                checkpoints are fingerprint markers: resume validates the
+                configuration and re-executes from slot 0 on a *fresh*
+                runtime — the control plane is deterministic from the
+                seed, so the re-run reproduces the control-plane record.
+            checkpoint_sink: Callable receiving each checkpoint.
+            resume_from: A checkpoint from a killed run.  This runtime
+                must be fresh (no tasks generated) and configured
+                identically; the run then proceeds normally.
         """
         if len(arrivals) != self.system.num_devices:
             raise ValueError("need one arrival process per device")
         if recovery is not None and faults is None:
             raise ValueError("recovery requires a fault plan to recover from")
+        from ..chaos.checkpoint import (
+            CheckpointError,
+            should_emit,
+            snapshot,
+            validate_hooks,
+            validate_resume,
+        )
+
+        validate_hooks(checkpoint_every, checkpoint_sink)
+        fingerprint = self._run_fingerprint(num_slots, faults, recovery, overload)
+        if resume_from is not None:
+            validate_resume(resume_from, "runtime", "replay", fingerprint)
+            with self._tasks_lock:
+                if self._tasks:
+                    raise CheckpointError(
+                        "resume needs a fresh runtime: this instance already "
+                        f"generated {len(self._tasks)} tasks"
+                    )
         policy = self.policy
         if faults is not None:
             if faults.num_devices != self.system.num_devices:
@@ -539,6 +587,10 @@ class LeimeRuntime:
         fractional = [0.0] * n
         for slot in range(num_slots):
             self._live_slot = slot
+            if should_emit(checkpoint_every, slot):
+                checkpoint_sink(
+                    snapshot("runtime", "replay", slot, fingerprint, {})
+                )
             if slot_hook is not None:
                 slot_hook(slot)
             # Live queue occupancy drives the policy, as on a real edge.

@@ -359,6 +359,22 @@ class EventSimulator:
             policy = ResilientPolicy(policy, self.faults, recovery)
         return policy, recovery
 
+    def _fingerprint(self, path_name: str, num_slots: int) -> str:
+        """Digest of the run configuration for checkpoint validation."""
+        from ..chaos.checkpoint import run_fingerprint
+
+        return run_fingerprint(
+            path=path_name,
+            seed=self.seed,
+            devices=self.system.num_devices,
+            slots=num_slots,
+            spread_arrivals=self.spread_arrivals,
+            shared_uplink=self.shared_uplink,
+            faults=None if self.faults is None else repr(self.faults.describe()),
+            recovery=repr(self.recovery),
+            overload=repr(self.overload),
+        )
+
     def run(
         self,
         policy: OffloadingPolicy,
@@ -366,6 +382,9 @@ class EventSimulator:
         drain: bool = True,
         drain_limit_factor: float = 50.0,
         engine: str = "scalar",
+        checkpoint_every: int | None = None,
+        checkpoint_sink=None,
+        resume_from=None,
     ) -> EventSimResult:
         """Generate ``num_slots`` slots of tasks and simulate to completion.
 
@@ -382,6 +401,18 @@ class EventSimulator:
                 to the array-backed engine
                 (:func:`repro.sim.fast_events.run_fast`), which the
                 differential harness pins to the scalar results per task.
+            checkpoint_every: Emit a checkpoint to ``checkpoint_sink`` at
+                every such slot boundary.  The fast engine emits
+                ``"state"``-kind snapshots (its run state is plain
+                arrays); the scalar engine's heap holds closures over
+                live queues, so it emits ``"replay"``-kind markers —
+                resume re-executes deterministically from the seed, which
+                is byte-identical for the same reason two seeded runs
+                are.
+            checkpoint_sink: Callable receiving each checkpoint.
+            resume_from: Continue (fast) or deterministically re-execute
+                (scalar) a killed run from its checkpoint; the
+                fingerprint must match this simulator's configuration.
         """
         if num_slots <= 0:
             raise ValueError("need a positive number of slots")
@@ -396,7 +427,25 @@ class EventSimulator:
                 num_slots,
                 drain=drain,
                 drain_limit_factor=drain_limit_factor,
+                checkpoint_every=checkpoint_every,
+                checkpoint_sink=checkpoint_sink,
+                resume_from=resume_from,
             )
+        from ..chaos.checkpoint import (
+            should_emit,
+            snapshot,
+            validate_hooks,
+            validate_resume,
+        )
+
+        validate_hooks(checkpoint_every, checkpoint_sink)
+        fingerprint = self._fingerprint("event-scalar", num_slots)
+        if resume_from is not None:
+            # The scalar engine's checkpoints are replay-kind: validate
+            # the configuration matches, then re-execute from slot 0 —
+            # determinism from the seed makes the result byte-identical
+            # to the uninterrupted run.
+            validate_resume(resume_from, "event-scalar", "replay", fingerprint)
         control_seq, exit_seq = np.random.SeedSequence(self.seed).spawn(2)
         rng = np.random.default_rng(control_seq)
         exit_rng = np.random.default_rng(exit_seq)
@@ -663,6 +712,10 @@ class EventSimulator:
 
         def slot_boundary(slot: int) -> Callable[[float], None]:
             def handler(time: float) -> None:
+                if should_emit(checkpoint_every, slot):
+                    checkpoint_sink(
+                        snapshot("event-scalar", "replay", slot, fingerprint, {})
+                    )
                 live = self.environment.devices_at(slot, system.devices, rng)
                 if self.shared_uplink:
                     uplink[0].reconfigure(live[0].link)

@@ -1181,28 +1181,81 @@ def run_fast(
     num_slots: int,
     drain: bool = True,
     drain_limit_factor: float = 50.0,
+    checkpoint_every: int | None = None,
+    checkpoint_sink=None,
+    resume_from=None,
 ) -> "EventSimResult":
-    """Array-backed twin of the scalar ``EventSimulator.run`` loop."""
+    """Array-backed twin of the scalar ``EventSimulator.run`` loop.
+
+    Checkpoints are ``"state"``-kind: the engine is plain arrays (task
+    store, server clocks, carried work, calibration state), so the whole
+    mutable run state pickles bit-exactly and a resumed run continues
+    byte-identical to an uninterrupted one.
+    """
     from .events import EventSimResult
+    from ..chaos.checkpoint import (
+        should_emit,
+        snapshot,
+        validate_hooks,
+        validate_resume,
+    )
+    from ..resilience.overload import OverloadGovernor, apply_backpressure
 
-    control_seq, exit_seq = np.random.SeedSequence(sim.seed).spawn(2)
-    rng = np.random.default_rng(control_seq)
-    exit_rng = np.random.default_rng(exit_seq)
-    eng = _FastEngine(sim, policy)
-    system = sim.system
-    tau = system.slot_length
-    n = system.num_devices
-    state = LyapunovState.zeros(n)
-    ratios = [0.0] * n
-    fractional = [0.0] * n
-    governor = None
-    modes: list[int] = []
-    if sim.overload is not None:
-        from ..resilience.overload import OverloadGovernor, apply_backpressure
+    validate_hooks(checkpoint_every, checkpoint_sink)
+    fingerprint = sim._fingerprint("event-fast", num_slots)
+    if resume_from is not None:
+        validate_resume(resume_from, "event-fast", "state", fingerprint)
+        payload = resume_from.payload()
+        eng = payload["eng"]
+        sim = eng.sim
+        rng = payload["rng"]
+        exit_rng = payload["exit_rng"]
+        state = payload["state"]
+        ratios = payload["ratios"]
+        fractional = payload["fractional"]
+        governor = payload["governor"]
+        modes = payload["modes"]
+        start_slot = resume_from.slot
+        system = sim.system
+        tau = system.slot_length
+        n = system.num_devices
+    else:
+        control_seq, exit_seq = np.random.SeedSequence(sim.seed).spawn(2)
+        rng = np.random.default_rng(control_seq)
+        exit_rng = np.random.default_rng(exit_seq)
+        eng = _FastEngine(sim, policy)
+        system = sim.system
+        tau = system.slot_length
+        n = system.num_devices
+        state = LyapunovState.zeros(n)
+        ratios = [0.0] * n
+        fractional = [0.0] * n
+        governor = None
+        modes: list[int] = []
+        if sim.overload is not None:
+            governor = OverloadGovernor(sim.overload, n)
+        start_slot = 0
 
-        governor = OverloadGovernor(sim.overload, n)
-
-    for slot in range(num_slots):
+    for slot in range(start_slot, num_slots):
+        if should_emit(checkpoint_every, slot):
+            checkpoint_sink(
+                snapshot(
+                    "event-fast",
+                    "state",
+                    slot,
+                    fingerprint,
+                    dict(
+                        eng=eng,
+                        rng=rng,
+                        exit_rng=exit_rng,
+                        state=state,
+                        ratios=ratios,
+                        fractional=fractional,
+                        governor=governor,
+                        modes=modes,
+                    ),
+                )
+            )
         w0 = slot * tau
         w1 = (slot + 1) * tau
         live = sim.environment.devices_at(slot, system.devices, rng)

@@ -34,6 +34,7 @@ from .environment import DynamicEnvironment, StaticEnvironment
 from .metrics import SimulationResult, SlotRecord
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..chaos.checkpoint import Checkpoint
     from ..resilience.overload import OverloadControl
 
 
@@ -92,11 +93,26 @@ class SlotSimulator:
                 f"{len(self.arrivals)} != {self.system.num_devices}"
             )
 
+    def _fingerprint(self, path_name: str, num_slots: int) -> str:
+        from ..chaos.checkpoint import run_fingerprint
+
+        return run_fingerprint(
+            path=path_name,
+            seed=self.seed,
+            devices=self.system.num_devices,
+            slots=num_slots,
+            include_tail=self.include_tail,
+            overload=repr(self.overload),
+        )
+
     def run(
         self,
         policy: OffloadingPolicy,
         num_slots: int,
         state: LyapunovState | None = None,
+        checkpoint_every: int | None = None,
+        checkpoint_sink=None,
+        resume_from: "Checkpoint | None" = None,
     ) -> SimulationResult:
         """Simulate ``num_slots`` slots and return the aggregated result.
 
@@ -106,17 +122,34 @@ class SlotSimulator:
             state: Starting queue state (fresh queues by default); the
                 caller keeps ownership, so warm-started continuations are
                 possible.
+            checkpoint_every: Emit a ``"state"``-kind
+                :class:`~repro.chaos.checkpoint.Checkpoint` to
+                ``checkpoint_sink`` every this many slots (taken at the
+                slot boundary, before the slot runs).
+            checkpoint_sink: Callable receiving each checkpoint; must be
+                given together with ``checkpoint_every``.
+            resume_from: Continue a killed run from its checkpoint: the
+                RNG, queues, governor, policy, environment, and records
+                are restored bit-for-bit, so the continuation is
+                byte-identical to the uninterrupted run.  ``policy`` and
+                ``state`` arguments are ignored (the checkpoint carries
+                them).
         """
         if num_slots <= 0:
             raise ValueError("need a positive number of slots")
-        rng = np.random.default_rng(self.seed)
-        if state is None:
-            state = LyapunovState.zeros(self.system.num_devices)
-        engine = VectorizedSlotEngine(self.system) if self.vectorized else None
-        fleet = FleetState.from_lyapunov(state) if self.vectorized else None
-        system_at = getattr(self.environment, "system_at", None)
+        from ..chaos.checkpoint import (
+            should_emit,
+            snapshot,
+            validate_hooks,
+            validate_resume,
+        )
+
+        validate_hooks(checkpoint_every, checkpoint_sink)
+        path_name = "fluid-vectorized" if self.vectorized else "fluid-scalar"
+        fingerprint = self._fingerprint(path_name, num_slots)
+        environment = self.environment
+        arrivals: Sequence[ArrivalProcess] = self.arrivals
         n = self.system.num_devices
-        governor = None
         if self.overload is not None:
             from ..resilience.overload import (
                 MODE_FULL,
@@ -127,9 +160,52 @@ class SlotSimulator:
                 drain_stranded_edge,
             )
 
-            governor = OverloadGovernor(self.overload, n)
-        records: list[SlotRecord] = []
-        for slot in range(num_slots):
+        governor = None
+        if resume_from is not None:
+            validate_resume(resume_from, path_name, "state", fingerprint)
+            payload = resume_from.payload()
+            rng = payload["rng"]
+            state = payload["state"]
+            fleet = payload["fleet"]
+            governor = payload["governor"]
+            records = payload["records"]
+            policy = payload["policy"]
+            environment = payload["environment"]
+            arrivals = payload["arrivals"]
+            start_slot = resume_from.slot
+        else:
+            rng = np.random.default_rng(self.seed)
+            if state is None:
+                state = LyapunovState.zeros(self.system.num_devices)
+            fleet = FleetState.from_lyapunov(state) if self.vectorized else None
+            if self.overload is not None:
+                governor = OverloadGovernor(self.overload, n)
+            records: list[SlotRecord] = []
+            start_slot = 0
+        # The engine is derived from the (immutable) system — rebuilt, not
+        # checkpointed.
+        engine = VectorizedSlotEngine(self.system) if self.vectorized else None
+        system_at = getattr(environment, "system_at", None)
+        for slot in range(start_slot, num_slots):
+            if should_emit(checkpoint_every, slot):
+                checkpoint_sink(
+                    snapshot(
+                        path_name,
+                        "state",
+                        slot,
+                        fingerprint,
+                        dict(
+                            rng=rng,
+                            state=state,
+                            fleet=fleet,
+                            governor=governor,
+                            records=records,
+                            policy=policy,
+                            environment=environment,
+                            arrivals=list(arrivals),
+                        ),
+                    )
+                )
             # The live system: a trace environment may vary testbed
             # parameters (edge capacity) per slot; otherwise this is the
             # deployed system unchanged.
@@ -148,11 +224,11 @@ class SlotSimulator:
                     # The rung's partitions replace the live ones, so the
                     # fluid cost model serves at the degraded exit depth.
                     live_system = degrade_system(live_system, mode)
-            live_devices = self.environment.devices_at(
+            live_devices = environment.devices_at(
                 slot, live_system.devices, rng
             )
-            expected = [proc.mean(slot) for proc in self.arrivals]
-            realised = [proc.sample(slot, rng) for proc in self.arrivals]
+            expected = [proc.mean(slot) for proc in arrivals]
+            realised = [proc.sample(slot, rng) for proc in arrivals]
             if governor is not None:
                 admitted = []
                 for i in range(n):

@@ -22,8 +22,34 @@ import numpy as np
 
 from .schema import Trace, TraceChannel, TraceValidationError
 
-#: Bumped on any incompatible schema change.
+#: Bumped on any incompatible schema change.  Written to file headers as
+#: both ``schema_version`` (canonical) and ``version`` (legacy alias);
+#: loaders accept either but refuse any mismatch loudly — a misparsed
+#: trace must never masquerade as data.
 FORMAT_VERSION = 1
+
+
+def _header_versions() -> dict[str, int]:
+    return {"version": FORMAT_VERSION, "schema_version": FORMAT_VERSION}
+
+
+def _check_version(header: dict, path: Path) -> None:
+    """Loud error on any version mismatch.  Every declared key must
+    agree (``schema_version`` canonical, ``version`` the legacy alias —
+    files written before the alias existed carry only the latter); a
+    header whose declarations disagree is corrupt, not loadable."""
+    declared = [
+        header[key]
+        for key in ("schema_version", "version")
+        if key in header
+    ] or [None]
+    for value in declared:
+        if value != FORMAT_VERSION:
+            raise TraceValidationError(
+                f"{path}: unsupported trace schema version {value!r} "
+                f"(this build reads version {FORMAT_VERSION}); refusing "
+                "to misparse"
+            )
 
 
 def traces_equal(a: Trace, b: Trace) -> bool:
@@ -60,7 +86,7 @@ def save_jsonl(trace: Trace, path: str | Path) -> Path:
     path = Path(path)
     header = {
         "format": "leime-trace",
-        "version": FORMAT_VERSION,
+        **_header_versions(),
         "slot_length": trace.slot_length,
         "num_slots": trace.num_slots,
         "num_devices": trace.num_devices,
@@ -94,11 +120,7 @@ def load_jsonl(path: str | Path) -> Trace:
     header = json.loads(lines[0])
     if header.get("format") != "leime-trace":
         raise TraceValidationError(f"{path} is not a leime-trace JSONL file")
-    if header.get("version") != FORMAT_VERSION:
-        raise TraceValidationError(
-            f"unsupported trace version {header.get('version')!r} "
-            f"(this build reads version {FORMAT_VERSION})"
-        )
+    _check_version(header, path)
     num_slots = int(header["num_slots"])
     rows = [json.loads(line) for line in lines[1:]]
     if len(rows) != num_slots:
@@ -143,7 +165,7 @@ def save_npz(trace: Trace, path: str | Path) -> Path:
     path = Path(path)
     header = {
         "format": "leime-trace",
-        "version": FORMAT_VERSION,
+        **_header_versions(),
         "slot_length": trace.slot_length,
         "channels": [
             {"name": c.name, "units": c.units} for c in trace.channels
@@ -168,11 +190,7 @@ def load_npz(path: str | Path) -> Trace:
         header = json.loads(str(archive["header"]))
         if header.get("format") != "leime-trace":
             raise TraceValidationError(f"{path} is not a leime-trace archive")
-        if header.get("version") != FORMAT_VERSION:
-            raise TraceValidationError(
-                f"unsupported trace version {header.get('version')!r} "
-                f"(this build reads version {FORMAT_VERSION})"
-            )
+        _check_version(header, path)
         channels = tuple(
             TraceChannel(
                 name=spec["name"],

@@ -1,0 +1,404 @@
+"""Control-plane fault plans and the epoch-fenced controller.
+
+Pins: plan generation determinism and serialization (with the schema
+stamp), the fencing semantics (last-good under bounded staleness,
+epoch increments at restart, dead-epoch rejection), duplication
+idempotence, composability with data-plane fault plans, and mirroring
+across all execution paths (fluid scalar/vectorized byte-identical,
+event scalar/fast per-task identical, E=1 federation ≡ single-edge,
+live runtime smoke).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.chaos import (
+    ControlFaultError,
+    ControlFaultPlan,
+    ControlFaultSpec,
+    FencedController,
+    canonical_coordinator_outage,
+    control_plans_equal,
+    generate_control_fault_plan,
+    load_control_fault_plan,
+    save_control_fault_plan,
+)
+from repro.core.offloading import DriftPlusPenaltyPolicy
+from repro.resilience.faults import canonical_outage_plan
+from repro.resilience.recovery import RecoveryPolicy
+from repro.sim.arrivals import PoissonArrivals
+from repro.sim.events import EventSimulator
+from repro.sim.simulator import SlotSimulator
+
+from .helpers import random_fleet, single_edge_fixture
+
+SLOTS = 12
+N = 3
+
+
+def _arrivals(system):
+    return [PoissonArrivals(d.mean_arrivals) for d in system.devices]
+
+
+def _fenced(plan, **kwargs):
+    return FencedController(DriftPlusPenaltyPolicy(v=50.0), plan, **kwargs)
+
+
+# -- plan data model ---------------------------------------------------------
+
+
+def test_generation_is_deterministic_and_channel_split():
+    spec = ControlFaultSpec(num_slots=64)
+    a = generate_control_fault_plan(spec, seed=7)
+    b = generate_control_fault_plan(spec, seed=7)
+    assert control_plans_equal(a, b)
+    assert not control_plans_equal(a, generate_control_fault_plan(spec, seed=8))
+    # Per-channel split streams: disabling one channel leaves the others
+    # bit-identical.
+    import dataclasses
+
+    no_drop = generate_control_fault_plan(
+        dataclasses.replace(spec, drop_prob=0.0), seed=7
+    )
+    assert np.array_equal(a.delay, no_drop.delay)
+    assert np.array_equal(a.dup, no_drop.dup)
+    assert np.array_equal(a.skew, no_drop.skew)
+    assert np.array_equal(a.down, no_drop.down)
+    assert not np.any(no_drop.drop)
+
+
+def test_healthy_out_of_range_and_windows():
+    plan = canonical_coordinator_outage(60, seed=0)
+    start, stop = plan.meta["down_start"], plan.meta["down_stop"]
+    assert plan.down_at(start) and plan.down_at(stop - 1)
+    assert (start, stop) in plan.down_windows()
+    # Out of range: all healthy.
+    assert not plan.down_at(-1) and not plan.down_at(10_000)
+    assert plan.delay_at(10_000) == 0
+    assert plan.skew_at(10_000) == 0.0
+    desc = plan.describe()
+    assert desc["down_slots"] >= stop - start
+
+
+@pytest.mark.parametrize("suffix", [".jsonl", ".npz"])
+def test_round_trip_with_schema_stamp(tmp_path, suffix):
+    plan = generate_control_fault_plan(ControlFaultSpec(num_slots=24), seed=3)
+    path = tmp_path / f"ctrl{suffix}"
+    save_control_fault_plan(plan, path)
+    loaded = load_control_fault_plan(path)
+    assert control_plans_equal(plan, loaded)
+    assert loaded.slot_length == plan.slot_length
+
+
+def test_schema_mismatch_is_loud():
+    plan = generate_control_fault_plan(ControlFaultSpec(num_slots=8), seed=0)
+    trace = plan.to_trace()
+    meta = dict(trace.meta)
+    meta["control_plan_schema_version"] = 99
+    import dataclasses
+
+    with pytest.raises(ControlFaultError, match="schema"):
+        ControlFaultPlan.from_trace(dataclasses.replace(trace, meta=meta))
+
+
+def test_plan_validation():
+    with pytest.raises(ControlFaultError):
+        ControlFaultSpec(num_slots=0)
+    with pytest.raises(ControlFaultError):
+        ControlFaultSpec(drop_prob=1.5)
+    with pytest.raises(ControlFaultError, match="delay"):
+        ControlFaultPlan(
+            delay=np.array([-1.0]),
+            drop=np.zeros(1),
+            dup=np.zeros(1),
+            skew=np.zeros(1),
+            down=np.zeros(1),
+        )
+
+
+# -- fencing semantics -------------------------------------------------------
+
+
+def _decide(controller, system, slot_count):
+    from repro.core.offloading import LyapunovState
+
+    state = LyapunovState.zeros(system.num_devices)
+    expected = [d.mean_arrivals for d in system.devices]
+    return [
+        controller.decide(system, state, expected, system.devices)
+        for _ in range(slot_count)
+    ]
+
+
+def test_down_serves_last_good_then_fences():
+    system = random_fleet(0, N)
+    down = np.zeros(12)
+    down[2:9] = 1.0  # a 7-slot outage against max_staleness=4
+    plan = ControlFaultPlan(
+        delay=np.zeros(12),
+        drop=np.zeros(12),
+        dup=np.zeros(12),
+        skew=np.zeros(12),
+        down=down,
+    )
+    controller = _fenced(plan, max_staleness=4.0)
+    ratios = _decide(controller, system, 12)
+    healthy = ratios[1]  # last allocation minted before the crash
+    # Within staleness (ages 1..4 at slots 2..5): last-good served.
+    for slot in (2, 3, 4, 5):
+        assert ratios[slot] == healthy, slot
+    # Past the bound: fenced to local-only.
+    for slot in (6, 7, 8):
+        assert ratios[slot] == [0.0] * N, slot
+    assert controller.stale_served == 4
+    assert controller.fenced_rejections >= 3
+
+
+def test_epoch_increments_and_dead_epoch_rejected():
+    system = random_fleet(1, N)
+    down = np.zeros(10)
+    down[3:5] = 1.0
+    drop = np.zeros(10)
+    # A telemetry drop right at the restart slot: the only cached
+    # allocation was minted in the dead epoch, so it must be fenced out
+    # (not reused) and the edge re-anchors fresh.
+    drop[5] = 1.0
+    plan = ControlFaultPlan(
+        delay=np.zeros(10),
+        drop=drop,
+        dup=np.zeros(10),
+        skew=np.zeros(10),
+        down=down,
+    )
+    controller = _fenced(plan, max_staleness=10.0)
+    ratios = _decide(controller, system, 10)
+    # Restart at slot 5 → epoch 1, anchored there; the pre-crash
+    # allocation is rejected despite generous staleness, and slot 5
+    # re-anchors on a freshly computed (healthy-equal) allocation.
+    assert controller.epoch == 1
+    assert controller.epoch_anchors == [5]
+    assert controller.fenced_rejections == 1
+    assert controller.drops_reused == 0
+    assert ratios[5] == ratios[0]
+
+
+def test_clock_skew_tightens_staleness():
+    system = random_fleet(2, N)
+    down = np.zeros(6)
+    down[2:4] = 1.0
+    skew = np.zeros(6)
+    skew[3] = 3.5  # age 2 + |skew| 3.5 > max_staleness 4
+    plan = ControlFaultPlan(
+        delay=np.zeros(6),
+        drop=np.zeros(6),
+        dup=np.zeros(6),
+        skew=skew,
+        down=down,
+    )
+    controller = _fenced(plan, max_staleness=4.0)
+    ratios = _decide(controller, system, 6)
+    assert ratios[2] == ratios[1]  # age 1, no skew: served
+    assert ratios[3] == [0.0] * N  # skew pushes age past the bound
+
+
+def test_drop_and_delay_reuse_last_good():
+    system = random_fleet(3, N)
+    drop = np.zeros(6)
+    drop[2] = 1.0
+    delay = np.zeros(6)
+    delay[4] = 2.0
+    plan = ControlFaultPlan(
+        delay=delay,
+        drop=drop,
+        dup=np.zeros(6),
+        skew=np.zeros(6),
+        down=np.zeros(6),
+    )
+    controller = _fenced(plan)
+    ratios = _decide(controller, system, 6)
+    assert ratios[2] == ratios[1]
+    assert ratios[4] == ratios[3]
+    assert controller.drops_reused == 1
+    assert controller.delays_reused == 1
+
+
+def test_dup_only_plan_is_idempotent():
+    """Duplicated allocation messages are merged idempotently: a
+    dup-only plan leaves the run byte-identical to the healthy run."""
+    system = random_fleet(4, N, max_arrivals=1.0)
+    arrivals = _arrivals(system)
+    dup = np.zeros(SLOTS)
+    dup[1::2] = 1.0
+    plan = ControlFaultPlan(
+        delay=np.zeros(SLOTS),
+        drop=np.zeros(SLOTS),
+        dup=dup,
+        skew=np.zeros(SLOTS),
+        down=np.zeros(SLOTS),
+    )
+    healthy = SlotSimulator(system, arrivals, seed=4).run(
+        DriftPlusPenaltyPolicy(v=50.0), SLOTS
+    )
+    controller = _fenced(plan)
+    duped = SlotSimulator(system, arrivals, seed=4).run(controller, SLOTS)
+    assert duped.records == healthy.records
+    assert controller.dups_deduped == SLOTS // 2
+
+
+# -- cross-path mirroring ----------------------------------------------------
+
+
+def _control_plan(seed):
+    return canonical_coordinator_outage(SLOTS, seed=seed)
+
+
+def test_fenced_fluid_paths_byte_identical():
+    for seed in range(8):
+        system = random_fleet(seed, N, max_arrivals=1.0)
+        arrivals = _arrivals(system)
+        results = []
+        for vectorized in (False, True):
+            sim = SlotSimulator(
+                system, arrivals, seed=seed, vectorized=vectorized
+            )
+            controller = FencedController(
+                DriftPlusPenaltyPolicy(v=50.0, vectorized=vectorized),
+                _control_plan(seed),
+            )
+            results.append(sim.run(controller, SLOTS))
+        assert results[0].records == results[1].records, seed
+
+
+def test_fenced_event_engines_per_task_identical():
+    for seed in range(8):
+        system = random_fleet(seed, N, max_arrivals=1.0)
+        arrivals = _arrivals(system)
+        results = []
+        for engine in ("scalar", "fast"):
+            sim = EventSimulator(system, arrivals, seed=seed)
+            results.append(
+                sim.run(
+                    FencedController(
+                        DriftPlusPenaltyPolicy(v=50.0), _control_plan(seed)
+                    ),
+                    SLOTS,
+                    engine=engine,
+                )
+            )
+        assert results[0].tasks == results[1].tasks, seed
+
+
+def test_fenced_composes_with_data_plane_faults():
+    """A ControlFaultPlan and a FaultPlan stack: the fenced controller
+    wraps the policy while the data-plane plan drives retries — both
+    event engines still agree per task."""
+    for seed in range(4):
+        system = random_fleet(seed, N, max_arrivals=1.0)
+        arrivals = _arrivals(system)
+        faults = canonical_outage_plan(SLOTS, N, seed)
+        results = []
+        for engine in ("scalar", "fast"):
+            sim = EventSimulator(
+                system,
+                arrivals,
+                seed=seed,
+                faults=faults,
+                recovery=RecoveryPolicy.default(),
+            )
+            results.append(
+                sim.run(
+                    FencedController(
+                        DriftPlusPenaltyPolicy(v=50.0), _control_plan(seed)
+                    ),
+                    SLOTS,
+                    engine=engine,
+                )
+            )
+        assert results[0].tasks == results[1].tasks, seed
+
+
+def test_fenced_federation_e1_matches_single_edge():
+    """E=1 conformance: the federated fluid coordinator (driving
+    begin_slot) reproduces the single-edge fluid run byte-for-byte under
+    the same control-fault plan."""
+    from repro.federation.fluid import FederatedSlotSimulator
+
+    for seed in range(6):
+        system, topology, plan = single_edge_fixture(seed, N, SLOTS)
+        arrivals = _arrivals(system)
+        single = SlotSimulator(system, arrivals, seed=seed).run(
+            FencedController(DriftPlusPenaltyPolicy(v=50.0), _control_plan(seed)),
+            SLOTS,
+        )
+        federated = FederatedSlotSimulator(
+            topology=topology, arrivals=arrivals, plan=plan, seed=seed
+        ).run(
+            FencedController(DriftPlusPenaltyPolicy(v=50.0), _control_plan(seed)),
+            SLOTS,
+        )
+        assert federated.global_result.records == single.records, seed
+
+
+def test_fenced_federated_event_shards_deep_copy_cleanly():
+    """The federated event wrapper deep-copies the fenced controller per
+    shard; both engines agree per task."""
+    from repro.federation.events import FederatedEventSimulator
+
+    from .helpers import random_federation_topology, static_home_plan
+
+    topology = random_federation_topology(0, 2, 4, max_arrivals=1.0)
+    plan = static_home_plan(topology, SLOTS)
+    arrivals = [PoissonArrivals(d.mean_arrivals) for d in topology.devices]
+    results = []
+    for engine in ("scalar", "fast"):
+        sim = FederatedEventSimulator(
+            topology=topology, arrivals=arrivals, plan=plan, seed=0
+        )
+        results.append(
+            sim.run(
+                FencedController(DriftPlusPenaltyPolicy(v=50.0), _control_plan(0)),
+                SLOTS,
+                engine=engine,
+            )
+        )
+    for a, b in zip(results[0].edge_results, results[1].edge_results):
+        assert a.tasks == b.tasks
+
+
+def test_fenced_runtime_smoke():
+    """The live runtime completes under a fenced controller (control
+    decisions only read the plan — no wall-clock coupling) and shuts
+    down cleanly."""
+    from repro.experiments.common import TestbedConfig, leime_scheme
+    from repro.runtime import LeimeRuntime
+
+    config = TestbedConfig(num_devices=2, arrival_rate=0.4)
+    system = config.system(leime_scheme(config).partition)
+    runtime = LeimeRuntime(
+        system,
+        FencedController(DriftPlusPenaltyPolicy(v=50.0), _control_plan(0)),
+        speedup=2000.0,
+        seed=0,
+    )
+    try:
+        report = runtime.run(config.arrival_processes(), num_slots=SLOTS)
+    finally:
+        assert runtime.shutdown()
+    assert len(report.tasks) == (
+        len(report.completed)
+        + report.dropped_count
+        + report.shed_count
+        + report.in_flight_count
+    )
+
+
+def test_fenced_controller_reset():
+    system = random_fleet(5, N)
+    plan = _control_plan(5)
+    controller = _fenced(plan)
+    first = _decide(controller, system, SLOTS)
+    controller.reset()
+    assert controller.epoch == 0 and not controller.epoch_anchors
+    assert _decide(controller, system, SLOTS) == first

@@ -1,0 +1,192 @@
+"""Recovery-policy boundary cases, pinned on both event engines.
+
+Three edges of the retry budget: a zero budget (``max_retries=0`` —
+the ``give_up`` path fires on first contact), a deadline sitting
+exactly on a slot boundary (the gate is a strict ``>``, so an exactly-
+boundary deadline is still admissible), and a backoff schedule that
+overflows the generation horizon (retries land in the drain phase —
+or past the drain limit, which must raise the unstable-system error on
+both engines identically).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chaos.oracles import event_conservation
+from repro.core.offloading import DriftPlusPenaltyPolicy
+from repro.resilience.faults import canonical_outage_plan
+from repro.resilience.recovery import RecoveryPolicy
+from repro.sim.arrivals import PoissonArrivals
+from repro.sim.events import EventSimulator
+
+from .helpers import random_fleet
+
+SLOTS = 24
+N = 3
+ENGINES = ("scalar", "fast")
+
+
+def _run(seed, recovery, engine, num_slots=SLOTS, drain_limit_factor=100.0):
+    system = random_fleet(seed, N, max_arrivals=1.0)
+    sim = EventSimulator(
+        system,
+        [PoissonArrivals(d.mean_arrivals) for d in system.devices],
+        seed=seed,
+        faults=canonical_outage_plan(num_slots, N, seed),
+        recovery=recovery,
+    )
+    return sim.run(
+        DriftPlusPenaltyPolicy(v=50.0),
+        num_slots,
+        drain_limit_factor=drain_limit_factor,
+        engine=engine,
+    )
+
+
+def _conserved(result):
+    assert not event_conservation(result), event_conservation(result)
+
+
+# -- zero retry budget -------------------------------------------------------
+
+
+def test_zero_budget_policy_shape():
+    none = RecoveryPolicy.none()
+    assert none.max_retries == 0
+    assert none.backoff_table().size == 0
+    assert none.backoff_span() == 0.0
+    # backoff(0) is still a defined schedule value; the budget simply
+    # never reaches it.
+    assert none.backoff(0) == none.backoff_base
+    with pytest.raises(ValueError):
+        RecoveryPolicy(max_retries=-1)
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_zero_budget_never_retries(engine):
+    result = _run(3, RecoveryPolicy.none(), engine)
+    assert result.total_retries == 0
+    assert result.dropped_count > 0  # the canonical outage bites
+    _conserved(result)
+
+
+def test_zero_budget_engines_agree_per_task():
+    for seed in range(4):
+        runs = [_run(seed, RecoveryPolicy.none(), e) for e in ENGINES]
+        assert runs[0].tasks == runs[1].tasks, seed
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_zero_budget_with_local_fallback_rescues_raw_inputs(engine):
+    """``max_retries=0`` with ``fallback_local`` still salvages tasks
+    whose raw input never left the device — only the retry loop is
+    disabled, not the fallback."""
+    seed = 3
+    naive = _run(seed, RecoveryPolicy.none(), engine)
+    fallback = _run(
+        seed,
+        RecoveryPolicy(
+            max_retries=0,
+            fallback_local=True,
+            exclude_dead_edge=False,
+            watchdog=False,
+        ),
+        engine,
+    )
+    assert fallback.total_retries == 0
+    assert fallback.dropped_count < naive.dropped_count
+    _conserved(fallback)
+
+
+# -- deadline exactly on a slot boundary -------------------------------------
+
+
+@pytest.mark.parametrize("k", [1, 4])
+def test_deadline_on_slot_boundary_engines_agree(k):
+    """A deadline of exactly ``k`` slot lengths: the gate drops a retry
+    only when it would land strictly *past* the boundary, and both
+    engines agree task-for-task on which side each retry falls."""
+    for seed in range(3):
+        system = random_fleet(seed, N, max_arrivals=1.0)
+        deadline = k * system.slot_length
+        recovery = RecoveryPolicy(deadline=deadline)
+        runs = [_run(seed, recovery, e) for e in ENGINES]
+        assert runs[0].tasks == runs[1].tasks, (seed, k)
+        _conserved(runs[0])
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_tight_boundary_deadline_drops_retries(engine):
+    """With the deadline pinned to one slot length, the default backoff
+    schedule breaches it quickly: the gate visibly converts retries
+    into deadline drops relative to the unbounded run."""
+    seed = 3
+    system = random_fleet(seed, N, max_arrivals=1.0)
+    tight = _run(seed, RecoveryPolicy(deadline=system.slot_length), engine)
+    unbounded = _run(seed, RecoveryPolicy(deadline=None), engine)
+    assert tight.dropped_count > unbounded.dropped_count
+    assert tight.total_retries < unbounded.total_retries
+    _conserved(tight)
+    _conserved(unbounded)
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_deadline_at_drain_boundary_is_no_deadline(engine):
+    """The most generous boundary: a deadline exactly on the drain-limit
+    slot boundary admits every retry the drain limit itself admits, so
+    the run is indistinguishable from ``deadline=None``."""
+    seed = 5
+    system = random_fleet(seed, N, max_arrivals=1.0)
+    horizon_deadline = SLOTS * system.slot_length * 100.0
+    bounded = _run(seed, RecoveryPolicy(deadline=horizon_deadline), engine)
+    unbounded = _run(seed, RecoveryPolicy(deadline=None), engine)
+    assert bounded.tasks == unbounded.tasks
+
+
+# -- backoff overflowing the horizon -----------------------------------------
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_backoff_past_horizon_drains_to_completion(engine):
+    """A backoff schedule whose first retry lands past the generation
+    horizon: the retry resumes in the drain phase (the fault plan reads
+    healthy past its last slot) and the task still finishes."""
+    seed = 3
+    horizon = SLOTS * random_fleet(seed, N).slot_length
+    recovery = RecoveryPolicy(
+        max_retries=2, backoff_base=2.0 * horizon, backoff_factor=1.0
+    )
+    result = _run(seed, recovery, engine)
+    assert result.total_retries > 0
+    assert result.horizon > horizon  # the drain ran past generation
+    late = [
+        t for t in result.completed
+        if t.retries > 0 and t.completed is not None and t.completed > horizon
+    ]
+    assert late, "no retried task completed past the generation horizon"
+    _conserved(result)
+
+
+def test_backoff_past_horizon_engines_agree_per_task():
+    horizon = SLOTS * random_fleet(0, N).slot_length
+    recovery = RecoveryPolicy(
+        max_retries=2, backoff_base=2.0 * horizon, backoff_factor=1.0
+    )
+    for seed in range(3):
+        runs = [_run(seed, recovery, e) for e in ENGINES]
+        assert runs[0].tasks == runs[1].tasks, seed
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_backoff_past_drain_limit_raises_on_both_engines(engine):
+    """A backoff overflowing the *drain limit* is the unstable-system
+    signal: both engines must refuse with the same loud error rather
+    than silently truncating the retried tasks."""
+    seed = 3
+    horizon = SLOTS * random_fleet(seed, N).slot_length
+    recovery = RecoveryPolicy(
+        max_retries=1, backoff_base=100.0 * horizon, backoff_factor=1.0
+    )
+    with pytest.raises(RuntimeError, match="unstable"):
+        _run(seed, recovery, engine, drain_limit_factor=50.0)

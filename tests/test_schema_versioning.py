@@ -1,0 +1,182 @@
+"""Schema version stamps: traces, fault plans, and the strict replay gate.
+
+Serialized artefacts carry an explicit ``schema_version``; a reader
+facing a version it does not understand must fail loudly, never
+misparse.  Legacy files written before the stamp existed (``version``
+key only) still load.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.chaos.oracles import event_conservation, fluid_conservation
+from repro.cli import build_parser
+from repro.resilience.faults import (
+    FAULT_PLAN_SCHEMA_VERSION,
+    FaultPlanError,
+    FaultPlanSpec,
+    generate_fault_plan,
+    load_fault_plan,
+    plans_equal,
+    save_fault_plan,
+)
+from repro.traces.generators import WildTraceSpec, generate_trace
+from repro.traces.serialize import (
+    FORMAT_VERSION,
+    TraceValidationError,
+    load_trace,
+    save_trace,
+    traces_equal,
+)
+
+
+def _trace(seed=0):
+    return generate_trace(
+        WildTraceSpec(num_slots=12, num_devices=2), seed=seed
+    )
+
+
+# -- trace headers -----------------------------------------------------------
+
+
+@pytest.mark.parametrize("suffix", [".jsonl", ".npz"])
+def test_trace_headers_carry_schema_version(tmp_path, suffix):
+    path = save_trace(_trace(), tmp_path / f"t{suffix}")
+    if suffix == ".jsonl":
+        header = json.loads(path.read_text().splitlines()[0])
+    else:
+        with np.load(path, allow_pickle=False) as archive:
+            header = json.loads(str(archive["header"]))
+    assert header["schema_version"] == FORMAT_VERSION
+    assert header["version"] == FORMAT_VERSION
+    assert traces_equal(load_trace(path), _trace())
+
+
+def test_jsonl_schema_mismatch_is_loud(tmp_path):
+    path = save_trace(_trace(), tmp_path / "t.jsonl")
+    lines = path.read_text().splitlines()
+    header = json.loads(lines[0])
+    header["schema_version"] = 99
+    path.write_text("\n".join([json.dumps(header)] + lines[1:]) + "\n")
+    with pytest.raises(TraceValidationError, match="refusing to misparse"):
+        load_trace(path)
+
+
+def test_npz_schema_mismatch_is_loud(tmp_path):
+    path = save_trace(_trace(), tmp_path / "t.npz")
+    with np.load(path, allow_pickle=False) as archive:
+        header = json.loads(str(archive["header"]))
+        arrays = {k: archive[k] for k in archive.files if k != "header"}
+    header["schema_version"] = 0
+    np.savez_compressed(path, header=np.array(json.dumps(header)), **arrays)
+    with pytest.raises(TraceValidationError, match="refusing to misparse"):
+        load_trace(path)
+
+
+def test_legacy_header_without_schema_version_loads(tmp_path):
+    """Files from before the ``schema_version`` alias carry only
+    ``version`` — they must keep loading."""
+    path = save_trace(_trace(), tmp_path / "t.jsonl")
+    lines = path.read_text().splitlines()
+    header = json.loads(lines[0])
+    del header["schema_version"]
+    path.write_text("\n".join([json.dumps(header)] + lines[1:]) + "\n")
+    assert traces_equal(load_trace(path), _trace())
+
+
+# -- fault plans -------------------------------------------------------------
+
+
+@pytest.mark.parametrize("suffix", [".jsonl", ".npz"])
+def test_fault_plan_round_trip_with_stamp(tmp_path, suffix):
+    plan = generate_fault_plan(
+        FaultPlanSpec(num_slots=16, num_devices=3), seed=4
+    )
+    path = save_fault_plan(plan, tmp_path / f"p{suffix}")
+    loaded = load_fault_plan(path)
+    assert plans_equal(plan, loaded)
+    # The stamp lives in the file, not in the loaded plan's meta.
+    assert "fault_plan_schema_version" not in loaded.meta
+    assert loaded.meta.get("seed") == plan.meta.get("seed")
+
+
+def test_fault_plan_stamp_is_written(tmp_path):
+    plan = generate_fault_plan(
+        FaultPlanSpec(num_slots=8, num_devices=2), seed=0
+    )
+    path = save_fault_plan(plan, tmp_path / "p.jsonl")
+    header = json.loads(path.read_text().splitlines()[0])
+    assert (
+        header["meta"]["fault_plan_schema_version"]
+        == FAULT_PLAN_SCHEMA_VERSION
+    )
+
+
+def test_fault_plan_schema_mismatch_is_loud(tmp_path):
+    plan = generate_fault_plan(
+        FaultPlanSpec(num_slots=8, num_devices=2), seed=0
+    )
+    path = save_fault_plan(plan, tmp_path / "p.jsonl")
+    lines = path.read_text().splitlines()
+    header = json.loads(lines[0])
+    header["meta"]["fault_plan_schema_version"] = 99
+    path.write_text("\n".join([json.dumps(header)] + lines[1:]) + "\n")
+    with pytest.raises(FaultPlanError, match="refusing to misparse"):
+        load_fault_plan(path)
+
+
+def test_fault_plan_without_stamp_is_legacy_ok(tmp_path):
+    plan = generate_fault_plan(
+        FaultPlanSpec(num_slots=8, num_devices=2), seed=0
+    )
+    path = save_fault_plan(plan, tmp_path / "p.jsonl")
+    lines = path.read_text().splitlines()
+    header = json.loads(lines[0])
+    del header["meta"]["fault_plan_schema_version"]
+    path.write_text("\n".join([json.dumps(header)] + lines[1:]) + "\n")
+    assert plans_equal(plan, load_fault_plan(path))
+
+
+# -- the strict replay gate --------------------------------------------------
+
+
+def test_replay_verbs_default_to_strict():
+    parser = build_parser()
+    trace_args = parser.parse_args(["trace", "replay", "t.jsonl"])
+    assert trace_args.strict is True
+    faults_args = parser.parse_args(
+        ["faults", "replay", "--no-strict", "p.npz"]
+    )
+    assert faults_args.strict is False
+    chaos_args = parser.parse_args(["chaos", "run"])
+    assert chaos_args.strict is True
+
+
+def test_conservation_oracles_flag_fabricated_violations():
+    class FakeEvent:
+        tasks = (1, 2, 3)
+        completed = (1,)
+        dropped_count = 0
+        shed_count = 0
+        in_flight_count = 1
+
+    violations = event_conservation(FakeEvent())
+    assert len(violations) == 1 and "generated 3" in violations[0]
+
+    class FakeRecord:
+        slot = 0
+        arrivals = 2.0
+        shed = 0.0
+
+    class FakeFluid:
+        total_generated = 5.0
+        total_arrivals = 2.0
+        total_shed = 0.0
+        records = (FakeRecord(),)
+
+    violations = fluid_conservation(FakeFluid())
+    assert len(violations) == 1 and "fluid conservation" in violations[0]
