@@ -1,11 +1,24 @@
 """Event-path throughput: scalar closure-per-hop engine vs the fast lane.
 
-Sweeps fleet sizes (10 → 5,000 devices by default), with and without a
-seeded fault plan + retry budget, and times the identical scenario on
-both event engines (:meth:`repro.sim.events.EventSimulator.run` with
-``engine="scalar"`` vs ``engine="fast"``).  Every row also verifies the
-per-task equality contract — a speedup that changes the answer is a bug,
-not a result.  Results land in ``BENCH_events.json`` at the repo root.
+Sweeps fleet sizes (10 → 5,000 devices by default) with and without a
+seeded fault plan + retry budget, then pushes into serving scale
+(20k/50k/100k devices, millions of tasks) where the streaming-metrics
+mode keeps memory constant.  Every row verifies an equality contract —
+a speedup that changes the answer is a bug, not a result:
+
+* record-mode rows (≤ ``RECORD_MODE_MAX`` devices) compare the two
+  engines per task;
+* streaming rows compare the engines' constant-size aggregates
+  (exact counters, mean within 1e-9);
+* above ``SCALAR_MAX`` devices only the fast lane is timed
+  (``scalar_s``/``speedup`` are null) — the scalar engine is the thing
+  being escaped at that scale.
+
+A separate non-timed probe measures peak traced memory (``tracemalloc``,
+which tracks NumPy buffers too) at a fixed fleet while the task count
+grows: record mode grows linearly with tasks, streaming mode must stay
+flat.  Results land in ``BENCH_events.json`` at the repo root
+(``schema: 2``).
 
 Run directly::
 
@@ -14,10 +27,11 @@ Run directly::
 
 Soft regression gate (CI): compare a fresh sweep against the committed
 baseline and fail when any row's *speedup ratio* (machine-independent,
-unlike absolute seconds) dropped by more than 30%, or when the
-small-fleet *overhead share* — fast-lane seconds at the smallest fleet
-over the largest, the fixed per-window cost small fleets pay — grew by
-more than 30%::
+unlike absolute seconds) dropped by more than 30%, when the small-fleet
+*overhead share* grew by more than 30%, when the top measured serving
+row (≥ ``TOP_SPEEDUP_MIN_DEVICES``) falls under the absolute
+``MIN_TOP_SPEEDUP`` floor, or when the streaming memory probe is no
+longer flat::
 
     PYTHONPATH=src python benchmarks/bench_events.py --check BENCH_events.json
 """
@@ -26,8 +40,10 @@ from __future__ import annotations
 
 import argparse
 import json
+import math
 import sys
 import time
+import tracemalloc
 from dataclasses import replace
 from pathlib import Path
 
@@ -36,6 +52,7 @@ if str(REPO_ROOT) not in sys.path:  # for `tests.helpers` when run as a script
     sys.path.insert(0, str(REPO_ROOT))
 
 from repro.core.offloading import FixedRatioPolicy
+from repro.hardware import NetworkProfile
 from repro.resilience.faults import FaultPlanSpec, generate_fault_plan
 from repro.resilience.recovery import RecoveryPolicy
 from repro.sim.arrivals import PoissonArrivals
@@ -44,12 +61,25 @@ from repro.sim.events import EventSimulator
 from tests.helpers import random_fleet
 
 DEFAULT_DEVICES = (10, 100, 1000, 5000)
+#: Serving-scale extension rows (no faults): record-mode differential up
+#: to ``RECORD_MODE_MAX``, streaming on both engines up to
+#: ``SCALAR_MAX``, fast-lane-only streaming beyond.
+DEFAULT_SERVING = (20000, 50000, 100000)
+RECORD_MODE_MAX = 20000
+SCALAR_MAX = 50000
 #: Tasks per device per slot.  The fast lane targets fleet-scale replay —
 #: many concurrent tasks per window — so the sweep uses the top of
 #: ``random_fleet``'s wild arrival range rather than a trickle.
 ARRIVAL_RATE = 2.0
 #: Allowed relative drop in a row's speedup before --check fails.
 REGRESSION_TOLERANCE = 0.30
+#: Absolute floor on the top measured serving row's speedup (only
+#: enforced when the sweep reaches ``TOP_SPEEDUP_MIN_DEVICES``).
+MIN_TOP_SPEEDUP = 8.0
+TOP_SPEEDUP_MIN_DEVICES = 20000
+#: The streaming memory probe's peak at the scaled task count must stay
+#: under this multiple of its base-task-count peak ("flat").
+MEMORY_FLATNESS_CEILING = 2.0
 #: Rows whose scalar run is faster than this are timing noise for the
 #: per-row *ratio* gate; they are covered by the overhead-share gate
 #: instead (and measured best-of-N to stabilise the share numerator).
@@ -69,6 +99,14 @@ def _make_simulator(n: int, slots: int, faults: bool, seed: int) -> EventSimulat
         fleet,
         edge_flops=fleet.edge_flops * backend_scale,
         cloud_flops=fleet.cloud_flops * backend_scale,
+        # The shared edge→cloud backhaul must be provisioned with the
+        # fleet as well: at a fixed 2.5 MB/s the deep-exit traffic of a
+        # 20k-device fleet diverges (the drain never ends) — a serving
+        # deployment scales backhaul with the cluster, so the sweep does.
+        edge_cloud=NetworkProfile(
+            fleet.edge_cloud.bandwidth * backend_scale,
+            fleet.edge_cloud.latency,
+        ),
     )
     kwargs = dict(
         system=system,
@@ -88,7 +126,14 @@ def _make_simulator(n: int, slots: int, faults: bool, seed: int) -> EventSimulat
     return EventSimulator(**kwargs)
 
 
-def _timed_run(n: int, slots: int, faults: bool, engine: str, seed: int):
+def _timed_run(
+    n: int,
+    slots: int,
+    faults: bool,
+    engine: str,
+    seed: int,
+    metrics: str = "records",
+):
     """Best elapsed time over N identical seeded runs plus the result.
 
     Small fleets finish in milliseconds, where a single sample is mostly
@@ -100,49 +145,158 @@ def _timed_run(n: int, slots: int, faults: bool, engine: str, seed: int):
         sim = _make_simulator(n, slots, faults, seed)
         start = time.perf_counter()
         result = sim.run(
-            FixedRatioPolicy(0.5), slots, drain_limit_factor=200.0, engine=engine
+            FixedRatioPolicy(0.5),
+            slots,
+            drain_limit_factor=200.0,
+            engine=engine,
+            metrics=metrics,
         )
         best = min(best, time.perf_counter() - start)
     return best, result
 
 
+def _tasks_identical(ra, rb) -> bool:
+    return len(ra.tasks) == len(rb.tasks) and all(
+        ta.exit_tier == tb.exit_tier
+        and ta.completed == tb.completed
+        and ta.retries == tb.retries
+        and ta.dropped == tb.dropped
+        for ta, tb in zip(ra.tasks, rb.tasks)
+    )
+
+
+def _stats_identical(ra, rb) -> bool:
+    """Streaming-aggregate cross-check: exact counters, mean within
+    1e-9 (the engines complete the same tasks in different fold order,
+    so the float sum is equal only up to rounding)."""
+    a, b = ra.stats, rb.stats
+    if any(
+        getattr(a, attr) != getattr(b, attr)
+        for attr in ("generated", "completed", "dropped", "shed",
+                     "in_flight", "retries")
+    ):
+        return False
+    if a.identity_gap or b.identity_gap:
+        return False
+    if a.completed and not math.isclose(
+        a.mean_tct, b.mean_tct, rel_tol=1e-9, abs_tol=1e-12
+    ):
+        return False
+    return True
+
+
+def _row(n: int, slots: int, faults: bool, seed: int) -> dict:
+    """One sweep row.  The metric mode and which engines are timed
+    follow the scale thresholds documented in the module docstring."""
+    if n <= RECORD_MODE_MAX:
+        metrics = "records"
+    else:
+        metrics = "streaming"
+    fast_s, rb = _timed_run(n, slots, faults, "fast", seed, metrics)
+    if n <= SCALAR_MAX:
+        scalar_s, ra = _timed_run(n, slots, faults, "scalar", seed, metrics)
+        exact = (
+            _tasks_identical(ra, rb)
+            if metrics == "records"
+            else _stats_identical(ra, rb)
+        )
+        speedup = round(scalar_s / fast_s, 2)
+        scalar_out = round(scalar_s, 3)
+    else:
+        scalar_out, speedup, exact = None, None, None
+    row = {
+        "devices": n,
+        "faults": faults,
+        "metrics": metrics,
+        "tasks": rb.generated_count,
+        "scalar_s": scalar_out,
+        "fast_s": round(fast_s, 3),
+        "speedup": speedup,
+        "exact": exact,
+    }
+    scalar_text = f"{scalar_out:7.3f}s" if scalar_out is not None else "      —"
+    speedup_text = f"{speedup:5.2f}x" if speedup is not None else "    —"
+    print(
+        f"{n:>6} devices {'with   ' if faults else 'without'} faults "
+        f"[{metrics:>9}]: {row['tasks']:>8} tasks, scalar {scalar_text}, "
+        f"fast {row['fast_s']:7.3f}s, speedup {speedup_text}, exact={exact}"
+    )
+    if exact is False:
+        raise SystemExit(
+            "fast engine diverged from the scalar reference — "
+            "refusing to write benchmark results"
+        )
+    return row
+
+
 def sweep(
-    device_counts: list[int], slots: int, seed: int = 0
+    device_counts: list[int],
+    slots: int,
+    seed: int = 0,
+    serving: list[int] | None = None,
 ) -> list[dict]:
     rows = []
     for faults in (False, True):
         for n in device_counts:
-            scalar_s, ra = _timed_run(n, slots, faults, "scalar", seed)
-            fast_s, rb = _timed_run(n, slots, faults, "fast", seed)
-            exact = len(ra.tasks) == len(rb.tasks) and all(
-                ta.exit_tier == tb.exit_tier
-                and ta.completed == tb.completed
-                and ta.retries == tb.retries
-                and ta.dropped == tb.dropped
-                for ta, tb in zip(ra.tasks, rb.tasks)
-            )
-            row = {
-                "devices": n,
-                "faults": faults,
-                "tasks": len(ra.tasks),
-                "scalar_s": round(scalar_s, 3),
-                "fast_s": round(fast_s, 3),
-                "speedup": round(scalar_s / fast_s, 2),
-                "exact": exact,
-            }
-            rows.append(row)
-            print(
-                f"{n:>6} devices {'with   ' if faults else 'without'} faults: "
-                f"{row['tasks']:>6} tasks, scalar {scalar_s:7.3f}s, "
-                f"fast {fast_s:7.3f}s, speedup {row['speedup']:5.2f}x, "
-                f"exact={exact}"
-            )
-            if not exact:
-                raise SystemExit(
-                    "fast engine diverged from the scalar reference — "
-                    "refusing to write benchmark results"
-                )
+            rows.append(_row(n, slots, faults, seed))
+    for n in serving or []:
+        rows.append(_row(n, slots, False, seed))
     return rows
+
+
+def memory_probe(
+    devices: int, base_slots: int, scale: int, seed: int
+) -> dict:
+    """Peak traced memory, record vs streaming, as the task count grows
+    ``scale``× at a fixed fleet (fast lane, no faults, not timed —
+    tracemalloc roughly doubles the runtime).
+
+    The fleet is held fixed because streaming memory is O(live tasks) —
+    proportional to fleet backlog — while record memory is O(all tasks):
+    growing the *slot* axis isolates exactly the term streaming mode is
+    supposed to eliminate."""
+    peaks: dict[str, dict[str, float]] = {}
+    for metrics in ("records", "streaming"):
+        for slots in (base_slots, base_slots * scale):
+            sim = _make_simulator(devices, slots, False, seed)
+            tracemalloc.start()
+            sim.run(
+                FixedRatioPolicy(0.5),
+                slots,
+                drain_limit_factor=200.0,
+                engine="fast",
+                metrics=metrics,
+            )
+            _, peak = tracemalloc.get_traced_memory()
+            tracemalloc.stop()
+            peaks.setdefault(metrics, {})[str(slots)] = round(peak / 1e6, 2)
+    for metrics, by_slots in peaks.items():
+        base = by_slots[str(base_slots)]
+        top = by_slots[str(base_slots * scale)]
+        growth = top / base if base else float("inf")
+        print(
+            f"memory [{metrics:>9}] {devices} devices: "
+            f"{base:8.2f} MB @ {base_slots} slots → {top:8.2f} MB @ "
+            f"{base_slots * scale} slots ({growth:.2f}x over {scale}x tasks)"
+        )
+    return {
+        "devices": devices,
+        "base_slots": base_slots,
+        "scale": scale,
+        "peak_mb": peaks,
+    }
+
+
+def _memory_flatness(memory: dict) -> float | None:
+    """Streaming peak growth across the probe's task-count scaling."""
+    stream = memory.get("peak_mb", {}).get("streaming")
+    if not stream:
+        return None
+    base = stream.get(str(memory["base_slots"]))
+    top = stream.get(str(memory["base_slots"] * memory["scale"]))
+    if not base or top is None:
+        return None
+    return top / base
 
 
 def _overhead_share(rows: list[dict], faults: bool) -> float | None:
@@ -153,30 +307,77 @@ def _overhead_share(rows: list[dict], faults: bool) -> float | None:
     a machine-independent measure of the fast lane's fixed per-window
     cost — exactly the term that makes tiny fleets slower than the
     scalar engine — where the raw small-fleet speedup *ratio* is a
-    quotient of two millisecond-scale timings."""
+    quotient of two millisecond-scale timings.  Only record-mode rows
+    participate: streaming rows time a different retention path."""
     group = sorted(
-        (r for r in rows if r["faults"] == faults), key=lambda r: r["devices"]
+        (
+            r
+            for r in rows
+            if r["faults"] == faults
+            and r.get("metrics", "records") == "records"
+        ),
+        key=lambda r: r["devices"],
     )
     if len(group) < 2 or not group[-1]["fast_s"]:
         return None
     return group[0]["fast_s"] / group[-1]["fast_s"]
 
 
-def check(baseline_path: Path, rows: list[dict]) -> int:
+def _absolute_gates(rows: list[dict], memory: dict | None) -> list[str]:
+    """Machine-independent floors on the fresh sweep itself (no baseline
+    needed): the top measured serving row must clear ``MIN_TOP_SPEEDUP``
+    and the streaming memory probe must stay flat."""
+    failures = []
+    measured = [
+        r
+        for r in rows
+        if r.get("speedup") is not None
+        and r["devices"] >= TOP_SPEEDUP_MIN_DEVICES
+    ]
+    if measured:
+        top = max(measured, key=lambda r: r["devices"])
+        if top["speedup"] < MIN_TOP_SPEEDUP:
+            failures.append(
+                f"top-scale speedup {top['speedup']:.2f}x at "
+                f"{top['devices']} devices < {MIN_TOP_SPEEDUP:.0f}x floor"
+            )
+    if memory is not None:
+        flatness = _memory_flatness(memory)
+        if flatness is not None and flatness > MEMORY_FLATNESS_CEILING:
+            failures.append(
+                f"streaming peak memory grew {flatness:.2f}x over a "
+                f"{memory['scale']}x task-count increase "
+                f"(ceiling {MEMORY_FLATNESS_CEILING:.1f}x)"
+            )
+    return failures
+
+
+def check(
+    baseline_path: Path, rows: list[dict], memory: dict | None = None
+) -> int:
     """Soft regression gate against the committed baseline.
 
-    Two gates: rows with a meaningful scalar runtime must keep their
-    speedup within ``REGRESSION_TOLERANCE`` (matched on devices ×
-    faults); and the small-fleet overhead share (see
+    Relative gates: rows with a meaningful scalar runtime must keep
+    their speedup within ``REGRESSION_TOLERANCE`` (matched on devices ×
+    faults × metric mode), and the small-fleet overhead share (see
     :func:`_overhead_share`) must not grow by more than the same
-    tolerance, which is what actually pins the small-fleet case."""
+    tolerance, which is what actually pins the small-fleet case.
+    Absolute gates (see :func:`_absolute_gates`) run on the fresh sweep
+    regardless of the baseline's contents."""
     baseline = json.loads(baseline_path.read_text())
     base_rows = baseline.get("results", [])
-    by_key = {(r["devices"], r["faults"]): r for r in base_rows}
+    by_key = {
+        (r["devices"], r["faults"], r.get("metrics", "records")): r
+        for r in base_rows
+    }
     failures = []
     for row in rows:
-        base = by_key.get((row["devices"], row["faults"]))
+        base = by_key.get(
+            (row["devices"], row["faults"], row.get("metrics", "records"))
+        )
         if base is None or base.get("speedup") is None:
+            continue
+        if row.get("speedup") is None:
             continue
         # Millisecond-scale rows are gated via the overhead share below.
         if row["scalar_s"] < SMALL_ROW_SCALAR_S:
@@ -194,8 +395,12 @@ def check(baseline_path: Path, rows: list[dict]) -> int:
             [
                 r
                 for r in base_rows
-                if (r["devices"], r["faults"])
-                in {(row["devices"], row["faults"]) for row in rows}
+                if (r["devices"], r["faults"], r.get("metrics", "records"))
+                in {
+                    (row["devices"], row["faults"],
+                     row.get("metrics", "records"))
+                    for row in rows
+                }
             ],
             faults,
         )
@@ -208,10 +413,11 @@ def check(baseline_path: Path, rows: list[dict]) -> int:
                 f"{share:.3f} > {ceiling:.3f} "
                 f"(baseline {base_share:.3f} + {REGRESSION_TOLERANCE:.0%})"
             )
+    failures += _absolute_gates(rows, memory)
     if failures:
         print("REGRESSION: " + "; ".join(failures))
         return 1
-    print("speedups and overhead shares within tolerance of the baseline")
+    print("speedups, overhead shares, and memory within tolerance")
     return 0
 
 
@@ -222,9 +428,29 @@ def main(argv: list[str] | None = None) -> int:
         type=int,
         nargs="+",
         default=list(DEFAULT_DEVICES),
-        help="fleet sizes to sweep",
+        help="fleet sizes for the faults × engines grid",
+    )
+    parser.add_argument(
+        "--serving",
+        type=int,
+        nargs="*",
+        default=list(DEFAULT_SERVING),
+        help="serving-scale fleet sizes (no faults; metric mode and "
+        "timed engines follow the scale thresholds)",
     )
     parser.add_argument("--slots", type=int, default=20, help="slots per run")
+    parser.add_argument(
+        "--memory-devices",
+        type=int,
+        default=1000,
+        help="fixed fleet size for the peak-memory probe (0 disables)",
+    )
+    parser.add_argument(
+        "--memory-scale",
+        type=int,
+        default=4,
+        help="task-count multiplier (via slots) for the memory probe",
+    )
     parser.add_argument(
         "--output",
         type=Path,
@@ -237,22 +463,36 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         metavar="BASELINE",
         help="compare speedups against this committed baseline instead of "
-        "overwriting it; exit 1 on a >30%% drop",
+        "overwriting it; exit 1 on a >30%% drop or an absolute-gate miss",
     )
     parser.add_argument("--seed", type=int, default=0)
     args = parser.parse_args(argv)
 
-    rows = sweep(args.devices, args.slots, seed=args.seed)
+    rows = sweep(args.devices, args.slots, seed=args.seed,
+                 serving=args.serving)
+    memory = (
+        memory_probe(
+            args.memory_devices, args.slots, args.memory_scale, args.seed
+        )
+        if args.memory_devices
+        else None
+    )
     if args.check is not None:
-        return check(args.check, rows)
+        return check(args.check, rows, memory)
     payload = {
         "benchmark": "event_engines",
+        "schema": 2,
         "policy": "FixedRatioPolicy(0.5)",
         "arrivals": f"Poisson({ARRIVAL_RATE})/device/slot",
         "slots": args.slots,
         "seed": args.seed,
         "results": rows,
+        "memory": memory,
     }
+    failures = _absolute_gates(rows, memory)
+    if failures:
+        print("ABSOLUTE GATE FAILED: " + "; ".join(failures))
+        return 1
     args.output.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"wrote {args.output}")
     return 0

@@ -500,7 +500,11 @@ def _cmd_faults_replay(args: argparse.Namespace) -> int:
     )
 
     # Task level: recovery vs. first-fault-drops through the event
-    # simulator, under common randomness.
+    # simulator, under common randomness.  Resolve "auto" up front so
+    # the twin run below cross-checks the *other* concrete engine.
+    from .sim.events import resolve_engine
+
+    engine = resolve_engine(args.engine, system.num_devices)
     summaries = {}
     engine_results: dict[str, object] = {}
     for label, recovery in (
@@ -517,7 +521,7 @@ def _cmd_faults_replay(args: argparse.Namespace) -> int:
             _build_policy(args.policy, args.v),
             num_slots,
             drain_limit_factor=100.0,
-            engine=args.engine,
+            engine=engine,
         )
         summaries[label] = slo_summary(result, deadline=args.deadline_s)
         engine_results[label] = result
@@ -534,7 +538,7 @@ def _cmd_faults_replay(args: argparse.Namespace) -> int:
         _build_policy(args.policy, args.v),
         num_slots,
         drain_limit_factor=100.0,
-        engine="fast" if args.engine == "scalar" else "scalar",
+        engine="fast" if engine == "scalar" else "scalar",
     )
     reference = engine_results["recovery"]
     engines_agree = len(reference.tasks) == len(twin.tasks) and all(
@@ -587,7 +591,7 @@ def _cmd_faults_replay(args: argparse.Namespace) -> int:
             "devices": plan.num_devices,
             "seed": args.seed,
             "deadline_s": args.deadline_s,
-            "engine": args.engine,
+            "engine": engine,
             "fluid_mean_tct_s": round(fast.mean_tct, 6),
             "fluid_max_backlog": round(fast.max_backlog, 3),
             "paths_identical": identical,
@@ -898,10 +902,11 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--simulator", default="slot", choices=("slot", "event"))
     simulate.add_argument(
         "--engine",
-        default="scalar",
-        choices=("scalar", "fast"),
+        default="auto",
+        choices=("auto", "scalar", "fast"),
         help="event-simulator implementation: the scalar reference loop "
-        "or the array-backed fast lane (identical seeded results)",
+        "or the array-backed fast lane (identical seeded results); "
+        "auto picks by fleet size",
     )
     simulate.add_argument("--slots", type=int, default=200)
     simulate.add_argument("--seed", type=int, default=0)
@@ -1039,10 +1044,11 @@ def build_parser() -> argparse.ArgumentParser:
     faults_replay.add_argument("--v", type=float, default=50.0)
     faults_replay.add_argument(
         "--engine",
-        default="scalar",
-        choices=("scalar", "fast"),
-        help="event engine for the reported runs; the other engine is "
-        "run once more to verify per-task agreement",
+        default="auto",
+        choices=("auto", "scalar", "fast"),
+        help="event engine for the reported runs (auto picks by fleet "
+        "size); the other engine is run once more to verify per-task "
+        "agreement",
     )
     faults_replay.add_argument(
         "--deadline-s",

@@ -29,6 +29,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Protocol, Sequence, runtime_checkable
 
+import numpy as np
+
 from ..hardware import NetworkProfile, Platform
 from ..models.multi_exit import PartitionedModel
 from .resource_allocation import floored_edge_allocation
@@ -36,6 +38,11 @@ from .resource_allocation import floored_edge_allocation
 #: Numerical floor used when a denominator is a compute share that the
 #: corresponding numerator guarantees is only reached with zero work.
 _EPS = 1e-12
+
+#: Fleets at or above this size take the batched (array) branch of
+#: constraint-aware constant policies; below it the per-device scalar
+#: loop is cheaper.  Both branches are bitwise-identical.
+_BATCH_DECIDE_MIN = 128
 
 
 @dataclass(frozen=True)
@@ -680,6 +687,8 @@ class FixedRatioPolicy:
         devs = tuple(devices) if devices is not None else system.devices
         if not self.respect_constraint:
             return [self.ratio] * len(devs)
+        if len(devs) >= _BATCH_DECIDE_MIN:
+            return self._decide_batch(system, devs, arrivals)
         ratios: list[float] = []
         for i, device in enumerate(devs):
             lo, hi = feasible_ratio_interval(
@@ -687,6 +696,41 @@ class FixedRatioPolicy:
             )
             ratios.append(min(max(self.ratio, lo), hi))
         return ratios
+
+    def _decide_batch(
+        self,
+        system: EdgeSystem,
+        devs: tuple[DeviceConfig, ...],
+        arrivals: Sequence[float],
+    ) -> list[float]:
+        """Array twin of the per-device loop for serving-scale fleets.
+
+        Evaluates the identical elementwise IEEE expressions via
+        :func:`~repro.core.vectorized.feasible_ratio_intervals_arrays`,
+        so the returned ratios are bitwise equal to the scalar loop's —
+        both event engines consume the same offload coins either way."""
+        from .vectorized import feasible_ratio_intervals_arrays
+
+        bandwidth = np.array([d.link.bandwidth for d in devs])
+        latency = np.array([d.link.latency for d in devs])
+        if system.device_partitions:
+            parts = system.device_partitions
+            d0 = np.array([p.d0 for p in parts])
+            d1 = np.array([p.d1 for p in parts])
+            sigma1 = np.array([p.sigma1 for p in parts])
+        else:
+            part = system.partition
+            d0, d1, sigma1 = part.d0, part.d1, part.sigma1
+        lo, hi = feasible_ratio_intervals_arrays(
+            bandwidth,
+            latency,
+            d0,
+            d1,
+            sigma1,
+            system.slot_length,
+            np.asarray(arrivals, dtype=np.float64),
+        )
+        return np.minimum(np.maximum(self.ratio, lo), hi).tolist()
 
 
 @dataclass(frozen=True)

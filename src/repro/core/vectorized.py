@@ -43,6 +43,7 @@ from typing import Callable, Sequence
 
 import numpy as np
 
+from . import kernels
 from .offloading import (
     _EPS,
     DeviceConfig,
@@ -138,12 +139,36 @@ def feasible_ratio_intervals(
 ) -> tuple[np.ndarray, np.ndarray]:
     """Batched Eq. 8 feasibility: per-device ``(lo, hi)`` arrays, mirroring
     :func:`~repro.core.offloading.feasible_ratio_interval` case-for-case."""
+    return feasible_ratio_intervals_arrays(
+        params.bandwidth,
+        params.latency,
+        params.d0,
+        params.d1,
+        params.sigma1,
+        slot_length,
+        arrivals,
+    )
+
+
+def feasible_ratio_intervals_arrays(
+    bandwidth: np.ndarray,
+    latency: np.ndarray,
+    d0: np.ndarray | float,
+    d1: np.ndarray | float,
+    sigma1: np.ndarray | float,
+    slot_length: float,
+    arrivals: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Array core of :func:`feasible_ratio_intervals` over plain columns
+    (partition parameters may be scalars for the homogeneous-deployment
+    common case — broadcasting evaluates the identical elementwise IEEE
+    expressions, so results match the scalar loop bitwise)."""
     arrivals = np.asarray(arrivals, dtype=np.float64)
     if np.any(arrivals < 0):
         raise ValueError("arrivals must be non-negative")
-    budget = params.bandwidth * (slot_length - params.latency)
-    base = arrivals * (1.0 - params.sigma1) * params.d1
-    slope = arrivals * params.d0 - base
+    budget = bandwidth * (slot_length - latency)
+    base = arrivals * (1.0 - sigma1) * d1
+    slope = arrivals * d0 - base
     # Interior boundary of the affine constraint; guarded against the flat
     # case (the mask below never selects the guarded value).
     safe_slope = np.where(np.abs(slope) < _EPS, 1.0, slope)
@@ -802,6 +827,14 @@ def fifo_schedule_batch(
     seg_len = np.diff(bounds)
     start = np.empty(count, dtype=np.float64)
     finish = np.empty(count, dtype=np.float64)
+    # Compiled kernel tier (REPRO_KERNELS=numba/auto): one fused loop
+    # over all segments, replaying the identical IEEE operations — no-op
+    # returning False on the default NumPy tier.
+    if kernels.lindley_segments(
+        seg_start, seg_len, submit, service, free_at, start, finish
+    ):
+        served = (start <= cutoff) if inclusive else (start < cutoff)
+        return start, finish, served
     # Width class: 0 for len <= 8, then one class per power of two.
     classes = np.zeros(seg_len.shape[0], dtype=np.int64)
     big = seg_len > 8

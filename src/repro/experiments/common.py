@@ -215,7 +215,7 @@ def run_scheme(
     num_slots: int = DEFAULT_SLOTS,
     seed: int = 0,
     simulator: str = "slot",
-    engine: str = "scalar",
+    engine: str = "auto",
 ) -> SimulationResult | EventSimResult:
     """Simulate one scheme on the configured testbed.
 
@@ -225,7 +225,9 @@ def run_scheme(
     uplink, which the slot model cannot express).  ``engine`` selects the
     event implementation: the scalar reference loop or the array-backed
     fast lane (``"fast"``), which replays the identical seeded scenario
-    per task (see :mod:`repro.sim.fast_events`).
+    per task (see :mod:`repro.sim.fast_events`); the default ``"auto"``
+    picks by fleet size (see :func:`repro.sim.events.resolve_engine`) and
+    never changes results — the engines are per-task identical.
     """
     system = config.system(scheme.partition)
     arrivals = config.arrival_processes()

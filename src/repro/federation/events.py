@@ -40,6 +40,7 @@ from ..core.offloading import OffloadingPolicy
 from ..sim.arrivals import ArrivalProcess
 from ..sim.environment import DynamicEnvironment, StaticEnvironment
 from ..sim.events import EventSimResult, EventSimulator
+from ..sim.streaming import StreamingTaskStats
 from ..sim.tasks import TaskRecord
 from .assignment import AssignmentPlan
 from .faults import FederationFaultPlan
@@ -106,7 +107,19 @@ class FederatedEventResult:
         devices re-keyed to global indices and task ids renumbered to be
         globally unique.  Per-shard task order is preserved (edge-major
         concatenation), so an E=1 merge is the identity — SLO accounting
-        is order-free either way."""
+        is order-free either way.
+
+        Streaming runs merge shard aggregates instead: sketch merging is
+        pure integer bin addition, so shard-then-merge percentiles equal
+        a single global sketch's, and every counter is an exact sum."""
+        if any(r.stats is not None for r in self.edge_results):
+            stats = StreamingTaskStats()
+            for result in self.edge_results:
+                if result.stats is not None:
+                    stats = stats.merge(result.stats)
+            return EventSimResult(
+                tasks=(), horizon=self.horizon, stats=stats
+            )
         tasks: list[TaskRecord] = []
         for result, members in zip(self.edge_results, self.edge_members):
             for task in result.tasks:
@@ -122,23 +135,25 @@ class FederatedEventResult:
     # -- per-edge SLO accounting --------------------------------------------
 
     def edge_generated(self, edge: int) -> int:
-        return len(self.edge_results[edge].tasks)
+        return self.edge_results[edge].generated_count
 
     def identity_holds(self) -> bool:
         """Every shard's SLO identity plus the global sum:
         ``generated = completed + dropped + shed + in-flight`` per edge,
-        and the per-edge identities sum to the global one."""
+        and the per-edge identities sum to the global one.  The count
+        properties are exact in both metric modes, so the check is just
+        as strict for streaming shards."""
         totals = [0, 0, 0, 0, 0]
         for result in self.edge_results:
             parts = (
-                len(result.completed),
+                result.completed_count,
                 result.dropped_count,
                 result.shed_count,
                 result.in_flight_count,
             )
-            if len(result.tasks) != sum(parts):
+            if result.generated_count != sum(parts):
                 return False
-            totals[0] += len(result.tasks)
+            totals[0] += result.generated_count
             for k, part in enumerate(parts):
                 totals[k + 1] += part
         return totals[0] == sum(totals[1:])
@@ -179,8 +194,11 @@ class FederatedEventSimulator:
         ):
             raise ValueError("fault plan and topology disagree on edge count")
 
-    def _fingerprint(self, num_slots: int, engine: str) -> str:
+    def _fingerprint(
+        self, num_slots: int, engine: str, metrics: str = "records"
+    ) -> str:
         from ..chaos.checkpoint import run_fingerprint
+        from ..core.kernels import kernel_tier
 
         return run_fingerprint(
             path="federated-event",
@@ -194,6 +212,8 @@ class FederatedEventSimulator:
             faults=self.faults is not None,
             recovery=repr(self.recovery),
             overload=repr(self.overload),
+            kernels=kernel_tier(),
+            metrics=metrics,
         )
 
     def run(
@@ -203,11 +223,19 @@ class FederatedEventSimulator:
         drain: bool = True,
         drain_limit_factor: float = 50.0,
         engine: str = "scalar",
+        metrics: str = "records",
         checkpoint_every: int | None = None,
         checkpoint_sink=None,
         resume_from=None,
     ) -> FederatedEventResult:
         """Run every shard for ``num_slots`` generation slots.
+
+        ``metrics="streaming"`` passes straight through to every shard:
+        each edge folds its tasks into a constant-size
+        :class:`~repro.sim.streaming.StreamingTaskStats` and
+        :meth:`FederatedEventResult.merged` merges the shard aggregates
+        (exactly — sketch merge is integer bin addition), so federation
+        memory stays independent of the global task count.
 
         Checkpoints are ``"state"``-kind at **shard granularity**: shards
         run sequentially and independently, so after each completed edge
@@ -229,7 +257,7 @@ class FederatedEventSimulator:
         )
 
         validate_hooks(checkpoint_every, checkpoint_sink)
-        fingerprint = self._fingerprint(num_slots, engine)
+        fingerprint = self._fingerprint(num_slots, engine, metrics)
         if resume_from is not None:
             validate_resume(
                 resume_from, "federated-event", "state", fingerprint
@@ -249,7 +277,17 @@ class FederatedEventSimulator:
             members = self.plan.member_union(edge)
             members_per_edge.append(members)
             if not members:
-                results.append(EventSimResult(tasks=(), horizon=0.0))
+                results.append(
+                    EventSimResult(
+                        tasks=(),
+                        horizon=0.0,
+                        stats=(
+                            StreamingTaskStats()
+                            if metrics == "streaming"
+                            else None
+                        ),
+                    )
+                )
                 self._emit_shard_checkpoint(
                     checkpoint_every,
                     checkpoint_sink,
@@ -291,6 +329,7 @@ class FederatedEventSimulator:
                     drain=drain,
                     drain_limit_factor=drain_limit_factor,
                     engine=engine,
+                    metrics=metrics,
                 )
             )
             self._emit_shard_checkpoint(

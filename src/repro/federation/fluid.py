@@ -55,6 +55,7 @@ from ..core.vectorized import FleetState, VectorizedSlotEngine
 from ..sim.arrivals import ArrivalProcess
 from ..sim.environment import DynamicEnvironment, StaticEnvironment
 from ..sim.metrics import SimulationResult, SlotRecord
+from ..sim.streaming import FluidStreamStats
 from .assignment import AssignmentPlan
 from .faults import FederationFaultPlan
 from .topology import FederationTopology
@@ -72,19 +73,31 @@ class FederatedFluidResult:
             object the E=1 conformance suite compares byte-identically
             against a single-edge run.
         edge_records: Per-edge slot records; an edge's record covers its
-            members *that slot* (empty tuples when unpopulated).
+            members *that slot* (empty tuples when unpopulated).  Empty
+            in streaming mode — ``edge_streams`` carries the per-edge
+            constant-size aggregates instead.
+        edge_streams: Per-edge :class:`~repro.sim.streaming.
+            FluidStreamStats` when the run used ``metrics="streaming"``;
+            ``None`` in record mode.
         plan: The assignment plan the run replayed.
     """
 
     global_result: SimulationResult
     edge_records: tuple[tuple[SlotRecord, ...], ...]
     plan: AssignmentPlan
+    edge_streams: tuple[FluidStreamStats, ...] | None = None
 
     @property
     def num_edges(self) -> int:
+        if self.edge_streams is not None:
+            return len(self.edge_streams)
         return len(self.edge_records)
 
     def edge_result(self, edge: int) -> SimulationResult:
+        if self.edge_streams is not None:
+            return SimulationResult(
+                records=(), stream=self.edge_streams[edge]
+            )
         return SimulationResult(records=self.edge_records[edge])
 
     @property
@@ -144,8 +157,9 @@ class FederatedSlotSimulator:
         if not 0.0 < self.edge_down_factor <= 1.0:
             raise ValueError("edge_down_factor must be in (0, 1]")
 
-    def _fingerprint(self, num_slots: int) -> str:
+    def _fingerprint(self, num_slots: int, metrics: str = "records") -> str:
         from ..chaos.checkpoint import run_fingerprint
+        from ..core.kernels import kernel_tier
 
         return run_fingerprint(
             path="federated-fluid",
@@ -157,6 +171,8 @@ class FederatedSlotSimulator:
             include_tail=self.include_tail,
             overload=repr(self.overload),
             edge_down_factor=self.edge_down_factor,
+            kernels=kernel_tier(),
+            metrics=metrics,
         )
 
     def run(
@@ -164,6 +180,7 @@ class FederatedSlotSimulator:
         policy: OffloadingPolicy,
         num_slots: int,
         state: LyapunovState | None = None,
+        metrics: str = "records",
         checkpoint_every: int | None = None,
         checkpoint_sink=None,
         resume_from=None,
@@ -173,9 +190,18 @@ class FederatedSlotSimulator:
         Checkpoints are ``"state"``-kind (the coordinator's state is the
         RNG, queues, gate/ladders, and accumulated records; shard systems
         are immutable and rebuilt from the topology on resume).
+
+        ``metrics="streaming"`` swaps the global and per-edge record
+        lists for constant-size :class:`~repro.sim.streaming.
+        FluidStreamStats` aggregates — the simulation itself is
+        byte-identical; only what is *retained* per slot changes.
         """
         if num_slots <= 0:
             raise ValueError("need a positive number of slots")
+        if metrics not in ("records", "streaming"):
+            raise ValueError(
+                f'metrics must be "records" or "streaming", got {metrics!r}'
+            )
         from ..chaos.checkpoint import (
             should_emit,
             snapshot,
@@ -184,7 +210,8 @@ class FederatedSlotSimulator:
         )
 
         validate_hooks(checkpoint_every, checkpoint_sink)
-        fingerprint = self._fingerprint(num_slots)
+        fingerprint = self._fingerprint(num_slots, metrics)
+        half_slot = num_slots // 2
         topology, plan = self.topology, self.plan
         n, num_edges = topology.num_devices, topology.num_edges
         environment = self.environment
@@ -199,6 +226,8 @@ class FederatedSlotSimulator:
             ladders = payload["ladders"]
             global_records = payload["global_records"]
             edge_records = payload["edge_records"]
+            global_stream = payload.get("global_stream")
+            edge_streams = payload.get("edge_streams")
             policy = payload["policy"]
             environment = payload["environment"]
             arrivals = payload["arrivals"]
@@ -221,6 +250,12 @@ class FederatedSlotSimulator:
             edge_records: list[list[SlotRecord]] = [
                 [] for _ in range(num_edges)
             ]
+            if metrics == "streaming":
+                global_stream = FluidStreamStats()
+                edge_streams = [FluidStreamStats() for _ in range(num_edges)]
+            else:
+                global_stream = None
+                edge_streams = None
             start_slot = 0
         # Shard systems (and vectorized engines) are cached per member
         # set — they only change at assignment-epoch boundaries, and are
@@ -248,6 +283,8 @@ class FederatedSlotSimulator:
                             ladders=ladders,
                             global_records=global_records,
                             edge_records=edge_records,
+                            global_stream=global_stream,
+                            edge_streams=edge_streams,
                             policy=policy,
                             environment=environment,
                             arrivals=list(arrivals),
@@ -419,40 +456,70 @@ class FederatedSlotSimulator:
                 (modes[e] for e in range(num_edges) if member_lists[e]),
                 default=0,
             )
-            global_records.append(
-                SlotRecord(
-                    slot=slot,
-                    arrivals=total_arrivals,
-                    total_time=total_time,
-                    ratios=tuple(ratios_global),
-                    queue_local=tuple(state.queue_local),
-                    queue_edge=tuple(state.queue_edge),
-                    shed=global_shed,
-                    mode=global_mode,
+            if global_stream is not None:
+                global_stream.observe_slot(
+                    slot,
+                    total_arrivals,
+                    total_time,
+                    global_shed,
+                    float(sum(state.queue_local) + sum(state.queue_edge)),
+                    global_mode,
+                    half_slot,
                 )
-            )
-            for e in range(num_edges):
-                members = member_lists[e]
-                edge_records[e].append(
+                for e in range(num_edges):
+                    members = member_lists[e]
+                    edge_streams[e].observe_slot(
+                        slot,
+                        edge_arrivals[e],
+                        edge_time[e],
+                        edge_shed[e],
+                        float(
+                            sum(state.queue_local[i] for i in members)
+                            + sum(state.queue_edge[i] for i in members)
+                        ),
+                        modes[e],
+                        half_slot,
+                    )
+            else:
+                global_records.append(
                     SlotRecord(
                         slot=slot,
-                        arrivals=edge_arrivals[e],
-                        total_time=edge_time[e],
-                        ratios=tuple(ratios_global[i] for i in members),
-                        queue_local=tuple(
-                            state.queue_local[i] for i in members
-                        ),
-                        queue_edge=tuple(
-                            state.queue_edge[i] for i in members
-                        ),
-                        shed=edge_shed[e],
-                        mode=modes[e],
+                        arrivals=total_arrivals,
+                        total_time=total_time,
+                        ratios=tuple(ratios_global),
+                        queue_local=tuple(state.queue_local),
+                        queue_edge=tuple(state.queue_edge),
+                        shed=global_shed,
+                        mode=global_mode,
                     )
                 )
+                for e in range(num_edges):
+                    members = member_lists[e]
+                    edge_records[e].append(
+                        SlotRecord(
+                            slot=slot,
+                            arrivals=edge_arrivals[e],
+                            total_time=edge_time[e],
+                            ratios=tuple(ratios_global[i] for i in members),
+                            queue_local=tuple(
+                                state.queue_local[i] for i in members
+                            ),
+                            queue_edge=tuple(
+                                state.queue_edge[i] for i in members
+                            ),
+                            shed=edge_shed[e],
+                            mode=modes[e],
+                        )
+                    )
         return FederatedFluidResult(
-            global_result=SimulationResult(records=tuple(global_records)),
+            global_result=SimulationResult(
+                records=tuple(global_records), stream=global_stream
+            ),
             edge_records=tuple(tuple(r) for r in edge_records),
             plan=plan,
+            edge_streams=(
+                tuple(edge_streams) if edge_streams is not None else None
+            ),
         )
 
     def _live_shard(

@@ -59,10 +59,19 @@ def federated_fluid_summary(result: "FederatedFluidResult") -> dict:
     convention), deliberately overriding
     :attr:`~repro.sim.metrics.SimulationResult.mean_tct`'s legacy 0.0.
     """
+    def _time_and_mode(res) -> tuple[float, int]:
+        """Summed slot time and max ladder rung, in either metric mode."""
+        if res.stream is not None:
+            return res.stream.total_time, res.stream.max_mode
+        return (
+            sum(r.total_time for r in res.records),
+            max(r.mode for r in res.records),
+        )
+
     edges = []
     for edge_result in result.edge_results:
         arrivals = edge_result.total_arrivals
-        total_time = sum(r.total_time for r in edge_result.records)
+        total_time, max_mode = _time_and_mode(edge_result)
         edges.append(
             {
                 "arrivals": arrivals,
@@ -71,12 +80,12 @@ def federated_fluid_summary(result: "FederatedFluidResult") -> dict:
                     total_time / arrivals if arrivals > 0 else math.nan
                 ),
                 "final_backlog": edge_result.final_backlog,
-                "max_mode": max(r.mode for r in edge_result.records),
+                "max_mode": max_mode,
             }
         )
     global_result = result.global_result
     global_arrivals = global_result.total_arrivals
-    global_time = sum(r.total_time for r in global_result.records)
+    global_time, global_max_mode = _time_and_mode(global_result)
     return {
         "num_edges": result.num_edges,
         "edges": edges,
@@ -89,7 +98,7 @@ def federated_fluid_summary(result: "FederatedFluidResult") -> dict:
                 else math.nan
             ),
             "final_backlog": global_result.final_backlog,
-            "max_mode": max(r.mode for r in global_result.records),
+            "max_mode": global_max_mode,
         },
         # The fluid identity: per-edge served+shed demand sums to the
         # global generated demand (floats — compare with a tolerance).

@@ -50,10 +50,17 @@ def time_to_recovery(
 
 def slo_summary(result: "EventSimResult", deadline: float | None = None) -> dict:
     """The standard SLO block for JSON payloads (benchmarks, CLI replay,
-    ``fig_faults`` rows)."""
+    ``fig_faults`` rows).
+
+    Works in both metric modes: every field reads the count/rate
+    properties, which are exact whether the run retained per-task
+    records or streamed into a
+    :class:`~repro.sim.streaming.StreamingTaskStats` aggregate (the
+    deadline-miss rate is sketch-resolution accurate in streaming
+    mode)."""
     summary = {
-        "tasks": len(result.tasks),
-        "completed": len(result.completed),
+        "tasks": result.generated_count,
+        "completed": result.completed_count,
         "dropped": result.dropped_count,
         "shed": result.shed_count,
         "in_flight": result.in_flight_count,

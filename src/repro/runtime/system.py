@@ -25,6 +25,7 @@ from ..core.offloading import EdgeSystem, LyapunovState, OffloadingPolicy
 from ..core.vectorized import vectorized_equivalent
 from ..models.multi_exit import PartitionedModel
 from ..sim.arrivals import ArrivalProcess
+from ..sim.streaming import StreamingTaskStats
 from ..sim.tasks import TaskRecord
 from .clock import VirtualClock
 from .node import RuntimeLink, RuntimeNode
@@ -44,79 +45,149 @@ class RuntimeReport:
     tasks are ``NaN``, never an optimistic ``1.0``/``0.0``, so a run
     whose every task failed cannot masquerade as a perfect one.  Check
     ``math.isnan`` before asserting on these fields.
+
+    Streaming mode: a run with ``metrics="streaming"`` carries no task
+    records — ``tasks`` is empty and ``stats`` holds the constant-size
+    aggregate every terminal event folded into.  Aggregate properties
+    keep working; ``completed`` (the per-task view) raises.
     """
 
     tasks: tuple[TaskRecord, ...]
     virtual_duration: float
+    #: Constant-memory aggregate when the run used
+    #: ``metrics="streaming"``; None in record mode.
+    stats: StreamingTaskStats | None = None
+
+    def _require_records(self, what: str) -> None:
+        if self.stats is not None:
+            raise ValueError(
+                f"{what} requires per-task records, but this report was "
+                'produced with metrics="streaming" (constant-memory '
+                'aggregates only) — re-run with metrics="records"'
+            )
+
+    @property
+    def generated_count(self) -> int:
+        """Tasks generated, exact in both metric modes."""
+        if self.stats is not None:
+            return self.stats.generated
+        return len(self.tasks)
+
+    @property
+    def completed_count(self) -> int:
+        """Tasks completed, exact in both metric modes."""
+        if self.stats is not None:
+            return self.stats.completed
+        return len(self.completed)
 
     @property
     def completed(self) -> tuple[TaskRecord, ...]:
+        self._require_records("completed")
         return tuple(t for t in self.tasks if t.done)
 
     @property
     def completion_rate(self) -> float:
         """Fraction of generated tasks completed (NaN if none generated)."""
-        if not self.tasks:
+        total = self.generated_count
+        if not total:
             return float("nan")
-        return len(self.completed) / len(self.tasks)
+        return self.completed_count / total
 
     @property
     def mean_tct(self) -> float:
         """Mean completion time over completed tasks (NaN if none)."""
+        if self.stats is not None:
+            return self.stats.mean_tct
         done = self.completed
         if not done:
             return float("nan")
         return sum(t.tct for t in done) / len(done)
 
+    def tct_percentile(self, q: float) -> float:
+        """Completed-task TCT percentile — exact in record mode, within
+        the sketch's ``alpha`` bound in streaming mode."""
+        if self.stats is not None:
+            return self.stats.percentile(q)
+        done = self.completed
+        if not done:
+            return float("nan")
+        return float(np.percentile([t.tct for t in done], q))
+
     @property
     def dropped_count(self) -> int:
+        if self.stats is not None:
+            return self.stats.dropped
         return sum(1 for t in self.tasks if t.dropped)
 
     @property
     def in_flight_count(self) -> int:
         """Tasks neither completed, dropped, nor shed when the report was
-        cut (``len(tasks) == completed + dropped + shed + in-flight``
+        cut (``generated == completed + dropped + shed + in-flight``
         always holds)."""
+        if self.stats is not None:
+            return self.stats.in_flight
         return sum(1 for t in self.tasks if t.in_flight)
 
     @property
     def shed_count(self) -> int:
         """Tasks rejected at admission by overload control."""
+        if self.stats is not None:
+            return self.stats.shed
         return sum(1 for t in self.tasks if t.shed)
 
     @property
     def shed_rate(self) -> float:
         """Fraction of generated tasks shed (NaN if none generated)."""
-        if not self.tasks:
+        total = self.generated_count
+        if not total:
             return float("nan")
-        return self.shed_count / len(self.tasks)
+        return self.shed_count / total
 
     @property
     def total_retries(self) -> int:
         """Fault-recovery attempts consumed across all tasks."""
+        if self.stats is not None:
+            return self.stats.retries
         return sum(t.retries for t in self.tasks)
 
     @property
     def drop_rate(self) -> float:
         """Fraction of generated tasks dropped (NaN if none generated)."""
-        if not self.tasks:
+        total = self.generated_count
+        if not total:
             return float("nan")
-        return self.dropped_count / len(self.tasks)
+        return self.dropped_count / total
 
     def deadline_hit_rate(self, deadline: float) -> float:
         """Fraction of all generated tasks completed within ``deadline``
         virtual seconds (dropped/in-flight count as misses; NaN if no
-        tasks were generated)."""
+        tasks were generated).  Sketch-resolution accuracy in streaming
+        mode."""
         if deadline <= 0:
             raise ValueError("deadline must be positive")
-        if not self.tasks:
+        total = self.generated_count
+        if not total:
             return float("nan")
+        if self.stats is not None:
+            done = self.stats.completed
+            if not done:
+                return 0.0
+            return self.stats.deadline_hit_fraction(deadline) * done / total
         hits = sum(1 for t in self.tasks if t.done and t.tct <= deadline)
-        return hits / len(self.tasks)
+        return hits / total
 
     def exit_fractions(self) -> tuple[float, float, float]:
         """Fraction of completed tasks exiting at tiers 1, 2, 3 (NaN
         triple when nothing completed — the empty-fleet convention)."""
+        if self.stats is not None:
+            total = self.stats.completed
+            if not total:
+                nan = float("nan")
+                return (nan, nan, nan)
+            return tuple(
+                self.stats.exit_counts.get(tier, 0) / total
+                for tier in (1, 2, 3)
+            )
         done = self.completed
         if not done:
             nan = float("nan")
@@ -197,6 +268,12 @@ class LeimeRuntime:
             "cloud", system.cloud_flops, self.clock, overhead=system.cloud_overhead
         )
         self._tasks: list[TaskRecord] = []
+        # Streaming-mode state: the aggregate terminal events fold into,
+        # and the id→record map of tasks still in flight (the only thing
+        # keeping a record alive once the task list is not retained).
+        self._stats: StreamingTaskStats | None = None
+        self._live: dict[int, TaskRecord] = {}
+        self._task_counter = 0
         self._tasks_lock = threading.Lock()
         self._done = threading.Event()
         self._outstanding = 0
@@ -223,6 +300,11 @@ class LeimeRuntime:
         task.completed = time
         task.exit_tier = tier
         with self._tasks_lock:
+            if self._stats is not None:
+                self._stats.observe_completed(
+                    time - task.created, tier, task.offloaded, task.retries
+                )
+                self._live.pop(task.task_id, None)
             self._outstanding -= 1
             if self._outstanding == 0:
                 self._done.set()
@@ -235,6 +317,9 @@ class LeimeRuntime:
         full queue can never strand the drain counter."""
         task.dropped = True
         with self._tasks_lock:
+            if self._stats is not None:
+                self._stats.observe_dropped(task.retries)
+                self._live.pop(task.task_id, None)
             self._outstanding -= 1
             if self._outstanding == 0:
                 self._done.set()
@@ -440,9 +525,12 @@ class LeimeRuntime:
 
     # -- the controller loop ---------------------------------------------------
 
-    def _run_fingerprint(self, num_slots, faults, recovery, overload) -> str:
+    def _run_fingerprint(
+        self, num_slots, faults, recovery, overload, metrics="records"
+    ) -> str:
         """Digest of a live run's configuration for checkpoint validation."""
         from ..chaos.checkpoint import run_fingerprint
+        from ..core.kernels import kernel_tier
 
         return run_fingerprint(
             path="runtime",
@@ -454,6 +542,8 @@ class LeimeRuntime:
             # A pre-built governor's repr drags in live objects; the
             # frozen control config is the stable part.
             overload=repr(getattr(overload, "control", overload)),
+            kernels=kernel_tier(),
+            metrics=metrics,
         )
 
     def run(
@@ -465,6 +555,7 @@ class LeimeRuntime:
         faults: "FaultPlan | None" = None,
         recovery: "RecoveryPolicy | None" = None,
         overload: "OverloadControl | OverloadGovernor | None" = None,
+        metrics: str = "records",
         checkpoint_every: int | None = None,
         checkpoint_sink=None,
         resume_from=None,
@@ -474,6 +565,13 @@ class LeimeRuntime:
         Args:
             arrivals: One process per device.
             num_slots: Slots to generate.
+            metrics: ``"records"`` (default) retains one
+                :class:`~repro.sim.tasks.TaskRecord` per task;
+                ``"streaming"`` folds each task into a constant-size
+                :class:`~repro.sim.streaming.StreamingTaskStats` at its
+                terminal event (finish/drop/shed, under the task lock),
+                so a long soak's memory tracks the in-flight population
+                rather than the run total.
             drain_timeout: Wall-clock seconds to wait for completion after
                 generation ends before giving up (unfinished tasks then
                 show as incomplete in the report).
@@ -523,6 +621,8 @@ class LeimeRuntime:
             raise ValueError("need one arrival process per device")
         if recovery is not None and faults is None:
             raise ValueError("recovery requires a fault plan to recover from")
+        if metrics not in ("records", "streaming"):
+            raise ValueError(f"unknown metrics mode {metrics!r}")
         from ..chaos.checkpoint import (
             CheckpointError,
             should_emit,
@@ -532,15 +632,19 @@ class LeimeRuntime:
         )
 
         validate_hooks(checkpoint_every, checkpoint_sink)
-        fingerprint = self._run_fingerprint(num_slots, faults, recovery, overload)
+        fingerprint = self._run_fingerprint(
+            num_slots, faults, recovery, overload, metrics
+        )
         if resume_from is not None:
             validate_resume(resume_from, "runtime", "replay", fingerprint)
             with self._tasks_lock:
-                if self._tasks:
+                if self._task_counter:
                     raise CheckpointError(
                         "resume needs a fresh runtime: this instance already "
-                        f"generated {len(self._tasks)} tasks"
+                        f"generated {self._task_counter} tasks"
                     )
+        if metrics == "streaming":
+            self._stats = StreamingTaskStats()
         policy = self.policy
         if faults is not None:
             if faults.num_devices != self.system.num_devices:
@@ -625,14 +729,22 @@ class LeimeRuntime:
                 )
                 for k in range(count):
                     task = TaskRecord(
-                        task_id=len(self._tasks),
+                        task_id=self._task_counter,
                         device=i,
                         created=self.clock.now(),
                         offloaded=self._control_random() < ratios[i],
                         shed=k >= admitted,
                     )
+                    self._task_counter += 1
                     with self._tasks_lock:
-                        self._tasks.append(task)
+                        if self._stats is not None:
+                            self._stats.observe_generated()
+                            if task.shed:
+                                self._stats.observe_shed()
+                            else:
+                                self._live[task.task_id] = task
+                        else:
+                            self._tasks.append(task)
                         if not task.shed:
                             self._outstanding += 1
                             self._done.clear()
@@ -648,6 +760,20 @@ class LeimeRuntime:
             nothing_pending = self._outstanding == 0
         if not nothing_pending:
             self._done.wait(timeout=drain_timeout)
+        if self._stats is not None:
+            with self._tasks_lock:
+                # Tasks that beat the drain timeout are in flight when
+                # the report is cut — counted explicitly, under the same
+                # lock terminal folds take, so a racing finish cannot be
+                # double-counted.
+                stats = self._stats
+                for task in self._live.values():
+                    stats.observe_in_flight(1, task.retries)
+                self._live.clear()
+                self._stats = None
+            return RuntimeReport(
+                tasks=(), virtual_duration=self.clock.now(), stats=stats
+            )
         return RuntimeReport(
             tasks=tuple(self._tasks), virtual_duration=self.clock.now()
         )

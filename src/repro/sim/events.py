@@ -60,6 +60,7 @@ from .arrivals import ArrivalProcess
 from .environment import DynamicEnvironment, StaticEnvironment
 from .network import Link
 from .nodes import FifoServer
+from .streaming import StreamingTaskStats
 from .tasks import TaskRecord
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -100,6 +101,27 @@ class _Engine:
             callback(time)
 
 
+#: Fleet size above which ``engine="auto"`` picks the array-backed fast
+#: lane.  Below it the scalar heap wins: the fast lane pays a fixed
+#: per-window cost (array pools, lexsorts) that only amortises once a
+#: window carries hundreds of concurrent tasks — the benchmark sweep
+#: (``benchmarks/bench_events.py``) puts the crossover between 100 and
+#: 1000 devices on every machine measured.
+AUTO_ENGINE_THRESHOLD = 200
+
+
+def resolve_engine(engine: str, num_devices: int) -> str:
+    """Resolve ``"auto"`` to a concrete engine by fleet size.
+
+    Pure wall-clock heuristic: both engines are per-task *identical* (the
+    differential harness pins this), so auto-selection can never change
+    results — seeded runs stay byte-identical whichever side of the
+    threshold a fleet lands on."""
+    if engine == "auto":
+        return "fast" if num_devices > AUTO_ENGINE_THRESHOLD else "scalar"
+    return engine
+
+
 @dataclass(frozen=True)
 class EventSimResult:
     """Per-task outcomes of an event-driven run.
@@ -111,6 +133,16 @@ class EventSimResult:
     that generated nothing) cannot masquerade as a perfect one.  Check
     ``math.isnan`` (NaN compares unequal to everything, including
     itself) before asserting on these fields.
+
+    Streaming mode: a run with ``metrics="streaming"`` carries no
+    per-task records — ``tasks`` is empty and ``stats`` holds the
+    constant-size :class:`~repro.sim.streaming.StreamingTaskStats`
+    aggregate instead.  Every aggregate property below reads the
+    matching exact counter (percentiles come from the sketch, within
+    its documented ``alpha`` bound); accessors that inherently need the
+    per-task records (``completed``, ``dropped_tasks``,
+    ``per_device_mean_tct``, ``tct_by_creation_slot``) raise a loud
+    ``ValueError`` rather than silently returning an empty view.
     """
 
     tasks: tuple[TaskRecord, ...]
@@ -118,10 +150,36 @@ class EventSimResult:
     #: Degradation-ladder rung per generation slot (empty when the run
     #: was ungoverned) — see :mod:`repro.resilience.overload`.
     modes: tuple[int, ...] = ()
+    #: Constant-memory aggregate when the run used
+    #: ``metrics="streaming"``; None in record mode.
+    stats: StreamingTaskStats | None = None
+
+    def _require_records(self, what: str) -> None:
+        if self.stats is not None:
+            raise ValueError(
+                f"{what} requires per-task records, but this result was "
+                'produced with metrics="streaming" (constant-memory '
+                'aggregates only) — re-run with metrics="records"'
+            )
+
+    @property
+    def generated_count(self) -> int:
+        """Tasks generated, exact in both metric modes."""
+        if self.stats is not None:
+            return self.stats.generated
+        return len(self.tasks)
+
+    @property
+    def completed_count(self) -> int:
+        """Tasks completed, exact in both metric modes."""
+        if self.stats is not None:
+            return self.stats.completed
+        return len(self.completed)
 
     @cached_property
     def completed(self) -> tuple[TaskRecord, ...]:
         """Completed tasks, materialised once (results are frozen)."""
+        self._require_records("completed")
         return tuple(t for t in self.tasks if t.done)
 
     @cached_property
@@ -137,13 +195,20 @@ class EventSimResult:
 
     @property
     def mean_tct(self) -> float:
-        """Mean completion time over completed tasks (NaN if none)."""
+        """Mean completion time over completed tasks (NaN if none).
+        Exact in both metric modes (streaming keeps an exact sum)."""
+        if self.stats is not None:
+            return self.stats.mean_tct
         done = self.completed
         if not done:
             return float("nan")
         return sum(t.tct for t in done) / len(done)
 
     def tct_percentile(self, q: float) -> float:
+        """Completed-task TCT percentile — exact in record mode, within
+        the sketch's ``alpha`` relative-error bound in streaming mode."""
+        if self.stats is not None:
+            return self.stats.percentile(q)
         if not self.completed:
             return float("nan")
         return float(np.percentile(self._sorted_tcts, q))
@@ -151,50 +216,64 @@ class EventSimResult:
     @property
     def completion_rate(self) -> float:
         """Fraction of generated tasks completed (NaN if none generated)."""
-        if not self.tasks:
+        total = self.generated_count
+        if not total:
             return float("nan")
-        return len(self.completed) / len(self.tasks)
+        return self.completed_count / total
 
     # -- SLO accounting -----------------------------------------------------
 
     @property
     def dropped_tasks(self) -> tuple[TaskRecord, ...]:
+        self._require_records("dropped_tasks")
         return tuple(t for t in self.tasks if t.dropped)
 
     @property
     def dropped_count(self) -> int:
+        if self.stats is not None:
+            return self.stats.dropped
         return sum(1 for t in self.tasks if t.dropped)
 
     @property
     def in_flight_count(self) -> int:
         """Tasks still in the system at the horizon.  The accounting
-        identity ``len(tasks) == completed + dropped + shed + in-flight``
-        always holds (the property harness pins it)."""
+        identity ``generated == completed + dropped + shed + in-flight``
+        always holds (the property harness pins it); streaming mode
+        counts in-flight tasks explicitly at the horizon rather than
+        deriving them, so the identity genuinely checks the books."""
+        if self.stats is not None:
+            return self.stats.in_flight
         return sum(1 for t in self.tasks if t.in_flight)
 
     @property
     def shed_count(self) -> int:
         """Tasks rejected at admission by overload control."""
+        if self.stats is not None:
+            return self.stats.shed
         return sum(1 for t in self.tasks if t.shed)
 
     @property
     def shed_rate(self) -> float:
         """Fraction of generated tasks shed (NaN if none generated)."""
-        if not self.tasks:
+        total = self.generated_count
+        if not total:
             return float("nan")
-        return self.shed_count / len(self.tasks)
+        return self.shed_count / total
 
     @property
     def total_retries(self) -> int:
         """Fault-recovery attempts consumed across all tasks."""
+        if self.stats is not None:
+            return self.stats.retries
         return sum(t.retries for t in self.tasks)
 
     @property
     def drop_rate(self) -> float:
         """Fraction of generated tasks dropped (NaN if none generated)."""
-        if not self.tasks:
+        total = self.generated_count
+        if not total:
             return float("nan")
-        return self.dropped_count / len(self.tasks)
+        return self.dropped_count / total
 
     def deadline_miss_rate(self, deadline: float) -> float:
         """Complement of :meth:`deadline_hit_rate` — dropped and
@@ -205,6 +284,15 @@ class EventSimResult:
         """Fraction of completed tasks exiting at tiers 1, 2, 3 (NaN
         triple when nothing completed — the empty-fleet convention; a
         run that completed nothing must not read as "0% deep exits")."""
+        if self.stats is not None:
+            total = self.stats.completed
+            if not total:
+                nan = float("nan")
+                return (nan, nan, nan)
+            return tuple(
+                self.stats.exit_counts.get(tier, 0) / total
+                for tier in (1, 2, 3)
+            )
         done = self.completed
         if not done:
             nan = float("nan")
@@ -218,6 +306,10 @@ class EventSimResult:
     def offloaded_fraction(self) -> float:
         """Fraction of completed tasks whose first block ran on the edge
         (NaN when nothing completed)."""
+        if self.stats is not None:
+            if not self.stats.completed:
+                return float("nan")
+            return self.stats.offloaded_completed / self.stats.completed
         done = self.completed
         if not done:
             return float("nan")
@@ -228,17 +320,26 @@ class EventSimResult:
         seconds of creation — the §II-A "deadline requirements" metric.
         In-flight and dropped tasks count as misses, so an unstable scheme
         cannot look good by abandoning its worst tasks.  NaN when no tasks
-        were generated (the empty-fleet convention)."""
+        were generated (the empty-fleet convention).  Exact in record
+        mode; in streaming mode the hit count comes from the latency
+        sketch, so it is accurate to the sketch's bucket resolution."""
         if deadline <= 0:
             raise ValueError("deadline must be positive")
-        if not self.tasks:
+        total = self.generated_count
+        if not total:
             return float("nan")
+        if self.stats is not None:
+            done = self.stats.completed
+            if not done:
+                return 0.0
+            return self.stats.deadline_hit_fraction(deadline) * done / total
         hits = int(np.searchsorted(self._sorted_tcts, deadline, side="right"))
-        return hits / len(self.tasks)
+        return hits / total
 
     def per_device_mean_tct(self, num_devices: int) -> list[float]:
         """Mean TCT by generating device (NaN for devices that completed
         nothing, per the empty-fleet convention)."""
+        self._require_records("per_device_mean_tct")
         totals = [0.0] * num_devices
         counts = [0] * num_devices
         for task in self.completed:
@@ -257,6 +358,7 @@ class EventSimResult:
         need.  Tasks that never completed are charged their age at the end
         of the simulation, so an unstable scheme's timeline rises instead
         of silently dropping its worst tasks."""
+        self._require_records("tct_by_creation_slot")
         totals = np.zeros(num_slots)
         counts = np.zeros(num_slots)
         for task in self.tasks:
@@ -359,9 +461,19 @@ class EventSimulator:
             policy = ResilientPolicy(policy, self.faults, recovery)
         return policy, recovery
 
-    def _fingerprint(self, path_name: str, num_slots: int) -> str:
-        """Digest of the run configuration for checkpoint validation."""
+    def _fingerprint(
+        self, path_name: str, num_slots: int, metrics: str = "records"
+    ) -> str:
+        """Digest of the run configuration for checkpoint validation.
+
+        Includes the active kernel tier and the metrics mode: a
+        checkpoint taken under one engine tier or metric mode must not
+        silently resume under another (the compiled tier is bitwise-
+        identical by contract, but a *claimed* equality is exactly what
+        checkpoint validation exists to not take on faith, and a
+        streaming run cannot continue from record-mode state)."""
         from ..chaos.checkpoint import run_fingerprint
+        from ..core.kernels import kernel_tier
 
         return run_fingerprint(
             path=path_name,
@@ -373,6 +485,8 @@ class EventSimulator:
             faults=None if self.faults is None else repr(self.faults.describe()),
             recovery=repr(self.recovery),
             overload=repr(self.overload),
+            kernels=kernel_tier(),
+            metrics=metrics,
         )
 
     def run(
@@ -382,6 +496,7 @@ class EventSimulator:
         drain: bool = True,
         drain_limit_factor: float = 50.0,
         engine: str = "scalar",
+        metrics: str = "records",
         checkpoint_every: int | None = None,
         checkpoint_sink=None,
         resume_from=None,
@@ -400,7 +515,19 @@ class EventSimulator:
                 loop below; ``"fast"`` dispatches the identical scenario
                 to the array-backed engine
                 (:func:`repro.sim.fast_events.run_fast`), which the
-                differential harness pins to the scalar results per task.
+                differential harness pins to the scalar results per task;
+                ``"auto"`` picks by fleet size (see
+                :func:`resolve_engine`) — safe because the two engines
+                are per-task identical, so the choice affects wall-clock
+                only, never results.
+            metrics: ``"records"`` (default) retains one
+                :class:`~repro.sim.tasks.TaskRecord` per generated task;
+                ``"streaming"`` folds every task into a constant-size
+                :class:`~repro.sim.streaming.StreamingTaskStats`
+                aggregate at its terminal event instead, so memory is
+                independent of task count (the serving-scale mode —
+                ``result.tasks`` is empty, aggregate properties keep
+                working).
             checkpoint_every: Emit a checkpoint to ``checkpoint_sink`` at
                 every such slot boundary.  The fast engine emits
                 ``"state"``-kind snapshots (its run state is plain
@@ -412,12 +539,16 @@ class EventSimulator:
             checkpoint_sink: Callable receiving each checkpoint.
             resume_from: Continue (fast) or deterministically re-execute
                 (scalar) a killed run from its checkpoint; the
-                fingerprint must match this simulator's configuration.
+                fingerprint must match this simulator's configuration —
+                including the kernel tier and metrics mode it ran under.
         """
         if num_slots <= 0:
             raise ValueError("need a positive number of slots")
-        if engine not in ("scalar", "fast"):
+        if engine not in ("scalar", "fast", "auto"):
             raise ValueError(f"unknown event engine {engine!r}")
+        if metrics not in ("records", "streaming"):
+            raise ValueError(f"unknown metrics mode {metrics!r}")
+        engine = resolve_engine(engine, self.system.num_devices)
         if engine == "fast":
             from .fast_events import run_fast
 
@@ -427,6 +558,7 @@ class EventSimulator:
                 num_slots,
                 drain=drain,
                 drain_limit_factor=drain_limit_factor,
+                metrics=metrics,
                 checkpoint_every=checkpoint_every,
                 checkpoint_sink=checkpoint_sink,
                 resume_from=resume_from,
@@ -439,7 +571,7 @@ class EventSimulator:
         )
 
         validate_hooks(checkpoint_every, checkpoint_sink)
-        fingerprint = self._fingerprint("event-scalar", num_slots)
+        fingerprint = self._fingerprint("event-scalar", num_slots, metrics)
         if resume_from is not None:
             # The scalar engine's checkpoints are replay-kind: validate
             # the configuration matches, then re-execute from slot 0 —
@@ -509,10 +641,22 @@ class EventSimulator:
 
             governor = OverloadGovernor(self.overload, n)
 
+        streaming = metrics == "streaming"
+        stats = StreamingTaskStats() if streaming else None
         tasks: list[TaskRecord] = []
+        # Tasks between creation and their terminal event, by id.  In
+        # streaming mode this is the *only* reference keeping a task
+        # record alive besides its scheduled continuation: terminal
+        # events pop it, so memory tracks concurrent in-flight tasks,
+        # not the ever-growing total.
+        live_tasks: dict[int, TaskRecord] = {}
         # Two exit coins per task, pre-drawn at creation from the exit
         # stream and indexed by task id (see the module docstring).
-        exit_coins: list[tuple[float, float]] = []
+        # Streaming mode pops a task's coins at its terminal event, for
+        # the same constant-memory reason.
+        exit_coins: dict[int, tuple[float, float]] | list = (
+            {} if streaming else []
+        )
         ratios = [0.0] * n
         fractional = [0.0] * n
         state = LyapunovState.zeros(n)
@@ -520,6 +664,19 @@ class EventSimulator:
         def finish(task: TaskRecord, time: float, tier: int) -> None:
             task.completed = time
             task.exit_tier = tier
+            if streaming:
+                stats.observe_completed(
+                    time - task.created, tier, task.offloaded, task.retries
+                )
+                live_tasks.pop(task.task_id, None)
+                exit_coins.pop(task.task_id, None)
+
+        def drop(task: TaskRecord) -> None:
+            task.dropped = True
+            if streaming:
+                stats.observe_dropped(task.retries)
+                live_tasks.pop(task.task_id, None)
+                exit_coins.pop(task.task_id, None)
 
         def fault_slot(time: float) -> int:
             # Past the plan the accessors report a healthy world, so the
@@ -544,7 +701,7 @@ class EventSimulator:
                 recovery.deadline is not None
                 and time + delay - task.created > recovery.deadline
             ):
-                task.dropped = True
+                drop(task)
                 return
             task.retries += 1
             engine.schedule(time + delay, action)
@@ -640,7 +797,7 @@ class EventSimulator:
             def give_up(t: float) -> None:
                 # Block 2 needs the intermediate state that lives on the
                 # edge path; past the retry budget the task is lost.
-                task.dropped = True
+                drop(task)
 
             submit_edge(task, time, part.mu2, computed, give_up)
 
@@ -661,7 +818,7 @@ class EventSimulator:
                 if recovery is not None and recovery.fallback_local:
                     first_block_on_device(task, t)
                 else:
-                    task.dropped = True
+                    drop(task)
 
             submit_edge(task, time, part.mu1, computed, give_up)
 
@@ -685,7 +842,7 @@ class EventSimulator:
                     second_block(task, t2)
 
                 def give_up(t2: float) -> None:
-                    task.dropped = True
+                    drop(task)
 
                 transmit_uplink(task, t, part.d1, sent, give_up)
 
@@ -703,7 +860,7 @@ class EventSimulator:
                     if recovery is not None and recovery.fallback_local:
                         first_block_on_device(task, t)
                     else:
-                        task.dropped = True
+                        drop(task)
 
                 transmit_uplink(task, time, part.d0, sent, give_up)
                 return
@@ -770,16 +927,32 @@ class EventSimulator:
                             else 0.0
                         )
                         task = TaskRecord(
-                            task_id=len(tasks),
+                            # Streaming keeps no task list; the exact
+                            # generated counter doubles as the id source
+                            # (incremented one per task, in order).
+                            task_id=(
+                                stats.generated if streaming else len(tasks)
+                            ),
                             device=i,
                             created=time + offset,
                             offloaded=bool(rng.random() < ratios[i]),
                             shed=k >= admitted,
                         )
-                        tasks.append(task)
-                        exit_coins.append(
-                            (float(exit_rng.random()), float(exit_rng.random()))
+                        coins = (
+                            float(exit_rng.random()), float(exit_rng.random())
                         )
+                        if streaming:
+                            stats.observe_generated()
+                            if task.shed:
+                                # Never launched: terminal at creation
+                                # (its coins are drawn but never read).
+                                stats.observe_shed()
+                            else:
+                                live_tasks[task.task_id] = task
+                                exit_coins[task.task_id] = coins
+                        else:
+                            tasks.append(task)
+                            exit_coins.append(coins)
                         if not task.shed:
                             engine.schedule(
                                 task.created,
@@ -795,6 +968,15 @@ class EventSimulator:
         engine.run_until(horizon)
         if drain:
             engine.run_to_exhaustion(horizon * drain_limit_factor)
+        if streaming:
+            # Whatever never reached a terminal event is in flight at the
+            # horizon — counted explicitly so the conservation identity
+            # verifies the books instead of restating them.
+            for task in live_tasks.values():
+                stats.observe_in_flight(1, task.retries)
+            return EventSimResult(
+                tasks=(), horizon=engine.now, modes=tuple(modes), stats=stats
+            )
         return EventSimResult(
             tasks=tuple(tasks), horizon=engine.now, modes=tuple(modes)
         )

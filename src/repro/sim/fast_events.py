@@ -57,6 +57,7 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
+from ..core import kernels
 from ..core.offloading import LyapunovState, OffloadingPolicy
 from ..core.vectorized import fifo_schedule_batch, service_times_batch
 from .tasks import TaskRecord
@@ -367,6 +368,48 @@ class _TaskStore:
         self.count = i1
         return np.arange(i0, i1, dtype=_I8)
 
+    def fold_terminal(self, stats) -> np.ndarray | None:
+        """Fold terminal rows (completed, dropped, or shed) into the
+        streaming ``stats`` aggregate and left-compact the live rows.
+
+        Returns the old→new id map over all current rows, or None when
+        no row was terminal.  Live rows keep their *relative* order, so
+        the creation-order tie-breaks (``lexsort`` over the ``task``
+        column in :meth:`_FastEngine.schedule`) are preserved across a
+        compaction — the caller must remap every cross-window batch
+        (``carried``/``cal_int``/``cal_rec``) through the returned map.
+        Shed rows are removed without folding: they were counted at
+        creation time (they are terminal the moment they exist).
+        """
+        c = self.count
+        if c == 0:
+            return None
+        completed = ~np.isnan(self.completed[:c])
+        dropped = self.dropped[:c] & ~completed
+        terminal = completed | dropped | self.shed[:c]
+        if not terminal.any():
+            return None
+        if completed.any():
+            stats.fold_completed(
+                self.completed[:c][completed] - self.created[:c][completed],
+                self.tier[:c][completed],
+                self.offloaded[:c][completed],
+                self.retries[:c][completed],
+            )
+        if dropped.any():
+            stats.fold_dropped(
+                int(np.count_nonzero(dropped)),
+                int(self.retries[:c][dropped].sum()),
+            )
+        keep = ~terminal
+        remap = np.cumsum(keep, dtype=_I8) - 1
+        kept = int(np.count_nonzero(keep))
+        for name in self._COLS:
+            col = getattr(self, name)
+            col[:kept] = col[:c][keep]
+        self.count = kept
+        return remap
+
     def materialize(self) -> list[TaskRecord]:
         c = self.count
         # tolist() converts whole columns to Python scalars in C; the
@@ -420,28 +463,41 @@ class _FastEngine:
             self.deadline = None
             self.fallback_local = False
 
-        # Per-device partition parameters (heterogeneous-aware).
-        self.mu1 = np.empty(n)
-        self.mu2 = np.empty(n)
-        self.mu3 = np.empty(n)
-        self.d0 = np.empty(n)
-        self.d1 = np.empty(n)
-        self.d2 = np.empty(n)
-        self.sigma1 = np.empty(n)
-        self.exit2cond = np.empty(n)
-        for i in range(n):
-            part = system.partition_for(i)
-            self.mu1[i] = part.mu1
-            self.mu2[i] = part.mu2
-            self.mu3[i] = part.mu3
-            self.d0[i] = part.d0
-            self.d1[i] = part.d1
-            self.d2[i] = part.d2
-            self.sigma1[i] = part.sigma1
-            self.exit2cond[i] = (
-                (part.sigma2 - part.sigma1) / (1.0 - part.sigma1)
-                if part.sigma1 < 1.0
-                else 1.0
+        # Per-device partition parameters (heterogeneous-aware).  A
+        # homogeneous fleet shares one partition object, so broadcast it
+        # instead of walking 10k+ identical rows in Python.
+        parts = [system.partition_for(i) for i in range(n)]
+        p0 = parts[0] if n else None
+        if n and all(p is p0 for p in parts):
+            self.mu1 = np.full(n, p0.mu1)
+            self.mu2 = np.full(n, p0.mu2)
+            self.mu3 = np.full(n, p0.mu3)
+            self.d0 = np.full(n, p0.d0)
+            self.d1 = np.full(n, p0.d1)
+            self.d2 = np.full(n, p0.d2)
+            self.sigma1 = np.full(n, p0.sigma1)
+            self.exit2cond = np.full(
+                n,
+                (p0.sigma2 - p0.sigma1) / (1.0 - p0.sigma1)
+                if p0.sigma1 < 1.0
+                else 1.0,
+            )
+        else:
+            self.mu1 = np.array([p.mu1 for p in parts], dtype=_F8)
+            self.mu2 = np.array([p.mu2 for p in parts], dtype=_F8)
+            self.mu3 = np.array([p.mu3 for p in parts], dtype=_F8)
+            self.d0 = np.array([p.d0 for p in parts], dtype=_F8)
+            self.d1 = np.array([p.d1 for p in parts], dtype=_F8)
+            self.d2 = np.array([p.d2 for p in parts], dtype=_F8)
+            self.sigma1 = np.array([p.sigma1 for p in parts], dtype=_F8)
+            sigma2 = np.array([p.sigma2 for p in parts], dtype=_F8)
+            self.exit2cond = np.ones(n, dtype=_F8)
+            cond = self.sigma1 < 1.0
+            np.divide(
+                sigma2 - self.sigma1,
+                1.0 - self.sigma1,
+                out=self.exit2cond,
+                where=cond,
             )
         # The degradation ladder overrides the exit-coin thresholds per
         # window; keep the deployed values so recovery restores them.
@@ -455,15 +511,17 @@ class _FastEngine:
         self.rate = np.empty(self.num_servers)
         self.overhead = np.zeros(self.num_servers)
         self.extra = np.zeros(self.num_servers)
-        for i in range(n):
-            self.rate[i] = system.devices[i].flops
-            self.overhead[i] = system.devices[i].overhead
-            self.rate[n + i] = system.devices[i].link.bandwidth
-            self.extra[n + i] = system.devices[i].link.latency
-            self.rate[2 * n + i] = (
-                max(system.shares[i], 1e-9) * system.edge_flops
-            )
-            self.overhead[2 * n + i] = system.edge_overhead
+        devices = system.devices
+        links = [d.link for d in devices]
+        self.rate[:n] = [d.flops for d in devices]
+        self.overhead[:n] = [d.overhead for d in devices]
+        self.rate[n : 2 * n] = [link.bandwidth for link in links]
+        self.extra[n : 2 * n] = [link.latency for link in links]
+        self.rate[2 * n : 3 * n] = (
+            np.maximum(np.asarray(system.shares, dtype=_F8), 1e-9)
+            * system.edge_flops
+        )
+        self.overhead[2 * n : 3 * n] = system.edge_overhead
         self.rate[3 * n] = system.edge_cloud.bandwidth
         self.extra[3 * n] = system.edge_cloud.latency
         self.rate[3 * n + 1] = system.cloud_flops
@@ -488,6 +546,7 @@ class _FastEngine:
         self.level[3 * n + 2] = 5
 
         self.store = _TaskStore()
+        self._last_live = None
         self.free_at = np.full(self.num_servers, -np.inf)
         self.carried = _empty(_SUB)
         self.cal_int = _empty(_INTENT)
@@ -497,14 +556,24 @@ class _FastEngine:
     # -- boundary -----------------------------------------------------------
 
     def reconfigure(self, live) -> None:
+        # A static environment hands back the same device tuple every
+        # slot (``tuple()`` of a tuple is the identical object), so the
+        # per-device refresh — a Python loop over the whole fleet — only
+        # runs when the configs actually changed.
+        if live is self._last_live:
+            return
+        self._last_live = live
         n = self.n
         if self.sim.shared_uplink:
             self.rate[n] = live[0].link.bandwidth
             self.extra[n] = live[0].link.latency
         else:
+            rate = self.rate
+            extra = self.extra
             for i, device in enumerate(live):
-                self.rate[n + i] = device.link.bandwidth
-                self.extra[n + i] = device.link.latency
+                link = device.link
+                rate[n + i] = link.bandwidth
+                extra[n + i] = link.latency
 
     def set_mode(self, mode: int) -> None:
         """Realise a degradation-ladder rung: override the exit-coin
@@ -535,6 +604,20 @@ class _FastEngine:
         ).astype(_I8)
         occ += self.free_at >= w0
         return occ
+
+    def compact(self, stats) -> None:
+        """Streaming-mode compaction between windows: fold every task
+        that reached a terminal state into ``stats`` and drop its row,
+        remapping the surviving ids through every cross-window batch.
+        Run state afterwards covers live tasks only, so store memory
+        tracks the concurrent in-flight population instead of the
+        run-total task count."""
+        remap = self.store.fold_terminal(stats)
+        if remap is None:
+            return
+        for batch in (self.carried, self.cal_int, self.cal_rec):
+            if batch.shape[0]:
+                batch["task"] = remap[batch["task"]]
 
     # -- intent resolution (the try_again / fault-gate cascade) -------------
 
@@ -616,18 +699,33 @@ class _FastEngine:
                 give_up = exhausted & ~fb
                 retry = ~exhausted
                 if retry.any():
-                    idx = np.minimum(a, max(self.max_retries - 1, 0))
-                    delay = (
-                        self.backoff_tab[idx]
-                        if self.backoff_tab.shape[0]
-                        else np.zeros(a.shape[0])
+                    # Compiled kernel tier (None on the default NumPy
+                    # tier) — bitwise-identical arithmetic either way.
+                    kout = kernels.retry_schedule(
+                        a,
+                        t,
+                        self.store.created[task],
+                        self.backoff_tab,
+                        self.max_retries,
+                        self.deadline,
                     )
-                    when = t + delay
-                    breach = np.zeros(a.shape[0], dtype=np.bool_)
-                    if self.deadline is not None:
-                        breach = retry & (
-                            when - self.store.created[task] > self.deadline
+                    if kout is not None:
+                        when, raw_breach = kout
+                        breach = retry & raw_breach
+                    else:
+                        idx = np.minimum(a, max(self.max_retries - 1, 0))
+                        delay = (
+                            self.backoff_tab[idx]
+                            if self.backoff_tab.shape[0]
+                            else np.zeros(a.shape[0])
                         )
+                        when = t + delay
+                        breach = np.zeros(a.shape[0], dtype=np.bool_)
+                        if self.deadline is not None:
+                            breach = retry & (
+                                when - self.store.created[task]
+                                > self.deadline
+                            )
                     sched = retry & ~breach
                     if sched.any():
                         nxt = _rows(
@@ -1181,6 +1279,7 @@ def run_fast(
     num_slots: int,
     drain: bool = True,
     drain_limit_factor: float = 50.0,
+    metrics: str = "records",
     checkpoint_every: int | None = None,
     checkpoint_sink=None,
     resume_from=None,
@@ -1191,8 +1290,16 @@ def run_fast(
     store, server clocks, carried work, calibration state), so the whole
     mutable run state pickles bit-exactly and a resumed run continues
     byte-identical to an uninterrupted one.
+
+    ``metrics="streaming"`` compacts the task store after every window
+    (:meth:`_FastEngine.compact`): terminal rows fold into a
+    :class:`~repro.sim.streaming.StreamingTaskStats` aggregate and the
+    live rows slide left, so store memory tracks the in-flight
+    population, not the run total — and the final materialisation of
+    per-task records is skipped entirely.
     """
     from .events import EventSimResult
+    from .streaming import StreamingTaskStats
     from ..chaos.checkpoint import (
         should_emit,
         snapshot,
@@ -1202,7 +1309,7 @@ def run_fast(
     from ..resilience.overload import OverloadGovernor, apply_backpressure
 
     validate_hooks(checkpoint_every, checkpoint_sink)
-    fingerprint = sim._fingerprint("event-fast", num_slots)
+    fingerprint = sim._fingerprint("event-fast", num_slots, metrics)
     if resume_from is not None:
         validate_resume(resume_from, "event-fast", "state", fingerprint)
         payload = resume_from.payload()
@@ -1215,6 +1322,7 @@ def run_fast(
         fractional = payload["fractional"]
         governor = payload["governor"]
         modes = payload["modes"]
+        stats = payload.get("stats")
         start_slot = resume_from.slot
         system = sim.system
         tau = system.slot_length
@@ -1232,6 +1340,7 @@ def run_fast(
         fractional = [0.0] * n
         governor = None
         modes: list[int] = []
+        stats = StreamingTaskStats() if metrics == "streaming" else None
         if sim.overload is not None:
             governor = OverloadGovernor(sim.overload, n)
         start_slot = 0
@@ -1253,6 +1362,7 @@ def run_fast(
                         fractional=fractional,
                         governor=governor,
                         modes=modes,
+                        stats=stats,
                     ),
                 )
             )
@@ -1275,54 +1385,57 @@ def run_fast(
             ratios[:] = apply_backpressure(
                 ratios, state.queue_edge, sim.overload, governor.mode
             )
-        l_time: list[np.ndarray] = []
+        l_draws: list[np.ndarray] = []
         l_dev: list[int] = []
         l_count: list[int] = []
-        l_off: list[np.ndarray] = []
         l_shed: list[np.ndarray] = []
+        spread = sim.spread_arrivals
+        random = rng.random
         for i, proc in enumerate(sim.arrivals):
             fractional[i] += float(proc.sample(slot, rng))
             count = int(fractional[i])
             fractional[i] -= count
-            # The gate's per-device refill runs once per slot whether or
-            # not tasks arrived, mirroring the scalar boundary handler.
-            admitted = (
-                count
-                if governor is None
-                else governor.gate.admit_count(
+            if governor is not None:
+                # The gate's per-device refill runs once per slot whether
+                # or not tasks arrived, mirroring the scalar boundary
+                # handler.
+                admitted = governor.gate.admit_count(
                     i, count, backlogs[i], governor.mode
                 )
-            )
             if not count:
                 continue
-            l_shed.append(np.arange(count) >= admitted)
+            if governor is not None:
+                l_shed.append(np.arange(count) >= admitted)
             # Batched draws consume the same PCG64 doubles, in the same
             # order, as the scalar engine's per-task
             # ``uniform(0, tau)`` / ``random()`` interleaving:
             # ``uniform(0, tau)`` is ``0.0 + tau * next_double()``.
-            if sim.spread_arrivals:
-                draws = rng.random(2 * count)
-                created = w0 + draws[0::2] * tau
-                coins = draws[1::2]
-            else:
-                coins = rng.random(count)
-                created = np.full(count, w0, dtype=_F8)
-            l_time.append(created)
+            # Only the RNG call stays per-device (the stream order is
+            # the contract); the arithmetic on the draws is elementwise,
+            # so it is deferred and batched once per slot.
+            l_draws.append(random(2 * count) if spread else random(count))
             l_dev.append(i)
             l_count.append(count)
-            l_off.append(coins < ratios[i])
         total = int(sum(l_count))
         if total:
-            times = np.concatenate(l_time)
-            offloaded = np.concatenate(l_off)
+            draws = np.concatenate(l_draws)
             devices = np.repeat(
                 np.asarray(l_dev, dtype=_I8),
                 np.asarray(l_count, dtype=_I8),
             )
+            if spread:
+                times = w0 + draws[0::2] * tau
+                coins = draws[1::2]
+            else:
+                coins = draws
+                times = np.full(total, w0, dtype=_F8)
+            offloaded = coins < np.asarray(ratios, dtype=_F8)[devices]
             exit_draws = exit_rng.random(2 * total)
             tasks = eng.store.append_batch(
                 devices, times, offloaded, exit_draws[0::2], exit_draws[1::2]
             )
+            if stats is not None:
+                stats.observe_generated(total)
             if governor is not None:
                 # Shed tasks keep their rows (all RNG draws consumed, so
                 # governed and ungoverned runs replay identical streams)
@@ -1332,6 +1445,8 @@ def run_fast(
                 shed_arr = np.concatenate(l_shed)
                 if shed_arr.any():
                     eng.store.shed[tasks[shed_arr]] = True
+                    if stats is not None:
+                        stats.observe_shed(int(shed_arr.sum()))
                     keep = ~shed_arr
                     times = times[keep]
                     tasks = tasks[keep]
@@ -1355,6 +1470,8 @@ def run_fast(
             src=-1,
         )
         eng.window(w0, w1, launches)
+        if stats is not None:
+            eng.compact(stats)
 
     horizon = num_slots * tau
     if drain:
@@ -1371,6 +1488,20 @@ def run_fast(
         # exactly at the horizon, with the last window's rates.
         eng.window(horizon, horizon, _empty(_INTENT), inclusive=True)
         result_horizon = horizon
+    if stats is not None:
+        # Fold the drain window's terminals, then count the survivors —
+        # tasks still in the system at the horizon — explicitly.
+        eng.compact(stats)
+        live = eng.store.count
+        stats.observe_in_flight(
+            live, int(eng.store.retries[:live].sum())
+        )
+        return EventSimResult(
+            tasks=(),
+            horizon=result_horizon,
+            modes=tuple(modes),
+            stats=stats,
+        )
     return EventSimResult(
         tasks=tuple(eng.store.materialize()),
         horizon=result_horizon,

@@ -7,6 +7,8 @@ from typing import Sequence
 
 import numpy as np
 
+from .streaming import FluidStreamStats
+
 
 @dataclass(frozen=True)
 class SlotRecord:
@@ -55,25 +57,49 @@ class SimulationResult:
 
     The headline number is :attr:`mean_tct` — the long-run average task
     completion time the paper's P1 objective targets.
+
+    Streaming mode: a run with ``metrics="streaming"`` retains no
+    per-slot records (each carries O(devices) ratio/queue tuples) —
+    ``records`` is empty and ``stream`` holds the constant-size
+    :class:`~repro.sim.streaming.FluidStreamStats` aggregate.  The
+    headline properties keep working off exact streamed totals;
+    timeline accessors need the records and raise a loud ``ValueError``.
     """
 
     records: tuple[SlotRecord, ...]
+    #: Constant-memory aggregate when the run used
+    #: ``metrics="streaming"``; None in record mode.
+    stream: FluidStreamStats | None = None
 
     def __post_init__(self) -> None:
-        if not self.records:
+        if not self.records and self.stream is None:
             raise ValueError("a simulation must produce at least one slot")
+
+    def _require_records(self, what: str) -> None:
+        if self.stream is not None:
+            raise ValueError(
+                f"{what} requires per-slot records, but this result was "
+                'produced with metrics="streaming" (constant-memory '
+                'aggregates only) — re-run with metrics="records"'
+            )
 
     @property
     def num_slots(self) -> int:
+        if self.stream is not None:
+            return self.stream.num_slots
         return len(self.records)
 
     @property
     def total_arrivals(self) -> float:
+        if self.stream is not None:
+            return self.stream.total_arrivals
         return sum(r.arrivals for r in self.records)
 
     @property
     def total_shed(self) -> float:
         """Fluid tasks rejected by overload control across the run."""
+        if self.stream is not None:
+            return self.stream.total_shed
         return sum(r.shed for r in self.records)
 
     @property
@@ -81,11 +107,15 @@ class SimulationResult:
         """Demand before admission: ``arrivals + shed`` summed — the
         fluid half of ``generated = completed + dropped + shed +
         in-flight``."""
+        if self.stream is not None:
+            return self.stream.total_generated
         return sum(r.arrivals + r.shed for r in self.records)
 
     @property
     def mean_tct(self) -> float:
         """Arrival-weighted mean TCT across the whole run."""
+        if self.stream is not None:
+            return self.stream.mean_tct
         arrivals = self.total_arrivals
         if arrivals <= 0:
             return 0.0
@@ -93,31 +123,43 @@ class SimulationResult:
 
     @property
     def final_backlog(self) -> float:
+        if self.stream is not None:
+            return self.stream.final_backlog
         return self.records[-1].backlog
 
     @property
     def max_backlog(self) -> float:
+        if self.stream is not None:
+            return self.stream.max_backlog
         return max(r.backlog for r in self.records)
 
     def tct_timeline(self) -> np.ndarray:
         """Per-slot mean TCT — the Fig. 9 stability curves."""
+        self._require_records("tct_timeline")
         return np.array([r.mean_tct for r in self.records])
 
     def backlog_timeline(self) -> np.ndarray:
+        self._require_records("backlog_timeline")
         return np.array([r.backlog for r in self.records])
 
     def ratio_timeline(self, device: int = 0) -> np.ndarray:
+        self._require_records("ratio_timeline")
         return np.array([r.ratios[device] for r in self.records])
 
     def mode_timeline(self) -> np.ndarray:
         """Per-slot degradation-ladder rung (zeros when ungoverned)."""
+        self._require_records("mode_timeline")
         return np.array([r.mode for r in self.records])
 
     def shed_timeline(self) -> np.ndarray:
+        self._require_records("shed_timeline")
         return np.array([r.shed for r in self.records])
 
     def tct_percentile(self, q: float) -> float:
-        """Percentile of per-slot mean TCT over slots with arrivals."""
+        """Percentile of per-slot mean TCT over slots with arrivals —
+        exact in record mode, sketch-accurate in streaming mode."""
+        if self.stream is not None:
+            return self.stream.percentile(q)
         values = [r.mean_tct for r in self.records if r.arrivals > 0]
         if not values:
             return 0.0
@@ -130,7 +172,11 @@ class SimulationResult:
         half = self.num_slots // 2
         if half == 0:
             return True
-        first, last = self.records[half].backlog, self.records[-1].backlog
+        if self.stream is not None:
+            first = self.stream.half_backlog
+            last = self.stream.final_backlog
+        else:
+            first, last = self.records[half].backlog, self.records[-1].backlog
         span = self.num_slots - half
         return (last - first) / span <= tolerance_per_slot
 

@@ -93,8 +93,11 @@ class SlotSimulator:
                 f"{len(self.arrivals)} != {self.system.num_devices}"
             )
 
-    def _fingerprint(self, path_name: str, num_slots: int) -> str:
+    def _fingerprint(
+        self, path_name: str, num_slots: int, metrics: str = "records"
+    ) -> str:
         from ..chaos.checkpoint import run_fingerprint
+        from ..core.kernels import kernel_tier
 
         return run_fingerprint(
             path=path_name,
@@ -103,6 +106,8 @@ class SlotSimulator:
             slots=num_slots,
             include_tail=self.include_tail,
             overload=repr(self.overload),
+            kernels=kernel_tier(),
+            metrics=metrics,
         )
 
     def run(
@@ -110,6 +115,7 @@ class SlotSimulator:
         policy: OffloadingPolicy,
         num_slots: int,
         state: LyapunovState | None = None,
+        metrics: str = "records",
         checkpoint_every: int | None = None,
         checkpoint_sink=None,
         resume_from: "Checkpoint | None" = None,
@@ -122,6 +128,12 @@ class SlotSimulator:
             state: Starting queue state (fresh queues by default); the
                 caller keeps ownership, so warm-started continuations are
                 possible.
+            metrics: ``"records"`` (default) retains one
+                :class:`~repro.sim.metrics.SlotRecord` per slot;
+                ``"streaming"`` folds each slot into a constant-size
+                :class:`~repro.sim.streaming.FluidStreamStats` aggregate
+                instead — memory independent of horizon length, headline
+                metrics intact, timelines unavailable.
             checkpoint_every: Emit a ``"state"``-kind
                 :class:`~repro.chaos.checkpoint.Checkpoint` to
                 ``checkpoint_sink`` every this many slots (taken at the
@@ -137,16 +149,19 @@ class SlotSimulator:
         """
         if num_slots <= 0:
             raise ValueError("need a positive number of slots")
+        if metrics not in ("records", "streaming"):
+            raise ValueError(f"unknown metrics mode {metrics!r}")
         from ..chaos.checkpoint import (
             should_emit,
             snapshot,
             validate_hooks,
             validate_resume,
         )
+        from .streaming import FluidStreamStats
 
         validate_hooks(checkpoint_every, checkpoint_sink)
         path_name = "fluid-vectorized" if self.vectorized else "fluid-scalar"
-        fingerprint = self._fingerprint(path_name, num_slots)
+        fingerprint = self._fingerprint(path_name, num_slots, metrics)
         environment = self.environment
         arrivals: Sequence[ArrivalProcess] = self.arrivals
         n = self.system.num_devices
@@ -172,6 +187,7 @@ class SlotSimulator:
             policy = payload["policy"]
             environment = payload["environment"]
             arrivals = payload["arrivals"]
+            stream = payload.get("stream")
             start_slot = resume_from.slot
         else:
             rng = np.random.default_rng(self.seed)
@@ -181,7 +197,9 @@ class SlotSimulator:
             if self.overload is not None:
                 governor = OverloadGovernor(self.overload, n)
             records: list[SlotRecord] = []
+            stream = FluidStreamStats() if metrics == "streaming" else None
             start_slot = 0
+        half_slot = num_slots // 2
         # The engine is derived from the (immutable) system — rebuilt, not
         # checkpointed.
         engine = VectorizedSlotEngine(self.system) if self.vectorized else None
@@ -203,6 +221,7 @@ class SlotSimulator:
                             policy=policy,
                             environment=environment,
                             arrivals=list(arrivals),
+                            stream=stream,
                         ),
                     )
                 )
@@ -313,19 +332,30 @@ class SlotSimulator:
                 if fleet is not None:
                     fleet.queue_local[:] = state.queue_local
                     fleet.queue_edge[:] = state.queue_edge
-            records.append(
-                SlotRecord(
-                    slot=slot,
-                    arrivals=total_arrivals,
-                    total_time=total_time,
-                    ratios=tuple(ratios),
-                    queue_local=tuple(state.queue_local),
-                    queue_edge=tuple(state.queue_edge),
-                    shed=shed,
-                    mode=mode,
+            if stream is not None:
+                # Same numbers a SlotRecord would carry, folded into the
+                # constant-size aggregate instead of retained per slot.
+                backlog = float(
+                    sum(state.queue_local) + sum(state.queue_edge)
                 )
-            )
-        return SimulationResult(records=tuple(records))
+                stream.observe_slot(
+                    slot, total_arrivals, total_time, shed, backlog,
+                    mode, half_slot,
+                )
+            else:
+                records.append(
+                    SlotRecord(
+                        slot=slot,
+                        arrivals=total_arrivals,
+                        total_time=total_time,
+                        ratios=tuple(ratios),
+                        queue_local=tuple(state.queue_local),
+                        queue_edge=tuple(state.queue_edge),
+                        shed=shed,
+                        mode=mode,
+                    )
+                )
+        return SimulationResult(records=tuple(records), stream=stream)
 
     def compare(
         self, policies: Sequence[tuple[str, OffloadingPolicy]], num_slots: int

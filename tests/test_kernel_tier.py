@@ -1,0 +1,144 @@
+"""The optional compiled kernel tier: resolution, fallback, exactness.
+
+The tier machinery must behave identically whether or not ``numba`` is
+installed: resolution tests run everywhere (the ``numba`` request warns
+and degrades to NumPy when the import fails), while the differential
+suite — per-task bitwise equality of the Numba and NumPy tiers across a
+seeded fault grid — runs only where numba is importable and skips
+gracefully otherwise.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import kernels
+from repro.core.offloading import FixedRatioPolicy
+from repro.resilience.faults import (
+    FaultPlanSpec,
+    canonical_outage_plan,
+    generate_fault_plan,
+)
+from repro.resilience.recovery import RecoveryPolicy
+from repro.sim.arrivals import PoissonArrivals
+from repro.sim.events import EventSimulator
+
+from .helpers import random_fleet
+
+SLOTS = 8
+N = 3
+
+
+@pytest.fixture(autouse=True)
+def _restore_tier():
+    """Every test leaves the process-global tier as it found it."""
+    active, compiled = kernels._active, kernels._compiled
+    yield
+    kernels._active, kernels._compiled = active, compiled
+
+
+# -- tier resolution --------------------------------------------------------
+
+
+def test_default_tier_is_numpy(monkeypatch) -> None:
+    monkeypatch.delenv("REPRO_KERNELS", raising=False)
+    kernels._active = None
+    assert kernels.kernel_tier() == "numpy"
+    assert not kernels.use_numba()
+
+
+def test_env_flag_resolves_on_first_call(monkeypatch) -> None:
+    monkeypatch.setenv("REPRO_KERNELS", "auto")
+    kernels._active = None
+    expected = "numba" if kernels.numba_available() else "numpy"
+    assert kernels.kernel_tier() == expected
+
+
+def test_unknown_tier_is_a_loud_error() -> None:
+    with pytest.raises(ValueError, match="unknown kernel tier"):
+        kernels.set_kernel_tier("cuda")
+
+
+def test_set_tier_none_rereads_environment(monkeypatch) -> None:
+    monkeypatch.setenv("REPRO_KERNELS", "numpy")
+    kernels.set_kernel_tier("auto")
+    assert kernels.set_kernel_tier(None) == "numpy"
+
+
+@pytest.mark.skipif(
+    kernels.numba_available(), reason="numba installed: no fallback to test"
+)
+def test_numba_request_warns_and_falls_back() -> None:
+    with pytest.warns(RuntimeWarning, match="falling back"):
+        assert kernels.set_kernel_tier("numba") == "numpy"
+    assert not kernels.use_numba()
+
+
+def test_entry_points_decline_when_tier_inactive() -> None:
+    kernels.set_kernel_tier("numpy")
+    z = np.zeros(1)
+    assert (
+        kernels.lindley_segments(
+            np.zeros(1, dtype=np.int64), np.ones(1, dtype=np.int64),
+            z, z, np.full(1, -np.inf), z.copy(), z.copy(),
+        )
+        is False
+    )
+    assert (
+        kernels.retry_schedule(
+            np.zeros(1, dtype=np.int64), z, z, z, 1, None
+        )
+        is None
+    )
+
+
+# -- differential suite (requires numba) ------------------------------------
+
+
+def _fault_plan(kind: str, seed: int):
+    if kind == "no-faults":
+        return None
+    if kind == "outage":
+        return canonical_outage_plan(SLOTS, N, seed)
+    spec = FaultPlanSpec(
+        num_slots=SLOTS, num_devices=N, straggler_prob=0.2, drop_prob=0.02
+    )
+    return generate_fault_plan(spec, seed=seed)
+
+
+def _run(seed: int, kind: str):
+    system = random_fleet(seed, N, max_arrivals=1.0)
+    faults = _fault_plan(kind, seed)
+    return EventSimulator(
+        system,
+        [PoissonArrivals(d.mean_arrivals) for d in system.devices],
+        seed=seed,
+        faults=faults,
+        recovery=RecoveryPolicy.default() if faults is not None else None,
+    ).run(
+        FixedRatioPolicy(0.5), SLOTS, drain_limit_factor=100.0, engine="fast"
+    )
+
+
+@pytest.mark.skipif(
+    not kernels.numba_available(),
+    reason="numba not installed: compiled tier unavailable "
+    "(the NumPy tier is the behaviour under test elsewhere)",
+)
+@pytest.mark.parametrize("kind", ["no-faults", "outage", "stragglers"])
+def test_numba_tier_is_bitwise_identical(kind: str) -> None:
+    failures = []
+    for seed in range(34):
+        kernels.set_kernel_tier("numpy")
+        baseline = _run(seed, kind)
+        assert kernels.set_kernel_tier("numba") == "numba"
+        compiled = _run(seed, kind)
+        if len(baseline.tasks) != len(compiled.tasks):
+            failures.append((seed, "count"))
+            continue
+        for a, b in zip(baseline.tasks, compiled.tasks):
+            if a != b:  # frozen dataclasses: bitwise field equality
+                failures.append((seed, a.task_id))
+                break
+    assert not failures, f"{kind}: tiers diverged at {failures[:5]}"
