@@ -18,6 +18,9 @@ Commands:
   replay of violating cases (:mod:`repro.chaos`).
 * ``overload`` — replay the canonical flash crowd governed vs
   ungoverned (admission gate, backpressure, degradation ladder).
+* ``qos`` — replay the canonical mixed-QoS burst + cold failover,
+  class-aware vs uniform governance (QoS classes, model memory,
+  cold starts).
 * ``federation`` — partial-outage failover demo across edge sites.
 * ``policy list`` — enumerate the policy registry
   (:mod:`repro.policies`).
@@ -62,6 +65,7 @@ EXPERIMENTS = (
     "fig_faults",
     "fig_federation",
     "fig_overload",
+    "fig_qos",
     "fig_tournament",
     "motivation",
     "pareto",
@@ -804,6 +808,102 @@ def _cmd_overload(args: argparse.Namespace) -> int:
     return 0 if checks_ok else 1
 
 
+def _cmd_qos(args: argparse.Namespace) -> int:
+    from .experiments.fig_qos import run_fig_qos
+
+    result = run_fig_qos(
+        num_slots=args.slots,
+        seed=args.seed,
+        magnitude=args.magnitude,
+        cold_start_seconds=args.cold_start,
+    )
+    aware_gold = result.class_row("class-aware", "gold")
+    uniform_gold = result.class_row("uniform", "gold")
+    aware = result.by_scheme("class-aware")
+    uniform = result.by_scheme("uniform")
+    checks_ok = (
+        result.event_engines_identical
+        and result.fluid_paths_identical
+        and result.fluid_class_conservation
+        and aware.identity_holds
+        and uniform.identity_holds
+    )
+
+    print(
+        f"burst      : {result.magnitude:.0f}x mixed-class demand over "
+        f"slots {result.burst[0]}-{result.burst[1]}, "
+        f"{result.echo_magnitude:.0f}x echo over "
+        f"{result.echo[0]}-{result.echo[1]}, edge outage "
+        f"{result.outage[0]}-{result.outage[1]} "
+        f"({args.slots} slots, seed {args.seed})"
+    )
+    print(
+        f"class-aware: gold p99 {aware_gold.p99_tct:.2f} s "
+        f"(deadline {aware_gold.deadline:.0f} s), "
+        f"{aware_gold.shed} gold shed, fleet "
+        f"{aware.completed}/{aware.tasks} completed, max rung "
+        f"{aware.max_mode}"
+    )
+    print(
+        f"uniform    : gold p99 {uniform_gold.p99_tct:.2f} s, "
+        f"{uniform_gold.shed} gold shed, fleet "
+        f"{uniform.completed}/{uniform.tasks} completed, max rung "
+        f"{uniform.max_mode}"
+    )
+    print(
+        "headline   : gold "
+        + ("protected" if result.gold_protected else "NOT PROTECTED")
+        + " under class-aware governance; uniform baseline "
+        + (
+            "violates the gold SLO"
+            if result.uniform_gold_violated
+            else "DOES NOT violate the gold SLO"
+        )
+    )
+    print(
+        "checks     : "
+        + ("all identities hold" if checks_ok else "IDENTITY VIOLATION")
+        + " (event engines, fluid paths, per-class conservation)"
+    )
+    headline_ok = result.gold_protected and result.uniform_gold_violated
+    if args.output is not None:
+        payload = {
+            "benchmark": "qos_demo",
+            "slots": args.slots,
+            "seed": args.seed,
+            "magnitude": args.magnitude,
+            "cold_start_seconds": args.cold_start,
+            "class_aware": {
+                "gold_p99_tct_s": round(aware_gold.p99_tct, 6),
+                "gold_shed": aware_gold.shed,
+                "gold_deadline_miss_rate": round(
+                    aware_gold.deadline_miss_rate, 6
+                ),
+                "completed": aware.completed,
+                "tasks": aware.tasks,
+                "max_mode": aware.max_mode,
+            },
+            "uniform": {
+                "gold_p99_tct_s": round(uniform_gold.p99_tct, 6),
+                "gold_shed": uniform_gold.shed,
+                "gold_deadline_miss_rate": round(
+                    uniform_gold.deadline_miss_rate, 6
+                ),
+                "completed": uniform.completed,
+                "tasks": uniform.tasks,
+                "max_mode": uniform.max_mode,
+            },
+            "gold_protected": result.gold_protected,
+            "uniform_gold_violated": result.uniform_gold_violated,
+            "event_engines_identical": result.event_engines_identical,
+            "fluid_paths_identical": result.fluid_paths_identical,
+            "fluid_class_conservation": result.fluid_class_conservation,
+        }
+        Path(args.output).write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"wrote      : {args.output}")
+    return 0 if checks_ok and headline_ok else 1
+
+
 def _cmd_federation(args: argparse.Namespace) -> int:
     from .experiments.fig_federation import run_fig_federation
 
@@ -1092,6 +1192,34 @@ def build_parser() -> argparse.ArgumentParser:
         help="write a JSON summary here",
     )
     overload.set_defaults(func=_cmd_overload)
+
+    qos = sub.add_parser(
+        "qos",
+        help="replay the canonical mixed-QoS burst + cold failover, "
+        "class-aware vs uniform governance (QoS classes, model "
+        "memory, cold starts)",
+    )
+    qos.add_argument("--slots", type=int, default=160)
+    qos.add_argument("--seed", type=int, default=0)
+    qos.add_argument(
+        "--magnitude",
+        type=float,
+        default=30.0,
+        help="mixed-class burst demand multiplier (device 0 stays quiet)",
+    )
+    qos.add_argument(
+        "--cold-start",
+        type=float,
+        default=0.5,
+        help="base partition load latency in seconds",
+    )
+    qos.add_argument(
+        "--output",
+        type=Path,
+        default=None,
+        help="write a JSON summary here",
+    )
+    qos.set_defaults(func=_cmd_qos)
 
     federation = sub.add_parser(
         "federation",

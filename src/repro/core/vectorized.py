@@ -38,7 +38,7 @@ Entry points:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Callable, Sequence
 
 import numpy as np
@@ -698,6 +698,7 @@ class VectorizedSlotEngine:
         state: FleetState,
         include_tail: bool = True,
         system: EdgeSystem | None = None,
+        share_scale: "Sequence[float] | np.ndarray | None" = None,
     ) -> BatchSlotCost:
         """Eqs. 12-14 for the whole fleet at the chosen ratios.
 
@@ -709,6 +710,14 @@ class VectorizedSlotEngine:
         ``μ``/``d``/``σ`` rows, so those trigger an O(N) re-extraction
         from the live system — exactly what the scalar loop reads via
         ``live_system.partition_for(i)``.
+
+        ``share_scale`` discounts each device's container-slice share for
+        this slot (a cold model load occupying part of the slot; see
+        :meth:`repro.resilience.qos.QoSState.share_scales`).  Applied as
+        ``shares * scale`` after params resolution — elementwise, the
+        same two multiplications the scalar loop performs when it passes
+        ``shares[i] * scale[i]`` as ``slot_cost``'s explicit share — so
+        the byte-identity contract holds with cold starts active.
         """
         live = self.system if system is None else system
         if live is not self.system and (
@@ -718,6 +727,12 @@ class VectorizedSlotEngine:
             params = FleetParams.from_system(live, devices)
         else:
             params = self.params_for(devices)
+        if share_scale is not None:
+            params = replace(
+                params,
+                shares=params.shares
+                * np.asarray(share_scale, dtype=np.float64),
+            )
         return slot_cost_batch(
             params,
             live,

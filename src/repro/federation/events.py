@@ -48,6 +48,7 @@ from .topology import FederationTopology
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..resilience.overload import OverloadControl
+    from ..resilience.qos import QoSConfig
     from ..resilience.recovery import RecoveryPolicy
 
 
@@ -112,13 +113,26 @@ class FederatedEventResult:
         Streaming runs merge shard aggregates instead: sketch merging is
         pure integer bin addition, so shard-then-merge percentiles equal
         a single global sketch's, and every counter is an exact sum."""
+        names = next(
+            (r.class_names for r in self.edge_results if r.class_names), ()
+        )
         if any(r.stats is not None for r in self.edge_results):
             stats = StreamingTaskStats()
+            cstats = [StreamingTaskStats() for _ in names]
             for result in self.edge_results:
                 if result.stats is not None:
                     stats = stats.merge(result.stats)
+                if result.class_stats:
+                    cstats = [
+                        mine.merge(theirs)
+                        for mine, theirs in zip(cstats, result.class_stats)
+                    ]
             return EventSimResult(
-                tasks=(), horizon=self.horizon, stats=stats
+                tasks=(),
+                horizon=self.horizon,
+                stats=stats,
+                class_names=names,
+                class_stats=tuple(cstats) if names else None,
             )
         tasks: list[TaskRecord] = []
         for result, members in zip(self.edge_results, self.edge_members):
@@ -130,7 +144,9 @@ class FederatedEventResult:
                         task_id=len(tasks),
                     )
                 )
-        return EventSimResult(tasks=tuple(tasks), horizon=self.horizon)
+        return EventSimResult(
+            tasks=tuple(tasks), horizon=self.horizon, class_names=names
+        )
 
     # -- per-edge SLO accounting --------------------------------------------
 
@@ -179,6 +195,11 @@ class FederatedEventSimulator:
     faults: FederationFaultPlan | None = None
     recovery: "RecoveryPolicy | None" = None
     overload: "OverloadControl | None" = None
+    #: QoS classes are assigned *globally* (from the base seed over all
+    #: devices) and each shard receives its members' slice as an explicit
+    #: ``class_map`` — a device keeps its class wherever it is served,
+    #: and an E=1 federation reproduces the single-edge assignment.
+    qos: "QoSConfig | None" = None
 
     def __post_init__(self) -> None:
         if len(self.arrivals) != self.topology.num_devices:
@@ -212,6 +233,7 @@ class FederatedEventSimulator:
             faults=self.faults is not None,
             recovery=repr(self.recovery),
             overload=repr(self.overload),
+            qos=repr(self.qos),
             kernels=kernel_tier(),
             metrics=metrics,
         )
@@ -273,6 +295,13 @@ class FederatedEventSimulator:
         # Non-home members pay their host site's backhaul latency on
         # every device↔edge transfer (see EdgeSite.backhaul_latency).
         homes = self.topology.home_assignment()
+        global_classes = None
+        if self.qos is not None:
+            from ..resilience.qos import assign_classes
+
+            global_classes = assign_classes(
+                self.qos, self.topology.num_devices, self.seed
+            )
         for edge in range(start_edge, self.topology.num_edges):
             members = self.plan.member_union(edge)
             members_per_edge.append(members)
@@ -311,6 +340,14 @@ class FederatedEventSimulator:
                 if self.faults is not None
                 else None
             )
+            shard_qos = (
+                replace(
+                    self.qos,
+                    class_map=tuple(global_classes[i] for i in members),
+                )
+                if self.qos is not None
+                else None
+            )
             sim = EventSimulator(
                 system=shard_system,
                 arrivals=shard_arrivals,
@@ -321,6 +358,7 @@ class FederatedEventSimulator:
                 faults=shard_faults,
                 recovery=self.recovery if shard_faults is not None else None,
                 overload=self.overload,
+                qos=shard_qos,
             )
             results.append(
                 sim.run(

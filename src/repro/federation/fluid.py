@@ -62,6 +62,7 @@ from .topology import FederationTopology
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..resilience.overload import OverloadControl
+    from ..resilience.qos import QoSConfig
 
 
 @dataclass(frozen=True)
@@ -139,6 +140,12 @@ class FederatedSlotSimulator:
     overload: "OverloadControl | None" = None
     faults: FederationFaultPlan | None = None
     edge_down_factor: float = 0.05
+    #: QoS classes are assigned globally from the base seed (a device
+    #: keeps its class wherever it is served); each edge runs its own
+    #: warm pool and shed budget over the global device numbering, with
+    #: the edge memory budget an equal split of the fleet-wide one — so
+    #: an E=1 federation reproduces the single-edge QoS run exactly.
+    qos: "QoSConfig | None" = None
 
     def __post_init__(self) -> None:
         if len(self.arrivals) != self.topology.num_devices:
@@ -170,6 +177,7 @@ class FederatedSlotSimulator:
             vectorized=self.vectorized,
             include_tail=self.include_tail,
             overload=repr(self.overload),
+            qos=repr(self.qos),
             edge_down_factor=self.edge_down_factor,
             kernels=kernel_tier(),
             metrics=metrics,
@@ -216,6 +224,19 @@ class FederatedSlotSimulator:
         n, num_edges = topology.num_devices, topology.num_edges
         environment = self.environment
         arrivals: Sequence[ArrivalProcess] = self.arrivals
+        if self.qos is not None:
+            from ..resilience.qos import (
+                QoSFlow,
+                QoSState,
+                apply_backpressure_by_mode,
+                assign_classes,
+                clamp_queues_by_class,
+                drain_stranded_edge_by_mode,
+                partition_footprint,
+                plan_device_modes,
+            )
+        qstates = None
+        qflow = None
         if resume_from is not None:
             validate_resume(resume_from, "federated-fluid", "state", fingerprint)
             payload = resume_from.payload()
@@ -231,6 +252,8 @@ class FederatedSlotSimulator:
             policy = payload["policy"]
             environment = payload["environment"]
             arrivals = payload["arrivals"]
+            qstates = payload.get("qos")
+            qflow = payload.get("flow")
             start_slot = resume_from.slot
         else:
             rng = np.random.default_rng(self.seed)
@@ -256,6 +279,38 @@ class FederatedSlotSimulator:
             else:
                 global_stream = None
                 edge_streams = None
+            if self.qos is not None:
+                # One warm pool + shed budget per edge over the *global*
+                # device numbering (residency survives migration and
+                # return); the edge budget is an equal split of the
+                # fleet-wide one, so E=1 collapses to the single-edge
+                # default.  Classes come from the base seed; per-edge
+                # load jitter follows the shard seed (edge 0 == base).
+                global_classes = assign_classes(self.qos, n, self.seed)
+                shared_cfg = replace(
+                    self.qos, class_map=tuple(global_classes)
+                )
+                footprints = [
+                    partition_footprint(
+                        topology.device_partitions[i]
+                        if topology.device_partitions
+                        else topology.partition
+                    )
+                    for i in range(n)
+                ]
+                fleet_budget = self.qos.memory_fraction * sum(footprints)
+                qstates = [
+                    QoSState(
+                        shared_cfg,
+                        None,
+                        topology.shard_seed(self.seed, e),
+                        num_devices=n,
+                        footprints=footprints,
+                        budget=fleet_budget / num_edges,
+                    )
+                    for e in range(num_edges)
+                ]
+                qflow = QoSFlow(len(self.qos.classes))
             start_slot = 0
         # Shard systems (and vectorized engines) are cached per member
         # set — they only change at assignment-epoch boundaries, and are
@@ -264,6 +319,8 @@ class FederatedSlotSimulator:
             tuple[int, tuple[int, ...]],
             tuple[EdgeSystem, VectorizedSlotEngine | None],
         ] = {}
+        class_of = qstates[0].class_of if qstates is not None else None
+        tau = topology.slot_length
         # A FencedController needs the true slot index: the coordinator
         # consults the policy once per edge, not once per slot.
         begin_slot = getattr(policy, "begin_slot", None)
@@ -288,6 +345,8 @@ class FederatedSlotSimulator:
                             policy=policy,
                             environment=environment,
                             arrivals=list(arrivals),
+                            qos=qstates,
+                            flow=qflow,
                         ),
                     )
                 )
@@ -300,6 +359,10 @@ class FederatedSlotSimulator:
             ]
             modes = [0] * num_edges
             backlogs: list[float] = []
+            # Expected arrivals are deterministic (no RNG draw), so the
+            # per-edge QoS plans can read them before sampling without
+            # perturbing the arrival/environment stream.
+            expected = [proc.mean(slot) for proc in arrivals]
             if gate is not None:
                 backlogs = [
                     state.queue_local[i] + state.queue_edge[i]
@@ -316,19 +379,64 @@ class FederatedSlotSimulator:
                     modes[e] = ladders[e].observe(
                         slot, [backlogs[i] for i in members]
                     )
+            device_mode_of = None
+            scales_global = None
+            if qstates is not None:
+                device_mode_of = [0] * n
+                scales_global = [1.0] * n
+                w0 = slot * tau
+                for e in range(num_edges):
+                    members = member_lists[e]
+                    # Non-members carry zero expected demand in this
+                    # edge's plan — they neither request the warm pool
+                    # nor charge the shed budget here.
+                    masked = [
+                        expected[i] if row[i] == e else 0.0 for i in range(n)
+                    ]
+                    plan_e = plan_device_modes(
+                        qstates[e], n, modes[e], masked
+                    )
+                    if self.faults is not None and self.faults.edge_down_at(
+                        slot, e
+                    ):
+                        # The outage drops every resident partition: the
+                        # next request per device serves cold.
+                        qstates[e].flush()
+                        holds = [w0] * n
+                    else:
+                        requested = qstates[e].requested_mask(masked, plan_e)
+                        holds = qstates[e].on_slot(slot, w0, requested)
+                    sc = qstates[e].share_scales(holds, w0, tau)
+                    for i in members:
+                        device_mode_of[i] = plan_e[i]
+                        scales_global[i] = sc[i]
             live_devices = environment.devices_at(
                 slot, topology.devices, rng
             )
-            expected = [proc.mean(slot) for proc in arrivals]
             realised = [proc.sample(slot, rng) for proc in arrivals]
+            if qflow is not None:
+                for i in range(n):
+                    qflow.generated[class_of[i]] += realised[i]
             edge_shed = [0.0] * num_edges
             if gate is not None:
                 admitted = []
                 for i in range(n):
-                    a = gate.admit(i, realised[i], backlogs[i], modes[row[i]])
+                    a = gate.admit(
+                        i,
+                        realised[i],
+                        backlogs[i],
+                        modes[row[i]]
+                        if device_mode_of is None
+                        else device_mode_of[i],
+                    )
                     edge_shed[row[i]] += realised[i] - a
+                    if qflow is not None:
+                        qflow.shed[class_of[i]] += realised[i] - a
                     admitted.append(a)
                 realised = admitted
+            if qflow is not None:
+                for i in range(n):
+                    qflow.admitted[class_of[i]] += realised[i]
 
             ratios_global = [0.0] * n
             edge_time = [0.0] * num_edges
@@ -337,8 +445,13 @@ class FederatedSlotSimulator:
                 members = member_lists[e]
                 if not members:
                     continue
+                member_modes = (
+                    [device_mode_of[i] for i in members]
+                    if device_mode_of is not None
+                    else None
+                )
                 live_shard = self._live_shard(
-                    shard_cache, e, members, slot, modes[e]
+                    shard_cache, e, members, slot, modes[e], member_modes
                 )
                 engine = None
                 if self.vectorized:
@@ -354,14 +467,22 @@ class FederatedSlotSimulator:
                     [live_devices[i] for i in members],
                 )
                 if gate is not None:
-                    from ..resilience.overload import apply_backpressure
+                    if member_modes is not None:
+                        ratios = apply_backpressure_by_mode(
+                            ratios,
+                            sub_state.queue_edge,
+                            self.overload,
+                            member_modes,
+                        )
+                    else:
+                        from ..resilience.overload import apply_backpressure
 
-                    ratios = apply_backpressure(
-                        ratios,
-                        sub_state.queue_edge,
-                        self.overload,
-                        modes[e],
-                    )
+                        ratios = apply_backpressure(
+                            ratios,
+                            sub_state.queue_edge,
+                            self.overload,
+                            modes[e],
+                        )
                 if engine is not None:
                     shard_state = fleet.shard(members)
                     cost = engine.slot_costs(
@@ -371,16 +492,28 @@ class FederatedSlotSimulator:
                         shard_state,
                         include_tail=self.include_tail,
                         system=live_shard,
+                        share_scale=(
+                            [scales_global[i] for i in members]
+                            if scales_global is not None
+                            else None
+                        ),
                     )
                     # Left-to-right accumulation mirrors the scalar loop
                     # (see SlotSimulator) — byte-identical paths.
                     edge_time[e] = float(sum(cost.total_time.tolist(), 0.0))
                     edge_arrivals[e] = float(sum(cost.arrivals.tolist(), 0.0))
+                    if qflow is not None:
+                        times = cost.total_time.tolist()
+                        for j, i in enumerate(members):
+                            qflow.time[class_of[i]] += times[j]
                     shard_state.update(cost)
                     fleet.absorb(members, shard_state)
                     fleet.sync_to(state)
                 else:
                     for j, i in enumerate(members):
+                        share = live_shard.shares[j]
+                        if scales_global is not None:
+                            share = share * scales_global[i]
                         cost = slot_cost(
                             live_devices[i],
                             live_shard,
@@ -388,12 +521,14 @@ class FederatedSlotSimulator:
                             realised[i],
                             state.queue_local[i],
                             state.queue_edge[i],
-                            live_shard.shares[j],
+                            share,
                             include_tail=self.include_tail,
                             partition=live_shard.partition_for(j),
                         )
                         edge_time[e] += cost.total_time
                         edge_arrivals[e] += realised[i]
+                        if qflow is not None:
+                            qflow.time[class_of[i]] += cost.total_time
                         state.update(i, cost)
                 for j, i in enumerate(members):
                     ratios_global[i] = float(ratios[j])
@@ -408,38 +543,67 @@ class FederatedSlotSimulator:
                     members = member_lists[e]
                     if not members:
                         continue
-                    live_shard = self._live_shard(
-                        shard_cache, e, members, slot, modes[e]
+                    member_modes = (
+                        [device_mode_of[i] for i in members]
+                        if device_mode_of is not None
+                        else None
                     )
+                    live_shard = self._live_shard(
+                        shard_cache, e, members, slot, modes[e], member_modes
+                    )
+                    eff_shares = [
+                        live_shard.shares[j]
+                        if scales_global is None
+                        else live_shard.shares[j] * scales_global[i]
+                        for j, i in enumerate(members)
+                    ]
                     idle_service = [
                         live_shard.slot_length
                         / (
                             live_shard.partition_for(j).mu1
-                            / (live_shard.shares[j] * live_shard.edge_flops)
+                            / (eff_shares[j] * live_shard.edge_flops)
                             + live_shard.edge_overhead
                         )
-                        if live_shard.shares[j] > 0
+                        if eff_shares[j] > 0
                         else 0.0
                         for j in range(len(members))
                     ]
                     member_edge = [state.queue_edge[i] for i in members]
-                    drain_stranded_edge(
-                        member_edge,
-                        [ratios_global[i] for i in members],
-                        idle_service,
-                        self.overload.queue_high,
-                        modes[e],
-                    )
+                    if member_modes is not None:
+                        drain_stranded_edge_by_mode(
+                            member_edge,
+                            [ratios_global[i] for i in members],
+                            idle_service,
+                            self.overload.queue_high,
+                            member_modes,
+                        )
+                    else:
+                        drain_stranded_edge(
+                            member_edge,
+                            [ratios_global[i] for i in members],
+                            idle_service,
+                            self.overload.queue_high,
+                            modes[e],
+                        )
                     for j, i in enumerate(members):
                         state.queue_edge[i] = member_edge[j]
                     if self.overload.queue_capacity is not None:
                         member_local = [state.queue_local[i] for i in members]
                         member_edge = [state.queue_edge[i] for i in members]
-                        edge_shed[e] += clamp_queues(
-                            member_local,
-                            member_edge,
-                            self.overload.queue_capacity,
-                        )
+                        if qflow is not None:
+                            edge_shed[e] += clamp_queues_by_class(
+                                member_local,
+                                member_edge,
+                                self.overload.queue_capacity,
+                                [class_of[i] for i in members],
+                                qflow,
+                            )
+                        else:
+                            edge_shed[e] += clamp_queues(
+                                member_local,
+                                member_edge,
+                                self.overload.queue_capacity,
+                            )
                         for j, i in enumerate(members):
                             state.queue_local[i] = member_local[j]
                             state.queue_edge[i] = member_edge[j]
@@ -513,7 +677,12 @@ class FederatedSlotSimulator:
                     )
         return FederatedFluidResult(
             global_result=SimulationResult(
-                records=tuple(global_records), stream=global_stream
+                records=tuple(global_records),
+                stream=global_stream,
+                class_names=(
+                    qstates[0].class_names if qstates is not None else ()
+                ),
+                class_flow=qflow,
             ),
             edge_records=tuple(tuple(r) for r in edge_records),
             plan=plan,
@@ -529,11 +698,14 @@ class FederatedSlotSimulator:
         members: list[int],
         slot: int,
         mode: int,
+        member_modes: "list[int] | None" = None,
     ) -> EdgeSystem:
         """The shard system in effect this slot: the cached base shard,
         capacity-collapsed during an outage, then degraded to the
         ladder rung — the same order the single-edge simulator applies
-        its trace override and governor rung."""
+        its trace override and governor rung.  With QoS planning active
+        ``member_modes`` (the per-member rung vector) supersedes the
+        uniform ladder rung, exactly as in the single-edge simulator."""
         key = (edge, tuple(members))
         if key not in cache:
             system = self.topology.build_shard(edge, members)
@@ -544,7 +716,11 @@ class FederatedSlotSimulator:
             live = replace(
                 live, edge_flops=live.edge_flops * self.edge_down_factor
             )
-        if mode != 0:
+        if member_modes is not None:
+            from ..resilience.qos import degrade_system_by_modes
+
+            live = degrade_system_by_modes(live, member_modes)
+        elif mode != 0:
             from ..resilience.overload import degrade_system
 
             live = degrade_system(live, mode)

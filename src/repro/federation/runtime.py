@@ -29,6 +29,7 @@ from .topology import FederationTopology
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..resilience.overload import OverloadControl
+    from ..resilience.qos import QoSConfig
     from ..resilience.recovery import RecoveryPolicy
 
 
@@ -84,6 +85,32 @@ class FederatedRuntimeReport:
                 return False
         return True
 
+    @property
+    def class_names(self) -> tuple[str, ...]:
+        """The QoS class names, when the run carried a QoS config."""
+        return next(
+            (r.class_names for r in self.edge_reports if r.class_names), ()
+        )
+
+    def class_counts(self) -> dict[str, dict[str, int]]:
+        """Global per-class task counts: the per-edge breakdowns summed.
+        Classes are assigned over global device ids, so every edge
+        reports against the same class vocabulary."""
+        names = self.class_names
+        if not names:
+            raise ValueError(
+                "per-class accounting needs qos=QoSConfig(...) on run()"
+            )
+        totals: dict[str, dict[str, int]] = {}
+        for report in self.edge_reports:
+            if not report.class_names:
+                continue
+            for name, row in report.class_counts().items():
+                bucket = totals.setdefault(name, {})
+                for key, value in row.items():
+                    bucket[key] = bucket.get(key, 0) + value
+        return totals
+
 
 class FederatedRuntime:
     """Deploy a federation on live threads, one runtime per edge.
@@ -129,8 +156,16 @@ class FederatedRuntime:
         faults: FederationFaultPlan | None = None,
         recovery: "RecoveryPolicy | None" = None,
         overload: "OverloadControl | None" = None,
+        qos: "QoSConfig | None" = None,
     ) -> FederatedRuntimeReport:
-        """Run every shard live, sequentially, and collect the reports."""
+        """Run every shard live, sequentially, and collect the reports.
+
+        ``qos`` assigns classes over *global* device ids with the base
+        seed (shard membership does not reshuffle anyone's class), then
+        hands each shard the slice it serves via an explicit
+        ``class_map`` — the same convention as the federated event and
+        fluid wrappers.
+        """
         if len(arrivals) != self.topology.num_devices:
             raise ValueError("need one arrival process per device")
         if num_slots > self.plan.num_slots:
@@ -140,6 +175,15 @@ class FederatedRuntime:
             )
         if faults is not None and faults.num_edges != self.topology.num_edges:
             raise ValueError("fault plan and topology disagree on edge count")
+        global_classes: list[int] | None = None
+        if qos is not None:
+            from dataclasses import replace
+
+            from ..resilience.qos import assign_classes
+
+            global_classes = assign_classes(
+                qos, self.topology.num_devices, self.seed
+            )
         reports: list[RuntimeReport] = []
         members_per_edge: list[tuple[int, ...]] = []
         for edge in range(self.topology.num_edges):
@@ -160,6 +204,12 @@ class FederatedRuntime:
             shard_faults = (
                 faults.shard_plan(edge, members) if faults is not None else None
             )
+            shard_qos = None
+            if qos is not None and global_classes is not None:
+                shard_qos = replace(
+                    qos,
+                    class_map=tuple(global_classes[i] for i in members),
+                )
             runtime = LeimeRuntime(
                 shard_system,
                 copy.deepcopy(self.policy),
@@ -177,6 +227,7 @@ class FederatedRuntime:
                         faults=shard_faults,
                         recovery=recovery if shard_faults is not None else None,
                         overload=overload,
+                        qos=shard_qos,
                     )
                 )
             finally:

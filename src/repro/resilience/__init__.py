@@ -19,7 +19,12 @@ This package makes those failures first-class and replayable:
 * :mod:`~repro.resilience.overload` — admission control
   (:class:`AdmissionGate`), backpressure, and the multi-exit degradation
   ladder (:class:`OverloadGovernor`), keeping every execution path
-  inside its stability region under flash crowds.
+  inside its stability region under flash crowds;
+* :mod:`~repro.resilience.qos` — QoS classes (:class:`QoSConfig`),
+  the model-memory warm pool with seeded cold starts
+  (:class:`QoSState`), and class-/cost-aware degradation planning
+  (:func:`plan_device_modes`), so gold traffic keeps its deadline while
+  batch absorbs the shedding.
 
 The same plan drives the event simulator (``EventSimulator(faults=...)``)
 and the live runtime (``LeimeRuntime.run(faults=...)``), so a chaos
@@ -56,6 +61,23 @@ from .overload import (
     degraded_exit_params,
     drain_stranded_edge,
 )
+from .qos import (
+    DEFAULT_CLASSES,
+    QoSClass,
+    QoSConfig,
+    QoSFlow,
+    QoSState,
+    apply_backpressure_by_mode,
+    assign_classes,
+    clamp_queues_by_class,
+    class_counts,
+    class_identity_gaps,
+    class_summary,
+    degrade_system_by_modes,
+    drain_stranded_edge_by_mode,
+    partition_footprint,
+    plan_device_modes,
+)
 from .recovery import RecoveryPolicy, ResilientPolicy
 from .slo import slo_summary, time_to_recovery
 
@@ -67,25 +89,40 @@ __all__ = [
     "MODE_SECOND_EXIT",
     "MODE_SHED",
     "AdmissionGate",
+    "DEFAULT_CLASSES",
     "FaultPlan",
     "FaultPlanError",
     "FaultPlanSpec",
     "FaultyEnvironment",
     "OverloadControl",
     "OverloadGovernor",
+    "QoSClass",
+    "QoSConfig",
+    "QoSFlow",
+    "QoSState",
     "RecoveryPolicy",
     "ResilientPolicy",
     "apply_backpressure",
+    "apply_backpressure_by_mode",
+    "assign_classes",
     "attach_faults",
     "canonical_outage_plan",
     "clamp_queues",
+    "clamp_queues_by_class",
+    "class_counts",
+    "class_identity_gaps",
+    "class_summary",
     "degrade_partition",
     "degrade_system",
+    "degrade_system_by_modes",
     "degraded_exit_params",
     "drain_stranded_edge",
+    "drain_stranded_edge_by_mode",
     "extract_faults",
     "generate_fault_plan",
     "load_fault_plan",
+    "partition_footprint",
+    "plan_device_modes",
     "plans_equal",
     "save_fault_plan",
     "slo_summary",

@@ -63,12 +63,14 @@ class RuntimeNode:
         self._stop = threading.Event()
         self.jobs_done = 0
         self.jobs_rejected = 0
+        self._holds_pending = 0
         self._thread.start()
 
     @property
     def backlog(self) -> int:
-        """Jobs waiting in the queue (approximate, by nature)."""
-        return self._queue.qsize()
+        """Jobs waiting in the queue (approximate, by nature).  Queued
+        cold-start holds are excluded — a load is not admitted work."""
+        return max(self._queue.qsize() - self._holds_pending, 0)
 
     def submit(self, demand: float, on_done: Callable[[float], None]) -> bool:
         """Enqueue a job; ``on_done(finish_virtual_time)`` runs on the
@@ -77,11 +79,24 @@ class RuntimeNode:
         rejected job's fate, exactly like a full ``queue.Queue``."""
         if demand < 0:
             raise ValueError("demand must be non-negative")
-        if self.capacity is not None and self._queue.qsize() >= self.capacity:
+        if self.capacity is not None and self.backlog >= self.capacity:
             self.jobs_rejected += 1
             return False
         self._queue.put((demand, on_done))
         return True
+
+    def hold(self, duration: float) -> None:
+        """Enqueue a cold-start hold: the worker sleeps ``duration``
+        virtual seconds before serving anything queued behind it — the
+        runtime realisation of a model load (see
+        :mod:`repro.resilience.qos`).  The hold is a sentinel job: it
+        bypasses the capacity bound (a load is not admitted work, and a
+        full queue must not skip it) and counts toward neither
+        ``jobs_done`` nor the backlog a monitoring agent would act on."""
+        if duration <= 0:
+            return
+        self._holds_pending += 1
+        self._queue.put((-float(duration), None))
 
     def _service_time(self, demand: float) -> float:
         return demand / self.flops + self.overhead
@@ -91,6 +106,11 @@ class RuntimeNode:
             try:
                 demand, on_done = self._queue.get(timeout=0.05)
             except queue.Empty:
+                continue
+            if on_done is None:
+                # Cold-start hold sentinel: sleep the load, serve nothing.
+                self._holds_pending = max(self._holds_pending - 1, 0)
+                self._clock.sleep(-demand)
                 continue
             self._clock.sleep(self._service_time(demand))
             self.jobs_done += 1

@@ -33,6 +33,7 @@ from .node import RuntimeLink, RuntimeNode
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..resilience.faults import FaultPlan
     from ..resilience.overload import OverloadControl, OverloadGovernor
+    from ..resilience.qos import QoSConfig
     from ..resilience.recovery import RecoveryPolicy
 
 
@@ -57,6 +58,52 @@ class RuntimeReport:
     #: Constant-memory aggregate when the run used
     #: ``metrics="streaming"``; None in record mode.
     stats: StreamingTaskStats | None = None
+    #: QoS class names, in config order, when the run carried a
+    #: :class:`~repro.resilience.qos.QoSConfig`; empty otherwise.
+    class_names: tuple[str, ...] = ()
+    #: Per-class streaming aggregates (streaming mode with QoS);
+    #: record-mode reports derive class views from task ``qos`` tags.
+    class_stats: tuple[StreamingTaskStats, ...] = ()
+
+    def _require_qos(self, what: str) -> None:
+        if not self.class_names:
+            raise ValueError(
+                f"{what} requires a QoS-configured run — pass qos="
+                "QoSConfig(...) to run()"
+            )
+
+    def class_counts(self) -> dict[str, dict[str, int]]:
+        """Exact per-class SLO counters; see
+        :func:`repro.resilience.qos.class_counts`."""
+        from ..resilience.qos import class_counts
+
+        self._require_qos("class_counts")
+        return class_counts(
+            self.class_names, self.tasks, self.class_stats or None
+        )
+
+    def class_summary(
+        self, deadlines: dict[str, float] | None = None
+    ) -> dict[str, dict]:
+        """Per-class SLO summary (NaN sentinels for empty classes); see
+        :func:`repro.resilience.qos.class_summary`."""
+        from ..resilience.qos import class_summary
+
+        self._require_qos("class_summary")
+        return class_summary(
+            self.class_names, self.tasks, self.class_stats or None, deadlines
+        )
+
+    def class_identity_gaps(self) -> dict[str, int]:
+        """Per-class conservation gaps — all zero when the per-class
+        identity holds; see
+        :func:`repro.resilience.qos.class_identity_gaps`."""
+        from ..resilience.qos import class_identity_gaps
+
+        self._require_qos("class_identity_gaps")
+        return class_identity_gaps(
+            self.class_names, self.tasks, self.class_stats or None
+        )
 
     def _require_records(self, what: str) -> None:
         if self.stats is not None:
@@ -280,6 +327,10 @@ class LeimeRuntime:
         self._faults: "FaultPlan | None" = None
         self._recovery: "RecoveryPolicy | None" = None
         self._live_slot = 0
+        # Streaming-mode per-class aggregates and the device→class map
+        # (set for the duration of a QoS-configured run).
+        self._cstats: list[StreamingTaskStats] | None = None
+        self._class_of: list[int] | None = None
 
     # -- randomness (two streams: controller vs worker threads) -------------
 
@@ -304,6 +355,12 @@ class LeimeRuntime:
                 self._stats.observe_completed(
                     time - task.created, tier, task.offloaded, task.retries
                 )
+                if self._cstats is not None:
+                    self._cstats[
+                        self._class_of[task.device]
+                    ].observe_completed(
+                        time - task.created, tier, task.offloaded, task.retries
+                    )
                 self._live.pop(task.task_id, None)
             self._outstanding -= 1
             if self._outstanding == 0:
@@ -319,6 +376,10 @@ class LeimeRuntime:
         with self._tasks_lock:
             if self._stats is not None:
                 self._stats.observe_dropped(task.retries)
+                if self._cstats is not None:
+                    self._cstats[
+                        self._class_of[task.device]
+                    ].observe_dropped(task.retries)
                 self._live.pop(task.task_id, None)
             self._outstanding -= 1
             if self._outstanding == 0:
@@ -526,7 +587,8 @@ class LeimeRuntime:
     # -- the controller loop ---------------------------------------------------
 
     def _run_fingerprint(
-        self, num_slots, faults, recovery, overload, metrics="records"
+        self, num_slots, faults, recovery, overload, metrics="records",
+        qos=None,
     ) -> str:
         """Digest of a live run's configuration for checkpoint validation."""
         from ..chaos.checkpoint import run_fingerprint
@@ -542,6 +604,7 @@ class LeimeRuntime:
             # A pre-built governor's repr drags in live objects; the
             # frozen control config is the stable part.
             overload=repr(getattr(overload, "control", overload)),
+            qos=repr(qos),
             kernels=kernel_tier(),
             metrics=metrics,
         )
@@ -555,6 +618,7 @@ class LeimeRuntime:
         faults: "FaultPlan | None" = None,
         recovery: "RecoveryPolicy | None" = None,
         overload: "OverloadControl | OverloadGovernor | None" = None,
+        qos: "QoSConfig | None" = None,
         metrics: str = "records",
         checkpoint_every: int | None = None,
         checkpoint_sink=None,
@@ -605,6 +669,17 @@ class LeimeRuntime:
                 backpressure clamps the offloading ratios, and ladder
                 rung changes hot-swap the deployed partition via
                 :meth:`apply_partition`.
+            qos: A :class:`~repro.resilience.qos.QoSConfig` enabling
+                class-aware serving: per-device classes (seeded
+                assignment — tasks carry their class name), per-class
+                ladder rungs deployed as per-device partitions each
+                slot, budgeted utility-per-cost shedding, and the
+                warm-pool/cold-start model — a cold model load enqueues
+                a hold sentinel on the device's edge slice
+                (:meth:`~repro.runtime.node.RuntimeNode.hold`), so work
+                behind it waits out the load.  The QoS control plane
+                draws nothing from the control RNG, so attaching it
+                leaves arrival draws and offload coins unchanged.
             checkpoint_every: Emit a ``"replay"``-kind checkpoint to
                 ``checkpoint_sink`` at the top of every such slot.  Live
                 worker threads cannot be snapshotted, so the runtime's
@@ -633,7 +708,7 @@ class LeimeRuntime:
 
         validate_hooks(checkpoint_every, checkpoint_sink)
         fingerprint = self._run_fingerprint(
-            num_slots, faults, recovery, overload, metrics
+            num_slots, faults, recovery, overload, metrics, qos
         )
         if resume_from is not None:
             validate_resume(resume_from, "runtime", "replay", fingerprint)
@@ -645,6 +720,25 @@ class LeimeRuntime:
                     )
         if metrics == "streaming":
             self._stats = StreamingTaskStats()
+        qstate = None
+        class_name_of: list[str] | None = None
+        if qos is not None:
+            from ..resilience.qos import (
+                QoSState,
+                apply_backpressure_by_mode,
+                degrade_system_by_modes,
+                plan_device_modes,
+            )
+
+            qstate = QoSState(qos, self.system, self.seed)
+            self._class_of = list(qstate.class_of)
+            class_name_of = [
+                qstate.class_names[c] for c in qstate.class_of
+            ]
+            if metrics == "streaming":
+                self._cstats = [
+                    StreamingTaskStats() for _ in qstate.class_names
+                ]
         policy = self.policy
         if faults is not None:
             if faults.num_devices != self.system.num_devices:
@@ -689,6 +783,8 @@ class LeimeRuntime:
         state = LyapunovState.zeros(n)
         tau = self.system.slot_length
         fractional = [0.0] * n
+        pristine_system = self.system
+        device_modes: list[int] | None = None
         for slot in range(num_slots):
             self._live_slot = slot
             if should_emit(checkpoint_every, slot):
@@ -709,11 +805,43 @@ class LeimeRuntime:
                 # the policy reads it.
                 governor.observe(slot, backlogs)
             expected = [proc.mean(slot) for proc in arrivals]
+            if qstate is not None:
+                device_modes = plan_device_modes(
+                    qstate,
+                    n,
+                    governor.mode if governor is not None else 0,
+                    expected,
+                )
+                # Per-class rungs deploy as per-device partitions each
+                # slot, re-derived from the run-start deployment — this
+                # supersedes the governor's global hot-swap (and restores
+                # full service per device the moment its rung clears).
+                self.system = degrade_system_by_modes(
+                    pristine_system, device_modes
+                )
+                if faults is not None and faults.edge_down_at(slot):
+                    # An edge outage drops every resident partition: the
+                    # next request per slice serves cold.
+                    qstate.flush()
+                else:
+                    w0 = self.clock.now()
+                    requested = qstate.requested_mask(expected, device_modes)
+                    holds = qstate.on_slot(slot, w0, requested)
+                    for i in range(n):
+                        if holds[i] > w0:
+                            self.edge_slices[i].hold(holds[i] - w0)
             ratios = policy.decide(self.system, state, expected)
             if governor is not None:
-                ratios = apply_backpressure(
-                    ratios, state.queue_edge, governor.control, governor.mode
-                )
+                if device_modes is not None:
+                    ratios = apply_backpressure_by_mode(
+                        ratios, state.queue_edge, governor.control,
+                        device_modes,
+                    )
+                else:
+                    ratios = apply_backpressure(
+                        ratios, state.queue_edge, governor.control,
+                        governor.mode,
+                    )
             for i, proc in enumerate(arrivals):
                 with self._control_lock:
                     drawn = float(proc.sample(slot, self._control_rng))
@@ -724,7 +852,12 @@ class LeimeRuntime:
                     count
                     if governor is None
                     else governor.gate.admit_count(
-                        i, count, backlogs[i], governor.mode
+                        i,
+                        count,
+                        backlogs[i],
+                        governor.mode
+                        if device_modes is None
+                        else device_modes[i],
                     )
                 )
                 for k in range(count):
@@ -734,11 +867,19 @@ class LeimeRuntime:
                         created=self.clock.now(),
                         offloaded=self._control_random() < ratios[i],
                         shed=k >= admitted,
+                        qos=class_name_of[i]
+                        if class_name_of is not None
+                        else "",
                     )
                     self._task_counter += 1
                     with self._tasks_lock:
                         if self._stats is not None:
                             self._stats.observe_generated()
+                            if self._cstats is not None:
+                                crow = self._cstats[self._class_of[i]]
+                                crow.observe_generated()
+                                if task.shed:
+                                    crow.observe_shed()
                             if task.shed:
                                 self._stats.observe_shed()
                             else:
@@ -760,6 +901,7 @@ class LeimeRuntime:
             nothing_pending = self._outstanding == 0
         if not nothing_pending:
             self._done.wait(timeout=drain_timeout)
+        names = qstate.class_names if qstate is not None else ()
         if self._stats is not None:
             with self._tasks_lock:
                 # Tasks that beat the drain timeout are in flight when
@@ -767,15 +909,27 @@ class LeimeRuntime:
                 # lock terminal folds take, so a racing finish cannot be
                 # double-counted.
                 stats = self._stats
+                cstats = self._cstats
                 for task in self._live.values():
                     stats.observe_in_flight(1, task.retries)
+                    if cstats is not None:
+                        cstats[self._class_of[task.device]].observe_in_flight(
+                            1, task.retries
+                        )
                 self._live.clear()
                 self._stats = None
+                self._cstats = None
             return RuntimeReport(
-                tasks=(), virtual_duration=self.clock.now(), stats=stats
+                tasks=(),
+                virtual_duration=self.clock.now(),
+                stats=stats,
+                class_names=names,
+                class_stats=tuple(cstats) if cstats is not None else (),
             )
         return RuntimeReport(
-            tasks=tuple(self._tasks), virtual_duration=self.clock.now()
+            tasks=tuple(self._tasks),
+            virtual_duration=self.clock.now(),
+            class_names=names,
         )
 
     def simulate_offline(
@@ -784,6 +938,7 @@ class LeimeRuntime:
         num_slots: int,
         faults: "FaultPlan | None" = None,
         recovery: "RecoveryPolicy | None" = None,
+        qos: "QoSConfig | None" = None,
         engine: str = "fast",
         drain_limit_factor: float = 50.0,
     ):
@@ -810,6 +965,7 @@ class LeimeRuntime:
             seed=self.seed,
             faults=faults,
             recovery=recovery,
+            qos=qos,
         ).run(
             self.policy,
             num_slots,

@@ -66,6 +66,7 @@ from .tasks import TaskRecord
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..resilience.faults import FaultPlan
     from ..resilience.overload import OverloadControl
+    from ..resilience.qos import QoSConfig
     from ..resilience.recovery import RecoveryPolicy
 
 
@@ -153,6 +154,14 @@ class EventSimResult:
     #: Constant-memory aggregate when the run used
     #: ``metrics="streaming"``; None in record mode.
     stats: StreamingTaskStats | None = None
+    #: QoS class names when the run carried a
+    #: :class:`~repro.resilience.qos.QoSConfig` (empty otherwise); the
+    #: order keys ``class_stats`` and the per-class accessors.
+    class_names: tuple[str, ...] = ()
+    #: Per-class streaming aggregates (one per ``class_names`` entry)
+    #: when a QoS run used ``metrics="streaming"``; None in record mode
+    #: (task records carry their class in ``TaskRecord.qos``).
+    class_stats: tuple[StreamingTaskStats, ...] | None = None
 
     def _require_records(self, what: str) -> None:
         if self.stats is not None:
@@ -336,6 +345,49 @@ class EventSimResult:
         hits = int(np.searchsorted(self._sorted_tcts, deadline, side="right"))
         return hits / total
 
+    # -- per-class accounting (QoS runs) ------------------------------------
+
+    def _require_qos(self, what: str) -> None:
+        if not self.class_names:
+            raise ValueError(
+                f"{what} needs per-class accounting — run with "
+                "qos=QoSConfig(...)"
+            )
+
+    def class_counts(self) -> dict[str, dict[str, int]]:
+        """Exact per-class SLO counters (``generated`` / ``completed`` /
+        ``dropped`` / ``shed`` / ``in_flight`` / ``retries``), keyed by
+        class name.  Raises when the run carried no QoS config."""
+        from ..resilience.qos import class_counts
+
+        self._require_qos("class_counts")
+        return class_counts(self.class_names, self.tasks, self.class_stats)
+
+    def class_summary(
+        self, deadlines: dict[str, float] | None = None
+    ) -> dict[str, dict]:
+        """Per-class SLO summary (rates, mean/p99 TCT, optional
+        per-class deadline-miss rates).  A class with zero generated
+        tasks reports ``NaN`` rates — the empty-class sentinel
+        convention; see :func:`repro.resilience.qos.class_summary`."""
+        from ..resilience.qos import class_summary
+
+        self._require_qos("class_summary")
+        return class_summary(
+            self.class_names, self.tasks, self.class_stats, deadlines
+        )
+
+    def class_identity_gaps(self) -> dict[str, int]:
+        """Per-class ``generated - (completed + dropped + shed +
+        in_flight)`` — all zero iff the per-class conservation identity
+        holds (and then sums to the global identity by construction)."""
+        from ..resilience.qos import class_identity_gaps
+
+        self._require_qos("class_identity_gaps")
+        return class_identity_gaps(
+            self.class_names, self.tasks, self.class_stats
+        )
+
     def per_device_mean_tct(self, num_devices: int) -> list[float]:
         """Mean TCT by generating device (NaN for devices that completed
         nothing, per the empty-fleet convention)."""
@@ -414,6 +466,15 @@ class EventSimulator:
             degradation ladder overrides the per-device exit parameters.
             Both engines realise the identical control decisions, so the
             per-task equality contract extends to governed runs.
+        qos: A :class:`~repro.resilience.qos.QoSConfig` enabling the
+            QoS-class serving layer: tasks carry a seeded per-device
+            class, the edge's warm pool charges cold-start holds on
+            slice frontiers under a memory budget, the governor ladder
+            gains per-class rung biases and budgeted
+            utility-per-cost shedding, and per-class SLO accounting is
+            threaded through both metric modes.  The QoS control plane
+            consumes no control/exit RNG draws, so the scalar↔fast
+            per-task identity contract extends to QoS runs.
     """
 
     system: EdgeSystem
@@ -425,6 +486,7 @@ class EventSimulator:
     faults: "FaultPlan | None" = None
     recovery: "RecoveryPolicy | None" = None
     overload: "OverloadControl | None" = None
+    qos: "QoSConfig | None" = None
 
     def __post_init__(self) -> None:
         if len(self.arrivals) != self.system.num_devices:
@@ -485,6 +547,7 @@ class EventSimulator:
             faults=None if self.faults is None else repr(self.faults.describe()),
             recovery=repr(self.recovery),
             overload=repr(self.overload),
+            qos=repr(self.qos),
             kernels=kernel_tier(),
             metrics=metrics,
         )
@@ -641,8 +704,28 @@ class EventSimulator:
 
             governor = OverloadGovernor(self.overload, n)
 
+        qstate = None
+        class_name_of: list[str] = []
+        if self.qos is not None:
+            from ..resilience.qos import (
+                QoSState,
+                apply_backpressure_by_mode,
+                plan_device_modes,
+            )
+
+            qstate = QoSState(self.qos, system, self.seed)
+            class_name_of = [
+                qstate.class_names[c] for c in qstate.class_of
+            ]
+        device_modes = [0] * n
+
         streaming = metrics == "streaming"
         stats = StreamingTaskStats() if streaming else None
+        cstats = (
+            [StreamingTaskStats() for _ in qstate.class_names]
+            if streaming and qstate is not None
+            else None
+        )
         tasks: list[TaskRecord] = []
         # Tasks between creation and their terminal event, by id.  In
         # streaming mode this is the *only* reference keeping a task
@@ -668,6 +751,11 @@ class EventSimulator:
                 stats.observe_completed(
                     time - task.created, tier, task.offloaded, task.retries
                 )
+                if cstats is not None:
+                    cstats[qstate.class_of[task.device]].observe_completed(
+                        time - task.created, tier, task.offloaded,
+                        task.retries,
+                    )
                 live_tasks.pop(task.task_id, None)
                 exit_coins.pop(task.task_id, None)
 
@@ -675,6 +763,10 @@ class EventSimulator:
             task.dropped = True
             if streaming:
                 stats.observe_dropped(task.retries)
+                if cstats is not None:
+                    cstats[qstate.class_of[task.device]].observe_dropped(
+                        task.retries
+                    )
                 live_tasks.pop(task.task_id, None)
                 exit_coins.pop(task.task_id, None)
 
@@ -884,23 +976,53 @@ class EventSimulator:
                 for i in range(n):
                     state.queue_local[i] = device_cpu[i].occupancy
                     state.queue_edge[i] = edge_slice[i].occupancy
+                expected = [proc.mean(slot) for proc in self.arrivals]
                 if governor is not None:
                     backlogs = [
                         state.queue_local[i] + state.queue_edge[i]
                         for i in range(n)
                     ]
                     mode = governor.observe(slot, backlogs)
+                    # Per-device rungs: the global rung biased by each
+                    # device's class (uniform without a QoS config, so
+                    # the PR 5 path is reproduced exactly).
+                    if qstate is not None:
+                        device_modes[:] = plan_device_modes(
+                            qstate, n, mode, expected
+                        )
+                    else:
+                        device_modes[:] = [mode] * n
                     for i in range(n):
                         sigma1_eff[i], exit2_eff[i] = degraded_exit_params(
-                            system.partition_for(i), mode
+                            system.partition_for(i), device_modes[i]
                         )
                     modes.append(mode)
-                expected = [proc.mean(slot) for proc in self.arrivals]
+                # Warm-pool step: flush on an edge outage (the restart
+                # lands cold), otherwise load/evict under the memory
+                # budget and hold cold slices until their warm time.
+                if qstate is not None:
+                    if faults is not None and faults.edge_down_at(slot):
+                        qstate.flush()
+                        holds = [time] * n
+                    else:
+                        requested = qstate.requested_mask(
+                            expected, device_modes
+                        )
+                        holds = qstate.on_slot(slot, time, requested)
+                    for i in range(n):
+                        edge_slice[i].hold_until(engine, time, holds[i])
                 ratios[:] = policy.decide(system, state, expected, live)
                 if governor is not None:
-                    ratios[:] = apply_backpressure(
-                        ratios, state.queue_edge, self.overload, governor.mode
-                    )
+                    if qstate is not None:
+                        ratios[:] = apply_backpressure_by_mode(
+                            ratios, state.queue_edge, self.overload,
+                            device_modes,
+                        )
+                    else:
+                        ratios[:] = apply_backpressure(
+                            ratios, state.queue_edge, self.overload,
+                            governor.mode,
+                        )
                 for i, proc in enumerate(self.arrivals):
                     # Tasks are integral here; fractional draws (the fluid
                     # model's constant rates) accumulate until they yield a
@@ -917,7 +1039,7 @@ class EventSimulator:
                         count
                         if governor is None
                         else governor.gate.admit_count(
-                            i, count, backlogs[i], governor.mode
+                            i, count, backlogs[i], device_modes[i]
                         )
                     )
                     for k in range(count):
@@ -937,12 +1059,18 @@ class EventSimulator:
                             created=time + offset,
                             offloaded=bool(rng.random() < ratios[i]),
                             shed=k >= admitted,
+                            qos=class_name_of[i] if qstate is not None else "",
                         )
                         coins = (
                             float(exit_rng.random()), float(exit_rng.random())
                         )
                         if streaming:
                             stats.observe_generated()
+                            if cstats is not None:
+                                crow = cstats[qstate.class_of[i]]
+                                crow.observe_generated()
+                                if task.shed:
+                                    crow.observe_shed()
                             if task.shed:
                                 # Never launched: terminal at creation
                                 # (its coins are drawn but never read).
@@ -968,15 +1096,28 @@ class EventSimulator:
         engine.run_until(horizon)
         if drain:
             engine.run_to_exhaustion(horizon * drain_limit_factor)
+        names = qstate.class_names if qstate is not None else ()
         if streaming:
             # Whatever never reached a terminal event is in flight at the
             # horizon — counted explicitly so the conservation identity
             # verifies the books instead of restating them.
             for task in live_tasks.values():
                 stats.observe_in_flight(1, task.retries)
+                if cstats is not None:
+                    cstats[qstate.class_of[task.device]].observe_in_flight(
+                        1, task.retries
+                    )
             return EventSimResult(
-                tasks=(), horizon=engine.now, modes=tuple(modes), stats=stats
+                tasks=(),
+                horizon=engine.now,
+                modes=tuple(modes),
+                stats=stats,
+                class_names=names,
+                class_stats=tuple(cstats) if cstats is not None else None,
             )
         return EventSimResult(
-            tasks=tuple(tasks), horizon=engine.now, modes=tuple(modes)
+            tasks=tuple(tasks),
+            horizon=engine.now,
+            modes=tuple(modes),
+            class_names=names,
         )

@@ -368,9 +368,17 @@ class _TaskStore:
         self.count = i1
         return np.arange(i0, i1, dtype=_I8)
 
-    def fold_terminal(self, stats) -> np.ndarray | None:
+    def fold_terminal(
+        self, stats, cstats=None, class_of=None
+    ) -> np.ndarray | None:
         """Fold terminal rows (completed, dropped, or shed) into the
         streaming ``stats`` aggregate and left-compact the live rows.
+
+        When per-class aggregates are active (``cstats`` a list of
+        per-class stats, ``class_of`` the device→class index array),
+        completed/dropped rows additionally fold into their class row —
+        generated/shed per-class counts are observed at creation time by
+        the caller, like the global ones.
 
         Returns the old→new id map over all current rows, or None when
         no row was terminal.  Live rows keep their *relative* order, so
@@ -389,6 +397,7 @@ class _TaskStore:
         terminal = completed | dropped | self.shed[:c]
         if not terminal.any():
             return None
+        cls = class_of[self.device[:c]] if cstats is not None else None
         if completed.any():
             stats.fold_completed(
                 self.completed[:c][completed] - self.created[:c][completed],
@@ -396,11 +405,29 @@ class _TaskStore:
                 self.offloaded[:c][completed],
                 self.retries[:c][completed],
             )
+            if cstats is not None:
+                for k, crow in enumerate(cstats):
+                    m = completed & (cls == k)
+                    if m.any():
+                        crow.fold_completed(
+                            self.completed[:c][m] - self.created[:c][m],
+                            self.tier[:c][m],
+                            self.offloaded[:c][m],
+                            self.retries[:c][m],
+                        )
         if dropped.any():
             stats.fold_dropped(
                 int(np.count_nonzero(dropped)),
                 int(self.retries[:c][dropped].sum()),
             )
+            if cstats is not None:
+                for k, crow in enumerate(cstats):
+                    m = dropped & (cls == k)
+                    if m.any():
+                        crow.fold_dropped(
+                            int(np.count_nonzero(m)),
+                            int(self.retries[:c][m].sum()),
+                        )
         keep = ~terminal
         remap = np.cumsum(keep, dtype=_I8) - 1
         kept = int(np.count_nonzero(keep))
@@ -410,8 +437,9 @@ class _TaskStore:
         self.count = kept
         return remap
 
-    def materialize(self) -> list[TaskRecord]:
+    def materialize(self, class_name_of=None) -> list[TaskRecord]:
         c = self.count
+        names = class_name_of
         # tolist() converts whole columns to Python scalars in C; the
         # positional constructor then avoids per-field keyword overhead.
         # An open task has completed == NaN (NaN != NaN maps it to None).
@@ -421,6 +449,7 @@ class _TaskStore:
                 tier if fin == fin else 0,
                 fin if fin == fin else None,
                 comp, trans, queue, retries, dropped, shed,
+                names[dev] if names is not None else "",
             )
             for i, (dev, created, off, tier, fin, comp, trans, queue,
                     retries, dropped, shed) in enumerate(
@@ -548,6 +577,13 @@ class _FastEngine:
         self.store = _TaskStore()
         self._last_live = None
         self.free_at = np.full(self.num_servers, -np.inf)
+        # Warm-pool hold frontier: no job may *start service* on a
+        # server before this time (a cold model load in progress; only
+        # edge-slice rows are ever raised).  Folded into the Lindley
+        # frontier at schedule time, never into occupancy — mirroring
+        # the scalar server's deferred-start (``_busy`` stays False
+        # during the gap, so occupancy == queue length on both lanes).
+        self.hold_until = np.full(self.num_servers, -np.inf)
         self.carried = _empty(_SUB)
         self.cal_int = _empty(_INTENT)
         self.cal_rec = _empty(_REC)
@@ -593,6 +629,20 @@ class _FastEngine:
             self.sigma1[:] = 1.0
             self.exit2cond[:] = 1.0
 
+    def set_device_modes(self, modes) -> None:
+        """Per-device rung vector (QoS class biases; see
+        :func:`repro.resilience.qos.plan_device_modes`): the vectorised
+        twin of calling the scalar
+        :func:`~repro.resilience.overload.degraded_exit_params` per
+        device — a uniform vector reproduces :meth:`set_mode` exactly."""
+        from ..resilience.overload import MODE_FULL, MODE_SECOND_EXIT
+
+        m = np.asarray(modes, dtype=_I8)
+        self.sigma1[:] = np.where(m > MODE_SECOND_EXIT, 1.0, self.base_sigma1)
+        self.exit2cond[:] = np.where(
+            m <= MODE_FULL, self.base_exit2cond, 1.0
+        )
+
     def occupancy(self, w0: float) -> np.ndarray:
         """Waiting + in-service jobs per server at boundary time ``w0``.
 
@@ -605,14 +655,15 @@ class _FastEngine:
         occ += self.free_at >= w0
         return occ
 
-    def compact(self, stats) -> None:
+    def compact(self, stats, cstats=None, class_of=None) -> None:
         """Streaming-mode compaction between windows: fold every task
-        that reached a terminal state into ``stats`` and drop its row,
-        remapping the surviving ids through every cross-window batch.
-        Run state afterwards covers live tasks only, so store memory
-        tracks the concurrent in-flight population instead of the
-        run-total task count."""
-        remap = self.store.fold_terminal(stats)
+        that reached a terminal state into ``stats`` (and its per-class
+        row, when QoS is active) and drop its row, remapping the
+        surviving ids through every cross-window batch.  Run state
+        afterwards covers live tasks only, so store memory tracks the
+        concurrent in-flight population instead of the run-total task
+        count."""
+        remap = self.store.fold_terminal(stats, cstats, class_of)
         if remap is None:
             return
         for batch in (self.carried, self.cal_int, self.cal_rec):
@@ -1033,11 +1084,15 @@ class _FastEngine:
         service = service_times_batch(
             subs["demand"], self.rate[sid], self.overhead[sid]
         )
+        # The warm-pool hold floors each server's initial frontier: the
+        # first job of the window starts no earlier than the hold, and
+        # the Lindley chain carries the floor to every later job —
+        # exactly the scalar server's deferred ``_start_next``.
         start, finish, served = fifo_schedule_batch(
             sid,
             np.ascontiguousarray(subs["time"]),
             service,
-            self.free_at[sid],
+            np.maximum(self.free_at, self.hold_until)[sid],
             cutoff=w1,
             inclusive=inclusive,
         )
@@ -1323,6 +1378,8 @@ def run_fast(
         governor = payload["governor"]
         modes = payload["modes"]
         stats = payload.get("stats")
+        qstate = payload.get("qos")
+        cstats = payload.get("cstats")
         start_slot = resume_from.slot
         system = sim.system
         tau = system.slot_length
@@ -1341,9 +1398,31 @@ def run_fast(
         governor = None
         modes: list[int] = []
         stats = StreamingTaskStats() if metrics == "streaming" else None
+        qstate = None
+        if sim.qos is not None:
+            from ..resilience.qos import QoSState
+
+            qstate = QoSState(sim.qos, system, sim.seed)
+        cstats = (
+            [StreamingTaskStats() for _ in qstate.class_names]
+            if metrics == "streaming" and qstate is not None
+            else None
+        )
         if sim.overload is not None:
             governor = OverloadGovernor(sim.overload, n)
         start_slot = 0
+    if qstate is not None:
+        from ..resilience.qos import (
+            apply_backpressure_by_mode,
+            plan_device_modes,
+        )
+
+        class_of_arr = np.asarray(qstate.class_of, dtype=_I8)
+        class_name_of = [qstate.class_names[c] for c in qstate.class_of]
+    else:
+        class_of_arr = None
+        class_name_of = None
+    device_modes = [0] * n
 
     for slot in range(start_slot, num_slots):
         if should_emit(checkpoint_every, slot):
@@ -1363,6 +1442,8 @@ def run_fast(
                         governor=governor,
                         modes=modes,
                         stats=stats,
+                        qos=qstate,
+                        cstats=cstats,
                     ),
                 )
             )
@@ -1373,18 +1454,44 @@ def run_fast(
         occ = eng.occupancy(w0)
         state.queue_local[:] = occ[:n].tolist()
         state.queue_edge[:] = occ[2 * n : 3 * n].tolist()
+        expected = [proc.mean(slot) for proc in sim.arrivals]
         if governor is not None:
             backlogs = [
                 state.queue_local[i] + state.queue_edge[i] for i in range(n)
             ]
-            eng.set_mode(governor.observe(slot, backlogs))
+            mode = governor.observe(slot, backlogs)
+            # Per-device rungs: the global rung biased by each device's
+            # class (uniform without a QoS config, reproducing the PR 5
+            # path byte-identically).
+            if qstate is not None:
+                device_modes = plan_device_modes(qstate, n, mode, expected)
+                eng.set_device_modes(device_modes)
+            else:
+                device_modes = [mode] * n
+                eng.set_mode(mode)
             modes.append(governor.mode)
-        expected = [proc.mean(slot) for proc in sim.arrivals]
+        # Warm-pool step: flush on an edge outage (the restart lands
+        # cold), otherwise load/evict under the memory budget and hold
+        # cold slices until their warm time — the scalar boundary's
+        # ``hold_until`` calls, as one frontier assignment.
+        if qstate is not None:
+            if eng.faults is not None and eng.faults.edge_down_at(slot):
+                qstate.flush()
+                holds = [w0] * n
+            else:
+                requested = qstate.requested_mask(expected, device_modes)
+                holds = qstate.on_slot(slot, w0, requested)
+            eng.hold_until[2 * n : 3 * n] = holds
         ratios[:] = eng.policy.decide(system, state, expected, live)
         if governor is not None:
-            ratios[:] = apply_backpressure(
-                ratios, state.queue_edge, sim.overload, governor.mode
-            )
+            if qstate is not None:
+                ratios[:] = apply_backpressure_by_mode(
+                    ratios, state.queue_edge, sim.overload, device_modes
+                )
+            else:
+                ratios[:] = apply_backpressure(
+                    ratios, state.queue_edge, sim.overload, governor.mode
+                )
         l_draws: list[np.ndarray] = []
         l_dev: list[int] = []
         l_count: list[int] = []
@@ -1400,7 +1507,7 @@ def run_fast(
                 # or not tasks arrived, mirroring the scalar boundary
                 # handler.
                 admitted = governor.gate.admit_count(
-                    i, count, backlogs[i], governor.mode
+                    i, count, backlogs[i], device_modes[i]
                 )
             if not count:
                 continue
@@ -1436,6 +1543,13 @@ def run_fast(
             )
             if stats is not None:
                 stats.observe_generated(total)
+                if cstats is not None:
+                    gen_by_class = np.bincount(
+                        class_of_arr[devices], minlength=len(cstats)
+                    )
+                    for k, g in enumerate(gen_by_class.tolist()):
+                        if g:
+                            cstats[k].observe_generated(g)
             if governor is not None:
                 # Shed tasks keep their rows (all RNG draws consumed, so
                 # governed and ungoverned runs replay identical streams)
@@ -1447,6 +1561,14 @@ def run_fast(
                     eng.store.shed[tasks[shed_arr]] = True
                     if stats is not None:
                         stats.observe_shed(int(shed_arr.sum()))
+                        if cstats is not None:
+                            shed_by_class = np.bincount(
+                                class_of_arr[devices[shed_arr]],
+                                minlength=len(cstats),
+                            )
+                            for k, s in enumerate(shed_by_class.tolist()):
+                                if s:
+                                    cstats[k].observe_shed(s)
                     keep = ~shed_arr
                     times = times[keep]
                     tasks = tasks[keep]
@@ -1471,7 +1593,7 @@ def run_fast(
         )
         eng.window(w0, w1, launches)
         if stats is not None:
-            eng.compact(stats)
+            eng.compact(stats, cstats, class_of_arr)
 
     horizon = num_slots * tau
     if drain:
@@ -1488,22 +1610,35 @@ def run_fast(
         # exactly at the horizon, with the last window's rates.
         eng.window(horizon, horizon, _empty(_INTENT), inclusive=True)
         result_horizon = horizon
+    names = qstate.class_names if qstate is not None else ()
     if stats is not None:
         # Fold the drain window's terminals, then count the survivors —
         # tasks still in the system at the horizon — explicitly.
-        eng.compact(stats)
+        eng.compact(stats, cstats, class_of_arr)
         live = eng.store.count
         stats.observe_in_flight(
             live, int(eng.store.retries[:live].sum())
         )
+        if cstats is not None and live:
+            cls = class_of_arr[eng.store.device[:live]]
+            for k, crow in enumerate(cstats):
+                m = cls == k
+                if m.any():
+                    crow.observe_in_flight(
+                        int(np.count_nonzero(m)),
+                        int(eng.store.retries[:live][m].sum()),
+                    )
         return EventSimResult(
             tasks=(),
             horizon=result_horizon,
             modes=tuple(modes),
             stats=stats,
+            class_names=names,
+            class_stats=tuple(cstats) if cstats is not None else None,
         )
     return EventSimResult(
-        tasks=tuple(eng.store.materialize()),
+        tasks=tuple(eng.store.materialize(class_name_of)),
         horizon=result_horizon,
         modes=tuple(modes),
+        class_names=names,
     )

@@ -3,11 +3,14 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
 from .streaming import FluidStreamStats
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..resilience.qos import QoSFlow
 
 
 @dataclass(frozen=True)
@@ -70,6 +73,12 @@ class SimulationResult:
     #: Constant-memory aggregate when the run used
     #: ``metrics="streaming"``; None in record mode.
     stream: FluidStreamStats | None = None
+    #: QoS class names, in config order, when the run carried a
+    #: :class:`~repro.resilience.qos.QoSConfig`; empty otherwise.
+    class_names: tuple[str, ...] = ()
+    #: Per-class fluid flow accounting (generated/admitted/shed/time),
+    #: populated alongside ``class_names``.
+    class_flow: "QoSFlow | None" = None
 
     def __post_init__(self) -> None:
         if not self.records and self.stream is None:
@@ -164,6 +173,28 @@ class SimulationResult:
         if not values:
             return 0.0
         return float(np.percentile(values, q))
+
+    def _require_qos(self, what: str) -> "QoSFlow":
+        if self.class_flow is None:
+            raise ValueError(
+                f"{what} requires a QoS-configured run — pass qos="
+                "QoSConfig(...) to the simulator"
+            )
+        return self.class_flow
+
+    def qos_summary(
+        self, deadlines: dict[str, float] | None = None
+    ) -> dict[str, dict]:
+        """Per-class flow summary (NaN sentinels for empty classes); see
+        :meth:`repro.resilience.qos.QoSFlow.summary`."""
+        flow = self._require_qos("qos_summary")
+        return flow.summary(self.class_names, deadlines)
+
+    def class_identity_gaps(self) -> dict[str, float]:
+        """Per-class ``generated - (admitted + shed)`` conservation gap —
+        all-zero when the per-class identity holds."""
+        flow = self._require_qos("class_identity_gaps")
+        return flow.identity_gaps(self.class_names)
 
     def is_stable(self, tolerance_per_slot: float = 0.05) -> bool:
         """Mean-rate-stability proxy for C3/C4: the backlog grows by less

@@ -51,6 +51,10 @@ class FifoServer:
         self._busy = False
         self.jobs_served = 0
         self.busy_time = 0.0
+        # Warm-pool hold: no job may *start service* before this time
+        # (a cold model load in progress).  -inf == always warm.
+        self.available_from = float("-inf")
+        self._hold_pending = False
 
     @property
     def queue_length(self) -> int:
@@ -81,9 +85,38 @@ class FifoServer:
         if not self._busy:
             self._start_next(engine, now)
 
+    def hold_until(self, engine: EventScheduler, now: float, time: float) -> None:
+        """Floor the next service start at ``time`` (a cold-start model
+        load; see :mod:`repro.resilience.qos`).  Queued jobs wait without
+        occupying the server — the hold itself is invisible to occupancy,
+        exactly as the fast lane folds its hold frontier into the
+        schedule without touching the boundary occupancy mirror.
+
+        Idle-with-queue servers are re-kicked immediately: a boundary
+        that *lowers* the hold (a slice flushed or no longer requested)
+        must start deferred work now, not at the stale resume time the
+        old hold scheduled."""
+        self.available_from = float(time)
+        if self._queue and not self._busy:
+            self._start_next(engine, now)
+
     def _start_next(self, engine: EventScheduler, now: float) -> None:
         if not self._queue:
             self._busy = False
+            return
+        if now < self.available_from:
+            # Service is deferred to the warm time.  Re-enter then (and
+            # re-check: the hold may have been raised again meanwhile).
+            self._busy = False
+            if not self._hold_pending:
+                self._hold_pending = True
+
+                def resume(time: float) -> None:
+                    self._hold_pending = False
+                    if not self._busy:
+                        self._start_next(engine, time)
+
+                engine.schedule(self.available_from, resume)
             return
         self._busy = True
         _, demand, on_done = self._queue.pop(0)

@@ -36,6 +36,7 @@ from .metrics import SimulationResult, SlotRecord
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..chaos.checkpoint import Checkpoint
     from ..resilience.overload import OverloadControl
+    from ..resilience.qos import QoSConfig
 
 
 @dataclass
@@ -68,6 +69,17 @@ class SlotSimulator:
             gate, clamp, and ladder all run on plain Python floats
             *outside* the scalar/vectorized branch, so governed runs
             stay byte-identical across both fluid paths.
+        qos: A :class:`~repro.resilience.qos.QoSConfig` enabling
+            class-aware serving: per-device QoS classes (seeded
+            assignment), per-class degradation rungs layered on the
+            governor's global mode, utility-per-cost budgeted shedding,
+            and the warm-pool/cold-start model — a cold model load
+            discounts the device's container-slice share for the
+            overlapping fraction of the slot (the fluid realisation of
+            the event engines' service-start hold).  Per-class flow
+            accounting lands on the result's ``class_flow``.  The QoS
+            control plane draws nothing from the run RNG, so attaching
+            it leaves arrivals and environments unchanged.
 
     Environments may additionally expose a ``system_at(slot, base)``
     method (the :class:`~repro.traces.replay.TraceEnvironment` extension):
@@ -85,6 +97,7 @@ class SlotSimulator:
     seed: int = 0
     vectorized: bool = False
     overload: "OverloadControl | None" = None
+    qos: "QoSConfig | None" = None
 
     def __post_init__(self) -> None:
         if len(self.arrivals) != self.system.num_devices:
@@ -106,6 +119,7 @@ class SlotSimulator:
             slots=num_slots,
             include_tail=self.include_tail,
             overload=repr(self.overload),
+            qos=repr(self.qos),
             kernels=kernel_tier(),
             metrics=metrics,
         )
@@ -174,8 +188,20 @@ class SlotSimulator:
                 degrade_system,
                 drain_stranded_edge,
             )
+        if self.qos is not None:
+            from ..resilience.qos import (
+                QoSFlow,
+                QoSState,
+                apply_backpressure_by_mode,
+                clamp_queues_by_class,
+                degrade_system_by_modes,
+                drain_stranded_edge_by_mode,
+                plan_device_modes,
+            )
 
         governor = None
+        qstate = None
+        qflow = None
         if resume_from is not None:
             validate_resume(resume_from, path_name, "state", fingerprint)
             payload = resume_from.payload()
@@ -188,6 +214,8 @@ class SlotSimulator:
             environment = payload["environment"]
             arrivals = payload["arrivals"]
             stream = payload.get("stream")
+            qstate = payload.get("qos")
+            qflow = payload.get("flow")
             start_slot = resume_from.slot
         else:
             rng = np.random.default_rng(self.seed)
@@ -196,9 +224,13 @@ class SlotSimulator:
             fleet = FleetState.from_lyapunov(state) if self.vectorized else None
             if self.overload is not None:
                 governor = OverloadGovernor(self.overload, n)
+            if self.qos is not None:
+                qstate = QoSState(self.qos, self.system, self.seed)
+                qflow = QoSFlow(len(self.qos.classes))
             records: list[SlotRecord] = []
             stream = FluidStreamStats() if metrics == "streaming" else None
             start_slot = 0
+        class_of = qstate.class_of if qstate is not None else None
         half_slot = num_slots // 2
         # The engine is derived from the (immutable) system — rebuilt, not
         # checkpointed.
@@ -222,6 +254,8 @@ class SlotSimulator:
                             environment=environment,
                             arrivals=list(arrivals),
                             stream=stream,
+                            qos=qstate,
+                            flow=qflow,
                         ),
                     )
                 )
@@ -233,33 +267,75 @@ class SlotSimulator:
             )
             mode = 0
             shed = 0.0
+            device_modes = None
+            # Expected arrivals are deterministic (no RNG draw), so the
+            # QoS plan can read them before sampling without perturbing
+            # the arrival/environment stream.
+            expected = [proc.mean(slot) for proc in arrivals]
             if governor is not None:
                 backlogs = [
                     state.queue_local[i] + state.queue_edge[i]
                     for i in range(n)
                 ]
                 mode = governor.observe(slot, backlogs)
-                if mode != MODE_FULL:
+                if qstate is not None:
+                    device_modes = plan_device_modes(qstate, n, mode, expected)
+                    live_system = degrade_system_by_modes(
+                        live_system, device_modes
+                    )
+                elif mode != MODE_FULL:
                     # The rung's partitions replace the live ones, so the
                     # fluid cost model serves at the degraded exit depth.
                     live_system = degrade_system(live_system, mode)
+            if qstate is not None and device_modes is None:
+                device_modes = [0] * n
+            scales = None
+            if qstate is not None:
+                # Warm pool: slices needed this slot are loaded (evicting
+                # colder, lower-weight residents under the memory budget);
+                # a cold load discounts the slice's share for the
+                # overlapping fraction of the slot — the fluid twin of the
+                # event engines' service-start hold.
+                w0 = slot * live_system.slot_length
+                requested = qstate.requested_mask(expected, device_modes)
+                holds = qstate.on_slot(slot, w0, requested)
+                scales = qstate.share_scales(
+                    holds, w0, live_system.slot_length
+                )
             live_devices = environment.devices_at(
                 slot, live_system.devices, rng
             )
-            expected = [proc.mean(slot) for proc in arrivals]
             realised = [proc.sample(slot, rng) for proc in arrivals]
+            if qflow is not None:
+                for i in range(n):
+                    qflow.generated[class_of[i]] += realised[i]
             if governor is not None:
                 admitted = []
                 for i in range(n):
-                    a = governor.gate.admit(i, realised[i], backlogs[i], mode)
+                    a = governor.gate.admit(
+                        i,
+                        realised[i],
+                        backlogs[i],
+                        mode if device_modes is None else device_modes[i],
+                    )
                     shed += realised[i] - a
+                    if qflow is not None:
+                        qflow.shed[class_of[i]] += realised[i] - a
                     admitted.append(a)
                 realised = admitted
+            if qflow is not None:
+                for i in range(n):
+                    qflow.admitted[class_of[i]] += realised[i]
             ratios = policy.decide(live_system, state, expected, live_devices)
             if governor is not None:
-                ratios = apply_backpressure(
-                    ratios, state.queue_edge, self.overload, mode
-                )
+                if device_modes is not None:
+                    ratios = apply_backpressure_by_mode(
+                        ratios, state.queue_edge, self.overload, device_modes
+                    )
+                else:
+                    ratios = apply_backpressure(
+                        ratios, state.queue_edge, self.overload, mode
+                    )
             if engine is not None:
                 cost = engine.slot_costs(
                     live_devices,
@@ -268,17 +344,25 @@ class SlotSimulator:
                     fleet,
                     include_tail=self.include_tail,
                     system=live_system,
+                    share_scale=scales,
                 )
                 # Left-to-right accumulation mirrors the scalar loop (np.sum
                 # is pairwise), keeping the two paths byte-identical.
                 total_time = float(sum(cost.total_time.tolist(), 0.0))
                 total_arrivals = float(sum(cost.arrivals.tolist(), 0.0))
+                if qflow is not None:
+                    per_device_time = cost.total_time.tolist()
+                    for i in range(n):
+                        qflow.time[class_of[i]] += per_device_time[i]
                 fleet.update(cost)
                 fleet.sync_to(state)
             else:
                 total_time = 0.0
                 total_arrivals = 0.0
                 for i, device in enumerate(live_devices):
+                    share = live_system.shares[i]
+                    if scales is not None:
+                        share = share * scales[i]
                     cost = slot_cost(
                         device,
                         live_system,
@@ -286,12 +370,14 @@ class SlotSimulator:
                         realised[i],
                         state.queue_local[i],
                         state.queue_edge[i],
-                        live_system.shares[i],
+                        share,
                         include_tail=self.include_tail,
                         partition=live_system.partition_for(i),
                     )
                     total_time += cost.total_time
                     total_arrivals += realised[i]
+                    if qflow is not None:
+                        qflow.time[class_of[i]] += cost.total_time
                     state.update(i, cost)
             if governor is not None:
                 # Backpressure forced x_i = 0 for saturated devices, but
@@ -301,34 +387,59 @@ class SlotSimulator:
                 # cool down.  Drain it at the idle slice's full
                 # first-block rate — the fluid twin of the event engines'
                 # work-conserving FIFOs.
+                eff_shares = (
+                    live_system.shares
+                    if scales is None
+                    else [
+                        live_system.shares[i] * scales[i] for i in range(n)
+                    ]
+                )
                 idle_service = [
                     live_system.slot_length
                     / (
                         live_system.partition_for(i).mu1
-                        / (live_system.shares[i] * live_system.edge_flops)
+                        / (eff_shares[i] * live_system.edge_flops)
                         + live_system.edge_overhead
                     )
-                    if live_system.shares[i] > 0
+                    if eff_shares[i] > 0
                     else 0.0
                     for i in range(n)
                 ]
-                drain_stranded_edge(
-                    state.queue_edge,
-                    ratios,
-                    idle_service,
-                    self.overload.queue_high,
-                    mode,
-                )
+                if device_modes is not None:
+                    drain_stranded_edge_by_mode(
+                        state.queue_edge,
+                        ratios,
+                        idle_service,
+                        self.overload.queue_high,
+                        device_modes,
+                    )
+                else:
+                    drain_stranded_edge(
+                        state.queue_edge,
+                        ratios,
+                        idle_service,
+                        self.overload.queue_high,
+                        mode,
+                    )
                 if self.overload.queue_capacity is not None:
                     # Bounded queues: overflow past the capacity is shed,
                     # and the clamp runs on the scalar state lists in both
                     # paths (the vectorized arrays are rewritten from
                     # them) so the shed float is identical.
-                    shed += clamp_queues(
-                        state.queue_local,
-                        state.queue_edge,
-                        self.overload.queue_capacity,
-                    )
+                    if qflow is not None:
+                        shed += clamp_queues_by_class(
+                            state.queue_local,
+                            state.queue_edge,
+                            self.overload.queue_capacity,
+                            class_of,
+                            qflow,
+                        )
+                    else:
+                        shed += clamp_queues(
+                            state.queue_local,
+                            state.queue_edge,
+                            self.overload.queue_capacity,
+                        )
                 if fleet is not None:
                     fleet.queue_local[:] = state.queue_local
                     fleet.queue_edge[:] = state.queue_edge
@@ -355,7 +466,12 @@ class SlotSimulator:
                         mode=mode,
                     )
                 )
-        return SimulationResult(records=tuple(records), stream=stream)
+        return SimulationResult(
+            records=tuple(records),
+            stream=stream,
+            class_names=qstate.class_names if qstate is not None else (),
+            class_flow=qflow,
+        )
 
     def compare(
         self, policies: Sequence[tuple[str, OffloadingPolicy]], num_slots: int

@@ -32,6 +32,10 @@ class TaskRecord:
             Terminal, like ``dropped``, but distinct in the SLO identity
             — shedding is a *decision*, dropping a *failure* (a bounded
             queue rejecting a task mid-pipeline is a drop).
+        qos: QoS class name inherited from the generating device (see
+            :mod:`repro.resilience.qos`); empty string when the run
+            carried no QoS config.  Kept last so positional construction
+            sites predating the field stay valid.
     """
 
     task_id: int
@@ -46,6 +50,7 @@ class TaskRecord:
     retries: int = 0
     dropped: bool = False
     shed: bool = False
+    qos: str = ""
 
     @property
     def tct(self) -> float:

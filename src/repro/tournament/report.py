@@ -51,6 +51,8 @@ def league_markdown(artifact: dict) -> str:
                 "drop",
                 "shed",
                 "miss",
+                "gold p99 (s)",
+                "gold miss",
             ],
             [
                 [
@@ -63,6 +65,10 @@ def league_markdown(artifact: dict) -> str:
                     _fmt(row["drop_rate"]),
                     _fmt(row["shed_rate"]),
                     _fmt(row["deadline_miss_rate"]),
+                    # QoS columns: populated by qos-kind scenario cells
+                    # (pre-QoS artifacts simply render a dash).
+                    _fmt(row.get("gold_p99_tct")),
+                    _fmt(row.get("gold_deadline_miss_rate")),
                 ]
                 for row in artifact["league"]
             ],

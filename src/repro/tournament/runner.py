@@ -36,13 +36,19 @@ from ..policies import build_policy, policy_names
 from ..units import mbps, ms
 from ..resilience import (
     OverloadControl,
+    QoSConfig,
     RecoveryPolicy,
     canonical_outage_plan,
     slo_summary,
 )
 from ..sim.arrivals import TraceArrivals
 from ..sim.events import EventSimulator
-from ..traces.generators import WildTraceSpec, canonical_flash_crowd, generate_trace
+from ..traces.generators import (
+    WildTraceSpec,
+    canonical_flash_crowd,
+    canonical_mixed_qos_burst,
+    generate_trace,
+)
 from ..traces.replay import replay_trace
 from .scenarios import ScenarioSpec, scenario_names, scenario_spec
 
@@ -188,6 +194,32 @@ def run_cell(
             seed=spec.seed,
             overload=OverloadControl(),
         ).run(policy, spec.num_slots, engine=engine)
+    elif scenario.kind == "qos":
+        # Same canonical world for every policy: a deterministic flash
+        # crowd plus a cold echo burst, default QoS classes, class-aware
+        # governor — the cell where gold-protection is measurable.
+        rates = canonical_mixed_qos_burst(
+            num_slots=spec.num_slots,
+            num_devices=spec.num_devices,
+            base_rate=scenario.arrival_rate,
+            magnitude=scenario.overload_magnitude,
+        )
+        # Pinned class map (not the seeded draw): device 0 — the quiet
+        # tenant of the canonical burst — is gold, the rest alternate
+        # standard/batch, so every class is populated at any fleet size
+        # and the gold league columns never hit the empty-class NaN
+        # sentinel on small brackets.
+        qos = QoSConfig(
+            class_map=(0,)
+            + tuple(1 + (i % 2) for i in range(1, spec.num_devices))
+        )
+        result = EventSimulator(
+            system,
+            [TraceArrivals.from_series(rates[:, i]) for i in range(rates.shape[1])],
+            seed=spec.seed,
+            overload=OverloadControl(),
+            qos=qos,
+        ).run(policy, spec.num_slots, engine=engine)
     else:  # stationary
         result = EventSimulator(
             system, config.arrival_processes(), seed=spec.seed
@@ -198,6 +230,16 @@ def run_cell(
     }
     metrics["p50_tct"] = _round(result.tct_percentile(50))
     metrics["p99_tct"] = _round(result.tct_percentile(99))
+    if scenario.kind == "qos":
+        per_class = result.class_summary(
+            deadlines={c.name: c.deadline for c in qos.classes}
+        )
+        for name, row in per_class.items():
+            metrics[f"{name}_p99_tct"] = _round(row["p99_tct"])
+            metrics[f"{name}_shed_rate"] = _round(row["shed_rate"])
+            metrics[f"{name}_deadline_miss_rate"] = _round(
+                row["deadline_miss_rate"]
+            )
     return {
         "scenario": scenario.name,
         "policy": policy_name,
@@ -251,10 +293,11 @@ def league_table(spec: TournamentSpec, cells: dict[str, dict]) -> list[dict]:
             continue
 
         def mean_of(metric: str) -> float | None:
+            # .get(): per-class QoS metrics exist only on qos-kind cells.
             values = [
-                row["metrics"][metric]
+                row["metrics"].get(metric)
                 for row in cell_rows
-                if row["metrics"][metric] is not None
+                if row["metrics"].get(metric) is not None
             ]
             return _round(sum(values) / len(values)) if values else None
 
@@ -269,6 +312,10 @@ def league_table(spec: TournamentSpec, cells: dict[str, dict]) -> list[dict]:
                 "drop_rate": mean_of("drop_rate"),
                 "shed_rate": mean_of("shed_rate"),
                 "deadline_miss_rate": mean_of("deadline_miss_rate"),
+                # The QoS column: gold-class tail latency and miss rate
+                # over qos-kind cells (None for a spec without one).
+                "gold_p99_tct": mean_of("gold_p99_tct"),
+                "gold_deadline_miss_rate": mean_of("gold_deadline_miss_rate"),
             }
         )
     rows.sort(key=lambda row: (row["mean_rank"], row["policy"]))

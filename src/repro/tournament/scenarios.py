@@ -7,11 +7,13 @@ on *identical* worlds — every cell of one scenario shares the same
 simulation seed, the repo's common-random-numbers idiom — so a league
 gap is attributable to the controller, not to luck.
 
-The canonical four cover one of each axis the tournament acceptance
+The canonical five cover one of each axis the tournament acceptance
 demands: a stationary Poisson regime (the paper's Test Case setting), a
 wild trace (diurnal + Gilbert-Elliott + flash crowds), the canonical
-edge-outage fault plan with default recovery, and the flash-crowd
-overload scenario under the default governor.
+edge-outage fault plan with default recovery, the flash-crowd overload
+scenario under the default governor, and the mixed-QoS burst (gold /
+standard / batch classes through a flash crowd plus a cold echo burst
+under the class-aware governor).
 """
 
 from __future__ import annotations
@@ -19,7 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 #: Scenario kinds understood by the cell runner.
-KINDS = ("stationary", "wild-trace", "faults", "overload")
+KINDS = ("stationary", "wild-trace", "faults", "overload", "qos")
 
 
 @dataclass(frozen=True)
@@ -113,5 +115,17 @@ register_scenario(
         description="8x flash crowd under the default overload governor",
         arrival_rate=0.3,
         overload_magnitude=8.0,
+    )
+)
+register_scenario(
+    ScenarioSpec(
+        name="mixed-qos-burst",
+        kind="qos",
+        description=(
+            "mixed gold/standard/batch fleet through the canonical "
+            "flash-crowd + cold echo burst, class-aware governor"
+        ),
+        arrival_rate=0.3,
+        overload_magnitude=6.0,
     )
 )

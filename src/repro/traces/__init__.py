@@ -32,6 +32,7 @@ from .serialize import load_trace, save_trace, traces_equal
 from .generators import (
     WildTraceSpec,
     canonical_flash_crowd,
+    canonical_mixed_qos_burst,
     diurnal_series,
     flash_crowd_rates,
     generate_trace,
@@ -51,6 +52,7 @@ __all__ = [
     "traces_equal",
     "WildTraceSpec",
     "canonical_flash_crowd",
+    "canonical_mixed_qos_burst",
     "diurnal_series",
     "flash_crowd_rates",
     "generate_trace",

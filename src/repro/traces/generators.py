@@ -210,6 +210,43 @@ def canonical_flash_crowd(
     return rates
 
 
+def canonical_mixed_qos_burst(
+    num_slots: int = 120,
+    num_devices: int = 4,
+    base_rate: float = 0.3,
+    magnitude: float = 6.0,
+    echo_magnitude: float = 3.0,
+) -> np.ndarray:
+    """The pinned ``(S, N)`` rate matrix the mixed-QoS experiments share:
+    a flash crowd over the second quarter of the horizon, a calm gap long
+    enough for the memory governor to evict idle partitions, then an
+    *echo* burst at ``echo_magnitude`` over the final quarter — so the
+    echo lands on a cold warm-pool and class-aware shedding, cold-start
+    delays, and the degradation ladder are all active in one trace.
+
+    The crowd is *mixed*, not fleet-wide: device 0 holds its base rate
+    throughout, modelling a latency-critical tenant that does not
+    participate in the crowd — the realistic threat is bulk traffic
+    flooding a shared edge, not the premium tenant flooding itself.
+    Devices 1..N-1 carry the bursts.
+
+    Deterministic by construction (no RNG) like
+    :func:`canonical_flash_crowd`, so QoS-governed vs uniformly-governed
+    comparisons in :mod:`repro.experiments.fig_qos`, the QoS benchmark,
+    and the CI gate replay identical demand.  Feed each column to
+    :meth:`repro.sim.arrivals.TraceArrivals.from_series`."""
+    if num_slots < 8 or num_devices < 1:
+        raise ValueError("need num_slots >= 8 and num_devices >= 1")
+    if base_rate < 0 or magnitude < 1.0 or echo_magnitude < 1.0:
+        raise ValueError(
+            "need base_rate >= 0, magnitude >= 1 and echo_magnitude >= 1"
+        )
+    rates = np.full((num_slots, num_devices), base_rate, dtype=np.float64)
+    rates[num_slots // 4 : num_slots // 2, 1:] = base_rate * magnitude
+    rates[(3 * num_slots) // 4 :, 1:] = base_rate * echo_magnitude
+    return rates
+
+
 def poisson_churn(
     num_slots: int,
     num_devices: int,

@@ -343,6 +343,238 @@ def test_hook_validation():
         validate_hooks(0, lambda ck: None)
 
 
+# -- QoS state under kill/resume ---------------------------------------------
+
+_QOS = None
+
+
+def _qos():
+    """A QoS config aggressive enough that warm-pool evictions and cold
+    starts actually happen inside the short checkpoint horizon."""
+    global _QOS
+    if _QOS is None:
+        from repro.resilience.qos import QoSConfig
+
+        _QOS = QoSConfig(
+            memory_fraction=0.4, cold_start_seconds=0.3, shed_budget=20.0
+        )
+    return _QOS
+
+
+@pytest.mark.parametrize("vectorized", [False, True])
+def test_qos_fluid_kill_resume_differential(vectorized):
+    """Warm/cold pool state, per-class flow, and the admission plan all
+    live in the checkpoint: a killed+resumed QoS run is byte-identical."""
+    failures = []
+    for seed in range(10):
+        system = random_fleet(seed, N, max_arrivals=1.5)
+        arrivals = _arrivals(system)
+
+        def make_sim():
+            return SlotSimulator(
+                system,
+                arrivals,
+                seed=seed,
+                vectorized=vectorized,
+                overload=OverloadControl(),
+                qos=_qos(),
+            )
+
+        def run(sim, **kwargs):
+            return sim.run(
+                DriftPlusPenaltyPolicy(v=50.0, vectorized=vectorized),
+                SLOTS,
+                **kwargs,
+            )
+
+        baseline = run(make_sim())
+        for kill in KILL_POINTS:
+            resumed = _kill_and_resume(make_sim, run, kill)
+            if resumed.records != baseline.records:
+                failures.append((seed, kill))
+            flow, base = resumed.class_flow, baseline.class_flow
+            if (
+                flow.generated != base.generated
+                or flow.admitted != base.admitted
+                or flow.shed != base.shed
+                or flow.time != base.time
+            ):
+                failures.append((seed, kill, "flow"))
+    assert not failures, f"qos fluid (vectorized={vectorized}): {failures}"
+
+
+@pytest.mark.parametrize("engine", ["scalar", "fast"])
+def test_qos_event_kill_resume_differential(engine):
+    """The event engines checkpoint the warm pool too — resuming after a
+    kill must not silently restart every partition warm (or cold)."""
+    failures = []
+    for seed in range(10):
+        system = random_fleet(seed, N, max_arrivals=1.5)
+        arrivals = _arrivals(system)
+        faults = canonical_outage_plan(SLOTS, N, seed) if seed % 2 else None
+
+        def make_sim():
+            return EventSimulator(
+                system,
+                arrivals,
+                seed=seed,
+                faults=faults,
+                recovery=RecoveryPolicy.default() if faults is not None else None,
+                overload=OverloadControl(),
+                qos=_qos(),
+            )
+
+        def run(sim, **kwargs):
+            return sim.run(
+                DriftPlusPenaltyPolicy(v=50.0), SLOTS, engine=engine, **kwargs
+            )
+
+        baseline = run(make_sim())
+        for kill in KILL_POINTS:
+            resumed = _kill_and_resume(make_sim, run, kill)
+            if resumed.tasks != baseline.tasks:
+                failures.append((seed, kill))
+    assert not failures, f"qos event ({engine}): {failures}"
+
+
+def test_qos_federated_fluid_kill_resume():
+    from repro.federation.fluid import FederatedSlotSimulator
+
+    for seed in range(3):
+        topology = random_federation_topology(seed, 3, 6, max_arrivals=1.5)
+        plan = static_home_plan(topology, SLOTS)
+        arrivals = [PoissonArrivals(d.mean_arrivals) for d in topology.devices]
+
+        def make_sim():
+            return FederatedSlotSimulator(
+                topology=topology,
+                arrivals=arrivals,
+                plan=plan,
+                seed=seed,
+                overload=OverloadControl(),
+                qos=_qos(),
+            )
+
+        def run(sim, **kwargs):
+            return sim.run(DriftPlusPenaltyPolicy(v=50.0), SLOTS, **kwargs)
+
+        baseline = run(make_sim())
+        for kill in (2, 5, 8):
+            resumed = _kill_and_resume(make_sim, run, kill)
+            assert (
+                resumed.global_result.records == baseline.global_result.records
+            ), (seed, kill)
+            assert (
+                resumed.global_result.class_flow.generated
+                == baseline.global_result.class_flow.generated
+            )
+
+
+def test_qos_runtime_kill_resume_control_plane():
+    """The live path replays its per-slot decisions from the checkpoint;
+    with QoS attached the replayed control plane (device, offload, class
+    tag) must still match the uninterrupted run.  No governor here: live
+    shedding reads real thread backlogs, which are timing-dependent by
+    design — the deterministic contract covers the QoS plan and the
+    warm pool, not racy queue observations."""
+    from repro.experiments.common import TestbedConfig, leime_scheme
+    from repro.runtime import LeimeRuntime
+
+    from repro.resilience.qos import QoSConfig
+
+    # Light load and modest speedup: the policy reads real thread
+    # backlogs, so determinism needs every queue drained (holds
+    # included) well before each slot boundary.
+    config = TestbedConfig(num_devices=2, arrival_rate=0.3)
+    system = config.system(leime_scheme(config).partition)
+    runtime_qos = QoSConfig(memory_fraction=0.3, cold_start_seconds=0.1)
+    for seed in range(5):
+
+        def fresh():
+            return LeimeRuntime(
+                system, DriftPlusPenaltyPolicy(v=50.0), speedup=500.0, seed=seed
+            )
+
+        def run(runtime, **kwargs):
+            try:
+                return runtime.run(
+                    config.arrival_processes(),
+                    num_slots=6,
+                    qos=runtime_qos,
+                    **kwargs,
+                )
+            finally:
+                assert runtime.shutdown()
+
+        baseline = run(fresh())
+        control = [
+            (t.device, t.offloaded, t.shed, t.qos) for t in baseline.tasks
+        ]
+        assert any(t.qos for t in baseline.tasks)
+        switch = KillSwitch(4)
+        with pytest.raises(Killed):
+            run(fresh(), checkpoint_every=1, checkpoint_sink=switch)
+        by_slot = {ck.slot: ck for ck in switch.checkpoints}
+        for kill in (2, 4):
+            checkpoint = checkpoint_from_bytes(
+                checkpoint_to_bytes(by_slot[kill])
+            )
+            resumed = run(fresh(), resume_from=checkpoint)
+            assert [
+                (t.device, t.offloaded, t.shed, t.qos) for t in resumed.tasks
+            ] == control, (seed, kill)
+
+
+def test_qos_config_mismatch_refuses_resume():
+    """The QoS config is part of the run fingerprint on every path: a
+    checkpoint taken under one class/memory regime must not silently
+    resume under another."""
+    from dataclasses import replace as dc_replace
+
+    system = random_fleet(0, N, max_arrivals=1.0)
+    arrivals = _arrivals(system)
+    sim = SlotSimulator(system, arrivals, seed=0, qos=_qos())
+    with pytest.raises(Killed) as killed:
+        sim.run(
+            DriftPlusPenaltyPolicy(v=50.0),
+            SLOTS,
+            checkpoint_every=1,
+            checkpoint_sink=KillSwitch(3),
+        )
+    checkpoint = killed.value.checkpoint
+    # Different memory budget → different fingerprint.
+    other = SlotSimulator(
+        system,
+        arrivals,
+        seed=0,
+        qos=dc_replace(_qos(), memory_fraction=0.9),
+    )
+    with pytest.raises(CheckpointError, match="fingerprint"):
+        other.run(DriftPlusPenaltyPolicy(v=50.0), SLOTS, resume_from=checkpoint)
+    # Dropping QoS entirely must refuse too.
+    bare = SlotSimulator(system, arrivals, seed=0)
+    with pytest.raises(CheckpointError, match="fingerprint"):
+        bare.run(DriftPlusPenaltyPolicy(v=50.0), SLOTS, resume_from=checkpoint)
+    # Event path honours the same contract.
+    esim = EventSimulator(system, arrivals, seed=0, qos=_qos())
+    with pytest.raises(Killed) as killed:
+        esim.run(
+            DriftPlusPenaltyPolicy(v=50.0),
+            SLOTS,
+            checkpoint_every=1,
+            checkpoint_sink=KillSwitch(3),
+        )
+    other_e = EventSimulator(
+        system, arrivals, seed=0, qos=dc_replace(_qos(), cold_start_seconds=9.9)
+    )
+    with pytest.raises(CheckpointError, match="fingerprint"):
+        other_e.run(
+            DriftPlusPenaltyPolicy(v=50.0),
+            SLOTS,
+            resume_from=killed.value.checkpoint,
+        )
+
+
 def test_checkpoint_log_collects_cadence():
     system = random_fleet(1, N, max_arrivals=1.0)
     sim = SlotSimulator(system, _arrivals(system), seed=1)
